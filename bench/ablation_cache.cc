@@ -1,0 +1,80 @@
+// Ablation A1 (DESIGN.md): cache sizing and admission policy for DFSCACHE.
+//
+// The paper fixes SizeCache = 1000 units ("about 10% of a typical database
+// size") and does not specify the admission policy under a full cache; we
+// default to LRU eviction and compare it against rejecting new units.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle("Ablation: cache size and admission policy (DFSCACHE)",
+             "ShareFactor=5 (2000 units), NumTop=10, Pr(UPDATE)=0.1");
+
+  std::printf("%10s %12s %12s %14s %14s\n", "SizeCache", "LRU-evict",
+              "reject-full", "LRU hit-rate", "rej hit-rate");
+  for (uint32_t cache_units : {100u, 250u, 500u, 1000u, 2000u, 4000u}) {
+    double io[2], hit[2];
+    int i = 0;
+    for (CacheAdmission adm :
+         {CacheAdmission::kEvictLru, CacheAdmission::kRejectWhenFull}) {
+      DatabaseSpec spec;
+      spec.build_cache = true;
+      spec.size_cache = cache_units;
+      spec.cache_admission = adm;
+      WorkloadSpec wl;
+      wl.num_top = 10;
+      wl.pr_update = 0.1;
+      wl.num_queries = 400;
+      wl.seed = 4242;
+      RunResult r = MeasureStrategy(spec, wl, StrategyKind::kDfsCache);
+      io[i] = r.AvgIoPerQuery();
+      uint64_t probes = r.cache_stats.hits + r.cache_stats.misses;
+      hit[i] = probes ? 100.0 * r.cache_stats.hits / probes : 0;
+      ++i;
+    }
+    std::printf("%10u %12.1f %12.1f %13.1f%% %13.1f%%\n", cache_units, io[0],
+                io[1], hit[0], hit[1]);
+  }
+  std::printf(
+      "\n-- Skewed access (80%% of retrieves in the hottest 10%% of objects)"
+      " --\n");
+  std::printf("%10s %12s %12s %14s %14s\n", "SizeCache", "LRU-evict",
+              "reject-full", "LRU hit-rate", "rej hit-rate");
+  for (uint32_t cache_units : {100u, 250u, 500u, 1000u}) {
+    double io[2], hit[2];
+    int i = 0;
+    for (CacheAdmission adm :
+         {CacheAdmission::kEvictLru, CacheAdmission::kRejectWhenFull}) {
+      DatabaseSpec spec;
+      spec.build_cache = true;
+      spec.size_cache = cache_units;
+      spec.cache_admission = adm;
+      WorkloadSpec wl;
+      wl.num_top = 10;
+      wl.pr_update = 0.1;
+      wl.num_queries = 400;
+      wl.seed = 4243;
+      wl.hot_access_prob = 0.8;
+      wl.hot_region_fraction = 0.1;
+      RunResult r = MeasureStrategy(spec, wl, StrategyKind::kDfsCache);
+      io[i] = r.AvgIoPerQuery();
+      uint64_t probes = r.cache_stats.hits + r.cache_stats.misses;
+      hit[i] = probes ? 100.0 * r.cache_stats.hits / probes : 0;
+      ++i;
+    }
+    std::printf("%10u %12.1f %12.1f %13.1f%% %13.1f%%\n", cache_units, io[0],
+                io[1], hit[0], hit[1]);
+  }
+
+  PrintRule();
+  std::printf(
+      "Finding: hit rate tracks SizeCache/NumUnits and is nearly identical\n"
+      "under both policies (uniform or hot/cold accesses; invalidations let\n"
+      "even the frozen cache slowly re-adapt) — but every LRU eviction pays\n"
+      "a hash-relation delete+insert, so reject-when-full wins on I/O until\n"
+      "the cache holds the whole working set. Churn, not retention, is the\n"
+      "cost that matters at the paper's cache size.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Verifying the shaded box (paper §3.4): "Both clustering and caching
+// attempt to improve performance by reducing the number of page accesses
+// required to fetch the values of the subobjects. However, the approaches
+// taken in the two cases are different. Thus it does not make sense to
+// combine the two."
+//
+// We implement the combination anyway (DFSCLUST+CACHE: a clustered scan
+// whose non-local units go through the outside cache) and measure whether
+// it ever beats the better of its two parents.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle("Shaded-box ablation: DFSCLUST + caching combined (paper 3.4)",
+             "NumTop=20, SizeCache=1000; sweep ShareFactor x Pr(UPDATE)");
+
+  const std::vector<StrategyKind> kinds = {StrategyKind::kDfsClust,
+                                           StrategyKind::kDfsCache,
+                                           StrategyKind::kDfsClustCache};
+  std::printf("%6s %8s %12s %12s %16s %10s\n", "SF", "Pr(UPD)", "DFSCLUST",
+              "DFSCACHE", "DFSCLUST+CACHE", "combo wins?");
+  int combo_wins = 0, points = 0;
+  for (uint32_t sf : {1u, 5u, 20u}) {
+    for (double pr : {0.0, 0.3}) {
+      DatabaseSpec spec = WithStructuresFor(DatabaseSpec{}, kinds);
+      spec.use_factor = sf;
+      WorkloadSpec wl;
+      wl.num_top = 20;
+      wl.pr_update = pr;
+      wl.num_queries = 250;
+      wl.seed = 34000 + sf;
+      double io[3];
+      for (size_t i = 0; i < kinds.size(); ++i) {
+        io[i] = MeasureStrategy(spec, wl, kinds[i]).AvgIoPerQuery();
+      }
+      bool wins = io[2] < io[0] && io[2] < io[1];
+      combo_wins += wins ? 1 : 0;
+      ++points;
+      std::printf("%6u %8.2f %12.1f %12.1f %16.1f %10s\n", sf, pr, io[0],
+                  io[1], io[2], wins ? "YES" : "no");
+    }
+  }
+  PrintRule();
+  std::printf(
+      "Combination beat both parents at %d/%d points. The paper's 3.4\n"
+      "intuition: the cluster scan has already paid for the local\n"
+      "subobjects before the cache can answer, so caching can only save\n"
+      "the remote fetches while charging full maintenance and\n"
+      "invalidation. Wherever one parent is strong the combination only\n"
+      "adds the other's overhead.\n",
+      combo_wins, points);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each figure/table binary sweeps parameters, and for every point builds a
+// fresh database (same seed => identical data across strategies), generates
+// a deterministic query sequence, and measures average I/O per query —
+// exactly the paper's methodology (§4).
+#ifndef OBJREP_BENCH_BENCH_UTIL_H_
+#define OBJREP_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+
+namespace objrep {
+namespace bench {
+
+/// Builds a fresh database, generates the workload, and runs it under one
+/// strategy. Aborts on any Status failure (harness code).
+inline RunResult MeasureStrategy(const DatabaseSpec& db_spec,
+                                 const WorkloadSpec& wl_spec,
+                                 StrategyKind kind,
+                                 const StrategyOptions& options = {}) {
+  std::unique_ptr<ComplexDatabase> db;
+  Status s = BuildDatabase(db_spec, &db);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  std::vector<Query> queries;
+  s = GenerateWorkload(wl_spec, *db, &queries);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  std::unique_ptr<Strategy> strategy;
+  s = MakeStrategy(kind, db.get(), options, &strategy);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  RunResult result;
+  s = RunWorkload(strategy.get(), db.get(), queries, &result);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  return result;
+}
+
+/// Query count that keeps per-point work bounded while averaging enough:
+/// roughly constant total touched subobjects across NumTop values.
+inline uint32_t AutoNumQueries(uint32_t num_top, uint32_t budget = 400) {
+  uint32_t n = 1500000u / (num_top * 5u + 500u);
+  return std::clamp<uint32_t>(n, 24u, budget);
+}
+
+/// Marks the database spec to carry every structure a strategy set needs.
+inline DatabaseSpec WithStructuresFor(DatabaseSpec spec,
+                                      const std::vector<StrategyKind>& kinds) {
+  for (StrategyKind k : kinds) {
+    if (k == StrategyKind::kDfsCache || k == StrategyKind::kSmart) {
+      spec.build_cache = true;
+    }
+    if (k == StrategyKind::kDfsClust) spec.build_cluster = true;
+  }
+  return spec;
+}
+
+// --- Table printing ---
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title,
+                       const std::string& subtitle = "") {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  PrintRule();
+}
+
+}  // namespace bench
+}  // namespace objrep
+
+#endif  // OBJREP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Figure 3 (paper §5.1): DFS vs BFS vs BFSNODUP, average I/O per retrieve
+// as a function of NumTop, at ShareFactor = 5 (UseFactor 5, Overlap 1) and
+// Pr(UPDATE) = 0.
+//
+// Expected shape (paper): DFS loses once NumTop exceeds ~50 (nested-loop
+// vs merge join); at very low NumTop, BFS is slightly worse than DFS
+// because of the cost of forming the temporary; BFSNODUP is "not much
+// better than simple BFS" even though ShareFactor = 5.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle(
+      "Figure 3: performance comparison without clustering or caching",
+      "ShareFactor=5 (Use=5, Overlap=1), Pr(UPDATE)=0, |ParentRel|=10000");
+
+  const std::vector<uint32_t> num_tops = {1,   2,    5,    10,   20,  50, 100,
+                                          200, 500, 1000, 2000, 5000, 10000};
+  const std::vector<StrategyKind> kinds = {
+      StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kBfsNoDup};
+
+  std::printf("%8s %12s %12s %12s   %s\n", "NumTop", "DFS", "BFS", "BFSNODUP",
+              "best");
+  double crossover = -1;
+  double prev_dfs = 0, prev_bfs = 0;
+  uint32_t prev_top = 0;
+  for (uint32_t num_top : num_tops) {
+    DatabaseSpec spec;  // paper defaults
+    WorkloadSpec wl;
+    wl.num_top = num_top;
+    wl.pr_update = 0.0;
+    wl.num_queries = AutoNumQueries(num_top);
+    wl.seed = 1000 + num_top;
+
+    double io[3];
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      RunResult r = MeasureStrategy(spec, wl, kinds[i]);
+      io[i] = r.AvgIoPerQuery();
+    }
+    const char* best = io[0] <= io[1] && io[0] <= io[2]   ? "DFS"
+                       : io[1] <= io[2]                   ? "BFS"
+                                                          : "BFSNODUP";
+    std::printf("%8u %12.1f %12.1f %12.1f   %s\n", num_top, io[0], io[1],
+                io[2], best);
+    if (crossover < 0 && prev_top > 0 && prev_dfs <= prev_bfs &&
+        io[0] > io[1]) {
+      // Linear interpolation of the DFS/BFS crossover in NumTop.
+      double d0 = prev_bfs - prev_dfs, d1 = io[0] - io[1];
+      crossover = prev_top + (num_top - prev_top) * (d0 / (d0 + d1));
+    }
+    prev_dfs = io[0];
+    prev_bfs = io[1];
+    prev_top = num_top;
+  }
+  PrintRule();
+  if (crossover > 0) {
+    std::printf("DFS/BFS crossover at NumTop ~= %.0f (paper: ~50)\n",
+                crossover);
+  } else {
+    std::printf("DFS/BFS crossover not bracketed by the sweep\n");
+  }
+  std::printf(
+      "Expected: DFS loses beyond NumTop ~50; BFSNODUP ~= BFS throughout.\n");
+  return 0;
+}

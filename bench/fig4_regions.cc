@@ -1,0 +1,87 @@
+// Figure 4 (paper §5.2): the 3-D map of which strategy — BFS, DFSCACHE, or
+// DFSCLUST — wins as a function of ShareFactor, NumTop and Pr(UPDATE).
+// The paper evaluated ~300 grid points and extrapolated the regions; we
+// print the winner at every grid point, plus the 2-D faces the paper
+// discusses (§5.2.1-5.2.4).
+//
+// Expected regions (paper):
+//  * Pr(UPDATE)->1 face: caching unviable; DFSCLUST only near ShareFactor
+//    1-2 (higher at NumTop->1), BFS elsewhere.
+//  * Pr(UPDATE)->0: DFSCACHE expands, squeezing DFSCLUST (its boundary
+//    drops) and BFS (which keeps only the high-NumTop region).
+//  * High ShareFactor: clustering useless; DFSCACHE wins at low NumTop
+//    and low Pr(UPDATE), BFS otherwise.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+namespace {
+
+const std::vector<uint32_t> kShareFactors = {1, 2, 4, 8, 20, 50};
+const std::vector<uint32_t> kNumTops = {1, 10, 50, 200, 1000, 5000};
+// 0.95 stands in for the paper's Pr(UPDATE)->1 face: at exactly 1.0 a
+// sequence contains no retrieves at all and the strategies degenerate to
+// their update paths.
+const std::vector<double> kPrUpdates = {0.0, 0.25, 0.5, 0.86, 0.95};
+
+const char* ShortName(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kBfs: return "BFS  ";
+    case StrategyKind::kDfsCache: return "CACHE";
+    case StrategyKind::kDfsClust: return "CLUST";
+    default: return "?    ";
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Figure 4: best strategy over (ShareFactor, NumTop, Pr(UPDATE))",
+             "grid winners among BFS / DFSCACHE / DFSCLUST  "
+             "(Overlap=1, SizeCache=1000)");
+
+  const std::vector<StrategyKind> kinds = {
+      StrategyKind::kBfs, StrategyKind::kDfsCache, StrategyKind::kDfsClust};
+
+  int points = 0;
+  for (double pr : kPrUpdates) {
+    std::printf("\nPr(UPDATE) = %.2f\n", pr);
+    std::printf("%18s", "ShareFactor \\ NumTop");
+    for (uint32_t nt : kNumTops) std::printf(" %7u", nt);
+    std::printf("\n");
+    for (uint32_t sf : kShareFactors) {
+      std::printf("%18u", sf);
+      for (uint32_t nt : kNumTops) {
+        DatabaseSpec spec = WithStructuresFor(DatabaseSpec{}, kinds);
+        spec.use_factor = sf;
+        WorkloadSpec wl;
+        wl.num_top = nt;
+        wl.pr_update = pr;
+        wl.num_queries = AutoNumQueries(nt, 160);
+        wl.seed = 40000 + sf * 131 + nt;
+
+        double best = 0;
+        StrategyKind best_kind = kinds[0];
+        for (StrategyKind k : kinds) {
+          RunResult r = MeasureStrategy(spec, wl, k);
+          double avg = r.AvgIoPerQuery();
+          if (best == 0 || avg < best) {
+            best = avg;
+            best_kind = k;
+          }
+        }
+        std::printf(" %7s", ShortName(best_kind));
+        ++points;
+      }
+      std::printf("\n");
+    }
+  }
+  PrintRule();
+  std::printf("%d grid points evaluated (paper: ~300 points).\n", points);
+  std::printf(
+      "Expected: CLUST only at ShareFactor~1 (shrinking with Pr(UPDATE) low\n"
+      "as CACHE expands); CACHE at low NumTop & low Pr(UPDATE), growing\n"
+      "with ShareFactor; BFS at high NumTop and high Pr(UPDATE).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5 (paper §5.2.1): ParCost / ChildCost / TotCost as a function of
+// ShareFactor, at NumTop = 200, in the high-update regime (Pr(UPDATE)->1,
+// where caching is out of the picture), for (a) DFSCLUST and (b) BFS.
+//
+// Expected shapes (paper):
+//  (a) DFSCLUST: ParCost increases as ShareFactor decreases (better
+//      clustering interleaves more subobjects into the contiguous scan);
+//      ChildCost decreases as ShareFactor decreases (more subobjects are
+//      local); TotCost is dominated by ChildCost.
+//  (b) BFS: ParCost flat; ChildCost *decreases* as ShareFactor increases
+//      (|ChildRel| = 50000/ShareFactor shrinks, eqn. 1).
+//  The curves cross at a moderate ShareFactor (paper: ~4.7): below it
+//  DFSCLUST wins, above it BFS wins.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle("Figure 5: cost breakdown vs ShareFactor",
+             "NumTop=200, Pr(UPDATE)->1 (retrieve costs shown), Overlap=1");
+
+  // UseFactor sweep with Overlap=1 => ShareFactor = UseFactor.
+  const std::vector<uint32_t> share_factors = {1, 2, 4, 5, 8, 10};
+
+  std::printf("%12s | %28s | %28s\n", "", "(a) DFSCLUST", "(b) BFS");
+  std::printf("%12s | %8s %9s %9s | %8s %9s %9s\n", "ShareFactor", "ParCost",
+              "ChildCost", "TotCost", "ParCost", "ChildCost", "TotCost");
+
+  double prev_clust = -1, prev_bfs = -1, crossover = -1;
+  uint32_t prev_sf = 0;
+  for (uint32_t sf : share_factors) {
+    DatabaseSpec spec;
+    spec.use_factor = sf;
+    spec.overlap_factor = 1;
+    spec.build_cluster = true;
+
+    WorkloadSpec wl;
+    wl.num_top = 200;
+    // Pr(UPDATE)->1: almost all updates; retrieve cost is still what the
+    // figure reports, so keep enough retrieves to average.
+    wl.pr_update = 0.9;
+    wl.num_queries = 400;
+    wl.seed = 900 + sf;
+
+    RunResult clust = MeasureStrategy(spec, wl, StrategyKind::kDfsClust);
+    RunResult bfs = MeasureStrategy(spec, wl, StrategyKind::kBfs);
+
+    double cp = clust.AvgParCost(), cc = clust.AvgChildCost();
+    double bp = bfs.AvgParCost(), bc = bfs.AvgChildCost();
+    std::printf("%12u | %8.1f %9.1f %9.1f | %8.1f %9.1f %9.1f\n", sf, cp, cc,
+                cp + cc, bp, bc, bp + bc);
+
+    double tot_clust = cp + cc, tot_bfs = bp + bc;
+    if (crossover < 0 && prev_clust >= 0 && prev_clust <= prev_bfs &&
+        tot_clust > tot_bfs) {
+      double d0 = prev_bfs - prev_clust, d1 = tot_clust - tot_bfs;
+      crossover = prev_sf + (sf - prev_sf) * (d0 / (d0 + d1));
+    }
+    prev_clust = tot_clust;
+    prev_bfs = tot_bfs;
+    prev_sf = sf;
+  }
+  PrintRule();
+  if (crossover > 0) {
+    std::printf(
+        "DFSCLUST/BFS crossover at ShareFactor ~= %.1f (paper: ~4.7)\n",
+        crossover);
+  } else {
+    std::printf("DFSCLUST/BFS crossover not bracketed by the sweep\n");
+  }
+  std::printf(
+      "Expected: DFSCLUST ParCost falls / ChildCost rises with ShareFactor;\n"
+      "BFS ChildCost falls with ShareFactor; totals cross at a moderate SF.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 7 (paper §6.1): the effect of OverlapFactor on clustering.
+//
+// Cost(DFSCLUST) / Cost(BFS) vs NumTop for two databases with the same
+// ShareFactor = 5 composed differently:
+//   curve 1: OverlapFactor=1, UseFactor=5  (sharing in whole units)
+//   curve 2: OverlapFactor=5, UseFactor=1  (random sharing of subobjects)
+// Pr(UPDATE) = 1 in the paper so caching is out of the picture; we measure
+// retrieve-only cost, which is equivalent for this ratio.
+//
+// Expected (paper): the Overlap=5 curve lies well above the Overlap=1
+// curve (fragmented units force extra random accesses), and the NumTop at
+// which BFS starts to beat DFSCLUST (ratio crosses 1) moves *down* as
+// OverlapFactor grows.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle("Figure 7: effect of OverlapFactor on clustering",
+             "ShareFactor=5 both curves; ratio Cost(DFSCLUST)/Cost(BFS)");
+
+  const std::vector<uint32_t> num_tops = {1,   5,    20,   50,  100,
+                                          200, 500, 1000, 3000, 10000};
+  struct Config {
+    uint32_t overlap, use;
+  };
+  const Config configs[2] = {{1, 5}, {5, 1}};
+
+  std::printf("%8s %18s %18s\n", "NumTop", "Ov=1,Use=5", "Ov=5,Use=1");
+  double cross[2] = {-1, -1};
+  double prev_ratio[2] = {0, 0};
+  uint32_t prev_top = 0;
+  for (uint32_t num_top : num_tops) {
+    double ratio[2];
+    for (int c = 0; c < 2; ++c) {
+      DatabaseSpec spec;
+      spec.overlap_factor = configs[c].overlap;
+      spec.use_factor = configs[c].use;
+      spec.build_cluster = true;
+      WorkloadSpec wl;
+      wl.num_top = num_top;
+      wl.pr_update = 0.0;  // ratio of retrieve costs
+      wl.num_queries = AutoNumQueries(num_top, 200);
+      wl.seed = 7000 + num_top + static_cast<uint64_t>(c);
+      RunResult clust = MeasureStrategy(spec, wl, StrategyKind::kDfsClust);
+      RunResult bfs = MeasureStrategy(spec, wl, StrategyKind::kBfs);
+      ratio[c] = bfs.AvgRetrieveIo() > 0
+                     ? clust.AvgRetrieveIo() / bfs.AvgRetrieveIo()
+                     : 0;
+      if (cross[c] < 0 && prev_top > 0 && prev_ratio[c] <= 1.0 &&
+          ratio[c] > 1.0) {
+        double d0 = 1.0 - prev_ratio[c], d1 = ratio[c] - 1.0;
+        cross[c] = prev_top + (num_top - prev_top) * (d0 / (d0 + d1));
+      }
+      prev_ratio[c] = ratio[c];
+    }
+    prev_top = num_top;
+    std::printf("%8u %18.2f %18.2f\n", num_top, ratio[0], ratio[1]);
+  }
+  PrintRule();
+  for (int c = 0; c < 2; ++c) {
+    if (cross[c] > 0) {
+      std::printf("Overlap=%u: BFS beats DFSCLUST beyond NumTop ~= %.0f\n",
+                  configs[c].overlap, cross[c]);
+    } else {
+      std::printf("Overlap=%u: no ratio crossover inside the sweep\n",
+                  configs[c].overlap);
+    }
+  }
+  std::printf(
+      "Expected: Overlap=5 curve above Overlap=1; its crossover (point A)\n"
+      "at lower NumTop than Overlap=1's (point B).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Join-method sweep for the paper's §3.1 observation, extended: "The
+// optimal joining strategy in this query depends on the sizes of the
+// relations involved. Iterative substitution is best when temp is small
+// ... merge-join is the optimal strategy when the size of the temporary
+// is large." DFS *is* iterative substitution; BFS is the merge join; we
+// add the hash join INGRES 5 lacked and see where each regime starts.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle("Join methods across temp sizes (paper 3.1, extended)",
+             "iterative substitution (DFS) vs merge join (BFS) vs hash join");
+
+  const std::vector<StrategyKind> kinds = {
+      StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kBfsHash};
+  std::printf("%8s %12s %12s %12s   %s\n", "NumTop", "iter-subst",
+              "merge-join", "hash-join", "best");
+  for (uint32_t nt : {1u, 10u, 50u, 200u, 1000u, 5000u, 10000u}) {
+    DatabaseSpec spec;
+    WorkloadSpec wl;
+    wl.num_top = nt;
+    wl.pr_update = 0.0;
+    wl.num_queries = AutoNumQueries(nt, 150);
+    wl.seed = 55000 + nt;
+    double io[3];
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      io[i] = MeasureStrategy(spec, wl, kinds[i]).AvgRetrieveIo();
+    }
+    const char* best = io[0] <= io[1] && io[0] <= io[2] ? "iter-subst"
+                       : io[1] <= io[2]                 ? "merge-join"
+                                                        : "hash-join";
+    std::printf("%8u %12.1f %12.1f %12.1f   %s\n", nt, io[0], io[1], io[2],
+                best);
+  }
+  PrintRule();
+  std::printf(
+      "Expected three regimes: iterative substitution at small temps,\n"
+      "merge join in the middle, hash join once the temporary covers most\n"
+      "of ChildRel anyway (the saved sort passes beat the extra cold\n"
+      "leaves of a full scan).\n");
+  return 0;
+}

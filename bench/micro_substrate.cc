@@ -1,0 +1,145 @@
+// Micro-benchmarks of the storage substrate (google-benchmark): B-tree
+// probes and scans, hash-file probes, external sort, buffer-pool hit path.
+// These are engineering benchmarks (M1 in DESIGN.md), not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "access/btree.h"
+#include "access/hash_file.h"
+#include "relational/external_sort.h"
+#include "relational/temp_file.h"
+#include "util/random.h"
+
+namespace objrep {
+namespace {
+
+struct TreeFixture {
+  TreeFixture(uint32_t n, uint32_t buffer_pages)
+      : pool(&disk, buffer_pages) {
+    std::vector<BPlusTree::Entry> entries;
+    entries.reserve(n);
+    for (uint32_t k = 0; k < n; ++k) {
+      entries.push_back({k, std::string(100, 'v')});
+    }
+    OBJREP_CHECK(BPlusTree::BulkLoad(&pool, entries, 1.0, &tree).ok());
+  }
+  DiskManager disk;
+  BufferPool pool;
+  BPlusTree tree;
+};
+
+void BM_BTreeProbeCold(benchmark::State& state) {
+  TreeFixture f(50000, 100);  // tree far larger than the buffer
+  Rng rng(1);
+  std::string v;
+  for (auto _ : state) {
+    uint64_t k = rng.Uniform(50000);
+    benchmark::DoNotOptimize(f.tree.Get(k, &v));
+  }
+  state.counters["io_per_op"] = benchmark::Counter(
+      static_cast<double>(f.disk.counters().total()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BTreeProbeCold);
+
+void BM_BTreeProbeHot(benchmark::State& state) {
+  TreeFixture f(5000, 1000);  // tree fits in the buffer
+  Rng rng(2);
+  std::string v;
+  for (auto _ : state) {
+    uint64_t k = rng.Uniform(5000);
+    benchmark::DoNotOptimize(f.tree.Get(k, &v));
+  }
+}
+BENCHMARK(BM_BTreeProbeHot);
+
+void BM_BTreeScan(benchmark::State& state) {
+  TreeFixture f(20000, 100);
+  for (auto _ : state) {
+    auto it = f.tree.NewIterator();
+    OBJREP_CHECK(it.SeekToFirst().ok());
+    uint64_t count = 0;
+    while (it.valid()) {
+      ++count;
+      OBJREP_CHECK(it.Next().ok());
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_BTreeScan);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 200);
+  BPlusTree tree;
+  OBJREP_CHECK(BPlusTree::Create(&pool, &tree).ok());
+  Rng rng(3);
+  uint64_t next = 0;
+  for (auto _ : state) {
+    // Mixed-density keys, unique by construction.
+    uint64_t k = (next++ << 16) | rng.Uniform(65536);
+    OBJREP_CHECK(tree.Insert(k, std::string(60, 'i')).ok());
+  }
+}
+BENCHMARK(BM_BTreeInsertRandom);
+
+void BM_HashProbe(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 100);
+  HashFile hash;
+  OBJREP_CHECK(HashFile::Create(&pool, 512, &hash).ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    OBJREP_CHECK(hash.Insert(k, std::string(500, 'c')).ok());
+  }
+  Rng rng(4);
+  std::string v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.Lookup(rng.Uniform(1000), &v));
+  }
+  state.counters["io_per_op"] = benchmark::Counter(
+      static_cast<double>(disk.counters().total()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_HashProbe);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  DiskManager disk;
+  BufferPool pool(&disk, 100);
+  Rng rng(5);
+  for (auto _ : state) {
+    TempFile input;
+    OBJREP_CHECK(TempFile::Create(&pool, &input).ok());
+    for (uint32_t i = 0; i < n; ++i) {
+      OBJREP_CHECK(input.Append(rng.Next()).ok());
+    }
+    input.Seal();
+    TempFile sorted;
+    SortOptions opts;
+    opts.work_mem_pages = 16;
+    OBJREP_CHECK(ExternalSort(&pool, input, opts, &sorted).ok());
+    benchmark::DoNotOptimize(sorted.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSort)->Arg(10000)->Arg(100000);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 16);
+  PageGuard g;
+  OBJREP_CHECK(pool.NewPage(&g).ok());
+  PageId pid = g.page_id();
+  g.Release();
+  for (auto _ : state) {
+    PageGuard h;
+    OBJREP_CHECK(pool.FetchPage(pid, &h).ok());
+    benchmark::DoNotOptimize(h.page());
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+}  // namespace
+}  // namespace objrep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Cost-model validation: analytic estimates vs measured I/O, and the
+// advisor's picks vs the measured winner across NumTop — automating the
+// paper's §3.1 observation that "the optimal joining strategy depends on
+// the sizes of the relations involved".
+#include "bench/bench_util.h"
+#include "core/cost_model.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle("Cost model: estimates, advisor picks, and the oracle",
+             "ShareFactor=5, Pr(UPDATE)=0  (DFS/BFS only: the modelled pair)");
+
+  DatabaseSpec spec;
+  std::unique_ptr<ComplexDatabase> shape_db;
+  OBJREP_CHECK(BuildDatabase(spec, &shape_db).ok());
+  DbShape shape = DbShape::Of(*shape_db);
+  shape_db.reset();
+
+  std::printf("%8s %10s %10s %10s %10s %8s %8s %6s\n", "NumTop", "DFS meas",
+              "DFS est", "BFS meas", "BFS est", "advisor", "oracle", "ok?");
+  int agree = 0, points = 0;
+  for (uint32_t nt : {1u, 5u, 20u, 50u, 100u, 200u, 500u, 2000u, 10000u}) {
+    WorkloadSpec wl;
+    wl.num_top = nt;
+    wl.pr_update = 0.0;
+    wl.num_queries = AutoNumQueries(nt, 200);
+    wl.seed = 31000 + nt;
+    double dfs_meas =
+        MeasureStrategy(spec, wl, StrategyKind::kDfs).AvgRetrieveIo();
+    double bfs_meas =
+        MeasureStrategy(spec, wl, StrategyKind::kBfs).AvgRetrieveIo();
+    double dfs_est = EstimateRetrieveIo(StrategyKind::kDfs, shape, nt);
+    double bfs_est = EstimateRetrieveIo(StrategyKind::kBfs, shape, nt);
+    StrategyKind advisor = ChooseStrategy(shape, nt);
+    StrategyKind oracle =
+        dfs_meas <= bfs_meas ? StrategyKind::kDfs : StrategyKind::kBfs;
+    bool ok = advisor == oracle;
+    agree += ok ? 1 : 0;
+    ++points;
+    std::printf("%8u %10.1f %10.1f %10.1f %10.1f %8s %8s %6s\n", nt,
+                dfs_meas, dfs_est, bfs_meas, bfs_est,
+                StrategyKindName(advisor), StrategyKindName(oracle),
+                ok ? "yes" : "NO");
+  }
+  PrintRule();
+  std::printf("advisor agreed with the measured winner on %d/%d points\n",
+              agree, points);
+  std::printf("model-predicted DFS/BFS crossover: NumTop ~= %u "
+              "(measured: ~46, paper: ~50)\n",
+              PredictDfsBfsCrossover(shape));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// The paper's scaling claim (§4): "The results for larger database sizes
+// can be obtained from scaling the results at this cardinality, provided a
+// proportionally larger cache and main memory buffer is used."
+//
+// Check: grow |ParentRel|, buffer, SizeCache and NumTop together by k and
+// verify that average I/O per query grows by ~k (equivalently, I/O per
+// *selected object* stays flat) for each strategy.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+int main() {
+  PrintTitle("Scaling check (paper 4)",
+             "DB, buffer, cache and NumTop scaled together by k");
+
+  const std::vector<StrategyKind> kinds = {
+      StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kDfsCache,
+      StrategyKind::kDfsClust};
+  std::printf("%6s %8s | %10s %10s %10s %10s   (I/O per selected object)\n",
+              "k", "parents", "DFS", "BFS", "DFSCACHE", "DFSCLUST");
+  for (uint32_t k : {1u, 2u, 4u}) {
+    DatabaseSpec spec = WithStructuresFor(DatabaseSpec{}, kinds);
+    spec.num_parents = 10000 * k;
+    spec.buffer_pages = 100 * k;
+    spec.size_cache = 1000 * k;
+    spec.cache_buckets = 512 * k;
+    WorkloadSpec wl;
+    wl.num_top = 100 * k;
+    wl.pr_update = 0.1;
+    wl.num_queries = 120;
+    wl.seed = 2025;
+    std::printf("%6u %8u |", k, spec.num_parents);
+    for (StrategyKind kind : kinds) {
+      RunResult r = MeasureStrategy(spec, wl, kind);
+      std::printf(" %10.2f", r.AvgRetrieveIo() / wl.num_top);
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+  std::printf(
+      "Expected: each column roughly flat in k - per-object cost is scale-\n"
+      "free when buffer and cache grow with the data, as the paper claims.\n");
+  return 0;
+}

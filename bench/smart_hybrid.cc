@@ -1,0 +1,105 @@
+// SMART (paper §5.3): the hybrid that uses DFSCACHE below NumTop = N and a
+// cache-aware, non-maintaining breadth-first pass above it.
+//
+// Two experiments:
+//  1. NumTop sweep at fixed Pr(UPDATE): SMART vs BFS vs DFSCACHE. Expected:
+//     SMART tracks DFSCACHE at low NumTop and stays competitive with BFS at
+//     high NumTop (its temporary is never larger than BFS's, since cached
+//     units' OIDs are excluded).
+//  2. A mixed sequence alternating low- and high-NumTop retrieves — the
+//     "good query mix" for which the paper recommends SMART: the low-NumTop
+//     queries keep the cache maintained, the high-NumTop queries exploit it.
+#include "bench/bench_util.h"
+
+using namespace objrep;
+using namespace objrep::bench;
+
+namespace {
+
+// Mixed-workload runner: interleaves two NumTop classes in one sequence.
+RunResult RunMixed(const DatabaseSpec& db_spec, StrategyKind kind,
+                   uint32_t low_top, uint32_t high_top, uint32_t num_queries,
+                   double pr_update, uint64_t seed) {
+  std::unique_ptr<ComplexDatabase> db;
+  Status s = BuildDatabase(db_spec, &db);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+
+  // Generate two workloads and interleave deterministically.
+  WorkloadSpec lo;
+  lo.num_top = low_top;
+  lo.pr_update = pr_update;
+  lo.num_queries = num_queries / 2;
+  lo.seed = seed;
+  WorkloadSpec hi = lo;
+  hi.num_top = high_top;
+  hi.seed = seed + 1;
+  std::vector<Query> a, b, mixed;
+  OBJREP_CHECK(GenerateWorkload(lo, *db, &a).ok());
+  OBJREP_CHECK(GenerateWorkload(hi, *db, &b).ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    mixed.push_back(a[i]);
+    mixed.push_back(b[i]);
+  }
+  std::unique_ptr<Strategy> strategy;
+  OBJREP_CHECK(MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+  RunResult r;
+  OBJREP_CHECK(RunWorkload(strategy.get(), db.get(), mixed, &r).ok());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<StrategyKind> kinds = {
+      StrategyKind::kBfs, StrategyKind::kDfsCache, StrategyKind::kSmart};
+
+  PrintTitle("SMART hybrid (paper 5.3) - NumTop sweep",
+             "ShareFactor=5, Pr(UPDATE)=0.1, SizeCache=1000, N=300");
+  std::printf("%8s %12s %12s %12s   %s\n", "NumTop", "BFS", "DFSCACHE",
+              "SMART", "best");
+  for (uint32_t nt : {5u, 20u, 100u, 300u, 500u, 1000u, 3000u, 10000u}) {
+    DatabaseSpec spec = WithStructuresFor(DatabaseSpec{}, kinds);
+    WorkloadSpec wl;
+    wl.num_top = nt;
+    wl.pr_update = 0.1;
+    wl.num_queries = AutoNumQueries(nt, 300);
+    wl.seed = 5500 + nt;
+    double io[3];
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      io[i] = MeasureStrategy(spec, wl, kinds[i]).AvgIoPerQuery();
+    }
+    const char* best = io[0] <= io[1] && io[0] <= io[2]   ? "BFS"
+                       : io[1] <= io[2]                   ? "DFSCACHE"
+                                                          : "SMART";
+    std::printf("%8u %12.1f %12.1f %12.1f   %s\n", nt, io[0], io[1], io[2],
+                best);
+  }
+  std::printf(
+      "Expected: SMART == DFSCACHE for NumTop <= 300; above, SMART drops the\n"
+      "maintenance and stays near BFS while DFSCACHE degrades.\n\n");
+
+  PrintTitle("SMART hybrid - mixed query sizes (the 'good query mix')",
+             "alternating NumTop=20 and NumTop=2000, Pr(UPDATE)=0.05,\n"
+             "ShareFactor = 5 and 20 (denser sharing favours the cache)");
+  std::printf("%6s %12s %16s %14s\n", "SF", "strategy", "avg I/O per query",
+              "cache hits");
+  for (uint32_t sf : {5u, 20u}) {
+    for (StrategyKind k : kinds) {
+      DatabaseSpec spec = WithStructuresFor(DatabaseSpec{}, kinds);
+      spec.use_factor = sf;
+      RunResult r = RunMixed(spec, k, 20, 2000, 300, 0.05, 77);
+      std::printf("%6u %12s %16.1f %14llu\n", sf, StrategyKindName(k),
+                  r.AvgIoPerQuery(),
+                  static_cast<unsigned long long>(r.cache_stats.hits));
+    }
+  }
+  std::printf(
+      "Expected: the low-NumTop queries maintain the cache and the\n"
+      "high-NumTop queries exploit it, so SMART keeps DFSCACHE's low-NumTop\n"
+      "behaviour while avoiding its high-NumTop collapse (order-of-magnitude\n"
+      "vs DFSCACHE on the mix). Note the paper *proposes* SMART (5.3)\n"
+      "without measuring it; in this substrate a cached-unit fetch costs\n"
+      "~1 I/O per object, so plain BFS keeps a raw-I/O edge on the mix --\n"
+      "see EXPERIMENTS.md for the discussion.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// The paper's running example (§2): groups of persons —
+//
+//     group (name, members, ...)      elders / children / cyclists
+//     person (name, age, ...)
+//
+// — used here to walk the whole *representation matrix*: the same logical
+// database is materialized procedurally (members = a stored query), with
+// OIDs (members = identifier list, optionally cached), and value-based
+// (members = inlined person tuples), and the same workload is costed
+// against each box.
+#include <cstdio>
+
+#include "core/procedural.h"
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "core/value_rep.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+#include "util/random.h"
+
+using namespace objrep;
+
+int main() {
+  // 2,000 groups over 2,000 persons; each "membership list" (unit) holds 5
+  // persons and is shared by 5 groups (elders and cyclists overlap, as in
+  // the paper: Mary is 62 *and* cycles).
+  DatabaseSpec spec;
+  spec.num_parents = 2000;   // groups
+  spec.size_unit = 5;        // persons per membership unit
+  spec.use_factor = 5;       // groups sharing a unit
+  spec.build_cache = true;
+  spec.size_cache = 200;
+  spec.seed = 60;
+
+  // Workload: look up the members of a handful of groups ("who are the
+  // elders?"), with occasional person updates (birthdays).
+  WorkloadSpec wl;
+  wl.num_queries = 150;
+  wl.num_top = 3;
+  wl.pr_update = 0.15;
+  wl.seed = 61;
+
+  std::printf("groups=%u persons=%u units=%u  (NumTop=%u, Pr(UPDATE)=%.2f)\n\n",
+              spec.num_parents, spec.num_children_total(), spec.num_units(),
+              wl.num_top, wl.pr_update);
+  std::printf("%-34s %14s\n", "representation matrix box", "avg I/O/query");
+
+  // --- Column 1: procedural ("members: retrieve persons where ...") ---
+  {
+    for (ProcStrategy strat : {ProcStrategy::kExec,
+                               ProcStrategy::kCacheOutside,
+                               ProcStrategy::kCacheInside}) {
+      std::unique_ptr<ProceduralDatabase> db;
+      OBJREP_CHECK(ProceduralDatabase::Build(spec, &db).ok());
+      Rng qrng(wl.seed);
+      uint64_t io = 0;
+      for (uint32_t i = 0; i < wl.num_queries; ++i) {
+        IoCounters before = db->disk()->counters();
+        if (qrng.Bernoulli(wl.pr_update)) {
+          Query q;
+          q.kind = Query::Kind::kUpdate;
+          for (uint32_t j = 0; j < wl.update_batch; ++j) {
+            q.update_targets.push_back(Oid{
+                1, static_cast<uint32_t>(
+                       qrng.Uniform(spec.num_children_total()))});
+          }
+          q.new_ret1 = static_cast<int32_t>(qrng.Uniform(100));
+          OBJREP_CHECK(db->ExecuteUpdate(q, strat).ok());
+        } else {
+          Query q;
+          q.kind = Query::Kind::kRetrieve;
+          q.num_top = wl.num_top;
+          q.lo_parent = static_cast<uint32_t>(
+              qrng.Uniform(spec.num_parents - wl.num_top + 1));
+          q.attr_index = static_cast<int>(qrng.Uniform(3));
+          RetrieveResult r;
+          OBJREP_CHECK(db->ExecuteRetrieve(q, strat, &r).ok());
+        }
+        io += (db->disk()->counters() - before).total();
+      }
+      std::printf("  procedural / %-19s %14.1f\n", ProcStrategyName(strat),
+                  static_cast<double>(io) / wl.num_queries);
+    }
+  }
+
+  // --- Column 2: OID representation (cached and not). ---
+  std::vector<Query> queries;
+  for (StrategyKind kind : {StrategyKind::kBfs, StrategyKind::kDfsCache}) {
+    std::unique_ptr<ComplexDatabase> db;
+    OBJREP_CHECK(BuildDatabase(spec, &db).ok());
+    OBJREP_CHECK(GenerateWorkload(wl, *db, &queries).ok());
+    std::unique_ptr<Strategy> strategy;
+    OBJREP_CHECK(
+        MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+    RunResult r;
+    OBJREP_CHECK(RunWorkload(strategy.get(), db.get(), queries, &r).ok());
+    std::printf("  OID / %-26s %14.1f\n",
+                kind == StrategyKind::kBfs ? "no cache (BFS)"
+                                           : "cached values (DFSCACHE)",
+                r.AvgIoPerQuery());
+  }
+
+  // --- Column 3: value-based (persons inlined into their groups). ---
+  {
+    std::unique_ptr<ComplexDatabase> src;
+    OBJREP_CHECK(BuildDatabase(spec, &src).ok());
+    OBJREP_CHECK(GenerateWorkload(wl, *src, &queries).ok());
+    std::unique_ptr<ValueRepDatabase> vdb;
+    OBJREP_CHECK(ValueRepDatabase::Build(*src, &vdb).ok());
+    uint64_t io = 0;
+    for (const Query& q : queries) {
+      IoCounters before = vdb->disk()->counters();
+      if (q.kind == Query::Kind::kRetrieve) {
+        RetrieveResult r;
+        OBJREP_CHECK(vdb->ExecuteRetrieve(q, &r).ok());
+      } else {
+        OBJREP_CHECK(vdb->ExecuteUpdate(q).ok());
+      }
+      io += (vdb->disk()->counters() - before).total();
+    }
+    std::printf("  value-based %-22s %14.1f\n", "(replicated members)",
+                static_cast<double>(io) / wl.num_queries);
+  }
+
+  std::printf(
+      "\nReading the matrix: the stored-query column pays a relation scan\n"
+      "per group unless cached (outside beats inside); the OID column turns\n"
+      "membership into cheap probes/joins and caching helps small lookups;\n"
+      "the value column reads fastest but pays UseFactor-fold on every\n"
+      "birthday (update amplification through the replicas).\n");
+  return 0;
+}

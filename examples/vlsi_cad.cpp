@@ -1,0 +1,108 @@
+// VLSI CAD scenario (the paper's opening example, §1):
+//
+//     cells -> { paths, instances } -> rectangles
+//
+// A chip's cells reference geometry units; standard-cell reuse means the
+// same unit is referenced by many cells (high UseFactor), and an
+// engineering-change order (ECO) edits a few rectangles in place. Design
+// browsing expands a window of cells one level; a design-rule check (DRC)
+// sweeps the whole chip.
+//
+// The example asks the library the paper's question: how should the
+// cell->geometry relationship be represented, and which query-processing
+// strategy should serve each tool?
+#include <cstdio>
+
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+
+using namespace objrep;
+
+namespace {
+
+RunResult Run(const DatabaseSpec& spec, const WorkloadSpec& wl,
+              StrategyKind kind) {
+  std::unique_ptr<ComplexDatabase> db;
+  OBJREP_CHECK(BuildDatabase(spec, &db).ok());
+  std::vector<Query> queries;
+  OBJREP_CHECK(GenerateWorkload(wl, *db, &queries).ok());
+  std::unique_ptr<Strategy> strategy;
+  OBJREP_CHECK(MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+  RunResult r;
+  OBJREP_CHECK(RunWorkload(strategy.get(), db.get(), queries, &r).ok());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // The chip: 10,000 cells; each references a unit of 5 geometry objects
+  // (paths/rectangles). Standard-cell reuse: every geometry unit is
+  // instantiated by 10 cells. Geometry objects are drawn from two
+  // relations (paths and rectangles), as in the paper's cell hierarchy.
+  DatabaseSpec chip;
+  chip.num_parents = 10000;     // cells
+  chip.size_unit = 5;           // geometry objects per cell
+  chip.use_factor = 10;         // standard-cell instantiation factor
+  chip.num_child_rels = 2;      // paths + rectangles
+  chip.build_cache = true;
+  chip.build_cluster = true;
+  chip.seed = 1990;
+
+  std::printf("chip: %u cells, %u geometry objects in %u shared units\n\n",
+              chip.num_parents, chip.num_children_total(), chip.num_units());
+
+  struct Tool {
+    const char* name;
+    WorkloadSpec wl;
+  };
+  Tool tools[3];
+  // Interactive layout browser: expand ~8 cells around the cursor; the
+  // occasional ECO edits rectangles in place.
+  tools[0].name = "layout browser (NumTop=8, 5% ECO)";
+  tools[0].wl.num_top = 8;
+  tools[0].wl.pr_update = 0.05;
+  tools[0].wl.num_queries = 300;
+  tools[0].wl.seed = 3;
+  // Block-level timing tool: pulls ~500 cells' geometry at a time.
+  tools[1].name = "block timing (NumTop=500)";
+  tools[1].wl.num_top = 500;
+  tools[1].wl.pr_update = 0.0;
+  tools[1].wl.num_queries = 60;
+  tools[1].wl.seed = 4;
+  // Full-chip DRC: one level of the whole design.
+  tools[2].name = "full-chip DRC (NumTop=10000)";
+  tools[2].wl.num_top = 10000;
+  tools[2].wl.pr_update = 0.0;
+  tools[2].wl.num_queries = 12;
+  tools[2].wl.seed = 5;
+
+  const StrategyKind kinds[] = {StrategyKind::kDfs, StrategyKind::kBfs,
+                                StrategyKind::kDfsCache,
+                                StrategyKind::kDfsClust, StrategyKind::kSmart};
+  for (const Tool& tool : tools) {
+    std::printf("%s\n", tool.name);
+    double best = 0;
+    const char* best_name = "";
+    for (StrategyKind kind : kinds) {
+      RunResult r = Run(chip, tool.wl, kind);
+      std::printf("  %-10s %10.1f I/O per query\n", StrategyKindName(kind),
+                  r.AvgIoPerQuery());
+      if (best == 0 || r.AvgIoPerQuery() < best) {
+        best = r.AvgIoPerQuery();
+        best_name = StrategyKindName(kind);
+      }
+    }
+    std::printf("  -> use %s\n\n", best_name);
+  }
+
+  std::printf(
+      "The paper's conclusion plays out across the tools: depth-first\n"
+      "strategies (clustered or cached) only pay off for the browser's\n"
+      "small expansions, and with geometry shared 10 ways even there the\n"
+      "margin is thin; every bulk tool wants the merge join, which SMART\n"
+      "falls back to automatically.\n");
+  return 0;
+}

@@ -1,0 +1,534 @@
+#include "access/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace objrep {
+
+namespace {
+
+// Leaf cell = [u64 key][value bytes].
+std::string MakeLeafCell(uint64_t key, std::string_view value) {
+  std::string cell;
+  cell.reserve(8 + value.size());
+  cell.append(reinterpret_cast<const char*>(&key), 8);
+  cell.append(value);
+  return cell;
+}
+
+}  // namespace
+
+uint64_t BPlusTree::LeafKeyAt(const SlottedPage& sp, uint16_t slot) {
+  std::string_view cell = sp.Get(slot);
+  OBJREP_CHECK(cell.size() >= 8);
+  uint64_t key;
+  std::memcpy(&key, cell.data(), 8);
+  return key;
+}
+
+std::string_view BPlusTree::LeafValueAt(const SlottedPage& sp, uint16_t slot) {
+  std::string_view cell = sp.Get(slot);
+  OBJREP_CHECK(cell.size() >= 8);
+  return cell.substr(8);
+}
+
+uint16_t BPlusTree::LeafLowerBound(const SlottedPage& sp, uint64_t key) {
+  // Slot array is maintained in key order with no interior deleted slots
+  // (Delete uses RemoveAt), so plain binary search applies.
+  uint16_t lo = 0, hi = sp.num_slots();
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (LeafKeyAt(sp, mid) < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint16_t BPlusTree::InternalCount(const Page& p) {
+  uint16_t v;
+  std::memcpy(&v, p.data + 8, 2);
+  return v;
+}
+
+void BPlusTree::SetInternalCount(Page* p, uint16_t n) {
+  std::memcpy(p->data + 8, &n, 2);
+}
+
+PageId BPlusTree::InternalChild(const Page& p, uint16_t index) {
+  if (index == 0) {
+    PageId pid;
+    std::memcpy(&pid, p.data + 12, 4);
+    return pid;
+  }
+  PageId pid;
+  std::memcpy(&pid,
+              p.data + kInternalHeader +
+                  (index - 1) * kInternalEntrySize + 8,
+              4);
+  return pid;
+}
+
+uint64_t BPlusTree::InternalKey(const Page& p, uint16_t entry) {
+  uint64_t key;
+  std::memcpy(&key, p.data + kInternalHeader + entry * kInternalEntrySize, 8);
+  return key;
+}
+
+void BPlusTree::InternalSet(Page* p, uint16_t entry, uint64_t key,
+                            PageId child) {
+  char* base = p->data + kInternalHeader + entry * kInternalEntrySize;
+  std::memcpy(base, &key, 8);
+  std::memcpy(base + 8, &child, 4);
+}
+
+void BPlusTree::SetLeftmost(Page* p, PageId child) {
+  std::memcpy(p->data + 12, &child, 4);
+}
+
+uint16_t BPlusTree::InternalSearch(const Page& p, uint64_t key) {
+  // Returns the child index (0 == leftmost) whose subtree may contain `key`:
+  // the largest i such that key >= key[i-1], i.e. upper_bound.
+  uint16_t count = InternalCount(p);
+  uint16_t lo = 0, hi = count;
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (InternalKey(p, mid) <= key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // child index: 0..count
+}
+
+Status BPlusTree::Create(BufferPool* pool, BPlusTree* out) {
+  PageGuard guard;
+  OBJREP_RETURN_NOT_OK(pool->NewPage(&guard));
+  SlottedPage sp(guard.page());
+  sp.Init();
+  sp.set_aux(kLeafMarker);
+  guard.MarkDirty();
+  out->pool_ = pool;
+  out->root_ = guard.page_id();
+  out->first_leaf_ = guard.page_id();
+  out->stats_ = Stats{1, 1, 0, 0};
+  return Status::OK();
+}
+
+Status BPlusTree::BulkLoad(BufferPool* pool,
+                           const std::vector<Entry>& entries,
+                           double fill_factor, BPlusTree* out) {
+  if (fill_factor <= 0.0 || fill_factor > 1.0) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  if (entries.empty()) {
+    return Create(pool, out);
+  }
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].key >= entries[i].key) {
+      return Status::InvalidArgument("bulk load input not strictly sorted");
+    }
+  }
+
+  out->pool_ = pool;
+  out->stats_ = Stats{};
+
+  // --- Build the leaf level. ---
+  // A page is "full enough" once used cell space exceeds
+  // fill_factor * usable bytes.
+  const uint32_t usable = kPageSize - 64;  // conservative slack for header
+  const uint32_t budget = static_cast<uint32_t>(usable * fill_factor);
+
+  std::vector<std::pair<uint64_t, PageId>> level;  // (first key, page)
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(pool->NewPage(&leaf));
+  SlottedPage sp(leaf.page());
+  sp.Init();
+  sp.set_aux(kLeafMarker);
+  leaf.MarkDirty();
+  out->first_leaf_ = leaf.page_id();
+  uint32_t used = 0;
+  uint64_t page_first_key = entries[0].key;
+  bool page_empty = true;
+  ++out->stats_.leaf_pages;
+
+  for (const Entry& e : entries) {
+    std::string cell = MakeLeafCell(e.key, e.value);
+    uint32_t cost = static_cast<uint32_t>(cell.size()) + 4;
+    if (!page_empty && (used + cost > budget ||
+                        cell.size() > sp.FreeSpace())) {
+      // Seal this leaf, start the next one.
+      level.emplace_back(page_first_key, leaf.page_id());
+      PageGuard next;
+      OBJREP_RETURN_NOT_OK(pool->NewPage(&next));
+      SlottedPage nsp(next.page());
+      nsp.Init();
+      nsp.set_aux(kLeafMarker);
+      next.MarkDirty();
+      sp = SlottedPage(leaf.page());
+      sp.set_next_page(next.page_id());
+      leaf = std::move(next);
+      sp = SlottedPage(leaf.page());
+      used = 0;
+      page_empty = true;
+      ++out->stats_.leaf_pages;
+    }
+    if (page_empty) {
+      page_first_key = e.key;
+      page_empty = false;
+    }
+    uint16_t slot = sp.Insert(cell);
+    if (slot == SlottedPage::kInvalidSlot) {
+      return Status::NoSpace("bulk load: record larger than a page");
+    }
+    used += cost;
+    ++out->stats_.num_entries;
+  }
+  level.emplace_back(page_first_key, leaf.page_id());
+  leaf.Release();
+
+  // --- Build internal levels bottom-up. ---
+  uint32_t height = 1;
+  const uint32_t internal_budget = std::max<uint32_t>(
+      2, static_cast<uint32_t>(kInternalCapacity * fill_factor));
+  while (level.size() > 1) {
+    std::vector<std::pair<uint64_t, PageId>> parent_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      size_t take = std::min<size_t>(internal_budget + 1, level.size() - i);
+      // An internal node holds `take` children => take-1 keys; avoid a
+      // dangling single-child node at the end.
+      if (level.size() - i - take == 1) {
+        --take;
+      }
+      PageGuard node;
+      OBJREP_RETURN_NOT_OK(pool->NewPage(&node));
+      Page* p = node.page();
+      std::memset(p->data, 0, kInternalHeader);
+      uint32_t marker = kInternalMarker;
+      std::memcpy(p->data + 4, &marker, 4);
+      SetLeftmost(p, level[i].second);
+      for (size_t j = 1; j < take; ++j) {
+        InternalSet(p, static_cast<uint16_t>(j - 1), level[i + j].first,
+                    level[i + j].second);
+      }
+      SetInternalCount(p, static_cast<uint16_t>(take - 1));
+      node.MarkDirty();
+      parent_level.emplace_back(level[i].first, node.page_id());
+      ++out->stats_.internal_pages;
+      i += take;
+    }
+    level.swap(parent_level);
+    ++height;
+  }
+  out->root_ = level[0].second;
+  out->stats_.height = height;
+  return Status::OK();
+}
+
+Status BPlusTree::DescendToLeaf(uint64_t key, PageGuard* leaf,
+                                std::vector<PathEntry>* path) const {
+  PageId pid = root_;
+  for (uint32_t depth = 1; depth < stats_.height; ++depth) {
+    PageGuard guard;
+    OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+    const Page& p = *guard.page();
+    uint16_t child_index = InternalSearch(p, key);
+    if (path != nullptr) {
+      path->push_back(PathEntry{pid, child_index});
+    }
+    pid = InternalChild(p, child_index);
+  }
+  return pool_->FetchPage(pid, leaf);
+}
+
+Status BPlusTree::Get(uint64_t key, std::string* value) const {
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(DescendToLeaf(key, &leaf, nullptr));
+  SlottedPage sp(leaf.page());
+  uint16_t slot = LeafLowerBound(sp, key);
+  if (slot >= sp.num_slots() || LeafKeyAt(sp, slot) != key) {
+    return Status::NotFound();
+  }
+  value->assign(LeafValueAt(sp, slot));
+  return Status::OK();
+}
+
+Status BPlusTree::UpdateInPlace(uint64_t key, std::string_view value) {
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(DescendToLeaf(key, &leaf, nullptr));
+  SlottedPage sp(leaf.page());
+  uint16_t slot = LeafLowerBound(sp, key);
+  if (slot >= sp.num_slots() || LeafKeyAt(sp, slot) != key) {
+    return Status::NotFound();
+  }
+  std::string cell = MakeLeafCell(key, value);
+  if (!sp.UpdateInPlace(slot, cell)) {
+    return Status::InvalidArgument("in-place update size mismatch");
+  }
+  leaf.MarkDirty();
+  return Status::OK();
+}
+
+Status BPlusTree::InsertIntoParent(std::vector<PathEntry>* path,
+                                   uint64_t sep_key, PageId new_child) {
+  while (true) {
+    if (path->empty()) {
+      // Split reached the root: grow the tree by one level.
+      PageGuard node;
+      OBJREP_RETURN_NOT_OK(pool_->NewPage(&node));
+      Page* p = node.page();
+      std::memset(p->data, 0, kInternalHeader);
+      uint32_t marker = kInternalMarker;
+      std::memcpy(p->data + 4, &marker, 4);
+      SetLeftmost(p, root_);
+      InternalSet(p, 0, sep_key, new_child);
+      SetInternalCount(p, 1);
+      node.MarkDirty();
+      root_ = node.page_id();
+      ++stats_.height;
+      ++stats_.internal_pages;
+      return Status::OK();
+    }
+    PathEntry pe = path->back();
+    path->pop_back();
+    PageGuard guard;
+    OBJREP_RETURN_NOT_OK(pool_->FetchPage(pe.pid, &guard));
+    Page* p = guard.page();
+    uint16_t count = InternalCount(*p);
+    if (count < kInternalCapacity) {
+      // Shift entries at >= pe.child_index up by one and insert.
+      for (uint16_t i = count; i > pe.child_index; --i) {
+        InternalSet(p, i, InternalKey(*p, i - 1), InternalChild(*p, i));
+      }
+      InternalSet(p, pe.child_index, sep_key, new_child);
+      SetInternalCount(p, static_cast<uint16_t>(count + 1));
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Split the internal node. Build the combined entry list in memory.
+    struct Ent { uint64_t key; PageId child; };
+    std::vector<Ent> ents;
+    ents.reserve(count + 1);
+    for (uint16_t i = 0; i < count; ++i) {
+      ents.push_back(Ent{InternalKey(*p, i), InternalChild(*p, i + 1)});
+    }
+    ents.insert(ents.begin() + pe.child_index, Ent{sep_key, new_child});
+    PageId leftmost = InternalChild(*p, 0);
+
+    uint16_t total = static_cast<uint16_t>(ents.size());
+    uint16_t left_n = total / 2;          // entries staying left
+    uint64_t up_key = ents[left_n].key;   // pushed to the parent
+    PageId right_leftmost = ents[left_n].child;
+
+    // Rewrite the left node.
+    SetLeftmost(p, leftmost);
+    for (uint16_t i = 0; i < left_n; ++i) {
+      InternalSet(p, i, ents[i].key, ents[i].child);
+    }
+    SetInternalCount(p, left_n);
+    guard.MarkDirty();
+
+    // Build the right node.
+    PageGuard right;
+    OBJREP_RETURN_NOT_OK(pool_->NewPage(&right));
+    Page* rp = right.page();
+    std::memset(rp->data, 0, kInternalHeader);
+    uint32_t marker = kInternalMarker;
+    std::memcpy(rp->data + 4, &marker, 4);
+    SetLeftmost(rp, right_leftmost);
+    uint16_t right_n = static_cast<uint16_t>(total - left_n - 1);
+    for (uint16_t i = 0; i < right_n; ++i) {
+      InternalSet(rp, i, ents[left_n + 1 + i].key, ents[left_n + 1 + i].child);
+    }
+    SetInternalCount(rp, right_n);
+    right.MarkDirty();
+    ++stats_.internal_pages;
+
+    sep_key = up_key;
+    new_child = right.page_id();
+    // Loop: insert (sep_key, new_child) into the next ancestor.
+  }
+}
+
+Status BPlusTree::SplitLeafAndInsert(PageGuard* leaf, uint64_t key,
+                                     std::string_view value,
+                                     std::vector<PathEntry>* path) {
+  SlottedPage sp(leaf->page());
+  // Materialize all cells plus the new one, in key order.
+  struct Cell { uint64_t key; std::string cell; };
+  std::vector<Cell> cells;
+  uint16_t n = sp.num_slots();
+  cells.reserve(n + 1);
+  for (uint16_t i = 0; i < n; ++i) {
+    std::string_view c = sp.Get(i);
+    cells.push_back(Cell{LeafKeyAt(sp, i), std::string(c)});
+  }
+  std::string new_cell = MakeLeafCell(key, value);
+  auto it = std::lower_bound(
+      cells.begin(), cells.end(), key,
+      [](const Cell& c, uint64_t k) { return c.key < k; });
+  cells.insert(it, Cell{key, std::move(new_cell)});
+
+  // Split by bytes, half-and-half.
+  size_t total_bytes = 0;
+  for (const Cell& c : cells) total_bytes += c.cell.size() + 4;
+  size_t left_bytes = 0;
+  size_t split = 0;
+  while (split < cells.size() - 1 && left_bytes < total_bytes / 2) {
+    left_bytes += cells[split].cell.size() + 4;
+    ++split;
+  }
+
+  PageId old_next = sp.next_page();
+  // Rewrite the left page.
+  sp.Init();
+  sp.set_aux(kLeafMarker);
+  for (size_t i = 0; i < split; ++i) {
+    OBJREP_CHECK(sp.Insert(cells[i].cell) != SlottedPage::kInvalidSlot);
+  }
+  // Build the right page.
+  PageGuard right;
+  OBJREP_RETURN_NOT_OK(pool_->NewPage(&right));
+  SlottedPage rsp(right.page());
+  rsp.Init();
+  rsp.set_aux(kLeafMarker);
+  for (size_t i = split; i < cells.size(); ++i) {
+    OBJREP_CHECK(rsp.Insert(cells[i].cell) != SlottedPage::kInvalidSlot);
+  }
+  rsp.set_next_page(old_next);
+  sp.set_next_page(right.page_id());
+  leaf->MarkDirty();
+  right.MarkDirty();
+  ++stats_.leaf_pages;
+
+  uint64_t sep_key = cells[split].key;
+  PageId right_pid = right.page_id();
+  right.Release();
+  leaf->Release();
+  return InsertIntoParent(path, sep_key, right_pid);
+}
+
+Status BPlusTree::Insert(uint64_t key, std::string_view value) {
+  std::vector<PathEntry> path;
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(DescendToLeaf(key, &leaf, &path));
+  SlottedPage sp(leaf.page());
+  uint16_t pos = LeafLowerBound(sp, key);
+  if (pos < sp.num_slots() && LeafKeyAt(sp, pos) == key) {
+    return Status::InvalidArgument("duplicate key");
+  }
+  std::string cell = MakeLeafCell(key, value);
+  if (sp.InsertAt(pos, cell)) {
+    leaf.MarkDirty();
+    ++stats_.num_entries;
+    return Status::OK();
+  }
+  // Try reclaiming dead cell space before splitting.
+  sp.Compact();
+  pos = LeafLowerBound(sp, key);
+  if (sp.InsertAt(pos, cell)) {
+    leaf.MarkDirty();
+    ++stats_.num_entries;
+    return Status::OK();
+  }
+  OBJREP_RETURN_NOT_OK(SplitLeafAndInsert(&leaf, key, value, &path));
+  ++stats_.num_entries;
+  return Status::OK();
+}
+
+Status BPlusTree::Delete(uint64_t key) {
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(DescendToLeaf(key, &leaf, nullptr));
+  SlottedPage sp(leaf.page());
+  uint16_t slot = LeafLowerBound(sp, key);
+  if (slot >= sp.num_slots() || LeafKeyAt(sp, slot) != key) {
+    return Status::NotFound();
+  }
+  sp.RemoveAt(slot);
+  leaf.MarkDirty();
+  --stats_.num_entries;
+  return Status::OK();
+}
+
+Status BPlusTree::Iterator::Seek(uint64_t key) {
+  valid_ = false;
+  guard_.Release();
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(tree_->DescendToLeaf(key, &leaf, nullptr));
+  guard_ = std::move(leaf);
+  SlottedPage sp(guard_.page());
+  slot_ = LeafLowerBound(sp, key);
+  valid_ = true;
+  return SkipDeletedForward();
+}
+
+Status BPlusTree::Iterator::SeekForward(uint64_t key) {
+  if (!valid_) return Status::OK();
+  SlottedPage sp(guard_.page());
+  uint16_t n = sp.num_slots();
+  if (slot_ < n && LeafKeyAt(sp, slot_) >= key) {
+    return Status::OK();  // already positioned
+  }
+  if (n > 0 && LeafKeyAt(sp, static_cast<uint16_t>(n - 1)) >= key) {
+    // Target is on this leaf: binary search in place.
+    slot_ = LeafLowerBound(sp, key);
+    return SkipDeletedForward();
+  }
+  // Beyond this leaf: re-descend. For a dense stream this happens once per
+  // leaf and the internal pages are buffer-hot, so it costs the same one
+  // leaf read that stepping the chain would; for a sparse stream it skips
+  // the untouched leaves entirely.
+  return Seek(key);
+}
+
+Status BPlusTree::Iterator::SeekToFirst() {
+  valid_ = false;
+  guard_.Release();
+  OBJREP_RETURN_NOT_OK(tree_->pool_->FetchPage(tree_->first_leaf_, &guard_));
+  slot_ = 0;
+  valid_ = true;
+  return SkipDeletedForward();
+}
+
+Status BPlusTree::Iterator::SkipDeletedForward() {
+  // Moves to the first existing slot at or after (guard_, slot_), following
+  // the leaf chain; clears valid_ at end of tree.
+  while (true) {
+    SlottedPage sp(guard_.page());
+    if (slot_ < sp.num_slots()) {
+      return Status::OK();
+    }
+    PageId next = sp.next_page();
+    if (next == kInvalidPageId) {
+      valid_ = false;
+      guard_.Release();
+      return Status::OK();
+    }
+    OBJREP_RETURN_NOT_OK(tree_->pool_->FetchPage(next, &guard_));
+    slot_ = 0;
+  }
+}
+
+Status BPlusTree::Iterator::Next() {
+  if (!valid_) return Status::OK();
+  ++slot_;
+  return SkipDeletedForward();
+}
+
+uint64_t BPlusTree::Iterator::key() const {
+  SlottedPage sp(const_cast<Page*>(guard_.page()));
+  return LeafKeyAt(sp, slot_);
+}
+
+std::string_view BPlusTree::Iterator::value() const {
+  SlottedPage sp(const_cast<Page*>(guard_.page()));
+  return LeafValueAt(sp, slot_);
+}
+
+}  // namespace objrep

@@ -1,0 +1,150 @@
+// B+-tree keyed on uint64 with variable-length values.
+//
+// This is the primary structure of ParentRel, ChildRel and ClusterRel in
+// the paper ("structured as B-trees on OID" / "on cluster#"), so it carries
+// most of the study's I/O. Leaves are slotted pages whose slot arrays are
+// kept in key order and chained for range scans; internal nodes are packed
+// (key, child) arrays. Relations are bulk loaded once per experiment;
+// incremental insert/delete exist for library completeness and for the
+// cache-free temporaries in tests.
+#ifndef OBJREP_ACCESS_BTREE_H_
+#define OBJREP_ACCESS_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "access/slotted_page.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace objrep {
+
+class BPlusTree {
+ public:
+  /// One (key, value) pair for bulk loading.
+  struct Entry {
+    uint64_t key;
+    std::string value;
+  };
+
+  /// Shape statistics (filled by bulk load; maintained approximately by
+  /// incremental inserts).
+  struct Stats {
+    uint32_t height = 0;       // 1 == root is a leaf
+    uint32_t leaf_pages = 0;
+    uint32_t internal_pages = 0;
+    uint64_t num_entries = 0;
+  };
+
+  BPlusTree() = default;
+
+  /// Creates an empty tree (a single empty leaf).
+  static Status Create(BufferPool* pool, BPlusTree* out);
+
+  /// Builds a tree from entries sorted by strictly increasing key.
+  /// `fill_factor` in (0, 1] bounds how full each leaf is packed.
+  static Status BulkLoad(BufferPool* pool, const std::vector<Entry>& entries,
+                         double fill_factor, BPlusTree* out);
+
+  /// Point lookup. NotFound if absent.
+  Status Get(uint64_t key, std::string* value) const;
+
+  /// Inserts a new key. InvalidArgument if the key already exists.
+  Status Insert(uint64_t key, std::string_view value);
+
+  /// Overwrites the value of an existing key with a same-length value.
+  Status UpdateInPlace(uint64_t key, std::string_view value);
+
+  /// Removes a key (lazy: no page merging; space reclaimed on page rebuild).
+  Status Delete(uint64_t key);
+
+  const Stats& stats() const { return stats_; }
+  PageId root() const { return root_; }
+  PageId first_leaf() const { return first_leaf_; }
+
+  /// Forward cursor over leaf entries in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const BPlusTree* tree) : tree_(tree) {}
+
+    /// Positions at the first entry with key >= `key`.
+    Status Seek(uint64_t key);
+    /// Forward-only reposition to the first entry with key >= `key`,
+    /// assuming `key` is >= the current position. Stays on the current
+    /// leaf when possible (sequential merge-join behaviour), re-descends
+    /// from the root only when the target lies beyond this leaf. A cursor
+    /// already past the end stays invalid.
+    Status SeekForward(uint64_t key);
+    Status SeekToFirst();
+    /// Advances; `valid()` turns false past the last entry.
+    Status Next();
+
+    bool valid() const { return valid_; }
+    uint64_t key() const;
+    std::string_view value() const;
+
+   private:
+    Status SkipDeletedForward();
+
+    const BPlusTree* tree_;
+    PageGuard guard_;
+    uint16_t slot_ = 0;
+    bool valid_ = false;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  friend class Iterator;
+
+  // Internal node layout:
+  //   aux == kInternalMarker
+  //   u16 count      @ 8
+  //   u32 leftmost   @ 12
+  //   entries        @ 16: count * (u64 key, u32 child)
+  // Subtree `child[i]` holds keys >= key[i]; `leftmost` holds keys < key[0].
+  static constexpr uint32_t kInternalMarker = 0x1e7e4a11;
+  static constexpr uint32_t kLeafMarker = 0x1eafbeef;
+  static constexpr uint32_t kInternalHeader = 16;
+  static constexpr uint32_t kInternalEntrySize = 12;
+  static constexpr uint32_t kInternalCapacity =
+      (kPageSize - kInternalHeader) / kInternalEntrySize;
+
+  struct PathEntry {
+    PageId pid;
+    uint16_t child_index;  // index into (leftmost, entries...) == entry idx+1
+  };
+
+  static uint64_t LeafKeyAt(const SlottedPage& sp, uint16_t slot);
+  static std::string_view LeafValueAt(const SlottedPage& sp, uint16_t slot);
+  /// First slot with key >= `key` (among live slots).
+  static uint16_t LeafLowerBound(const SlottedPage& sp, uint64_t key);
+
+  static uint16_t InternalCount(const Page& p);
+  static void SetInternalCount(Page* p, uint16_t n);
+  static PageId InternalChild(const Page& p, uint16_t index);  // 0 = leftmost
+  static uint64_t InternalKey(const Page& p, uint16_t entry);
+  static void InternalSet(Page* p, uint16_t entry, uint64_t key, PageId child);
+  static void SetLeftmost(Page* p, PageId child);
+  /// Child index to follow for `key`.
+  static uint16_t InternalSearch(const Page& p, uint64_t key);
+
+  Status DescendToLeaf(uint64_t key, PageGuard* leaf,
+                       std::vector<PathEntry>* path) const;
+  Status InsertIntoParent(std::vector<PathEntry>* path, uint64_t sep_key,
+                          PageId new_child);
+  Status SplitLeafAndInsert(PageGuard* leaf, uint64_t key,
+                            std::string_view value,
+                            std::vector<PathEntry>* path);
+
+  BufferPool* pool_ = nullptr;
+  PageId root_ = kInvalidPageId;
+  PageId first_leaf_ = kInvalidPageId;
+  Stats stats_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_ACCESS_BTREE_H_

@@ -1,0 +1,149 @@
+#include "access/hash_file.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/macros.h"
+
+namespace objrep {
+
+namespace {
+
+// Cell = [u64 key][value bytes].
+std::string MakeCell(uint64_t key, std::string_view value) {
+  std::string cell;
+  cell.reserve(8 + value.size());
+  cell.append(reinterpret_cast<const char*>(&key), 8);
+  cell.append(value);
+  return cell;
+}
+
+uint64_t CellKey(std::string_view cell) {
+  OBJREP_CHECK(cell.size() >= 8);
+  uint64_t key;
+  std::memcpy(&key, cell.data(), 8);
+  return key;
+}
+
+}  // namespace
+
+uint32_t HashFile::BucketOf(uint64_t key) const {
+  return static_cast<uint32_t>(Mix64(key) % num_buckets_);
+}
+
+Status HashFile::Create(BufferPool* pool, uint32_t num_buckets,
+                        HashFile* out) {
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("hash file needs at least one bucket");
+  }
+  out->pool_ = pool;
+  out->num_buckets_ = num_buckets;
+  out->num_pages_ = num_buckets;
+  out->num_entries_ = 0;
+  out->buckets_.clear();
+  out->buckets_.reserve(num_buckets);
+  for (uint32_t i = 0; i < num_buckets; ++i) {
+    PageGuard guard;
+    OBJREP_RETURN_NOT_OK(pool->NewPage(&guard));
+    SlottedPage sp(guard.page());
+    sp.Init();
+    guard.MarkDirty();
+    out->buckets_.push_back(guard.page_id());
+  }
+  return Status::OK();
+}
+
+Status HashFile::Insert(uint64_t key, std::string_view value) {
+  std::string cell = MakeCell(key, value);
+  PageId pid = buckets_[BucketOf(key)];
+  PageGuard guard;
+  for (;;) {
+    OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+    SlottedPage sp(guard.page());
+    for (uint16_t i = 0; i < sp.num_slots(); ++i) {
+      if (!sp.IsDeleted(i) && CellKey(sp.Get(i)) == key) {
+        return Status::InvalidArgument("duplicate key in hash file");
+      }
+    }
+    if (cell.size() <= sp.FreeSpace() ||
+        (sp.Compact(), cell.size() <= sp.FreeSpace())) {
+      OBJREP_CHECK(sp.Insert(cell) != SlottedPage::kInvalidSlot);
+      guard.MarkDirty();
+      ++num_entries_;
+      return Status::OK();
+    }
+    PageId next = sp.next_page();
+    if (next == kInvalidPageId) {
+      // Extend the overflow chain.
+      PageGuard fresh;
+      OBJREP_RETURN_NOT_OK(pool_->NewPage(&fresh));
+      SlottedPage nsp(fresh.page());
+      nsp.Init();
+      if (nsp.Insert(cell) == SlottedPage::kInvalidSlot) {
+        return Status::NoSpace("hash value larger than a page");
+      }
+      fresh.MarkDirty();
+      sp.set_next_page(fresh.page_id());
+      guard.MarkDirty();
+      ++num_pages_;
+      ++num_entries_;
+      return Status::OK();
+    }
+    pid = next;
+  }
+}
+
+Status HashFile::Lookup(uint64_t key, std::string* value) const {
+  PageId pid = buckets_[BucketOf(key)];
+  while (pid != kInvalidPageId) {
+    PageGuard guard;
+    OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+    SlottedPage sp(guard.page());
+    for (uint16_t i = 0; i < sp.num_slots(); ++i) {
+      if (sp.IsDeleted(i)) continue;
+      std::string_view cell = sp.Get(i);
+      if (CellKey(cell) == key) {
+        value->assign(cell.substr(8));
+        return Status::OK();
+      }
+    }
+    pid = sp.next_page();
+  }
+  return Status::NotFound();
+}
+
+Status HashFile::Contains(uint64_t key, bool* found) const {
+  std::string scratch;
+  Status s = Lookup(key, &scratch);
+  if (s.ok()) {
+    *found = true;
+    return Status::OK();
+  }
+  if (s.IsNotFound()) {
+    *found = false;
+    return Status::OK();
+  }
+  return s;
+}
+
+Status HashFile::Delete(uint64_t key) {
+  PageId pid = buckets_[BucketOf(key)];
+  while (pid != kInvalidPageId) {
+    PageGuard guard;
+    OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+    SlottedPage sp(guard.page());
+    for (uint16_t i = 0; i < sp.num_slots(); ++i) {
+      if (sp.IsDeleted(i)) continue;
+      if (CellKey(sp.Get(i)) == key) {
+        sp.Delete(i);
+        guard.MarkDirty();
+        --num_entries_;
+        return Status::OK();
+      }
+    }
+    pid = sp.next_page();
+  }
+  return Status::NotFound();
+}
+
+}  // namespace objrep

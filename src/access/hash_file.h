@@ -1,0 +1,56 @@
+// Static-bucket hash file with overflow chains: u64 key -> byte-string value.
+//
+// This is the Cache relation's structure in the paper ("maintained as a
+// hash relation, hashed on hashkey"). Keys are unique; the cache manager
+// guarantees that by construction (a unit's hashkey identifies its OID list).
+#ifndef OBJREP_ACCESS_HASH_FILE_H_
+#define OBJREP_ACCESS_HASH_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "access/slotted_page.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace objrep {
+
+class HashFile {
+ public:
+  HashFile() = default;
+
+  /// Creates a hash file with `num_buckets` primary bucket pages.
+  static Status Create(BufferPool* pool, uint32_t num_buckets, HashFile* out);
+
+  /// Inserts (key, value). InvalidArgument if the key is already present.
+  Status Insert(uint64_t key, std::string_view value);
+
+  /// Fetches the value for `key`; NotFound if absent.
+  Status Lookup(uint64_t key, std::string* value) const;
+
+  /// True in `*found` if the key exists (same I/O as a lookup without the
+  /// value copy).
+  Status Contains(uint64_t key, bool* found) const;
+
+  /// Removes the key; NotFound if absent.
+  Status Delete(uint64_t key);
+
+  uint32_t num_buckets() const { return num_buckets_; }
+  uint32_t num_pages() const { return num_pages_; }
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  uint32_t BucketOf(uint64_t key) const;
+
+  BufferPool* pool_ = nullptr;
+  uint32_t num_buckets_ = 0;
+  uint32_t num_pages_ = 0;
+  uint64_t num_entries_ = 0;
+  std::vector<PageId> buckets_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_ACCESS_HASH_FILE_H_

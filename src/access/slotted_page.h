@@ -1,0 +1,207 @@
+// Slotted-page layout for variable-length records.
+//
+// Layout (offsets in bytes):
+//   [0..4)   next_page  (PageId; chain pointer for heap files / leaf chains)
+//   [4..8)   aux        (u32 scratch word for the owning access method)
+//   [8..10)  num_slots  (u16)
+//   [10..12) free_end   (u16; cell data grows down from kPageSize to here)
+//   [12..)   slot array (u16 offset, u16 len per slot), grows up
+//
+// A deleted slot has len == kDeletedLen; its space is not reclaimed until
+// Compact() (the paper's environment has no deletes inside a run, so the
+// simple scheme is faithful and cheap).
+#ifndef OBJREP_ACCESS_SLOTTED_PAGE_H_
+#define OBJREP_ACCESS_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "storage/page.h"
+#include "util/macros.h"
+
+namespace objrep {
+
+/// A view over a Page imposing the slotted layout. Does not own the page.
+class SlottedPage {
+ public:
+  static constexpr uint16_t kInvalidSlot = 0xffff;
+  static constexpr uint16_t kDeletedLen = 0xffff;
+
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats a fresh page.
+  void Init() {
+    set_next_page(kInvalidPageId);
+    set_aux(0);
+    set_num_slots(0);
+    set_free_end(kPageSize);
+  }
+
+  PageId next_page() const { return Load32(0); }
+  void set_next_page(PageId pid) { Store32(0, pid); }
+
+  uint32_t aux() const { return Load32(4); }
+  void set_aux(uint32_t v) { Store32(4, v); }
+
+  uint16_t num_slots() const { return Load16(8); }
+
+  /// Bytes available for one more record (including its slot entry).
+  uint32_t FreeSpace() const {
+    uint32_t slots_end = kHeaderSize + 4u * num_slots();
+    uint32_t fe = free_end();
+    if (fe < slots_end + 4) return 0;
+    return fe - slots_end - 4;  // reserve 4 bytes for the new slot
+  }
+
+  /// Appends a record; returns its slot index or kInvalidSlot if full.
+  uint16_t Insert(std::string_view rec) {
+    if (rec.size() > FreeSpace()) return kInvalidSlot;
+    uint16_t n = num_slots();
+    uint16_t fe = static_cast<uint16_t>(free_end() - rec.size());
+    std::memcpy(page_->data + fe, rec.data(), rec.size());
+    SetSlot(n, fe, static_cast<uint16_t>(rec.size()));
+    set_num_slots(static_cast<uint16_t>(n + 1));
+    set_free_end(fe);
+    return n;
+  }
+
+  /// Inserts a record so that it occupies slot index `pos`, shifting later
+  /// slots up by one. Lets an access method keep the slot array in key
+  /// order (B-tree leaves). Returns false if the page is full.
+  bool InsertAt(uint16_t pos, std::string_view rec) {
+    uint16_t n = num_slots();
+    OBJREP_CHECK(pos <= n);
+    if (rec.size() > FreeSpace()) return false;
+    uint16_t fe = static_cast<uint16_t>(free_end() - rec.size());
+    std::memcpy(page_->data + fe, rec.data(), rec.size());
+    // Shift slot entries [pos, n) up by one position.
+    for (uint16_t i = n; i > pos; --i) {
+      uint16_t off, len;
+      GetSlot(static_cast<uint16_t>(i - 1), &off, &len);
+      SetSlot(i, off, len);
+    }
+    SetSlot(pos, fe, static_cast<uint16_t>(rec.size()));
+    set_num_slots(static_cast<uint16_t>(n + 1));
+    set_free_end(fe);
+    return true;
+  }
+
+  /// Removes slot `pos` entirely, shifting later slots down (cell space is
+  /// reclaimed lazily by Compact()).
+  void RemoveAt(uint16_t pos) {
+    uint16_t n = num_slots();
+    OBJREP_CHECK(pos < n);
+    for (uint16_t i = pos; i + 1 < n; ++i) {
+      uint16_t off, len;
+      GetSlot(static_cast<uint16_t>(i + 1), &off, &len);
+      SetSlot(i, off, len);
+    }
+    set_num_slots(static_cast<uint16_t>(n - 1));
+  }
+
+  /// Reads the record in `slot`; returns empty view if the slot is deleted.
+  std::string_view Get(uint16_t slot) const {
+    OBJREP_CHECK(slot < num_slots());
+    uint16_t off, len;
+    GetSlot(slot, &off, &len);
+    if (len == kDeletedLen) return {};
+    return std::string_view(page_->data + off, len);
+  }
+
+  bool IsDeleted(uint16_t slot) const {
+    uint16_t off, len;
+    GetSlot(slot, &off, &len);
+    return len == kDeletedLen;
+  }
+
+  /// Overwrites the record in place. The new record must have the same
+  /// length (the paper's updates modify fixed-width ret fields in place;
+  /// blank-compressed fields keep their stored size when the padding does).
+  bool UpdateInPlace(uint16_t slot, std::string_view rec) {
+    OBJREP_CHECK(slot < num_slots());
+    uint16_t off, len;
+    GetSlot(slot, &off, &len);
+    if (len == kDeletedLen || rec.size() != len) return false;
+    std::memcpy(page_->data + off, rec.data(), rec.size());
+    return true;
+  }
+
+  /// Marks the slot deleted (space reclaimed only by Compact()).
+  void Delete(uint16_t slot) {
+    OBJREP_CHECK(slot < num_slots());
+    uint16_t off, len;
+    GetSlot(slot, &off, &len);
+    SetSlot(slot, off, kDeletedLen);
+  }
+
+  /// Rewrites live records contiguously, keeping slot numbering compact.
+  /// Returns the number of live records.
+  uint16_t Compact() {
+    char tmp[kPageSize];
+    uint16_t live = 0;
+    uint16_t write_end = kPageSize;
+    // First pass: copy live records into a scratch image.
+    struct Entry { uint16_t off; uint16_t len; };
+    Entry entries[kPageSize / 4];
+    uint16_t n = num_slots();
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t off, len;
+      GetSlot(i, &off, &len);
+      if (len == kDeletedLen) continue;
+      write_end = static_cast<uint16_t>(write_end - len);
+      std::memcpy(tmp + write_end, page_->data + off, len);
+      entries[live] = Entry{write_end, len};
+      ++live;
+    }
+    std::memcpy(page_->data + write_end, tmp + write_end,
+                kPageSize - write_end);
+    for (uint16_t i = 0; i < live; ++i) {
+      SetSlot(i, entries[i].off, entries[i].len);
+    }
+    set_num_slots(live);
+    set_free_end(write_end);
+    return live;
+  }
+
+ private:
+  static constexpr uint32_t kHeaderSize = 12;
+
+  uint16_t free_end() const { return Load16(10); }
+  void set_free_end(uint16_t v) { Store16(10, v); }
+  void set_num_slots(uint16_t v) { Store16(8, v); }
+
+  void GetSlot(uint16_t slot, uint16_t* off, uint16_t* len) const {
+    uint32_t base = kHeaderSize + 4u * slot;
+    *off = Load16(base);
+    *len = Load16(base + 2);
+  }
+  void SetSlot(uint16_t slot, uint16_t off, uint16_t len) {
+    uint32_t base = kHeaderSize + 4u * slot;
+    Store16(base, off);
+    Store16(base + 2, len);
+  }
+
+  uint16_t Load16(uint32_t off) const {
+    uint16_t v;
+    std::memcpy(&v, page_->data + off, 2);
+    return v;
+  }
+  void Store16(uint32_t off, uint16_t v) {
+    std::memcpy(page_->data + off, &v, 2);
+  }
+  uint32_t Load32(uint32_t off) const {
+    uint32_t v;
+    std::memcpy(&v, page_->data + off, 4);
+    return v;
+  }
+  void Store32(uint32_t off, uint32_t v) {
+    std::memcpy(page_->data + off, &v, 4);
+  }
+
+  Page* page_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_ACCESS_SLOTTED_PAGE_H_

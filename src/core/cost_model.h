@@ -1,0 +1,53 @@
+// Analytic cost model for the primary strategies.
+//
+// The paper observes (§3.1) that "the optimal joining strategy in this
+// query depends on the sizes of the relations involved": a real system
+// needs an optimizer-style estimate to pick DFS vs BFS per query rather
+// than a fixed NumTop threshold. This module provides closed-form
+// estimates of the average retrieve I/O from the database shape alone —
+// using the classic Cardenas/Yao expected-distinct-pages approximation for
+// probe and merge-join footprints and a residency factor for the buffer —
+// plus a ChooseStrategy() advisor built on them.
+//
+// Estimates target the cache-less, cluster-less strategies (DFS/BFS);
+// DFSCACHE and DFSCLUST costs depend on dynamic state (cache contents,
+// clustering assignment), which is what the experiment harness is for.
+#ifndef OBJREP_CORE_COST_MODEL_H_
+#define OBJREP_CORE_COST_MODEL_H_
+
+#include "core/strategy.h"
+#include "objstore/database.h"
+
+namespace objrep {
+
+/// Static shape of a database, extracted once (no I/O is charged).
+struct DbShape {
+  uint32_t parent_entries = 0;
+  uint32_t parent_leaf_pages = 0;
+  uint32_t num_child_rels = 0;
+  uint32_t child_entries_per_rel = 0;  ///< per relation
+  uint32_t child_leaf_pages_per_rel = 0;
+  uint32_t size_unit = 0;
+  uint32_t buffer_pages = 0;
+
+  static DbShape Of(const ComplexDatabase& db);
+};
+
+/// Cardenas' approximation: expected number of distinct pages touched when
+/// `picks` uniform random picks land on `pages` pages.
+double ExpectedDistinctPages(double pages, double picks);
+
+/// Estimated average I/O of one NumTop-object retrieve.
+double EstimateRetrieveIo(StrategyKind kind, const DbShape& shape,
+                          uint32_t num_top);
+
+/// Advisor: the cheaper of DFS and BFS for this query size, per the model.
+StrategyKind ChooseStrategy(const DbShape& shape, uint32_t num_top);
+
+/// Model-predicted NumTop at which BFS overtakes DFS (binary search over
+/// the estimates); 0 if BFS never wins within |ParentRel|.
+uint32_t PredictDfsBfsCrossover(const DbShape& shape);
+
+}  // namespace objrep
+
+#endif  // OBJREP_CORE_COST_MODEL_H_

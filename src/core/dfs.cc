@@ -1,0 +1,28 @@
+// DFS (paper §3.1 [1]): "For each OID of 'elders', fetch the corresponding
+// subobject from the relation person, and return its name."
+//
+// A nested-loop join between ParentRel and ChildRel: every subobject costs
+// a random B-tree probe, which is why DFS loses to a merge join once
+// NumTop grows past a few tens of objects (Figure 3).
+#include "core/strategies_impl.h"
+
+namespace objrep {
+namespace internal {
+
+Status DfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
+  CostBreakdown& cost = out->cost;
+  IoCounters start = db_->disk->counters();
+  OBJREP_RETURN_NOT_OK(ScanParents(
+      db_, q,
+      [&](uint32_t /*parent_key*/, const std::vector<Oid>& unit) -> Status {
+        IoBracket child_bracket(db_->disk.get(), &cost.child_io);
+        return MaterializeUnit(db_, unit, q.attr_index,
+                               /*raw_records=*/nullptr, &out->values);
+      }));
+  uint64_t total = (db_->disk->counters() - start).total();
+  cost.par_io = total - cost.child_io;
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace objrep

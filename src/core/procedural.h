@@ -1,0 +1,108 @@
+// Procedural primary representation (paper §2.1.1), with the caching
+// alternatives of [JHIN88] — the representation matrix's first column.
+//
+// "The set of subobjects associated with an object is identified by a
+// procedure, which, when executed, evaluates to the corresponding
+// subobjects" — e.g. elders = retrieve (person.all) where person.age >= 60.
+//
+// We model the stored query as a selection on a non-key attribute (`tag`)
+// of ChildRel, so executing it costs a full relation scan, exactly like
+// the paper's age predicate on an unindexed attribute. Caching options:
+//
+//   kExec         — run the stored query every time (cached representation
+//                   "none").
+//   kCacheOutside — materialized values cached in a shared hash relation
+//                   keyed on the query; objects storing the same query
+//                   share the entry; I-locks invalidate on update.
+//   kCacheInside  — materialized values cached *inside* the referencing
+//                   object's tuple; no sharing; the object grows, which
+//                   inflates ParentRel and makes invalidation a tuple
+//                   rewrite. [JHIN88]: outside caching wins over most of
+//                   the parameter space — bench/procedural_caching
+//                   reproduces that.
+#ifndef OBJREP_CORE_PROCEDURAL_H_
+#define OBJREP_CORE_PROCEDURAL_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "access/secondary_index.h"
+#include "core/cost.h"
+#include "core/strategy.h"
+#include "objstore/cache_manager.h"
+#include "objstore/spec.h"
+#include "objstore/workload.h"
+#include "relational/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "util/status.h"
+
+namespace objrep {
+
+enum class ProcStrategy {
+  kExec,          ///< run the stored query as a full scan every time
+  kExecIndexed,   ///< run it through a secondary index on the predicate
+                  ///< attribute (requires spec.build_tag_index)
+  kCacheOutside,  ///< shared cache of materialized result *values*
+  kCacheOids,     ///< shared cache of the result's *OIDs* (§2.3's other
+                  ///< cached representation): hits re-probe the subobjects
+                  ///< by identifier, but value updates never invalidate —
+                  ///< the result's membership is unchanged
+  kCacheInside,   ///< result values embedded in the referencing tuple
+};
+
+const char* ProcStrategyName(ProcStrategy s);
+
+class ProceduralDatabase {
+ public:
+  /// Generates a procedural database per `spec` (overlap_factor must be 1:
+  /// a stored predicate defines the unit, so units cannot overlap).
+  static Status Build(const DatabaseSpec& spec,
+                      std::unique_ptr<ProceduralDatabase>* out);
+
+  Status ExecuteRetrieve(const Query& q, ProcStrategy strategy,
+                         RetrieveResult* out);
+  Status ExecuteUpdate(const Query& q, ProcStrategy strategy);
+
+  DiskManager* disk() { return disk_.get(); }
+  CacheManager* outside_cache() { return outside_cache_.get(); }
+  uint32_t parent_leaf_pages() const {
+    return parent_rel_.tree().stats().leaf_pages;
+  }
+  /// Ground truth for tests: the member keys of each group.
+  const std::vector<std::vector<uint32_t>>& groups() const { return groups_; }
+  const std::vector<uint32_t>& group_of_parent() const {
+    return group_of_parent_;
+  }
+
+ private:
+  ProceduralDatabase() = default;
+
+  /// Runs the stored query of group `tag`: full ChildRel scan.
+  Status RunStoredQuery(uint32_t tag, std::vector<std::string>* records);
+  /// Runs it through the tag index: one range lookup + key probes.
+  Status RunStoredQueryIndexed(uint32_t tag,
+                               std::vector<std::string>* records);
+
+  DatabaseSpec spec_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  Table parent_rel_;
+  Table child_rel_;
+  SecondaryIndex tag_index_;  // on ChildRel.tag, when spec.build_tag_index
+  bool has_tag_index_ = false;
+  std::unique_ptr<CacheManager> outside_cache_;
+
+  // Inside-cache bookkeeping: which parents currently embed a blob that
+  // contains a given child (child key -> parent keys). The information
+  // itself lives with the data (the blob is in the parent tuple); the map
+  // mirrors the I-lock bookkeeping of the outside cache.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> inside_locks_;
+
+  std::vector<std::vector<uint32_t>> groups_;   // group -> child keys
+  std::vector<uint32_t> group_of_parent_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_CORE_PROCEDURAL_H_

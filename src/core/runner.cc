@@ -1,0 +1,39 @@
+#include "core/runner.h"
+
+namespace objrep {
+
+Status RunWorkload(Strategy* strategy, ComplexDatabase* db,
+                   const std::vector<Query>& queries, RunResult* out) {
+  *out = RunResult{};
+  if (db->cache != nullptr) db->cache->ResetStats();
+
+  for (const Query& q : queries) {
+    IoCounters before = db->disk->counters();
+    if (q.kind == Query::Kind::kRetrieve) {
+      RetrieveResult result;
+      OBJREP_RETURN_NOT_OK(strategy->ExecuteRetrieve(q, &result));
+      uint64_t io = (db->disk->counters() - before).total();
+      out->retrieve_io += io;
+      out->retrieve_cost += result.cost;
+      out->result_count += result.values.size();
+      for (int32_t v : result.values) out->result_sum += v;
+      ++out->num_retrieves;
+    } else {
+      OBJREP_RETURN_NOT_OK(strategy->ExecuteUpdate(q));
+      out->update_io += (db->disk->counters() - before).total();
+      ++out->num_updates;
+    }
+    ++out->num_queries;
+  }
+
+  // Deferred dirty pages (updates, cache inserts, temps) are part of the
+  // sequence's I/O bill: flush and charge them.
+  IoCounters before_flush = db->disk->counters();
+  OBJREP_RETURN_NOT_OK(db->pool->FlushAll());
+  out->flush_io = (db->disk->counters() - before_flush).total();
+  out->total_io = out->retrieve_io + out->update_io + out->flush_io;
+  if (db->cache != nullptr) out->cache_stats = db->cache->stats();
+  return Status::OK();
+}
+
+}  // namespace objrep

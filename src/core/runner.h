@@ -1,0 +1,69 @@
+// Experiment runner: executes a query sequence under one strategy and
+// reports average I/O — the paper's performance yardstick ("run a sequence
+// of queries on the database and note the average I/O traffic", §4 [3]).
+#ifndef OBJREP_CORE_RUNNER_H_
+#define OBJREP_CORE_RUNNER_H_
+
+#include <vector>
+
+#include "core/strategy.h"
+#include "objstore/cache_manager.h"
+#include "objstore/workload.h"
+#include "util/status.h"
+
+namespace objrep {
+
+struct RunResult {
+  uint32_t num_queries = 0;
+  uint32_t num_retrieves = 0;
+  uint32_t num_updates = 0;
+
+  uint64_t total_io = 0;     ///< includes the end-of-run flush
+  uint64_t retrieve_io = 0;
+  uint64_t update_io = 0;
+  uint64_t flush_io = 0;
+
+  CostBreakdown retrieve_cost;  ///< summed over retrieves
+
+  /// Result integrity: count and sum of projected values (strategy
+  /// equivalence is asserted on these by the tests).
+  uint64_t result_count = 0;
+  int64_t result_sum = 0;
+
+  CacheManager::CacheStats cache_stats;  ///< zero when no cache
+
+  double AvgIoPerQuery() const {
+    return num_queries == 0 ? 0.0
+                            : static_cast<double>(total_io) / num_queries;
+  }
+  double AvgRetrieveIo() const {
+    return num_retrieves == 0
+               ? 0.0
+               : static_cast<double>(retrieve_io) / num_retrieves;
+  }
+  double AvgUpdateIo() const {
+    return num_updates == 0 ? 0.0
+                            : static_cast<double>(update_io) / num_updates;
+  }
+  double AvgParCost() const {
+    return num_retrieves == 0
+               ? 0.0
+               : static_cast<double>(retrieve_cost.par_io) / num_retrieves;
+  }
+  double AvgChildCost() const {
+    return num_retrieves == 0 ? 0.0
+                              : static_cast<double>(
+                                    retrieve_cost.child_cost()) /
+                                    num_retrieves;
+  }
+};
+
+/// Runs `queries` under `strategy` against the strategy's database.
+/// Resets the database cache statistics at the start; flushes dirty pages
+/// at the end (charged to total_io) so deferred writes are not lost.
+Status RunWorkload(Strategy* strategy, ComplexDatabase* db,
+                   const std::vector<Query>& queries, RunResult* out);
+
+}  // namespace objrep
+
+#endif  // OBJREP_CORE_RUNNER_H_

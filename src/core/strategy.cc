@@ -1,0 +1,153 @@
+#include "core/strategy.h"
+
+#include "core/strategies_impl.h"
+#include "objstore/rows.h"
+#include "objstore/unit_blob.h"
+
+namespace objrep {
+
+Status Strategy::UpdateChildInPlace(const Oid& oid, int32_t new_ret1) {
+  Table* table = db_->ChildRelById(oid.rel);
+  if (table == nullptr) {
+    return Status::InvalidArgument("update target references unknown relation");
+  }
+  std::vector<Value> values;
+  OBJREP_RETURN_NOT_OK(table->Get(oid.key, &values));
+  values[kChildRet1] = Value(new_ret1);
+  return table->UpdateInPlace(oid.key, values);
+}
+
+Status Strategy::ExecuteUpdate(const Query& q) {
+  for (const Oid& oid : q.update_targets) {
+    OBJREP_RETURN_NOT_OK(UpdateChildInPlace(oid, q.new_ret1));
+  }
+  return Status::OK();
+}
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kDfs: return "DFS";
+    case StrategyKind::kBfs: return "BFS";
+    case StrategyKind::kBfsNoDup: return "BFSNODUP";
+    case StrategyKind::kDfsCache: return "DFSCACHE";
+    case StrategyKind::kDfsClust: return "DFSCLUST";
+    case StrategyKind::kSmart: return "SMART";
+    case StrategyKind::kDfsClustCache: return "DFSCLUST+CACHE";
+    case StrategyKind::kBfsJoinIndex: return "BFS-JI";
+    case StrategyKind::kBfsHash: return "BFS-HASH";
+  }
+  return "?";
+}
+
+Status MakeStrategy(StrategyKind kind, ComplexDatabase* db,
+                    const StrategyOptions& options,
+                    std::unique_ptr<Strategy>* out) {
+  switch (kind) {
+    case StrategyKind::kDfs:
+      *out = std::make_unique<internal::DfsStrategy>(db);
+      return Status::OK();
+    case StrategyKind::kBfs:
+      *out = std::make_unique<internal::BfsStrategy>(
+          db, /*dedup=*/false, options.sort_work_mem_pages);
+      return Status::OK();
+    case StrategyKind::kBfsNoDup:
+      *out = std::make_unique<internal::BfsStrategy>(
+          db, /*dedup=*/true, options.sort_work_mem_pages);
+      return Status::OK();
+    case StrategyKind::kDfsCache:
+      if (db->cache == nullptr) {
+        return Status::InvalidArgument("DFSCACHE requires spec.build_cache");
+      }
+      *out = std::make_unique<internal::DfsCacheStrategy>(db);
+      return Status::OK();
+    case StrategyKind::kDfsClust:
+      if (db->cluster_rel == nullptr) {
+        return Status::InvalidArgument("DFSCLUST requires spec.build_cluster");
+      }
+      *out = std::make_unique<internal::DfsClustStrategy>(db);
+      return Status::OK();
+    case StrategyKind::kSmart:
+      if (db->cache == nullptr) {
+        return Status::InvalidArgument("SMART requires spec.build_cache");
+      }
+      *out = std::make_unique<internal::SmartStrategy>(
+          db, options.smart_threshold, options.sort_work_mem_pages);
+      return Status::OK();
+    case StrategyKind::kDfsClustCache:
+      if (db->cluster_rel == nullptr || db->cache == nullptr) {
+        return Status::InvalidArgument(
+            "DFSCLUST+CACHE requires spec.build_cluster and spec.build_cache");
+      }
+      *out = std::make_unique<internal::DfsClustCacheStrategy>(db);
+      return Status::OK();
+    case StrategyKind::kBfsJoinIndex:
+      if (!db->has_join_index) {
+        return Status::InvalidArgument(
+            "BFS-JI requires spec.build_join_index");
+      }
+      *out = std::make_unique<internal::BfsJoinIndexStrategy>(
+          db, options.sort_work_mem_pages);
+      return Status::OK();
+    case StrategyKind::kBfsHash:
+      *out = std::make_unique<internal::BfsHashStrategy>(db);
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown strategy kind");
+}
+
+namespace internal {
+
+Status ScanParents(
+    ComplexDatabase* db, const Query& q,
+    const std::function<Status(uint32_t, const std::vector<Oid>&)>& fn) {
+  BPlusTree::Iterator it = db->parent_rel->tree().NewIterator();
+  OBJREP_RETURN_NOT_OK(it.Seek(q.lo_parent));
+  const uint64_t end = static_cast<uint64_t>(q.lo_parent) + q.num_top;
+  const Schema& schema = db->parent_rel->schema();
+  while (it.valid() && it.key() < end) {
+    Value children;
+    OBJREP_RETURN_NOT_OK(
+        DecodeField(schema, it.value(), kParentChildren, &children));
+    std::vector<Oid> unit = DecodeOidList(children.as_string());
+    OBJREP_RETURN_NOT_OK(fn(static_cast<uint32_t>(it.key()), unit));
+    OBJREP_RETURN_NOT_OK(it.Next());
+  }
+  return Status::OK();
+}
+
+Status MaterializeUnit(ComplexDatabase* db, const std::vector<Oid>& unit,
+                       int attr_index, std::vector<std::string>* raw_records,
+                       std::vector<int32_t>* values) {
+  if (raw_records != nullptr) raw_records->clear();
+  for (const Oid& oid : unit) {
+    const Table* table = db->ChildRelById(oid.rel);
+    if (table == nullptr) {
+      return Status::Corruption("child OID references unknown relation");
+    }
+    std::string raw;
+    OBJREP_RETURN_NOT_OK(table->tree().Get(oid.key, &raw));
+    int32_t v;
+    OBJREP_RETURN_NOT_OK(
+        DecodeChildRet(table->schema(), raw, attr_index, &v));
+    values->push_back(v);
+    if (raw_records != nullptr) raw_records->push_back(std::move(raw));
+  }
+  return Status::OK();
+}
+
+Status ProjectUnitBlob(ComplexDatabase* db, std::string_view blob,
+                       int attr_index, std::vector<int32_t>* values) {
+  std::vector<std::string_view> records;
+  OBJREP_RETURN_NOT_OK(DecodeUnitBlob(blob, &records));
+  // All child relations share one schema shape; use the first.
+  const Schema& schema = db->child_rels[0]->schema();
+  for (std::string_view raw : records) {
+    int32_t v;
+    OBJREP_RETURN_NOT_OK(DecodeChildRet(schema, raw, attr_index, &v));
+    values->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace objrep

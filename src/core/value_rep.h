@@ -1,0 +1,66 @@
+// Value-based primary representation (paper §2.2.1).
+//
+// "Subobjects are stored directly in the objects that reference them ...
+// they have no associated identifiers, and hence cannot be referenced from
+// elsewhere. When a subobject is shared by more than one object we need to
+// replicate its value wherever required." (NF² [SCHE86], EXTRA "own"
+// [CARE88].)
+//
+// ValueRel therefore inlines the unit's subobject values into each parent
+// tuple: retrieves are a pure range scan (no joins, no probes); updates to
+// a logical subobject must touch every replica, which we locate through a
+// replica index (packed OID -> referencing parent keys). The paper shades
+// the caching column for this representation — "caching does not add to
+// the performance" — so there is none here; the representation-matrix
+// bench measures its storage, retrieve and update costs against the OID
+// representation.
+#ifndef OBJREP_CORE_VALUE_REP_H_
+#define OBJREP_CORE_VALUE_REP_H_
+
+#include <memory>
+
+#include "core/cost.h"
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+#include "util/status.h"
+
+namespace objrep {
+
+class ValueRepDatabase {
+ public:
+  /// Materializes the value-based copy of `src` on its own simulated disk
+  /// (so costs and sizes are directly comparable with the OID database).
+  static Status Build(const ComplexDatabase& src,
+                      std::unique_ptr<ValueRepDatabase>* out);
+
+  /// retrieve (ParentRel.children.attr): pure scan over the inlined values.
+  Status ExecuteRetrieve(const Query& q, RetrieveResult* out);
+
+  /// Updates every replica of each target subobject.
+  Status ExecuteUpdate(const Query& q);
+
+  DiskManager* disk() { return disk_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  uint32_t total_pages() const { return disk_->num_pages(); }
+  uint32_t value_rel_leaf_pages() const {
+    return value_rel_.tree().stats().leaf_pages;
+  }
+  /// Replicated subobject copies stored (== num_parents * SizeUnit).
+  uint64_t replica_count() const { return replica_count_; }
+
+ private:
+  ValueRepDatabase() = default;
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  Table value_rel_;      // B-tree on parent key; row inlines child values
+  BPlusTree replica_index_;  // packed child OID -> encoded parent-key list
+  Schema child_schema_;  // shape of one inlined subobject record
+  uint32_t size_unit_ = 0;
+  uint64_t replica_count_ = 0;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_CORE_VALUE_REP_H_

@@ -1,0 +1,113 @@
+#include "objstore/cache_manager.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/macros.h"
+
+namespace objrep {
+
+CacheManager::CacheManager(BufferPool* pool, uint32_t size_cache_units,
+                           uint32_t num_buckets, CacheAdmission admission)
+    : pool_(pool),
+      size_cache_(size_cache_units),
+      num_buckets_(num_buckets),
+      admission_(admission) {}
+
+Status CacheManager::Init() {
+  return HashFile::Create(pool_, num_buckets_, &hash_);
+}
+
+uint64_t CacheManager::HashKeyOf(const std::vector<Oid>& unit_oids) {
+  // Hash of the concatenation of the OIDs as stored in the object — the
+  // paper's definition. (Not sorted: the stored order identifies the unit.)
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Oid& oid : unit_oids) {
+    h = HashCombine(h, oid.Packed());
+  }
+  return h;
+}
+
+bool CacheManager::IsCached(uint64_t hashkey) {
+  bool cached = dir_.find(hashkey) != dir_.end();
+  if (!cached) ++stats_.misses;
+  return cached;
+}
+
+Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
+  auto it = dir_.find(hashkey);
+  if (it == dir_.end()) {
+    ++stats_.misses;
+    return Status::NotFound("unit not cached");
+  }
+  OBJREP_RETURN_NOT_OK(hash_.Lookup(hashkey, blob));
+  // Refresh recency.
+  lru_.erase(it->second);
+  lru_.push_back(hashkey);
+  it->second = std::prev(lru_.end());
+  ++stats_.hits;
+  return Status::OK();
+}
+
+Status CacheManager::RemoveUnit(uint64_t hashkey) {
+  auto it = dir_.find(hashkey);
+  OBJREP_CHECK(it != dir_.end());
+  OBJREP_RETURN_NOT_OK(hash_.Delete(hashkey));
+  lru_.erase(it->second);
+  dir_.erase(it);
+  auto mem_it = unit_members_.find(hashkey);
+  OBJREP_CHECK(mem_it != unit_members_.end());
+  for (uint64_t packed : mem_it->second) {
+    auto lt = lock_table_.find(packed);
+    if (lt == lock_table_.end()) continue;
+    auto& held = lt->second;
+    held.erase(std::remove(held.begin(), held.end(), hashkey), held.end());
+    if (held.empty()) lock_table_.erase(lt);
+  }
+  unit_members_.erase(mem_it);
+  return Status::OK();
+}
+
+Status CacheManager::InsertUnit(uint64_t hashkey,
+                                const std::vector<Oid>& unit_oids,
+                                std::string_view blob) {
+  if (dir_.find(hashkey) != dir_.end()) {
+    return Status::OK();  // outside cache: already present, shared entry
+  }
+  if (dir_.size() >= size_cache_) {
+    if (admission_ == CacheAdmission::kRejectWhenFull) {
+      ++stats_.rejections;
+      return Status::OK();
+    }
+    // Evict the least recently used unit.
+    OBJREP_CHECK(!lru_.empty());
+    uint64_t victim = lru_.front();
+    OBJREP_RETURN_NOT_OK(RemoveUnit(victim));
+    ++stats_.evictions;
+  }
+  OBJREP_RETURN_NOT_OK(hash_.Insert(hashkey, blob));
+  lru_.push_back(hashkey);
+  dir_[hashkey] = std::prev(lru_.end());
+  auto& members = unit_members_[hashkey];
+  members.reserve(unit_oids.size());
+  for (const Oid& oid : unit_oids) {
+    members.push_back(oid.Packed());
+    lock_table_[oid.Packed()].push_back(hashkey);
+  }
+  ++stats_.inserts;
+  return Status::OK();
+}
+
+Status CacheManager::InvalidateSubobject(const Oid& oid) {
+  auto it = lock_table_.find(oid.Packed());
+  if (it == lock_table_.end()) return Status::OK();
+  // RemoveUnit mutates the lock table; work from a copy of the held list.
+  std::vector<uint64_t> held = it->second;
+  for (uint64_t hashkey : held) {
+    OBJREP_RETURN_NOT_OK(RemoveUnit(hashkey));
+    ++stats_.invalidated_units;
+  }
+  return Status::OK();
+}
+
+}  // namespace objrep

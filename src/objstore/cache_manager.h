@@ -1,0 +1,102 @@
+// Outside cache of materialized units (paper §3.2).
+//
+// The Cache relation is a hash file keyed on `hashkey`, "a function of the
+// concatenation of the OID's in that unit". Because the hashkey identifies
+// the unit's OID list, two objects referencing the same unit share one
+// cache entry — that is what makes the caching "outside".
+//
+// Invalidation follows the paper's I-lock scheme: each subobject holds an
+// invalidation lock for every cached unit it belongs to; an update to the
+// subobject invalidates (deletes) those units. The paper stores I-locks
+// with the subobjects themselves — the page an update already touches — so
+// reading the locks costs no extra I/O; we keep the same information in a
+// memory-resident lock table and charge only the hash-relation deletes,
+// preserving the cost model (DESIGN.md §5.6).
+//
+// The directory of cached hashkeys (at most SizeCache = 1000 entries) is
+// likewise memory-resident: strategies may *test* residency for free, but
+// fetching, inserting, or invalidating unit values costs hash-file I/O.
+#ifndef OBJREP_OBJSTORE_CACHE_MANAGER_H_
+#define OBJREP_OBJSTORE_CACHE_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "access/hash_file.h"
+#include "objstore/oid.h"
+#include "objstore/spec.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace objrep {
+
+class CacheManager {
+ public:
+  struct CacheStats {
+    uint64_t hits = 0;          ///< FetchUnit calls that found the unit
+    uint64_t misses = 0;        ///< IsCached probes that answered "no"
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;     ///< LRU evictions (kEvictLru)
+    uint64_t rejections = 0;    ///< inserts dropped (kRejectWhenFull)
+    uint64_t invalidated_units = 0;
+  };
+
+  CacheManager(BufferPool* pool, uint32_t size_cache_units,
+               uint32_t num_buckets, CacheAdmission admission);
+
+  /// Creates the on-disk hash relation. Must be called once before use.
+  Status Init();
+
+  /// Unit identity: hash of the packed, as-stored OID list.
+  static uint64_t HashKeyOf(const std::vector<Oid>& unit_oids);
+
+  /// Free residency test against the in-memory directory (counts a miss
+  /// when absent). Does not touch the LRU order.
+  bool IsCached(uint64_t hashkey);
+
+  /// Reads the unit's value blob from the Cache relation (hash-file I/O);
+  /// refreshes LRU recency. NotFound if not cached.
+  Status FetchUnit(uint64_t hashkey, std::string* blob);
+
+  /// Inserts a freshly materialized unit, evicting or rejecting per the
+  /// admission policy, and registers I-locks on its subobjects.
+  Status InsertUnit(uint64_t hashkey, const std::vector<Oid>& unit_oids,
+                    std::string_view blob);
+
+  /// Update hook: invalidates every cached unit holding an I-lock of `oid`
+  /// (each invalidation is a hash-relation delete, which costs I/O).
+  Status InvalidateSubobject(const Oid& oid);
+
+  uint32_t size() const { return static_cast<uint32_t>(dir_.size()); }
+  uint32_t capacity() const { return size_cache_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+  const HashFile& hash_file() const { return hash_; }
+
+ private:
+  /// Removes one unit from the cache (hash delete + lock release).
+  Status RemoveUnit(uint64_t hashkey);
+
+  BufferPool* pool_;
+  uint32_t size_cache_;
+  uint32_t num_buckets_;
+  CacheAdmission admission_;
+  HashFile hash_;
+
+  // LRU order (front = coldest) and directory hashkey -> LRU position.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> dir_;
+  // hashkey -> member OIDs (needed to release I-locks on removal).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> unit_members_;
+  // packed subobject OID -> hashkeys of cached units holding an I-lock.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> lock_table_;
+
+  CacheStats stats_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_OBJSTORE_CACHE_MANAGER_H_

@@ -1,0 +1,125 @@
+#include "objstore/rows.h"
+
+namespace objrep {
+
+namespace {
+
+// Encoded sizes per field kind (record.cc layout).
+constexpr uint32_t kInt32Bytes = 4;
+constexpr uint32_t kInt64Bytes = 8;
+constexpr uint32_t kVarHeader = 2;  // u16 length prefix
+
+std::string DummyPayload(uint32_t width) {
+  // Non-blank filler so blank compression stores exactly `width` bytes.
+  return std::string(width, 'x');
+}
+
+}  // namespace
+
+Schema MakeParentSchema(uint32_t dummy_width) {
+  return Schema({
+      {"OID", FieldType::kInt64, 0},
+      {"ret1", FieldType::kInt32, 0},
+      {"ret2", FieldType::kInt32, 0},
+      {"ret3", FieldType::kInt32, 0},
+      {"dummy", FieldType::kChar, dummy_width},
+      {"children", FieldType::kBytes, 0},
+  });
+}
+
+Schema MakeChildSchema(uint32_t dummy_width) {
+  return Schema({
+      {"OID", FieldType::kInt64, 0},
+      {"ret1", FieldType::kInt32, 0},
+      {"ret2", FieldType::kInt32, 0},
+      {"ret3", FieldType::kInt32, 0},
+      {"dummy", FieldType::kChar, dummy_width},
+  });
+}
+
+Schema MakeClusterSchema(uint32_t dummy_width) {
+  return Schema({
+      {"cluster", FieldType::kInt64, 0},
+      {"OID", FieldType::kInt64, 0},
+      {"ret1", FieldType::kInt32, 0},
+      {"ret2", FieldType::kInt32, 0},
+      {"ret3", FieldType::kInt32, 0},
+      {"dummy", FieldType::kChar, dummy_width},
+      {"children", FieldType::kBytes, 0},
+  });
+}
+
+uint32_t ParentDummyWidth(uint32_t target_bytes, uint32_t size_unit) {
+  // OID + 3 rets + dummy header + children header + children payload.
+  uint32_t fixed = kInt64Bytes + 3 * kInt32Bytes + kVarHeader + kVarHeader +
+                   8 * size_unit;
+  return target_bytes > fixed + 1 ? target_bytes - fixed : 1;
+}
+
+uint32_t ChildDummyWidth(uint32_t target_bytes) {
+  uint32_t fixed = kInt64Bytes + 3 * kInt32Bytes + kVarHeader;
+  return target_bytes > fixed + 1 ? target_bytes - fixed : 1;
+}
+
+std::vector<Value> ParentRowValues(const ParentRow& row,
+                                   uint32_t dummy_width) {
+  return {
+      Value(static_cast<int64_t>(row.oid.Packed())),
+      Value(row.ret1),
+      Value(row.ret2),
+      Value(row.ret3),
+      Value(DummyPayload(dummy_width)),
+      Value(EncodeOidList(row.children)),
+  };
+}
+
+std::vector<Value> ChildRowValues(const ChildRow& row, uint32_t dummy_width) {
+  return {
+      Value(static_cast<int64_t>(row.oid.Packed())),
+      Value(row.ret1),
+      Value(row.ret2),
+      Value(row.ret3),
+      Value(DummyPayload(dummy_width)),
+  };
+}
+
+std::vector<Value> ClusterParentValues(const ParentRow& row,
+                                       uint32_t parent_dummy_width) {
+  return {
+      Value(static_cast<int64_t>(row.oid.key)),  // cluster# == parent key
+      Value(static_cast<int64_t>(row.oid.Packed())),
+      Value(row.ret1),
+      Value(row.ret2),
+      Value(row.ret3),
+      Value(DummyPayload(parent_dummy_width)),
+      Value(EncodeOidList(row.children)),
+  };
+}
+
+std::vector<Value> ClusterChildValues(const ChildRow& row,
+                                      uint32_t child_dummy_width) {
+  return {
+      Value(int64_t{0}),  // cluster# filled by the builder via the key
+      Value(static_cast<int64_t>(row.oid.Packed())),
+      Value(row.ret1),
+      Value(row.ret2),
+      Value(row.ret3),
+      Value(DummyPayload(child_dummy_width)),
+      Value(std::string()),
+  };
+}
+
+Status DecodeChildRet(const Schema& schema, std::string_view raw,
+                      int attr_index, int32_t* out) {
+  if (attr_index < 0 || attr_index > 2) {
+    return Status::InvalidArgument("attr index must be 0..2");
+  }
+  Value v;
+  OBJREP_RETURN_NOT_OK(
+      DecodeField(schema, raw, kChildRet1 + static_cast<size_t>(attr_index),
+                  &v));
+  *out = v.as_int32();
+  return Status::OK();
+}
+
+}  // namespace objrep

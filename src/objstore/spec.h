@@ -1,0 +1,103 @@
+// All generation parameters of the simulated complex-object database
+// (paper §4, "Experimental Setup").
+#ifndef OBJREP_OBJSTORE_SPEC_H_
+#define OBJREP_OBJSTORE_SPEC_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace objrep {
+
+/// What happens when a unit is inserted into a full cache.
+enum class CacheAdmission {
+  /// Evict the least-recently-used unit (default; ablation A1 compares).
+  kEvictLru,
+  /// Reject the insertion, leaving the cache unchanged.
+  kRejectWhenFull,
+};
+
+struct DatabaseSpec {
+  // --- Paper §4 data parameters. ---
+  uint32_t num_parents = 10000;   ///< |ParentRel|
+  uint32_t size_unit = 5;         ///< expected subobjects per unit
+  uint32_t use_factor = 5;        ///< expected objects sharing a unit
+  uint32_t overlap_factor = 1;    ///< expected units sharing a subobject
+  uint32_t num_child_rels = 1;    ///< NumChildRel (paper §6.2)
+  uint32_t parent_tuple_bytes = 200;
+  uint32_t child_tuple_bytes = 100;
+
+  // --- Environment. ---
+  uint32_t buffer_pages = 100;    ///< INGRES main-memory buffer (paper §4)
+  double fill_factor = 1.0;       ///< B-tree leaf packing at load time
+
+  // --- Cache (paper §4 [3]). ---
+  bool build_cache = false;
+  uint32_t size_cache = 1000;     ///< max cached units
+  uint32_t cache_buckets = 512;   ///< primary buckets of the hash relation
+  CacheAdmission cache_admission = CacheAdmission::kEvictLru;
+
+  // --- Clustering (paper §3.3). ---
+  bool build_cluster = false;
+  /// On-page bytes per entry of the ISAM index on ClusterRel.OID. INGRES
+  /// keyed this index on a char-encoded OID plus a TID and per-entry
+  /// overhead (~32 bytes), so the index competes for buffer space; 16 is
+  /// the packed minimum (see access/isam.h).
+  uint32_t cluster_index_entry_bytes = 32;
+
+  // --- Join index ([VALD86], cited in §2 for complex-object
+  //     implementation techniques). ---
+  /// Materialize the object -> subobject mapping as a dense binary
+  /// relation (B-tree on (parent key, position)), so breadth-first
+  /// strategies can collect a retrieve's OIDs without scanning the wide
+  /// ParentRel tuples (StrategyKind::kBfsJoinIndex).
+  bool build_join_index = false;
+
+  // --- Procedural representation only (core/procedural.h). ---
+  /// Build a secondary index on the predicate attribute so stored queries
+  /// can run as index lookups instead of full scans (ProcStrategy::
+  /// kExecIndexed).
+  bool build_tag_index = false;
+
+  uint64_t seed = 42;
+
+  // --- Derived quantities (paper eqn. (1) and following). ---
+  uint32_t share_factor() const { return use_factor * overlap_factor; }
+  /// |ChildRel| summed over all child relations.
+  uint32_t num_children_total() const {
+    return num_parents * size_unit / share_factor();
+  }
+  /// NumUnits = |ParentRel| / UseFactor.
+  uint32_t num_units() const { return num_parents / use_factor; }
+
+  Status Validate() const {
+    if (num_parents == 0 || size_unit == 0 || use_factor == 0 ||
+        overlap_factor == 0 || num_child_rels == 0) {
+      return Status::InvalidArgument("spec parameters must be positive");
+    }
+    if (num_parents % use_factor != 0) {
+      return Status::InvalidArgument("use_factor must divide num_parents");
+    }
+    if (num_children_total() % num_child_rels != 0) {
+      return Status::InvalidArgument(
+          "num_child_rels must divide |ChildRel|");
+    }
+    if (overlap_factor == 1 &&
+        num_units() * size_unit != num_children_total() * 1u) {
+      // With disjoint units the partition must be exact (it always is,
+      // algebraically, when the divisibility constraints above hold).
+      return Status::InvalidArgument("unit partition is not exact");
+    }
+    if (num_units() % num_child_rels != 0) {
+      return Status::InvalidArgument("num_child_rels must divide NumUnits");
+    }
+    if (size_unit > 4095) {
+      return Status::InvalidArgument("size_unit exceeds cluster seq field");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_OBJSTORE_SPEC_H_

@@ -1,0 +1,52 @@
+// Cached-unit value blobs.
+//
+// "It is best to cache the values of the subobjects of a unit together in
+// one place, since they will often be needed together" (paper §3.2). A
+// blob is the concatenation of the unit's encoded subobject records, each
+// with a u16 length prefix, in unit order.
+#ifndef OBJREP_OBJSTORE_UNIT_BLOB_H_
+#define OBJREP_OBJSTORE_UNIT_BLOB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace objrep {
+
+/// Concatenates encoded subobject records into a unit blob.
+inline std::string EncodeUnitBlob(const std::vector<std::string>& records) {
+  std::string blob;
+  size_t total = 0;
+  for (const std::string& r : records) total += 2 + r.size();
+  blob.reserve(total);
+  for (const std::string& r : records) {
+    uint16_t len = static_cast<uint16_t>(r.size());
+    blob.push_back(static_cast<char>(len & 0xff));
+    blob.push_back(static_cast<char>((len >> 8) & 0xff));
+    blob.append(r);
+  }
+  return blob;
+}
+
+/// Splits a unit blob back into record views (into `blob`'s storage).
+inline Status DecodeUnitBlob(std::string_view blob,
+                             std::vector<std::string_view>* records) {
+  records->clear();
+  while (!blob.empty()) {
+    if (blob.size() < 2) return Status::Corruption("truncated unit blob");
+    uint16_t len = static_cast<uint16_t>(
+        static_cast<unsigned char>(blob[0]) |
+        (static_cast<unsigned char>(blob[1]) << 8));
+    blob.remove_prefix(2);
+    if (blob.size() < len) return Status::Corruption("truncated unit blob");
+    records->push_back(blob.substr(0, len));
+    blob.remove_prefix(len);
+  }
+  return Status::OK();
+}
+
+}  // namespace objrep
+
+#endif  // OBJREP_OBJSTORE_UNIT_BLOB_H_

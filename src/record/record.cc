@@ -1,0 +1,192 @@
+#include "record/record.h"
+
+#include <cstring>
+
+namespace objrep {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool GetU16(std::string_view* in, uint16_t* v) {
+  if (in->size() < 2) return false;
+  *v = static_cast<uint16_t>(static_cast<unsigned char>((*in)[0]) |
+                             (static_cast<unsigned char>((*in)[1]) << 8));
+  in->remove_prefix(2);
+  return true;
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  *v = r;
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  *v = r;
+  in->remove_prefix(8);
+  return true;
+}
+
+std::string_view StripTrailingBlanks(std::string_view s) {
+  size_t end = s.size();
+  while (end > 0 && s[end - 1] == ' ') --end;
+  return s.substr(0, end);
+}
+
+// Skips one encoded field; returns false on truncation.
+bool SkipField(FieldType type, std::string_view* in) {
+  switch (type) {
+    case FieldType::kInt32: {
+      if (in->size() < 4) return false;
+      in->remove_prefix(4);
+      return true;
+    }
+    case FieldType::kInt64: {
+      if (in->size() < 8) return false;
+      in->remove_prefix(8);
+      return true;
+    }
+    case FieldType::kChar:
+    case FieldType::kBytes: {
+      uint16_t len;
+      if (!GetU16(in, &len) || in->size() < len) return false;
+      in->remove_prefix(len);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status DecodeOneField(const FieldDef& def, std::string_view* in, Value* out) {
+  switch (def.type) {
+    case FieldType::kInt32: {
+      uint32_t raw;
+      if (!GetU32(in, &raw)) return Status::Corruption("truncated int32");
+      *out = Value(static_cast<int32_t>(raw));
+      return Status::OK();
+    }
+    case FieldType::kInt64: {
+      uint64_t raw;
+      if (!GetU64(in, &raw)) return Status::Corruption("truncated int64");
+      *out = Value(static_cast<int64_t>(raw));
+      return Status::OK();
+    }
+    case FieldType::kChar: {
+      uint16_t len;
+      if (!GetU16(in, &len) || in->size() < len) {
+        return Status::Corruption("truncated char field");
+      }
+      std::string s(in->substr(0, len));
+      in->remove_prefix(len);
+      s.resize(def.width, ' ');  // re-pad to declared width
+      *out = Value(std::move(s));
+      return Status::OK();
+    }
+    case FieldType::kBytes: {
+      uint16_t len;
+      if (!GetU16(in, &len) || in->size() < len) {
+        return Status::Corruption("truncated bytes field");
+      }
+      std::string s(in->substr(0, len));
+      in->remove_prefix(len);
+      *out = Value(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown field type");
+}
+
+}  // namespace
+
+Status EncodeRecord(const Schema& schema, const std::vector<Value>& values,
+                    std::string* out) {
+  if (values.size() != schema.num_fields()) {
+    return Status::InvalidArgument("value count does not match schema");
+  }
+  out->clear();
+  for (size_t i = 0; i < values.size(); ++i) {
+    const FieldDef& def = schema.field(i);
+    const Value& v = values[i];
+    switch (def.type) {
+      case FieldType::kInt32:
+        if (!v.is_int32()) return Status::InvalidArgument("expected int32");
+        PutU32(out, static_cast<uint32_t>(v.as_int32()));
+        break;
+      case FieldType::kInt64:
+        if (!v.is_int64()) return Status::InvalidArgument("expected int64");
+        PutU64(out, static_cast<uint64_t>(v.as_int64()));
+        break;
+      case FieldType::kChar: {
+        if (!v.is_string()) return Status::InvalidArgument("expected string");
+        std::string_view s = v.as_string();
+        if (s.size() > def.width) {
+          return Status::InvalidArgument("char value exceeds declared width");
+        }
+        std::string_view stripped = StripTrailingBlanks(s);
+        if (stripped.size() > UINT16_MAX) {
+          return Status::InvalidArgument("char field too long");
+        }
+        PutU16(out, static_cast<uint16_t>(stripped.size()));
+        out->append(stripped);
+        break;
+      }
+      case FieldType::kBytes: {
+        if (!v.is_string()) return Status::InvalidArgument("expected bytes");
+        const std::string& s = v.as_string();
+        if (s.size() > UINT16_MAX) {
+          return Status::InvalidArgument("bytes field too long");
+        }
+        PutU16(out, static_cast<uint16_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeRecord(const Schema& schema, std::string_view data,
+                    std::vector<Value>* out) {
+  out->clear();
+  out->reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    Value v;
+    OBJREP_RETURN_NOT_OK(DecodeOneField(schema.field(i), &data, &v));
+    out->push_back(std::move(v));
+  }
+  if (!data.empty()) return Status::Corruption("trailing bytes after record");
+  return Status::OK();
+}
+
+Status DecodeField(const Schema& schema, std::string_view data, size_t index,
+                   Value* out) {
+  if (index >= schema.num_fields()) {
+    return Status::InvalidArgument("field index out of range");
+  }
+  for (size_t i = 0; i < index; ++i) {
+    if (!SkipField(schema.field(i).type, &data)) {
+      return Status::Corruption("truncated record");
+    }
+  }
+  return DecodeOneField(schema.field(index), &data, out);
+}
+
+}  // namespace objrep

@@ -1,0 +1,40 @@
+// Record (tuple) serialization.
+//
+// Encoding, per field in schema order:
+//   kInt32  -> 4 bytes little-endian
+//   kInt64  -> 8 bytes little-endian
+//   kChar   -> u16 length + bytes with trailing blanks stripped
+//              (INGRES "compressed" char fields [RTI86]; this is what makes
+//               the paper's 200 B / 100 B tuples variable-length)
+//   kBytes  -> u16 length + raw bytes
+//
+// Decoding re-pads kChar fields to their declared width, so the logical
+// value round-trips while the stored size reflects compression.
+#ifndef OBJREP_RECORD_RECORD_H_
+#define OBJREP_RECORD_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "record/schema.h"
+#include "record/value.h"
+#include "util/status.h"
+
+namespace objrep {
+
+/// Serializes `values` (one per schema field) into `out`.
+Status EncodeRecord(const Schema& schema, const std::vector<Value>& values,
+                    std::string* out);
+
+/// Parses `data` into one Value per schema field.
+Status DecodeRecord(const Schema& schema, std::string_view data,
+                    std::vector<Value>* out);
+
+/// Decodes only field `index` without materializing the others (projection
+/// fast path used by the retrieve queries).
+Status DecodeField(const Schema& schema, std::string_view data, size_t index,
+                   Value* out);
+
+}  // namespace objrep
+
+#endif  // OBJREP_RECORD_RECORD_H_

@@ -1,0 +1,58 @@
+// Relation schemas.
+//
+// Field types mirror what the paper's relations need: integer ret fields,
+// "compressed" fixed-width character fields (INGRES blank compression,
+// giving variable-length records), and raw byte fields for OID lists and
+// cached unit values.
+#ifndef OBJREP_RECORD_SCHEMA_H_
+#define OBJREP_RECORD_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace objrep {
+
+enum class FieldType : uint8_t {
+  kInt32,   // 4-byte signed integer
+  kInt64,   // 8-byte signed integer (also used for packed OIDs)
+  kChar,    // fixed declared width, trailing blanks compressed on disk
+  kBytes,   // variable-length byte string (length-prefixed)
+};
+
+/// One column of a relation.
+struct FieldDef {
+  std::string name;
+  FieldType type;
+  /// Declared width for kChar (bytes before compression); unused otherwise.
+  uint32_t width = 0;
+};
+
+/// An ordered list of fields. Immutable after construction.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldDef> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const FieldDef& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the field named `name`; aborts if absent (schema mismatches
+  /// are programming errors, not runtime conditions).
+  size_t FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return i;
+    }
+    OBJREP_CHECK_MSG(false, ("no such field: " + name).c_str());
+    return 0;
+  }
+
+ private:
+  std::vector<FieldDef> fields_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_RECORD_SCHEMA_H_

@@ -1,0 +1,116 @@
+#include "relational/external_sort.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace objrep {
+
+namespace {
+
+/// Merges `runs` k-way into `out`, optionally dropping duplicates.
+Status MergeRuns(BufferPool* pool, std::vector<TempFile>* runs, bool dedup,
+                 TempFile* out) {
+  OBJREP_RETURN_NOT_OK(TempFile::Create(pool, out));
+  struct HeapItem {
+    uint64_t value;
+    size_t run;
+  };
+  auto cmp = [](const HeapItem& a, const HeapItem& b) {
+    return a.value > b.value;  // min-heap
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(cmp);
+  std::vector<TempFile::Reader> readers;
+  readers.reserve(runs->size());
+  for (TempFile& run : *runs) {
+    readers.push_back(run.Read());
+    if (readers.back().valid()) {
+      heap.push(HeapItem{readers.back().value(), readers.size() - 1});
+    }
+  }
+  bool have_last = false;
+  uint64_t last = 0;
+  while (!heap.empty()) {
+    HeapItem item = heap.top();
+    heap.pop();
+    if (!dedup || !have_last || item.value != last) {
+      OBJREP_RETURN_NOT_OK(out->Append(item.value));
+      last = item.value;
+      have_last = true;
+    }
+    TempFile::Reader& r = readers[item.run];
+    OBJREP_RETURN_NOT_OK(r.Next());
+    if (r.valid()) {
+      heap.push(HeapItem{r.value(), item.run});
+    }
+  }
+  out->Seal();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExternalSort(BufferPool* pool, const TempFile& input,
+                    const SortOptions& options, TempFile* out) {
+  if (options.work_mem_pages < 3) {
+    return Status::InvalidArgument("external sort needs >= 3 pages");
+  }
+  const uint64_t run_capacity =
+      static_cast<uint64_t>(options.work_mem_pages) * TempFile::kEntriesPerPage;
+
+  // Phase 1: run formation.
+  std::vector<TempFile> runs;
+  {
+    TempFile::Reader reader = input.Read();
+    std::vector<uint64_t> buf;
+    buf.reserve(static_cast<size_t>(
+        std::min<uint64_t>(run_capacity, input.num_entries())));
+    auto flush_run = [&]() -> Status {
+      std::sort(buf.begin(), buf.end());
+      if (options.dedup) {
+        buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
+      }
+      TempFile run;
+      OBJREP_RETURN_NOT_OK(TempFile::Create(pool, &run));
+      for (uint64_t v : buf) {
+        OBJREP_RETURN_NOT_OK(run.Append(v));
+      }
+      run.Seal();
+      runs.push_back(std::move(run));
+      buf.clear();
+      return Status::OK();
+    };
+    while (reader.valid()) {
+      buf.push_back(reader.value());
+      if (buf.size() == run_capacity) {
+        OBJREP_RETURN_NOT_OK(flush_run());
+      }
+      OBJREP_RETURN_NOT_OK(reader.Next());
+    }
+    if (!buf.empty() || runs.empty()) {
+      OBJREP_RETURN_NOT_OK(flush_run());
+    }
+  }
+
+  // Phase 2: iterative k-way merges until a single run remains.
+  const size_t fan_in = options.work_mem_pages - 1;
+  while (runs.size() > 1) {
+    std::vector<TempFile> next_runs;
+    for (size_t i = 0; i < runs.size(); i += fan_in) {
+      size_t end = std::min(runs.size(), i + fan_in);
+      std::vector<TempFile> group(
+          std::make_move_iterator(runs.begin() + static_cast<ptrdiff_t>(i)),
+          std::make_move_iterator(runs.begin() + static_cast<ptrdiff_t>(end)));
+      TempFile merged;
+      OBJREP_RETURN_NOT_OK(MergeRuns(pool, &group, options.dedup, &merged));
+      next_runs.push_back(std::move(merged));
+    }
+    runs.swap(next_runs);
+  }
+  *out = std::move(runs[0]);
+  return Status::OK();
+}
+
+}  // namespace objrep

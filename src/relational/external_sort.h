@@ -1,0 +1,31 @@
+// External merge sort over u64 temp files.
+//
+// BFS's competitiveness depends on a *sorted* temporary (so the join with
+// the B-tree on OID is a merge join). The sorter uses bounded working
+// memory: sorted runs of `work_mem_pages` pages, then (work_mem_pages - 1)-way
+// merge passes — all I/O through the shared buffer pool, as INGRES would.
+#ifndef OBJREP_RELATIONAL_EXTERNAL_SORT_H_
+#define OBJREP_RELATIONAL_EXTERNAL_SORT_H_
+
+#include <cstdint>
+
+#include "relational/temp_file.h"
+#include "util/status.h"
+
+namespace objrep {
+
+struct SortOptions {
+  /// Pages of working memory for run formation / merge fan-in.
+  uint32_t work_mem_pages = 16;
+  /// Drop duplicate values while sorting (BFSNODUP's duplicate elimination
+  /// step — the paper removes duplicates "before executing the query").
+  bool dedup = false;
+};
+
+/// Sorts `input` into a new temp file `out` (ascending).
+Status ExternalSort(BufferPool* pool, const TempFile& input,
+                    const SortOptions& options, TempFile* out);
+
+}  // namespace objrep
+
+#endif  // OBJREP_RELATIONAL_EXTERNAL_SORT_H_

@@ -1,0 +1,39 @@
+#include "relational/merge_join.h"
+
+namespace objrep {
+
+Status MergeJoinSortedKeys(
+    TempFile::Reader keys, const BPlusTree& tree,
+    const std::function<Status(uint64_t, std::string_view)>& on_match) {
+  if (!keys.valid()) return Status::OK();
+  BPlusTree::Iterator cursor = tree.NewIterator();
+  OBJREP_RETURN_NOT_OK(cursor.Seek(keys.value()));
+  bool have_match = false;
+  uint64_t match_key = 0;
+  std::string match_value;
+
+  while (keys.valid()) {
+    uint64_t k = keys.value();
+    if (have_match && match_key == k) {
+      // Duplicate stream key: re-deliver without touching the cursor.
+      OBJREP_RETURN_NOT_OK(on_match(k, match_value));
+      OBJREP_RETURN_NOT_OK(keys.Next());
+      continue;
+    }
+    // Advance the tree cursor to the first entry >= k (sequential within
+    // a leaf, probing across distant leaves — both ends of merge-join
+    // behaviour on a sorted outer).
+    OBJREP_RETURN_NOT_OK(cursor.SeekForward(k));
+    if (!cursor.valid()) break;
+    if (cursor.key() == k) {
+      match_key = k;
+      match_value.assign(cursor.value());
+      have_match = true;
+      OBJREP_RETURN_NOT_OK(on_match(k, match_value));
+    }
+    OBJREP_RETURN_NOT_OK(keys.Next());
+  }
+  return Status::OK();
+}
+
+}  // namespace objrep

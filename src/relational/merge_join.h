@@ -1,0 +1,29 @@
+// Merge join between a sorted key stream and a B-tree.
+//
+// The BFS family executes
+//     retrieve (ChildRel.attr) where ChildRel.OID = temp.OID
+// by merge join: temp is sorted, ChildRel's B-tree delivers keys in order,
+// so the join is one coordinated forward pass. Duplicate keys in the stream
+// (shared subobjects, when duplicates were not removed) re-deliver the
+// current match without moving the tree cursor.
+#ifndef OBJREP_RELATIONAL_MERGE_JOIN_H_
+#define OBJREP_RELATIONAL_MERGE_JOIN_H_
+
+#include <functional>
+
+#include "access/btree.h"
+#include "relational/temp_file.h"
+#include "util/status.h"
+
+namespace objrep {
+
+/// Invokes `on_match(key, value)` for every stream key found in `tree`,
+/// in stream order. Stream keys absent from the tree are skipped.
+/// `keys` must be sorted ascending (duplicates allowed).
+Status MergeJoinSortedKeys(
+    TempFile::Reader keys, const BPlusTree& tree,
+    const std::function<Status(uint64_t, std::string_view)>& on_match);
+
+}  // namespace objrep
+
+#endif  // OBJREP_RELATIONAL_MERGE_JOIN_H_

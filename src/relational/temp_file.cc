@@ -1,0 +1,116 @@
+#include "relational/temp_file.h"
+
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace objrep {
+
+namespace {
+
+uint32_t PageNext(const Page& p) {
+  uint32_t v;
+  std::memcpy(&v, p.data, 4);
+  return v;
+}
+uint32_t PageCount(const Page& p) {
+  uint32_t v;
+  std::memcpy(&v, p.data + 4, 4);
+  return v;
+}
+void SetPageNext(Page* p, uint32_t v) { std::memcpy(p->data, &v, 4); }
+void SetPageCount(Page* p, uint32_t v) { std::memcpy(p->data + 4, &v, 4); }
+uint64_t EntryAt(const Page& p, uint32_t i) {
+  uint64_t v;
+  std::memcpy(&v, p.data + 8 + 8 * i, 8);
+  return v;
+}
+void SetEntryAt(Page* p, uint32_t i, uint64_t v) {
+  std::memcpy(p->data + 8 + 8 * i, &v, 8);
+}
+
+}  // namespace
+
+Status TempFile::Create(BufferPool* pool, TempFile* out) {
+  out->pool_ = pool;
+  PageGuard guard;
+  OBJREP_RETURN_NOT_OK(pool->NewPage(&guard));
+  SetPageNext(guard.page(), kInvalidPageId);
+  SetPageCount(guard.page(), 0);
+  guard.MarkDirty();
+  out->first_page_ = guard.page_id();
+  out->tail_guard_ = std::move(guard);
+  out->num_pages_ = 1;
+  out->num_entries_ = 0;
+  return Status::OK();
+}
+
+Status TempFile::Append(uint64_t v) {
+  OBJREP_CHECK(tail_guard_.valid());  // Append after Seal() is a bug
+  Page* p = tail_guard_.page();
+  uint32_t count = PageCount(*p);
+  if (count == kEntriesPerPage) {
+    PageGuard fresh;
+    OBJREP_RETURN_NOT_OK(pool_->NewPage(&fresh));
+    SetPageNext(fresh.page(), kInvalidPageId);
+    SetPageCount(fresh.page(), 0);
+    fresh.MarkDirty();
+    SetPageNext(p, fresh.page_id());
+    tail_guard_.MarkDirty();
+    tail_guard_ = std::move(fresh);
+    p = tail_guard_.page();
+    count = 0;
+    ++num_pages_;
+  }
+  SetEntryAt(p, count, v);
+  SetPageCount(p, count + 1);
+  tail_guard_.MarkDirty();
+  ++num_entries_;
+  return Status::OK();
+}
+
+TempFile::Reader::Reader(BufferPool* pool, PageId first_page,
+                         uint64_t num_entries)
+    : pool_(pool), remaining_(num_entries) {
+  if (remaining_ == 0) {
+    valid_ = false;
+    return;
+  }
+  Status s = LoadPage(first_page);
+  if (!s.ok()) {
+    valid_ = false;
+    return;
+  }
+  value_ = EntryAt(*guard_.page(), 0);
+  index_in_page_ = 0;
+  valid_ = true;
+}
+
+Status TempFile::Reader::LoadPage(PageId pid) {
+  OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard_));
+  index_in_page_ = 0;
+  count_in_page_ = PageCount(*guard_.page());
+  return Status::OK();
+}
+
+Status TempFile::Reader::Next() {
+  if (!valid_) return Status::OK();
+  if (--remaining_ == 0) {
+    valid_ = false;
+    guard_.Release();
+    return Status::OK();
+  }
+  if (++index_in_page_ == count_in_page_) {
+    PageId next = PageNext(*guard_.page());
+    if (next == kInvalidPageId) {
+      valid_ = false;
+      guard_.Release();
+      return Status::OK();
+    }
+    OBJREP_RETURN_NOT_OK(LoadPage(next));
+  }
+  value_ = EntryAt(*guard_.page(), index_in_page_);
+  return Status::OK();
+}
+
+}  // namespace objrep

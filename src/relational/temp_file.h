@@ -1,0 +1,74 @@
+// Sequential temporary files of u64 entries (packed OIDs).
+//
+// BFS-family strategies "collect the OID's from qualifying tuples into a
+// temporary relation temp whose single attribute is OID" — this is that
+// relation. All reads and writes flow through the buffer pool, so forming
+// and re-reading a temporary costs real I/O, which is exactly the overhead
+// that makes DFS competitive at low NumTop (paper §5.1).
+#ifndef OBJREP_RELATIONAL_TEMP_FILE_H_
+#define OBJREP_RELATIONAL_TEMP_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace objrep {
+
+/// Append-only stream of u64 values over chained pages.
+class TempFile {
+ public:
+  // Page layout: u32 next @0, u32 count @4, u64 entries from @8.
+  static constexpr uint32_t kEntriesPerPage = (kPageSize - 8) / 8;
+
+  TempFile() = default;
+
+  /// Creates an empty temp file.
+  static Status Create(BufferPool* pool, TempFile* out);
+
+  /// Appends one value.
+  Status Append(uint64_t v);
+
+  /// Unpins the tail page (call when writing is done).
+  void Seal() { tail_guard_.Release(); }
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t num_pages() const { return num_pages_; }
+  PageId first_page() const { return first_page_; }
+
+  /// Forward reader.
+  class Reader {
+   public:
+    Reader() = default;
+    Reader(BufferPool* pool, PageId first_page, uint64_t num_entries);
+
+    bool valid() const { return valid_; }
+    uint64_t value() const { return value_; }
+    Status Next();
+
+   private:
+    Status LoadPage(PageId pid);
+
+    BufferPool* pool_ = nullptr;
+    PageGuard guard_;
+    uint32_t index_in_page_ = 0;
+    uint32_t count_in_page_ = 0;
+    uint64_t remaining_ = 0;
+    uint64_t value_ = 0;
+    bool valid_ = false;
+  };
+
+  Reader Read() const { return Reader(pool_, first_page_, num_entries_); }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId first_page_ = kInvalidPageId;
+  PageGuard tail_guard_;  // keeps the tail pinned while appending
+  uint32_t num_pages_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_RELATIONAL_TEMP_FILE_H_

@@ -1,0 +1,154 @@
+#include "storage/buffer_pool.h"
+
+#include "util/macros.h"
+
+namespace objrep {
+
+BufferPool::BufferPool(DiskManager* disk, uint32_t capacity)
+    : disk_(disk), capacity_(capacity), frames_(capacity) {
+  OBJREP_CHECK(capacity > 0);
+  free_frames_.reserve(capacity);
+  for (uint32_t i = 0; i < capacity; ++i) {
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+void BufferPool::LruPushBack(uint32_t frame) {
+  Frame& f = frames_[frame];
+  OBJREP_CHECK(!f.in_lru);
+  f.in_lru = true;
+  f.lru_prev = lru_tail_;
+  f.lru_next = UINT32_MAX;
+  if (lru_tail_ != UINT32_MAX) {
+    frames_[lru_tail_].lru_next = frame;
+  } else {
+    lru_head_ = frame;
+  }
+  lru_tail_ = frame;
+}
+
+void BufferPool::LruRemove(uint32_t frame) {
+  Frame& f = frames_[frame];
+  OBJREP_CHECK(f.in_lru);
+  f.in_lru = false;
+  if (f.lru_prev != UINT32_MAX) {
+    frames_[f.lru_prev].lru_next = f.lru_next;
+  } else {
+    lru_head_ = f.lru_next;
+  }
+  if (f.lru_next != UINT32_MAX) {
+    frames_[f.lru_next].lru_prev = f.lru_prev;
+  } else {
+    lru_tail_ = f.lru_prev;
+  }
+  f.lru_prev = f.lru_next = UINT32_MAX;
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  Frame& f = frames_[frame];
+  OBJREP_CHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    LruPushBack(frame);
+  }
+}
+
+Status BufferPool::Evict(uint32_t* frame_out) {
+  if (lru_head_ == UINT32_MAX) {
+    return Status::NoSpace("buffer pool exhausted: all frames pinned");
+  }
+  uint32_t victim = lru_head_;
+  LruRemove(victim);
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    OBJREP_RETURN_NOT_OK(disk_->WritePage(f.pid, f.page));
+    f.dirty = false;
+  }
+  table_.erase(f.pid);
+  f.in_use = false;
+  f.pid = kInvalidPageId;
+  *frame_out = victim;
+  return Status::OK();
+}
+
+Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
+                               uint32_t* frame_out) {
+  uint32_t frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    OBJREP_RETURN_NOT_OK(Evict(&frame));
+  }
+  Frame& f = frames_[frame];
+  f.pid = pid;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_use = true;
+  if (load_from_disk) {
+    Status s = disk_->ReadPage(pid, &f.page);
+    if (!s.ok()) {
+      f.in_use = false;
+      f.pin_count = 0;
+      free_frames_.push_back(frame);
+      return s;
+    }
+  } else {
+    f.page.Zero();
+  }
+  table_[pid] = frame;
+  *frame_out = frame;
+  return Status::OK();
+}
+
+Status BufferPool::FetchPage(PageId pid, PageGuard* out) {
+  auto it = table_.find(pid);
+  if (it != table_.end()) {
+    ++hits_;
+    uint32_t frame = it->second;
+    Frame& f = frames_[frame];
+    if (f.pin_count++ == 0) {
+      LruRemove(frame);
+    }
+    *out = PageGuard(this, frame, pid);
+    return Status::OK();
+  }
+  ++misses_;
+  uint32_t frame;
+  OBJREP_RETURN_NOT_OK(PinFrameFor(pid, /*load_from_disk=*/true, &frame));
+  *out = PageGuard(this, frame, pid);
+  return Status::OK();
+}
+
+Status BufferPool::NewPage(PageGuard* out) {
+  PageId pid = disk_->AllocatePage();
+  uint32_t frame;
+  OBJREP_RETURN_NOT_OK(PinFrameFor(pid, /*load_from_disk=*/false, &frame));
+  frames_[frame].dirty = true;
+  *out = PageGuard(this, frame, pid);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.in_use && f.dirty) {
+      OBJREP_RETURN_NOT_OK(disk_->WritePage(f.pid, f.page));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::InvalidateAllClean() {
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.in_use && f.pin_count == 0 && !f.dirty) {
+      LruRemove(i);
+      table_.erase(f.pid);
+      f.in_use = false;
+      f.pid = kInvalidPageId;
+      free_frames_.push_back(i);
+    }
+  }
+}
+
+}  // namespace objrep

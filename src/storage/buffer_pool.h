@@ -1,0 +1,136 @@
+// LRU buffer pool.
+//
+// The paper fixes a main-memory buffer of 100 INGRES data pages for every
+// experiment; the buffer pool is therefore a first-class part of the cost
+// model — B-tree roots and hot leaves hit in memory, cold leaves cost one
+// physical read, and dirty pages cost one physical write when evicted (or
+// at end-of-run flush).
+#ifndef OBJREP_STORAGE_BUFFER_POOL_H_
+#define OBJREP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace objrep {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Move-only; unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, uint32_t frame, PageId pid)
+      : pool_(pool), frame_(frame), pid_(pid) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      pid_ = other.pid_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return pid_; }
+
+  Page* page();
+  const Page* page() const;
+
+  /// Marks the page dirty; it will be written back on eviction or flush.
+  void MarkDirty();
+
+  /// Explicitly unpins early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint32_t frame_ = 0;
+  PageId pid_ = kInvalidPageId;
+};
+
+/// Fixed-capacity page cache with strict LRU replacement among unpinned
+/// frames. All page traffic in the library flows through here.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, uint32_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `pid`, reading it from disk on a miss.
+  Status FetchPage(PageId pid, PageGuard* out);
+
+  /// Allocates a new zeroed page on disk and pins it (dirty).
+  Status NewPage(PageGuard* out);
+
+  /// Writes back every dirty frame (each costs one physical write).
+  Status FlushAll();
+
+  /// Drops every unpinned frame without writing it back. Only used by tests.
+  void InvalidateAllClean();
+
+  uint32_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId pid = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+    // Intrusive LRU list links (indices into frames_, UINT32_MAX = none).
+    uint32_t lru_prev = UINT32_MAX;
+    uint32_t lru_next = UINT32_MAX;
+    bool in_lru = false;
+  };
+
+  void Unpin(uint32_t frame);
+  void LruPushBack(uint32_t frame);
+  void LruRemove(uint32_t frame);
+  /// Frees an unpinned frame for reuse; writes it back if dirty.
+  Status Evict(uint32_t* frame_out);
+  Status PinFrameFor(PageId pid, bool load_from_disk, uint32_t* frame_out);
+
+  DiskManager* disk_;
+  uint32_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<PageId, uint32_t> table_;
+  uint32_t lru_head_ = UINT32_MAX;
+  uint32_t lru_tail_ = UINT32_MAX;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+inline Page* PageGuard::page() { return &pool_->frames_[frame_].page; }
+inline const Page* PageGuard::page() const {
+  return &pool_->frames_[frame_].page;
+}
+inline void PageGuard::MarkDirty() { pool_->frames_[frame_].dirty = true; }
+inline void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+}  // namespace objrep
+
+#endif  // OBJREP_STORAGE_BUFFER_POOL_H_

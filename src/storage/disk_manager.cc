@@ -1,0 +1,32 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace objrep {
+
+PageId DiskManager::AllocatePage() {
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status DiskManager::ReadPage(PageId page_id, Page* out) {
+  if (page_id >= pages_.size()) {
+    return Status::IOError("read of unallocated page");
+  }
+  std::memcpy(out->data, pages_[page_id]->data, kPageSize);
+  ++counters_.reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const Page& in) {
+  if (page_id >= pages_.size()) {
+    return Status::IOError("write of unallocated page");
+  }
+  std::memcpy(pages_[page_id]->data, in.data, kPageSize);
+  ++counters_.writes;
+  return Status::OK();
+}
+
+}  // namespace objrep

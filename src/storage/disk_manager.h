@@ -1,0 +1,48 @@
+// Simulated disk: a growable array of pages with physical-I/O accounting.
+//
+// This replaces the real disk under commercial INGRES in the paper's setup.
+// The substitution is safe because the study's metric is the *number* of
+// page I/Os, not their latency (DESIGN.md §2).
+#ifndef OBJREP_STORAGE_DISK_MANAGER_H_
+#define OBJREP_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace objrep {
+
+/// Owns all pages of one simulated database volume and counts physical I/O.
+class DiskManager {
+ public:
+  DiskManager() = default;
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a fresh zeroed page and returns its id. Allocation itself is
+  /// not charged; the first write of the page is.
+  PageId AllocatePage();
+
+  /// Copies a page from "disk" into `out`. Charges one read.
+  Status ReadPage(PageId page_id, Page* out);
+
+  /// Copies `in` onto "disk". Charges one write.
+  Status WritePage(PageId page_id, const Page& in);
+
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+
+  const IoCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = IoCounters{}; }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  IoCounters counters_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,33 @@
+// I/O counters — the performance yardstick of the whole study.
+//
+// The paper measured "average I/O traffic" through INGRES system counters
+// queried from an EQUEL/C driver; we measure at the same boundary, the
+// simulated disk. A buffer-pool hit costs nothing; a physical page read or
+// write costs one I/O.
+#ifndef OBJREP_STORAGE_IO_STATS_H_
+#define OBJREP_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace objrep {
+
+/// Monotonic physical I/O counters maintained by the DiskManager.
+struct IoCounters {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  uint64_t total() const { return reads + writes; }
+
+  IoCounters operator-(const IoCounters& other) const {
+    return IoCounters{reads - other.reads, writes - other.writes};
+  }
+  IoCounters& operator+=(const IoCounters& other) {
+    reads += other.reads;
+    writes += other.writes;
+    return *this;
+  }
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_STORAGE_IO_STATS_H_

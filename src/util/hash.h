@@ -1,0 +1,42 @@
+// Hashing helpers (FNV-1a and mixing) used by the cache manager and the
+// hash-file access method.
+#ifndef OBJREP_UTIL_HASH_H_
+#define OBJREP_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace objrep {
+
+/// 64-bit FNV-1a over a byte range.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+/// Finalizer from splitmix64; good avalanche for bucketing integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-independent-free combiner (boost-style, order matters).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace objrep
+
+#endif  // OBJREP_UTIL_HASH_H_

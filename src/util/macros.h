@@ -1,0 +1,28 @@
+// Assertion macros used across the library.
+#ifndef OBJREP_UTIL_MACROS_H_
+#define OBJREP_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal invariant check; always on (the library is a measurement instrument,
+// a silently corrupt simulation is worse than an abort).
+#define OBJREP_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "OBJREP_CHECK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, #cond);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define OBJREP_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "OBJREP_CHECK failed at %s:%d: %s (%s)\n",     \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // OBJREP_UTIL_MACROS_H_

@@ -1,0 +1,116 @@
+// Status / Result error model, in the style of RocksDB and Arrow.
+//
+// The library does not throw exceptions on data paths. Every fallible
+// operation returns a Status (or a Result<T> when it also produces a value).
+#ifndef OBJREP_UTIL_STATUS_H_
+#define OBJREP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace objrep {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kIOError,
+    kCorruption,
+    kNoSpace,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "NotFound: no such key".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kIOError: name = "IOError"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kNoSpace: name = "NoSpace"; break;
+      case Code::kNotSupported: name = "NotSupported"; break;
+      case Code::kInternal: name = "Internal"; break;
+    }
+    if (msg_.empty()) return name;
+    return name + ": " + msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A value or an error. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define OBJREP_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::objrep::Status _s = (expr);                   \
+    if (!_s.ok()) return _s;                        \
+  } while (0)
+
+}  // namespace objrep
+
+#endif  // OBJREP_UTIL_STATUS_H_

@@ -1,0 +1,120 @@
+// Tests for the analytic cost model: internal consistency of the
+// Cardenas approximation, and estimator accuracy against measured I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "core/runner.h"
+
+namespace objrep {
+namespace {
+
+TEST(CardenasTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(ExpectedDistinctPages(0, 10), 0);
+  EXPECT_DOUBLE_EQ(ExpectedDistinctPages(100, 0), 0);
+  // One pick touches exactly one page.
+  EXPECT_NEAR(ExpectedDistinctPages(100, 1), 1.0, 1e-9);
+  // Monotone in picks, bounded by pages.
+  double prev = 0;
+  for (double picks : {1.0, 10.0, 100.0, 1000.0, 100000.0}) {
+    double d = ExpectedDistinctPages(50, picks);
+    EXPECT_GE(d, prev);
+    EXPECT_LE(d, 50.0 + 1e-9);
+    prev = d;
+  }
+  // Saturation: many picks touch essentially every page.
+  EXPECT_NEAR(ExpectedDistinctPages(50, 100000), 50.0, 1e-6);
+}
+
+TEST(CardenasTest, MatchesBirthdayIntuition) {
+  // 100 picks over 100 pages: ~63.4 distinct (1 - 1/e).
+  EXPECT_NEAR(ExpectedDistinctPages(100, 100), 100 * (1 - std::exp(-1.0)),
+              0.5);
+}
+
+class CostModelAccuracyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CostModelAccuracyTest, EstimateWithinFactorTwoOfMeasured) {
+  const uint32_t num_top = GetParam();
+  DatabaseSpec spec;  // paper defaults
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  DbShape shape = DbShape::Of(*db);
+
+  WorkloadSpec wl;
+  wl.num_top = num_top;
+  wl.pr_update = 0.0;
+  wl.num_queries = num_top >= 1000 ? 20 : 100;
+  wl.seed = 17;
+  std::vector<Query> queries;
+  ASSERT_TRUE(GenerateWorkload(wl, *db, &queries).ok());
+
+  for (StrategyKind kind : {StrategyKind::kDfs, StrategyKind::kBfs}) {
+    std::unique_ptr<ComplexDatabase> fresh;
+    ASSERT_TRUE(BuildDatabase(spec, &fresh).ok());
+    std::unique_ptr<Strategy> s;
+    ASSERT_TRUE(MakeStrategy(kind, fresh.get(), StrategyOptions{}, &s).ok());
+    RunResult r;
+    ASSERT_TRUE(RunWorkload(s.get(), fresh.get(), queries, &r).ok());
+    double measured = r.AvgRetrieveIo();
+    double estimated = EstimateRetrieveIo(kind, shape, num_top);
+    EXPECT_GT(estimated, measured / 2.0)
+        << StrategyKindName(kind) << " NumTop=" << num_top;
+    EXPECT_LT(estimated, measured * 2.0)
+        << StrategyKindName(kind) << " NumTop=" << num_top;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NumTops, CostModelAccuracyTest,
+                         ::testing::Values(5, 20, 100, 500, 2000),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "NumTop" + std::to_string(info.param);
+                         });
+
+TEST(CostModelTest, AdvisorPicksDfsSmallBfsLarge) {
+  DatabaseSpec spec;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  DbShape shape = DbShape::Of(*db);
+  EXPECT_EQ(ChooseStrategy(shape, 1), StrategyKind::kDfs);
+  EXPECT_EQ(ChooseStrategy(shape, 5), StrategyKind::kDfs);
+  EXPECT_EQ(ChooseStrategy(shape, 500), StrategyKind::kBfs);
+  EXPECT_EQ(ChooseStrategy(shape, 10000), StrategyKind::kBfs);
+}
+
+TEST(CostModelTest, PredictedCrossoverNearMeasured) {
+  DatabaseSpec spec;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  DbShape shape = DbShape::Of(*db);
+  uint32_t predicted = PredictDfsBfsCrossover(shape);
+  // Measured crossover is ~46 (Figure 3); accept the right ballpark.
+  EXPECT_GT(predicted, 10u);
+  EXPECT_LT(predicted, 250u);
+}
+
+TEST(CostModelTest, DynamicStrategiesNotModelled) {
+  DatabaseSpec spec;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  DbShape shape = DbShape::Of(*db);
+  EXPECT_LT(EstimateRetrieveIo(StrategyKind::kDfsCache, shape, 10), 0);
+  EXPECT_LT(EstimateRetrieveIo(StrategyKind::kDfsClust, shape, 10), 0);
+}
+
+TEST(CostModelTest, ShapeExtractionMatchesSpec) {
+  DatabaseSpec spec;
+  spec.num_child_rels = 2;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  DbShape shape = DbShape::Of(*db);
+  EXPECT_EQ(shape.parent_entries, 10000u);
+  EXPECT_EQ(shape.num_child_rels, 2u);
+  EXPECT_EQ(shape.child_entries_per_rel, 5000u);
+  EXPECT_EQ(shape.size_unit, 5u);
+  EXPECT_GT(shape.parent_leaf_pages, 0u);
+}
+
+}  // namespace
+}  // namespace objrep

@@ -1,0 +1,136 @@
+// Tests for multi-level complex objects (multiple-dot queries, paper §3).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "core/hierarchy.h"
+
+namespace objrep {
+namespace {
+
+HierarchySpec SmallSpec(uint32_t depth) {
+  HierarchySpec spec;
+  spec.num_roots = 500;
+  spec.depth = depth;
+  spec.size_unit = 5;
+  spec.use_factor = 5;
+  spec.seed = 123;
+  return spec;
+}
+
+Query Retrieve(uint32_t lo, uint32_t n, int attr = 0) {
+  Query q;
+  q.kind = Query::Kind::kRetrieve;
+  q.lo_parent = lo;
+  q.num_top = n;
+  q.attr_index = attr;
+  return q;
+}
+
+TEST(HierarchySpecTest, LevelSizesFollowSharing) {
+  HierarchySpec spec = SmallSpec(4);
+  EXPECT_EQ(spec.LevelSize(0), 500u);
+  EXPECT_EQ(spec.LevelSize(1), 500u);  // *5/5
+  EXPECT_EQ(spec.LevelSize(2), 500u);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(HierarchySpecTest, GrowingHierarchy) {
+  HierarchySpec spec = SmallSpec(3);
+  spec.use_factor = 1;  // no sharing: levels fan out 5x
+  EXPECT_EQ(spec.LevelSize(1), 2500u);
+  EXPECT_EQ(spec.LevelSize(2), 12500u);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(HierarchySpecTest, ValidationRejectsBadShapes) {
+  HierarchySpec spec = SmallSpec(1);
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = SmallSpec(3);
+  spec.use_factor = 3;  // does not divide 500
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(HierarchyTest, DfsAndBfsAgreeAtEveryDepth) {
+  for (uint32_t depth : {2u, 3u, 4u}) {
+    std::unique_ptr<HierarchyDatabase> db;
+    ASSERT_TRUE(HierarchyDatabase::Build(SmallSpec(depth), &db).ok());
+    for (const Query& q : {Retrieve(0, 1), Retrieve(100, 20, 1)}) {
+      RetrieveResult dfs, bfs, nodup;
+      ASSERT_TRUE(db->RetrieveDfs(q, &dfs).ok());
+      ASSERT_TRUE(db->RetrieveBfs(q, /*dedup=*/false, &bfs).ok());
+      ASSERT_TRUE(db->RetrieveBfs(q, /*dedup=*/true, &nodup).ok());
+      // Multi-dot result multiplicity: one value per path.
+      std::multiset<int32_t> md(dfs.values.begin(), dfs.values.end());
+      std::multiset<int32_t> mb(bfs.values.begin(), bfs.values.end());
+      EXPECT_EQ(md, mb) << "depth " << depth;
+      // Expected path count: num_top * size_unit^(depth-1).
+      uint64_t paths = q.num_top;
+      for (uint32_t l = 1; l < depth; ++l) paths *= 5;
+      EXPECT_EQ(dfs.values.size(), paths);
+      // Dedup returns the distinct reachable leaves.
+      std::set<int32_t> sd(dfs.values.begin(), dfs.values.end());
+      std::set<int32_t> sn(nodup.values.begin(), nodup.values.end());
+      EXPECT_EQ(sd, sn) << "depth " << depth;
+      EXPECT_LE(nodup.values.size(), dfs.values.size());
+    }
+  }
+}
+
+TEST(HierarchyTest, MatchesGroundTruthExpansion) {
+  std::unique_ptr<HierarchyDatabase> db;
+  ASSERT_TRUE(HierarchyDatabase::Build(SmallSpec(3), &db).ok());
+  // Recompute the expected path count for roots [7, 10) from ground truth.
+  uint64_t expected_paths = 0;
+  for (uint32_t root = 7; root < 10; ++root) {
+    const auto& unit1 = db->units()[0][db->unit_of_object()[0][root]];
+    for (const Oid& mid : unit1) {
+      expected_paths += db->units()[1][db->unit_of_object()[1][mid.key]]
+                            .size();
+    }
+  }
+  RetrieveResult r;
+  ASSERT_TRUE(db->RetrieveDfs(Retrieve(7, 3), &r).ok());
+  EXPECT_EQ(r.values.size(), expected_paths);
+}
+
+TEST(HierarchyTest, DuplicateGrowthCompoundsAcrossLevels) {
+  // With sharing at every level, the number of *paths* stays
+  // size_unit^(depth-1) per root while the number of *distinct leaves*
+  // reachable shrinks — so the duplicate ratio grows with depth.
+  double ratio[2];
+  int i = 0;
+  for (uint32_t depth : {2u, 4u}) {
+    std::unique_ptr<HierarchyDatabase> db;
+    ASSERT_TRUE(HierarchyDatabase::Build(SmallSpec(depth), &db).ok());
+    RetrieveResult r;
+    ASSERT_TRUE(db->RetrieveDfs(Retrieve(0, 50), &r).ok());
+    std::set<int32_t> distinct(r.values.begin(), r.values.end());
+    ratio[i++] = static_cast<double>(r.values.size()) / distinct.size();
+  }
+  EXPECT_GT(ratio[1], ratio[0]);
+}
+
+TEST(HierarchyTest, BfsCheaperThanDfsOnWideRetrieves) {
+  HierarchySpec spec = SmallSpec(3);
+  spec.num_roots = 2000;
+  std::unique_ptr<HierarchyDatabase> db;
+  ASSERT_TRUE(HierarchyDatabase::Build(spec, &db).ok());
+  RetrieveResult dfs, bfs;
+  ASSERT_TRUE(db->RetrieveDfs(Retrieve(0, 1000), &dfs).ok());
+  ASSERT_TRUE(db->RetrieveBfs(Retrieve(0, 1000), false, &bfs).ok());
+  EXPECT_LT(bfs.cost.total(), dfs.cost.total());
+}
+
+TEST(HierarchyTest, CostBucketsCoverTotal) {
+  std::unique_ptr<HierarchyDatabase> db;
+  ASSERT_TRUE(HierarchyDatabase::Build(SmallSpec(3), &db).ok());
+  IoCounters before = db->disk()->counters();
+  RetrieveResult r;
+  ASSERT_TRUE(db->RetrieveBfs(Retrieve(0, 200), false, &r).ok());
+  EXPECT_EQ(r.cost.total(), (db->disk()->counters() - before).total());
+}
+
+}  // namespace
+}  // namespace objrep

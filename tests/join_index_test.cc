@@ -1,0 +1,103 @@
+// Tests for the join-index strategy ([VALD86]).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "objstore/database.h"
+
+namespace objrep {
+namespace {
+
+DatabaseSpec Spec() {
+  DatabaseSpec spec;
+  spec.num_parents = 1000;
+  spec.use_factor = 5;
+  spec.build_join_index = true;
+  spec.seed = 31;
+  return spec;
+}
+
+Query Retrieve(uint32_t lo, uint32_t n, int attr = 0) {
+  Query q;
+  q.kind = Query::Kind::kRetrieve;
+  q.lo_parent = lo;
+  q.num_top = n;
+  q.attr_index = attr;
+  return q;
+}
+
+TEST(JoinIndexTest, MatchesBfsResults) {
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(Spec(), &db).ok());
+  std::unique_ptr<Strategy> bfs, ji;
+  ASSERT_TRUE(
+      MakeStrategy(StrategyKind::kBfs, db.get(), StrategyOptions{}, &bfs)
+          .ok());
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kBfsJoinIndex, db.get(),
+                           StrategyOptions{}, &ji)
+                  .ok());
+  for (const Query& q :
+       {Retrieve(0, 1), Retrieve(300, 50, 1), Retrieve(0, 1000, 2)}) {
+    RetrieveResult a, b;
+    ASSERT_TRUE(bfs->ExecuteRetrieve(q, &a).ok());
+    ASSERT_TRUE(ji->ExecuteRetrieve(q, &b).ok());
+    std::multiset<int32_t> ma(a.values.begin(), a.values.end());
+    std::multiset<int32_t> mb(b.values.begin(), b.values.end());
+    EXPECT_EQ(ma, mb);
+  }
+}
+
+TEST(JoinIndexTest, CutsParCost) {
+  // The dense index entries are ~10x narrower than parent tuples, so the
+  // OID-collection scan must cost a fraction of BFS's ParCost on a wide
+  // range.
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(Spec(), &db).ok());
+  std::unique_ptr<Strategy> bfs, ji;
+  ASSERT_TRUE(
+      MakeStrategy(StrategyKind::kBfs, db.get(), StrategyOptions{}, &bfs)
+          .ok());
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kBfsJoinIndex, db.get(),
+                           StrategyOptions{}, &ji)
+                  .ok());
+  Query q = Retrieve(0, 1000);
+  RetrieveResult a, b;
+  ASSERT_TRUE(bfs->ExecuteRetrieve(q, &a).ok());
+  ASSERT_TRUE(ji->ExecuteRetrieve(q, &b).ok());
+  EXPECT_LT(b.cost.par_io * 2, a.cost.par_io);
+}
+
+TEST(JoinIndexTest, RequiresTheIndex) {
+  DatabaseSpec spec = Spec();
+  spec.build_join_index = false;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  std::unique_ptr<Strategy> s;
+  EXPECT_TRUE(MakeStrategy(StrategyKind::kBfsJoinIndex, db.get(),
+                           StrategyOptions{}, &s)
+                  .IsInvalidArgument());
+}
+
+TEST(JoinIndexTest, SeesUpdates) {
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(Spec(), &db).ok());
+  std::unique_ptr<Strategy> ji;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kBfsJoinIndex, db.get(),
+                           StrategyOptions{}, &ji)
+                  .ok());
+  Oid target = db->units[db->unit_of_parent[3]][0];
+  Query upd;
+  upd.kind = Query::Kind::kUpdate;
+  upd.update_targets = {target};
+  upd.new_ret1 = -123456;
+  ASSERT_TRUE(ji->ExecuteUpdate(upd).ok());
+  RetrieveResult r;
+  ASSERT_TRUE(ji->ExecuteRetrieve(Retrieve(3, 1, 0), &r).ok());
+  EXPECT_NE(std::find(r.values.begin(), r.values.end(), -123456),
+            r.values.end());
+}
+
+}  // namespace
+}  // namespace objrep

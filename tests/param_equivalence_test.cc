@@ -1,0 +1,94 @@
+// Parameterized equivalence sweep: across a grid of database shapes
+// (sharing level, overlap, number of child relations), every strategy must
+// produce the same result multiset for the same retrieve sequence and the
+// same result sum after interleaved updates. This is the repo's broadest
+// correctness net: any storage-engine or strategy regression that changes
+// *what* is returned (not just how fast) trips it.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+
+namespace objrep {
+namespace {
+
+struct GridPoint {
+  uint32_t use_factor;
+  uint32_t overlap_factor;
+  uint32_t num_child_rels;
+};
+
+class EquivalenceGridTest : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(EquivalenceGridTest, AllStrategiesAgreeOnMixedSequences) {
+  const GridPoint& p = GetParam();
+  DatabaseSpec spec;
+  spec.num_parents = 1000;
+  spec.size_unit = 5;
+  spec.use_factor = p.use_factor;
+  spec.overlap_factor = p.overlap_factor;
+  spec.num_child_rels = p.num_child_rels;
+  spec.build_cache = true;
+  spec.build_cluster = true;
+  spec.size_cache = 120;
+  spec.cache_buckets = 64;
+  spec.seed = 1234;
+
+  WorkloadSpec wl;
+  wl.num_queries = 50;
+  wl.num_top = 15;
+  wl.pr_update = 0.2;
+  wl.seed = 4321;
+
+  // BFSNODUP is excluded: its result is the distinct set by design.
+  const StrategyKind kinds[] = {
+      StrategyKind::kDfs,      StrategyKind::kBfs,
+      StrategyKind::kDfsCache, StrategyKind::kDfsClust,
+      StrategyKind::kSmart,    StrategyKind::kDfsClustCache,
+  };
+  int64_t reference_sum = 0;
+  uint64_t reference_count = 0;
+  bool have_reference = false;
+  for (StrategyKind kind : kinds) {
+    std::unique_ptr<ComplexDatabase> db;
+    ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+    std::vector<Query> queries;
+    ASSERT_TRUE(GenerateWorkload(wl, *db, &queries).ok());
+    std::unique_ptr<Strategy> s;
+    ASSERT_TRUE(MakeStrategy(kind, db.get(), StrategyOptions{}, &s).ok());
+    RunResult r;
+    ASSERT_TRUE(RunWorkload(s.get(), db.get(), queries, &r).ok());
+    if (!have_reference) {
+      reference_sum = r.result_sum;
+      reference_count = r.result_count;
+      have_reference = true;
+      EXPECT_GT(reference_count, 0u);
+    } else {
+      EXPECT_EQ(r.result_sum, reference_sum) << StrategyKindName(kind);
+      EXPECT_EQ(r.result_count, reference_count) << StrategyKindName(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EquivalenceGridTest,
+    ::testing::Values(GridPoint{1, 1, 1},   // no sharing at all
+                      GridPoint{5, 1, 1},   // the paper's default
+                      GridPoint{25, 1, 1},  // heavy unit sharing
+                      GridPoint{1, 5, 1},   // random (overlapping) sharing
+                      GridPoint{2, 4, 1},   // both kinds at once
+                      GridPoint{5, 1, 4},   // several child relations
+                      GridPoint{1, 2, 2}),  // overlap across relations
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      return "Use" + std::to_string(info.param.use_factor) + "Ov" +
+             std::to_string(info.param.overlap_factor) + "Rels" +
+             std::to_string(info.param.num_child_rels);
+    });
+
+}  // namespace
+}  // namespace objrep

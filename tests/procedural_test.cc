@@ -1,0 +1,247 @@
+// Tests for the procedural representation and its caching alternatives
+// (paper §2.1.1 / §2.3, replicating the [JHIN88] column of the matrix).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/procedural.h"
+
+namespace objrep {
+namespace {
+
+DatabaseSpec ProcSpec() {
+  DatabaseSpec spec;
+  spec.num_parents = 200;
+  spec.size_unit = 5;
+  spec.use_factor = 5;
+  spec.build_cache = true;
+  spec.size_cache = 20;
+  spec.cache_buckets = 16;
+  // Small buffer so the 200-tuple test relations do not become fully
+  // memory-resident (the cost assertions need real I/O).
+  spec.buffer_pages = 8;
+  spec.seed = 9;
+  return spec;
+}
+
+Query Retrieve(uint32_t lo, uint32_t n, int attr = 0) {
+  Query q;
+  q.kind = Query::Kind::kRetrieve;
+  q.lo_parent = lo;
+  q.num_top = n;
+  q.attr_index = attr;
+  return q;
+}
+
+class ProceduralTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ProceduralDatabase::Build(ProcSpec(), &db_).ok());
+  }
+  std::unique_ptr<ProceduralDatabase> db_;
+};
+
+TEST_F(ProceduralTest, BuildRejectsOverlap) {
+  DatabaseSpec spec = ProcSpec();
+  spec.use_factor = 1;
+  spec.overlap_factor = 5;
+  std::unique_ptr<ProceduralDatabase> db;
+  EXPECT_TRUE(ProceduralDatabase::Build(spec, &db).IsInvalidArgument());
+}
+
+TEST_F(ProceduralTest, GroupsPartitionChildren) {
+  std::set<uint32_t> seen;
+  for (const auto& group : db_->groups()) {
+    EXPECT_EQ(group.size(), 5u);
+    for (uint32_t k : group) EXPECT_TRUE(seen.insert(k).second);
+  }
+  EXPECT_EQ(seen.size(), 200u);  // 200*5/5 children, each in one group
+}
+
+TEST_F(ProceduralTest, AllStrategiesReturnSameValues) {
+  for (const Query& q : {Retrieve(0, 1), Retrieve(50, 10, 1),
+                         Retrieve(150, 40, 2)}) {
+    RetrieveResult exec, outside, inside;
+    ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kExec, &exec).ok());
+    ASSERT_TRUE(
+        db_->ExecuteRetrieve(q, ProcStrategy::kCacheOutside, &outside).ok());
+    ASSERT_TRUE(
+        db_->ExecuteRetrieve(q, ProcStrategy::kCacheInside, &inside).ok());
+    // Stored-query results arrive in ChildRel scan order in every path;
+    // blobs are recorded in that same order.
+    auto sorted = [](std::vector<int32_t> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    EXPECT_EQ(sorted(exec.values), sorted(outside.values));
+    EXPECT_EQ(sorted(exec.values), sorted(inside.values));
+    EXPECT_EQ(exec.values.size(), uint64_t{q.num_top} * 5);
+  }
+}
+
+TEST_F(ProceduralTest, OutsideCacheHitsOnSecondPass) {
+  Query q = Retrieve(10, 4);
+  RetrieveResult r1, r2;
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kCacheOutside, &r1).ok());
+  uint64_t misses_after_first = db_->outside_cache()->stats().misses;
+  EXPECT_GT(misses_after_first, 0u);
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kCacheOutside, &r2).ok());
+  EXPECT_GT(db_->outside_cache()->stats().hits, 0u);
+  // Second pass avoids the full scans entirely.
+  EXPECT_EQ(r2.cost.child_io, 0u);
+  EXPECT_LT(r2.cost.total(), r1.cost.total());
+}
+
+TEST_F(ProceduralTest, OutsideCacheSharedAcrossParents) {
+  // Two parents storing the same query share one cache entry.
+  const auto& gop = db_->group_of_parent();
+  uint32_t a = 0, b = 0;
+  bool found = false;
+  for (uint32_t i = 0; i < gop.size() && !found; ++i) {
+    for (uint32_t j = i + 1; j < gop.size(); ++j) {
+      if (gop[i] == gop[j]) {
+        a = i;
+        b = j;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  RetrieveResult ra, rb;
+  ASSERT_TRUE(
+      db_->ExecuteRetrieve(Retrieve(a, 1), ProcStrategy::kCacheOutside, &ra)
+          .ok());
+  uint64_t inserts = db_->outside_cache()->stats().inserts;
+  ASSERT_TRUE(
+      db_->ExecuteRetrieve(Retrieve(b, 1), ProcStrategy::kCacheOutside, &rb)
+          .ok());
+  EXPECT_EQ(db_->outside_cache()->stats().inserts, inserts);  // shared
+  EXPECT_GT(db_->outside_cache()->stats().hits, 0u);
+}
+
+TEST_F(ProceduralTest, InsideCacheHasNoSharing) {
+  const auto& gop = db_->group_of_parent();
+  // Find two parents with the same group.
+  uint32_t a = 0, b = 0;
+  for (uint32_t i = 0; i < gop.size(); ++i) {
+    for (uint32_t j = i + 1; j < gop.size(); ++j) {
+      if (gop[i] == gop[j]) {
+        a = i;
+        b = j;
+      }
+    }
+  }
+  RetrieveResult ra, rb;
+  ASSERT_TRUE(
+      db_->ExecuteRetrieve(Retrieve(a, 1), ProcStrategy::kCacheInside, &ra)
+          .ok());
+  // Parent b cannot reuse a's inside-cached blob: it pays the scan again.
+  ASSERT_TRUE(
+      db_->ExecuteRetrieve(Retrieve(b, 1), ProcStrategy::kCacheInside, &rb)
+          .ok());
+  EXPECT_GT(rb.cost.child_io, 0u);
+}
+
+TEST_F(ProceduralTest, InsideCacheHitAvoidsRescan) {
+  Query q = Retrieve(30, 3);
+  RetrieveResult r1, r2;
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kCacheInside, &r1).ok());
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kCacheInside, &r2).ok());
+  EXPECT_GT(r1.cost.child_io, 0u);
+  EXPECT_EQ(r2.cost.child_io, 0u);
+}
+
+TEST_F(ProceduralTest, UpdateInvalidatesBothCaches) {
+  Query q = Retrieve(20, 2);
+  RetrieveResult r;
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kCacheOutside, &r).ok());
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kCacheInside, &r).ok());
+
+  // Update a child of parent 20's group through each strategy.
+  uint32_t group = db_->group_of_parent()[20];
+  Oid target{1, db_->groups()[group][0]};
+  Query upd;
+  upd.kind = Query::Kind::kUpdate;
+  upd.update_targets = {target};
+  upd.new_ret1 = -5;
+  ASSERT_TRUE(db_->ExecuteUpdate(upd, ProcStrategy::kCacheOutside).ok());
+  ASSERT_TRUE(db_->ExecuteUpdate(upd, ProcStrategy::kCacheInside).ok());
+
+  // Both paths re-materialize and observe the new value.
+  RetrieveResult after_out, after_in;
+  ASSERT_TRUE(db_->ExecuteRetrieve(Retrieve(20, 1), ProcStrategy::kCacheOutside,
+                                   &after_out)
+                  .ok());
+  ASSERT_TRUE(db_->ExecuteRetrieve(Retrieve(20, 1), ProcStrategy::kCacheInside,
+                                   &after_in)
+                  .ok());
+  EXPECT_NE(std::find(after_out.values.begin(), after_out.values.end(), -5),
+            after_out.values.end());
+  EXPECT_NE(std::find(after_in.values.begin(), after_in.values.end(), -5),
+            after_in.values.end());
+}
+
+TEST_F(ProceduralTest, ExecCostsAFullScanPerObject) {
+  RetrieveResult one, two;
+  ASSERT_TRUE(db_->ExecuteRetrieve(Retrieve(0, 1), ProcStrategy::kExec, &one)
+                  .ok());
+  ASSERT_TRUE(db_->ExecuteRetrieve(Retrieve(0, 2), ProcStrategy::kExec, &two)
+                  .ok());
+  // Two stored-query executions cost roughly twice one (both full scans,
+  // modulo buffer effects).
+  EXPECT_GT(two.cost.child_io, one.cost.child_io);
+}
+
+
+TEST_F(ProceduralTest, OidCacheMatchesValuesAndSurvivesUpdates) {
+  Query q = Retrieve(40, 3);
+  RetrieveResult exec, oids;
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kExec, &exec).ok());
+  ASSERT_TRUE(db_->ExecuteRetrieve(q, ProcStrategy::kCacheOids, &oids).ok());
+  auto sorted = [](std::vector<int32_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(exec.values), sorted(oids.values));
+
+  // Second pass: OID-list hit, no full scan.
+  RetrieveResult again;
+  ASSERT_TRUE(
+      db_->ExecuteRetrieve(q, ProcStrategy::kCacheOids, &again).ok());
+  EXPECT_EQ(sorted(again.values), sorted(exec.values));
+  EXPECT_LT(again.cost.child_io, oids.cost.child_io);
+
+  // A value update does NOT invalidate the cached OID list, and the next
+  // retrieve sees the new value through the re-probe.
+  uint32_t group = db_->group_of_parent()[40];
+  Oid target{1, db_->groups()[group][1]};
+  Query upd;
+  upd.kind = Query::Kind::kUpdate;
+  upd.update_targets = {target};
+  upd.new_ret1 = -999;
+  uint64_t invalidated_before =
+      db_->outside_cache()->stats().invalidated_units;
+  ASSERT_TRUE(db_->ExecuteUpdate(upd, ProcStrategy::kCacheOids).ok());
+  EXPECT_EQ(db_->outside_cache()->stats().invalidated_units,
+            invalidated_before);
+  RetrieveResult after;
+  Query q1 = Retrieve(40, 1, 0);
+  ASSERT_TRUE(db_->ExecuteRetrieve(q1, ProcStrategy::kCacheOids, &after).ok());
+  EXPECT_NE(std::find(after.values.begin(), after.values.end(), -999),
+            after.values.end());
+}
+
+TEST_F(ProceduralTest, OidCacheRequiresCache) {
+  DatabaseSpec spec = ProcSpec();
+  spec.build_cache = false;
+  std::unique_ptr<ProceduralDatabase> db;
+  ASSERT_TRUE(ProceduralDatabase::Build(spec, &db).ok());
+  RetrieveResult r;
+  EXPECT_TRUE(db->ExecuteRetrieve(Retrieve(0, 1), ProcStrategy::kCacheOids, &r)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace objrep

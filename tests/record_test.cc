@@ -1,0 +1,127 @@
+// Unit tests for record encoding, including the INGRES-style blank
+// compression that gives the paper its variable-length tuples.
+#include <gtest/gtest.h>
+
+#include "record/record.h"
+
+namespace objrep {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      {"id", FieldType::kInt64, 0},
+      {"n", FieldType::kInt32, 0},
+      {"name", FieldType::kChar, 16},
+      {"blob", FieldType::kBytes, 0},
+  });
+}
+
+TEST(RecordTest, RoundTrip) {
+  Schema schema = TestSchema();
+  std::vector<Value> in = {
+      Value(int64_t{0x1122334455667788}),
+      Value(int32_t{-5}),
+      Value(std::string("abc             ")),  // padded to 16
+      Value(std::string("\x01\x02\x00\x03", 4)),
+  };
+  std::string encoded;
+  ASSERT_TRUE(EncodeRecord(schema, in, &encoded).ok());
+  std::vector<Value> out;
+  ASSERT_TRUE(DecodeRecord(schema, encoded, &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(RecordTest, BlankCompressionShrinksStorage) {
+  Schema wide({{"pad", FieldType::kChar, 100}});
+  std::string short_enc, long_enc;
+  ASSERT_TRUE(
+      EncodeRecord(wide, {Value(std::string("ab") + std::string(98, ' '))},
+                   &short_enc)
+          .ok());
+  ASSERT_TRUE(
+      EncodeRecord(wide, {Value(std::string(100, 'y'))}, &long_enc).ok());
+  EXPECT_EQ(short_enc.size(), 2u + 2u);    // header + "ab"
+  EXPECT_EQ(long_enc.size(), 2u + 100u);
+  // Decoding re-pads to the declared width.
+  std::vector<Value> out;
+  ASSERT_TRUE(DecodeRecord(wide, short_enc, &out).ok());
+  EXPECT_EQ(out[0].as_string().size(), 100u);
+  EXPECT_EQ(out[0].as_string().substr(0, 2), "ab");
+}
+
+TEST(RecordTest, CharWiderThanDeclaredRejected) {
+  Schema narrow({{"c", FieldType::kChar, 4}});
+  std::string enc;
+  EXPECT_TRUE(EncodeRecord(narrow, {Value(std::string("abcde"))}, &enc)
+                  .IsInvalidArgument());
+}
+
+TEST(RecordTest, TypeMismatchRejected) {
+  Schema schema = TestSchema();
+  std::vector<Value> bad = {Value(int32_t{1}), Value(int32_t{2}),
+                            Value(std::string("x")), Value(std::string())};
+  std::string enc;
+  EXPECT_TRUE(EncodeRecord(schema, bad, &enc).IsInvalidArgument());
+}
+
+TEST(RecordTest, WrongArityRejected) {
+  Schema schema = TestSchema();
+  std::string enc;
+  EXPECT_TRUE(
+      EncodeRecord(schema, {Value(int64_t{1})}, &enc).IsInvalidArgument());
+}
+
+TEST(RecordTest, DecodeFieldProjectsWithoutFullDecode) {
+  Schema schema = TestSchema();
+  std::vector<Value> in = {Value(int64_t{9}), Value(int32_t{77}),
+                           Value(std::string("hello           ")),
+                           Value(std::string("zz"))};
+  std::string enc;
+  ASSERT_TRUE(EncodeRecord(schema, in, &enc).ok());
+  Value v;
+  ASSERT_TRUE(DecodeField(schema, enc, 1, &v).ok());
+  EXPECT_EQ(v.as_int32(), 77);
+  ASSERT_TRUE(DecodeField(schema, enc, 3, &v).ok());
+  EXPECT_EQ(v.as_string(), "zz");
+  EXPECT_TRUE(DecodeField(schema, enc, 4, &v).IsInvalidArgument());
+}
+
+TEST(RecordTest, TruncatedRecordIsCorruption) {
+  Schema schema = TestSchema();
+  std::vector<Value> in = {Value(int64_t{9}), Value(int32_t{77}),
+                           Value(std::string(16, 'a')), Value(std::string())};
+  std::string enc;
+  ASSERT_TRUE(EncodeRecord(schema, in, &enc).ok());
+  std::vector<Value> out;
+  EXPECT_TRUE(
+      DecodeRecord(schema, std::string_view(enc).substr(0, 6), &out)
+          .IsCorruption());
+}
+
+TEST(RecordTest, TrailingBytesAreCorruption) {
+  Schema schema({{"n", FieldType::kInt32, 0}});
+  std::string enc;
+  ASSERT_TRUE(EncodeRecord(schema, {Value(int32_t{1})}, &enc).ok());
+  enc.push_back('x');
+  std::vector<Value> out;
+  EXPECT_TRUE(DecodeRecord(schema, enc, &out).IsCorruption());
+}
+
+TEST(RecordTest, EmptyBytesFieldRoundTrips) {
+  Schema schema({{"b", FieldType::kBytes, 0}});
+  std::string enc;
+  ASSERT_TRUE(EncodeRecord(schema, {Value(std::string())}, &enc).ok());
+  std::vector<Value> out;
+  ASSERT_TRUE(DecodeRecord(schema, enc, &out).ok());
+  EXPECT_TRUE(out[0].as_string().empty());
+}
+
+TEST(SchemaTest, FieldIndexFindsByName) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.FieldIndex("id"), 0u);
+  EXPECT_EQ(schema.FieldIndex("blob"), 3u);
+  EXPECT_EQ(schema.num_fields(), 4u);
+}
+
+}  // namespace
+}  // namespace objrep

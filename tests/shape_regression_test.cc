@@ -1,0 +1,175 @@
+// Shape-regression tests: small-scale versions of the paper's headline
+// findings, asserted as inequalities so refactors of the storage engine
+// cannot silently destroy the reproduced behaviour. These are the
+// evaluation's load-bearing claims (paper §5-§6) at 1/10 scale.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+
+namespace objrep {
+namespace {
+
+double AvgIo(const DatabaseSpec& spec, const WorkloadSpec& wl,
+             StrategyKind kind, const StrategyOptions& opts = {}) {
+  std::unique_ptr<ComplexDatabase> db;
+  EXPECT_TRUE(BuildDatabase(spec, &db).ok());
+  std::vector<Query> queries;
+  EXPECT_TRUE(GenerateWorkload(wl, *db, &queries).ok());
+  std::unique_ptr<Strategy> s;
+  EXPECT_TRUE(MakeStrategy(kind, db.get(), opts, &s).ok());
+  RunResult r;
+  EXPECT_TRUE(RunWorkload(s.get(), db.get(), queries, &r).ok());
+  return r.AvgIoPerQuery();
+}
+
+DatabaseSpec BaseSpec() {
+  DatabaseSpec spec;  // paper scale: the shapes need the real DB size
+  spec.build_cache = true;
+  spec.build_cluster = true;
+  return spec;
+}
+
+WorkloadSpec Retrieves(uint32_t num_top, uint32_t n = 60) {
+  WorkloadSpec wl;
+  wl.num_top = num_top;
+  wl.num_queries = n;
+  wl.pr_update = 0.0;
+  wl.seed = 5;
+  return wl;
+}
+
+// Figure 3: DFS wins at very low NumTop, loses badly at high NumTop.
+TEST(ShapeFig3, DfsBeatsBfsAtLowNumTopOnly) {
+  DatabaseSpec spec = BaseSpec();
+  EXPECT_LT(AvgIo(spec, Retrieves(1, 200), StrategyKind::kDfs),
+            AvgIo(spec, Retrieves(1, 200), StrategyKind::kBfs));
+  EXPECT_GT(AvgIo(spec, Retrieves(1000, 30), StrategyKind::kDfs),
+            2 * AvgIo(spec, Retrieves(1000, 30), StrategyKind::kBfs));
+}
+
+// Figure 3: duplicate elimination buys little ("not worth the effort").
+TEST(ShapeFig3, BfsNoDupIsMarginal) {
+  DatabaseSpec spec = BaseSpec();
+  double bfs = AvgIo(spec, Retrieves(1000, 30), StrategyKind::kBfs);
+  double nodup = AvgIo(spec, Retrieves(1000, 30), StrategyKind::kBfsNoDup);
+  EXPECT_LE(nodup, bfs * 1.02);  // not much worse...
+  EXPECT_GE(nodup, bfs * 0.75);  // ...and not a breakthrough either
+}
+
+// Figure 5(a): better clustering (lower ShareFactor) raises ParCost and
+// lowers ChildCost for DFSCLUST.
+TEST(ShapeFig5, ClusteringTradesParCostForChildCost) {
+  auto breakdown = [&](uint32_t use) {
+    DatabaseSpec spec = BaseSpec();
+    spec.use_factor = use;
+    std::unique_ptr<ComplexDatabase> db;
+    EXPECT_TRUE(BuildDatabase(spec, &db).ok());
+    std::vector<Query> queries;
+    EXPECT_TRUE(GenerateWorkload(Retrieves(200, 40), *db, &queries).ok());
+    std::unique_ptr<Strategy> s;
+    EXPECT_TRUE(MakeStrategy(StrategyKind::kDfsClust, db.get(),
+                             StrategyOptions{}, &s)
+                    .ok());
+    RunResult r;
+    EXPECT_TRUE(RunWorkload(s.get(), db.get(), queries, &r).ok());
+    return std::pair<double, double>(r.AvgParCost(), r.AvgChildCost());
+  };
+  auto [par1, child1] = breakdown(1);   // ideal clustering
+  auto [par8, child8] = breakdown(8);   // heavy sharing
+  EXPECT_GT(par1, par8);     // interleaved subobjects inflate the scan
+  EXPECT_LT(child1, child8); // ...but make subobject fetches free
+  EXPECT_EQ(child1, 0);      // ShareFactor=1: everything is local
+}
+
+// Figure 5 / §5.2: at ShareFactor 1 clustering beats BFS regardless;
+// at high ShareFactor BFS wins at NumTop=200.
+TEST(ShapeFig5, ClusterBfsCrossoverInShareFactor) {
+  DatabaseSpec low = BaseSpec();
+  low.use_factor = 1;
+  EXPECT_LT(AvgIo(low, Retrieves(200, 40), StrategyKind::kDfsClust),
+            AvgIo(low, Retrieves(200, 40), StrategyKind::kBfs));
+  DatabaseSpec high = BaseSpec();
+  high.use_factor = 10;
+  EXPECT_GT(AvgIo(high, Retrieves(200, 40), StrategyKind::kDfsClust),
+            AvgIo(high, Retrieves(200, 40), StrategyKind::kBfs));
+}
+
+// Figure 7: OverlapFactor > 1 fragments units and degrades DFSCLUST even
+// at the same ShareFactor.
+TEST(ShapeFig7, OverlapDegradesClustering) {
+  DatabaseSpec in_units = BaseSpec();
+  in_units.use_factor = 5;
+  in_units.overlap_factor = 1;
+  DatabaseSpec random_sharing = BaseSpec();
+  random_sharing.use_factor = 1;
+  random_sharing.overlap_factor = 5;
+  double clustered_units =
+      AvgIo(in_units, Retrieves(100, 40), StrategyKind::kDfsClust);
+  double fragmented =
+      AvgIo(random_sharing, Retrieves(100, 40), StrategyKind::kDfsClust);
+  EXPECT_GT(fragmented, clustered_units * 1.3);
+}
+
+// §5.2.1: high update rates make caching unviable (invalidations +
+// materialization); DFSCACHE degrades toward/below DFS-like cost while
+// BFS is unaffected in relative terms.
+TEST(ShapeUpdates, HighUpdateRateHurtsCaching) {
+  DatabaseSpec spec = BaseSpec();
+  WorkloadSpec calm = Retrieves(10, 150);
+  WorkloadSpec churn = calm;
+  churn.pr_update = 0.8;
+  // Per-retrieve cost of DFSCACHE rises with update pressure.
+  auto retrieve_io = [&](const WorkloadSpec& wl) {
+    std::unique_ptr<ComplexDatabase> db;
+    EXPECT_TRUE(BuildDatabase(spec, &db).ok());
+    std::vector<Query> queries;
+    EXPECT_TRUE(GenerateWorkload(wl, *db, &queries).ok());
+    std::unique_ptr<Strategy> s;
+    EXPECT_TRUE(MakeStrategy(StrategyKind::kDfsCache, db.get(),
+                             StrategyOptions{}, &s)
+                    .ok());
+    RunResult r;
+    EXPECT_TRUE(RunWorkload(s.get(), db.get(), queries, &r).ok());
+    return r.AvgRetrieveIo();
+  };
+  EXPECT_GT(retrieve_io(churn), retrieve_io(calm));
+}
+
+// §5.3: SMART == DFSCACHE below the threshold, == BFS above it.
+TEST(ShapeSmart, MatchesItsArmsExactly) {
+  DatabaseSpec spec = BaseSpec();
+  StrategyOptions opts;
+  opts.smart_threshold = 300;
+  WorkloadSpec low = Retrieves(50, 60);
+  EXPECT_EQ(AvgIo(spec, low, StrategyKind::kSmart, opts),
+            AvgIo(spec, low, StrategyKind::kDfsCache, opts));
+  WorkloadSpec high = Retrieves(2000, 20);
+  EXPECT_EQ(AvgIo(spec, high, StrategyKind::kSmart, opts),
+            AvgIo(spec, high, StrategyKind::kBfs, opts));
+}
+
+// §6.2: NumChildRel barely moves DFS; BFS only suffers when it
+// approaches NumTop.
+TEST(ShapeSec62, NumChildRelEffects) {
+  DatabaseSpec one = BaseSpec();
+  DatabaseSpec many = BaseSpec();
+  many.num_child_rels = 8;
+  WorkloadSpec tiny = Retrieves(8, 150);
+  double dfs1 = AvgIo(one, tiny, StrategyKind::kDfs);
+  double dfs8 = AvgIo(many, tiny, StrategyKind::kDfs);
+  EXPECT_NEAR(dfs8 / dfs1, 1.0, 0.15);
+  double bfs1 = AvgIo(one, tiny, StrategyKind::kBfs);
+  double bfs8 = AvgIo(many, tiny, StrategyKind::kBfs);
+  EXPECT_GT(bfs8, bfs1 * 1.1);  // n temporaries hurt when n ~ NumTop
+  // At NumTop >> NumChildRel the effect washes out (within 15%).
+  WorkloadSpec big = Retrieves(500, 30);
+  EXPECT_NEAR(AvgIo(many, big, StrategyKind::kBfs) /
+                  AvgIo(one, big, StrategyKind::kBfs),
+              1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace objrep

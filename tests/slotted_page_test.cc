@@ -1,0 +1,124 @@
+// Unit tests for the slotted-page layout.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "access/slotted_page.h"
+
+namespace objrep {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : sp_(&page_) {
+    page_.Zero();
+    sp_.Init();
+  }
+  Page page_;
+  SlottedPage sp_;
+};
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  uint16_t s0 = sp_.Insert("hello");
+  uint16_t s1 = sp_.Insert("world!");
+  ASSERT_NE(s0, SlottedPage::kInvalidSlot);
+  ASSERT_NE(s1, SlottedPage::kInvalidSlot);
+  EXPECT_EQ(sp_.Get(s0), "hello");
+  EXPECT_EQ(sp_.Get(s1), "world!");
+  EXPECT_EQ(sp_.num_slots(), 2u);
+}
+
+TEST_F(SlottedPageTest, FillsUntilNoSpace) {
+  std::string rec(100, 'r');
+  int inserted = 0;
+  while (sp_.Insert(rec) != SlottedPage::kInvalidSlot) ++inserted;
+  // 2048-byte page, 12-byte header, 104 bytes per record+slot.
+  EXPECT_GE(inserted, 18);
+  EXPECT_LE(inserted, 20);
+  // Everything is still readable.
+  for (uint16_t i = 0; i < sp_.num_slots(); ++i) {
+    EXPECT_EQ(sp_.Get(i), rec);
+  }
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceSameSizeOnly) {
+  uint16_t s = sp_.Insert("abcdef");
+  EXPECT_TRUE(sp_.UpdateInPlace(s, "ABCDEF"));
+  EXPECT_EQ(sp_.Get(s), "ABCDEF");
+  EXPECT_FALSE(sp_.UpdateInPlace(s, "short"));
+  EXPECT_EQ(sp_.Get(s), "ABCDEF");
+}
+
+TEST_F(SlottedPageTest, DeleteMarksAndCompactReclaims) {
+  sp_.Insert("aaaa");
+  uint16_t s1 = sp_.Insert("bbbb");
+  sp_.Insert("cccc");
+  uint32_t before = sp_.FreeSpace();
+  sp_.Delete(s1);
+  EXPECT_TRUE(sp_.IsDeleted(s1));
+  EXPECT_TRUE(sp_.Get(s1).empty());
+  EXPECT_EQ(sp_.FreeSpace(), before);  // lazy delete: no reclaim yet
+  uint16_t live = sp_.Compact();
+  EXPECT_EQ(live, 2u);
+  EXPECT_GT(sp_.FreeSpace(), before);
+  EXPECT_EQ(sp_.Get(0), "aaaa");
+  EXPECT_EQ(sp_.Get(1), "cccc");
+}
+
+TEST_F(SlottedPageTest, InsertAtShiftsSlots) {
+  sp_.Insert("k1");
+  sp_.Insert("k3");
+  ASSERT_TRUE(sp_.InsertAt(1, "k2"));
+  EXPECT_EQ(sp_.Get(0), "k1");
+  EXPECT_EQ(sp_.Get(1), "k2");
+  EXPECT_EQ(sp_.Get(2), "k3");
+}
+
+TEST_F(SlottedPageTest, InsertAtFrontAndBack) {
+  sp_.Insert("mid");
+  ASSERT_TRUE(sp_.InsertAt(0, "front"));
+  ASSERT_TRUE(sp_.InsertAt(2, "back"));
+  EXPECT_EQ(sp_.Get(0), "front");
+  EXPECT_EQ(sp_.Get(1), "mid");
+  EXPECT_EQ(sp_.Get(2), "back");
+}
+
+TEST_F(SlottedPageTest, RemoveAtShiftsDown) {
+  sp_.Insert("a");
+  sp_.Insert("b");
+  sp_.Insert("c");
+  sp_.RemoveAt(1);
+  EXPECT_EQ(sp_.num_slots(), 2u);
+  EXPECT_EQ(sp_.Get(0), "a");
+  EXPECT_EQ(sp_.Get(1), "c");
+}
+
+TEST_F(SlottedPageTest, NextPageAndAuxPersist) {
+  sp_.set_next_page(1234);
+  sp_.set_aux(0xdeadbeef);
+  EXPECT_EQ(sp_.next_page(), 1234u);
+  EXPECT_EQ(sp_.aux(), 0xdeadbeefu);
+}
+
+TEST_F(SlottedPageTest, EmptyRecordAllowed) {
+  uint16_t s = sp_.Insert("");
+  ASSERT_NE(s, SlottedPage::kInvalidSlot);
+  EXPECT_FALSE(sp_.IsDeleted(s));
+  EXPECT_TRUE(sp_.Get(s).empty());
+}
+
+TEST_F(SlottedPageTest, CompactPreservesSlotOrder) {
+  std::vector<std::string> recs = {"r0", "r1", "r2", "r3", "r4"};
+  for (const auto& r : recs) sp_.Insert(r);
+  sp_.Delete(0);
+  sp_.Delete(3);
+  sp_.Compact();
+  EXPECT_EQ(sp_.num_slots(), 3u);
+  EXPECT_EQ(sp_.Get(0), "r1");
+  EXPECT_EQ(sp_.Get(1), "r2");
+  EXPECT_EQ(sp_.Get(2), "r4");
+}
+
+}  // namespace
+}  // namespace objrep
