@@ -5,6 +5,10 @@ namespace objrep {
 Status RunWorkload(Strategy* strategy, ComplexDatabase* db,
                    const std::vector<Query>& queries, RunResult* out) {
   *out = RunResult{};
+  // Start the measurement window clean: buffer-pool hit/miss counters and
+  // cache statistics describe this sequence only, not the database build or
+  // any earlier run against the same pool.
+  db->pool->ResetStats();
   if (db->cache != nullptr) db->cache->ResetStats();
 
   for (const Query& q : queries) {

@@ -1,0 +1,217 @@
+#include "exec/concurrent_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "exec/lock_manager.h"
+#include "exec/thread_pool.h"
+#include "util/random.h"
+
+namespace objrep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank - 1, sorted.size() - 1)];
+}
+
+/// Per-worker execution state and tallies (owned by exactly one thread;
+/// aggregated by the caller after the join — no shared mutable state).
+struct WorkerResult {
+  Status status;
+  uint32_t num_queries = 0;
+  uint32_t num_retrieves = 0;
+  uint32_t num_updates = 0;
+  uint64_t result_count = 0;
+  int64_t result_sum = 0;
+  std::vector<double> latencies_us;
+  std::vector<double> retrieve_latencies_us;
+};
+
+/// Lock requests for one query. Retrieves hold S on every relation their
+/// strategy may read subobjects from (all child relations, plus ClusterRel
+/// when built); updates hold X on the relations containing their targets
+/// (plus ClusterRel, where clustering strategies place the subobjects).
+/// ParentRel and the join index are never written, so they need no lock.
+std::vector<std::pair<LockId, LockMode>> LockRequestsFor(
+    const ComplexDatabase& db, const Query& q) {
+  std::vector<std::pair<LockId, LockMode>> reqs;
+  if (q.kind == Query::Kind::kRetrieve) {
+    reqs.reserve(db.child_rels.size() + 1);
+    for (const Table* t : db.child_rels) {
+      reqs.emplace_back(t->rel_id(), LockMode::kShared);
+    }
+    if (db.cluster_rel != nullptr) {
+      reqs.emplace_back(db.cluster_rel->rel_id(), LockMode::kShared);
+    }
+  } else {
+    reqs.reserve(q.update_targets.size() + 1);
+    for (const Oid& oid : q.update_targets) {
+      reqs.emplace_back(oid.rel, LockMode::kExclusive);
+    }
+    if (db.cluster_rel != nullptr) {
+      reqs.emplace_back(db.cluster_rel->rel_id(), LockMode::kExclusive);
+    }
+  }
+  return reqs;
+}
+
+Status ExecuteOne(Strategy* strategy, const Query& q, WorkerResult* wr) {
+  if (q.kind == Query::Kind::kRetrieve) {
+    RetrieveResult result;
+    OBJREP_RETURN_NOT_OK(strategy->ExecuteRetrieve(q, &result));
+    wr->result_count += result.values.size();
+    for (int32_t v : result.values) wr->result_sum += v;
+    ++wr->num_retrieves;
+  } else {
+    OBJREP_RETURN_NOT_OK(strategy->ExecuteUpdate(q));
+    ++wr->num_updates;
+  }
+  ++wr->num_queries;
+  return Status::OK();
+}
+
+void RunWorker(Strategy* strategy, ComplexDatabase* db, LockManager* locks,
+               const std::vector<const Query*>& slice,
+               const ConcurrentRunOptions& options, uint32_t worker_index,
+               WorkerResult* wr) {
+  if (slice.empty()) return;
+  Rng rng = Rng(options.seed).ForStream(worker_index);
+  Clock::time_point deadline{};
+  const bool timed = options.duration_seconds > 0;
+  if (timed) {
+    deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(
+                                      options.duration_seconds));
+  }
+  size_t next = 0;
+  for (;;) {
+    const Query* q;
+    if (timed) {
+      if (Clock::now() >= deadline) break;
+      q = slice[rng.Uniform(slice.size())];
+    } else {
+      if (next >= slice.size()) break;
+      q = slice[next++];
+    }
+    Clock::time_point t0 = Clock::now();
+    {
+      ScopedLockSet held(locks, LockRequestsFor(*db, *q));
+      wr->status = ExecuteOne(strategy, *q, wr);
+    }
+    if (!wr->status.ok()) return;
+    double us = std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                    .count();
+    wr->latencies_us.push_back(us);
+    if (q->kind == Query::Kind::kRetrieve) {
+      wr->retrieve_latencies_us.push_back(us);
+    }
+  }
+}
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double>* samples_us) {
+  LatencySummary s;
+  if (samples_us->empty()) return s;
+  std::sort(samples_us->begin(), samples_us->end());
+  s.count = samples_us->size();
+  double sum = 0;
+  for (double v : *samples_us) sum += v;
+  s.mean_us = sum / static_cast<double>(s.count);
+  s.p50_us = PercentileSorted(*samples_us, 50);
+  s.p95_us = PercentileSorted(*samples_us, 95);
+  s.p99_us = PercentileSorted(*samples_us, 99);
+  s.max_us = samples_us->back();
+  return s;
+}
+
+Status RunConcurrentWorkload(StrategyKind kind,
+                             const StrategyOptions& strategy_options,
+                             ComplexDatabase* db,
+                             const std::vector<Query>& queries,
+                             const ConcurrentRunOptions& options,
+                             ConcurrentRunResult* out) {
+  *out = ConcurrentRunResult{};
+  const uint32_t k = options.num_threads == 0 ? 1 : options.num_threads;
+  out->num_threads = k;
+
+  // One session (strategy instance) per worker, all over the shared db.
+  std::vector<std::unique_ptr<Strategy>> sessions(k);
+  for (uint32_t w = 0; w < k; ++w) {
+    OBJREP_RETURN_NOT_OK(MakeStrategy(kind, db, strategy_options,
+                                      &sessions[w]));
+  }
+
+  // Round-robin partition: query i -> worker i mod K, order preserved.
+  std::vector<std::vector<const Query*>> slices(k);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    slices[i % k].push_back(&queries[i]);
+  }
+
+  db->pool->ResetStats();
+  if (db->cache != nullptr) db->cache->ResetStats();
+  LockManager locks;
+  std::vector<WorkerResult> results(k);
+  IoCounters io_start = db->disk->counters();
+
+  Clock::time_point wall0 = Clock::now();
+  {
+    ThreadPool pool(k);
+    std::vector<std::future<void>> futures;
+    futures.reserve(k);
+    for (uint32_t w = 0; w < k; ++w) {
+      futures.push_back(pool.Submit([&, w] {
+        RunWorker(sessions[w].get(), db, &locks, slices[w], options, w,
+                  &results[w]);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  out->wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+
+  uint64_t run_io = (db->disk->counters() - io_start).total();
+
+  RunResult& r = out->combined;
+  std::vector<double> all_lat, ret_lat;
+  for (WorkerResult& wr : results) {
+    OBJREP_RETURN_NOT_OK(wr.status);
+    r.num_queries += wr.num_queries;
+    r.num_retrieves += wr.num_retrieves;
+    r.num_updates += wr.num_updates;
+    r.result_count += wr.result_count;
+    r.result_sum += wr.result_sum;
+    all_lat.insert(all_lat.end(), wr.latencies_us.begin(),
+                   wr.latencies_us.end());
+    ret_lat.insert(ret_lat.end(), wr.retrieve_latencies_us.begin(),
+                   wr.retrieve_latencies_us.end());
+  }
+
+  // Deferred dirty pages are part of the run's I/O bill, as in the
+  // sequential runner.
+  IoCounters before_flush = db->disk->counters();
+  OBJREP_RETURN_NOT_OK(db->pool->FlushAll());
+  r.flush_io = (db->disk->counters() - before_flush).total();
+  r.total_io = run_io + r.flush_io;
+  if (db->cache != nullptr) r.cache_stats = db->cache->stats();
+
+  out->queries_per_sec =
+      out->wall_seconds > 0
+          ? static_cast<double>(r.num_queries) / out->wall_seconds
+          : 0;
+  out->avg_io_per_query = r.AvgIoPerQuery();
+  out->latency = SummarizeLatencies(&all_lat);
+  out->retrieve_latency = SummarizeLatencies(&ret_lat);
+  return Status::OK();
+}
+
+}  // namespace objrep

@@ -1,0 +1,100 @@
+#include "exec/lock_manager.h"
+
+namespace objrep {
+
+void LockManager::Acquire(LockId id, LockMode mode) {
+  std::unique_lock<std::mutex> l(mu_);
+  // Re-look up the entry on every wakeup: Release() erases fully-free
+  // entries, so a reference cached across the wait could dangle. A waiting
+  // writer pins its entry via waiting_writers, but a blocked *reader*
+  // registers nothing, and its entry can be erased (and re-created) while
+  // it sleeps.
+  if (mode == LockMode::kExclusive) {
+    ++table_[id].waiting_writers;
+    cv_.wait(l, [&] {
+      const LockState& s = table_[id];
+      return s.readers == 0 && !s.writer;
+    });
+    LockState& s = table_[id];
+    --s.waiting_writers;
+    s.writer = true;
+  } else {
+    cv_.wait(l,
+             [&] { return GrantableLocked(table_[id], LockMode::kShared); });
+    ++table_[id].readers;
+  }
+}
+
+bool LockManager::TryAcquire(LockId id, LockMode mode) {
+  std::lock_guard<std::mutex> l(mu_);
+  LockState& s = table_[id];
+  if (!GrantableLocked(s, mode)) return false;
+  if (mode == LockMode::kExclusive) {
+    s.writer = true;
+  } else {
+    ++s.readers;
+  }
+  return true;
+}
+
+void LockManager::Release(LockId id, LockMode mode) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = table_.find(id);
+    if (it == table_.end()) return;  // release of a never-granted lock
+    LockState& s = it->second;
+    if (mode == LockMode::kExclusive) {
+      s.writer = false;
+    } else if (s.readers > 0) {
+      --s.readers;
+    }
+    if (s.readers == 0 && !s.writer && s.waiting_writers == 0) {
+      table_.erase(it);
+    }
+  }
+  // One release can unblock many readers or one writer; wake everyone and
+  // let the predicates sort it out (the table is a handful of relations).
+  cv_.notify_all();
+}
+
+LockManager::HolderCounts LockManager::Holders(LockId id) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(id);
+  HolderCounts out;
+  if (it != table_.end()) {
+    out.readers = it->second.readers;
+    out.writer = it->second.writer;
+    out.waiting_writers = it->second.waiting_writers;
+  }
+  return out;
+}
+
+ScopedLockSet::ScopedLockSet(
+    LockManager* lm, std::vector<std::pair<LockId, LockMode>> requests)
+    : lm_(lm) {
+  // Sort ascending by id; within one id an exclusive request sorts first
+  // and absorbs any shared request on the same id.
+  std::sort(requests.begin(), requests.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second == LockMode::kExclusive &&
+                     b.second == LockMode::kShared;
+            });
+  held_.reserve(requests.size());
+  for (const auto& [id, mode] : requests) {
+    if (!held_.empty() && held_.back().first == id) continue;  // deduped
+    lm_->Acquire(id, mode);
+    held_.emplace_back(id, mode);
+  }
+}
+
+void ScopedLockSet::ReleaseAll() {
+  if (lm_ == nullptr) return;
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    lm_->Release(it->first, it->second);
+  }
+  held_.clear();
+  lm_ = nullptr;
+}
+
+}  // namespace objrep

@@ -1,0 +1,108 @@
+// Table-level shared/exclusive lock manager.
+//
+// Granularity follows the paper's workload: retrieves read whole relations
+// through indexes (S), updates modify tuples of named relations in place
+// (X). The conflict matrix is the classical one — S is compatible with S;
+// X is compatible with nothing.
+//
+// Deadlock freedom by ordered acquisition: a session acquires all locks
+// for one query up front, in ascending LockId order, holds them for the
+// query, and releases them together (strict per-query 2PL). Because no
+// session ever waits while holding a higher-ordered lock, the waits-for
+// graph is acyclic. ScopedLockSet encodes this discipline.
+//
+// Writer preference: a pending X blocks new S grants on that resource, so
+// updaters are not starved by a stream of overlapping retrieves.
+#ifndef OBJREP_EXEC_LOCK_MANAGER_H_
+#define OBJREP_EXEC_LOCK_MANAGER_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace objrep {
+
+using LockId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Blocks until the lock is granted.
+  void Acquire(LockId id, LockMode mode);
+
+  /// Non-blocking variant; returns whether the lock was granted.
+  bool TryAcquire(LockId id, LockMode mode);
+
+  /// Releases a previously granted lock.
+  void Release(LockId id, LockMode mode);
+
+  /// Snapshot for tests/introspection: current holders of `id`.
+  struct HolderCounts {
+    uint32_t readers = 0;
+    bool writer = false;
+    uint32_t waiting_writers = 0;
+  };
+  HolderCounts Holders(LockId id) const;
+
+ private:
+  struct LockState {
+    uint32_t readers = 0;
+    bool writer = false;
+    uint32_t waiting_writers = 0;
+  };
+
+  bool GrantableLocked(const LockState& s, LockMode mode) const {
+    if (mode == LockMode::kExclusive) return s.readers == 0 && !s.writer;
+    return !s.writer && s.waiting_writers == 0;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<LockId, LockState> table_;  // guarded by mu_
+};
+
+/// One query's lock set: deduplicated (X absorbs S on the same id), sorted
+/// ascending, acquired in order on construction, released on destruction.
+class ScopedLockSet {
+ public:
+  ScopedLockSet() = default;
+  ScopedLockSet(LockManager* lm,
+                std::vector<std::pair<LockId, LockMode>> requests);
+  ~ScopedLockSet() { ReleaseAll(); }
+
+  ScopedLockSet(const ScopedLockSet&) = delete;
+  ScopedLockSet& operator=(const ScopedLockSet&) = delete;
+  ScopedLockSet(ScopedLockSet&& other) noexcept { *this = std::move(other); }
+  ScopedLockSet& operator=(ScopedLockSet&& other) noexcept {
+    if (this != &other) {
+      ReleaseAll();
+      lm_ = other.lm_;
+      held_ = std::move(other.held_);
+      other.lm_ = nullptr;
+      other.held_.clear();
+    }
+    return *this;
+  }
+
+  /// Explicit early release (end of query).
+  void ReleaseAll();
+
+  size_t size() const { return held_.size(); }
+
+ private:
+  LockManager* lm_ = nullptr;
+  std::vector<std::pair<LockId, LockMode>> held_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_EXEC_LOCK_MANAGER_H_

@@ -29,12 +29,14 @@ uint64_t CacheManager::HashKeyOf(const std::vector<Oid>& unit_oids) {
 }
 
 bool CacheManager::IsCached(uint64_t hashkey) {
+  std::lock_guard<std::mutex> l(mu_);
   bool cached = dir_.find(hashkey) != dir_.end();
   if (!cached) ++stats_.misses;
   return cached;
 }
 
 Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
+  std::lock_guard<std::mutex> l(mu_);
   auto it = dir_.find(hashkey);
   if (it == dir_.end()) {
     ++stats_.misses;
@@ -49,7 +51,7 @@ Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
   return Status::OK();
 }
 
-Status CacheManager::RemoveUnit(uint64_t hashkey) {
+Status CacheManager::RemoveUnitLocked(uint64_t hashkey) {
   auto it = dir_.find(hashkey);
   OBJREP_CHECK(it != dir_.end());
   OBJREP_RETURN_NOT_OK(hash_.Delete(hashkey));
@@ -71,6 +73,7 @@ Status CacheManager::RemoveUnit(uint64_t hashkey) {
 Status CacheManager::InsertUnit(uint64_t hashkey,
                                 const std::vector<Oid>& unit_oids,
                                 std::string_view blob) {
+  std::lock_guard<std::mutex> l(mu_);
   if (dir_.find(hashkey) != dir_.end()) {
     return Status::OK();  // outside cache: already present, shared entry
   }
@@ -82,7 +85,7 @@ Status CacheManager::InsertUnit(uint64_t hashkey,
     // Evict the least recently used unit.
     OBJREP_CHECK(!lru_.empty());
     uint64_t victim = lru_.front();
-    OBJREP_RETURN_NOT_OK(RemoveUnit(victim));
+    OBJREP_RETURN_NOT_OK(RemoveUnitLocked(victim));
     ++stats_.evictions;
   }
   OBJREP_RETURN_NOT_OK(hash_.Insert(hashkey, blob));
@@ -99,12 +102,13 @@ Status CacheManager::InsertUnit(uint64_t hashkey,
 }
 
 Status CacheManager::InvalidateSubobject(const Oid& oid) {
+  std::lock_guard<std::mutex> l(mu_);
   auto it = lock_table_.find(oid.Packed());
   if (it == lock_table_.end()) return Status::OK();
-  // RemoveUnit mutates the lock table; work from a copy of the held list.
+  // RemoveUnitLocked mutates the lock table; work from a copy of the list.
   std::vector<uint64_t> held = it->second;
   for (uint64_t hashkey : held) {
-    OBJREP_RETURN_NOT_OK(RemoveUnit(hashkey));
+    OBJREP_RETURN_NOT_OK(RemoveUnitLocked(hashkey));
     ++stats_.invalidated_units;
   }
   return Status::OK();

@@ -13,6 +13,15 @@
 // memory-resident lock table and charge only the hash-relation deletes,
 // preserving the cost model (DESIGN.md §5.6).
 //
+// Under the concurrent execution engine the I-locks are real cross-thread
+// invalidation: every cache operation (probe, fetch, insert, invalidate)
+// runs under one internal latch, so an updater's InvalidateSubobject is
+// atomic with respect to a concurrent retriever's probe-fetch or
+// materialize-insert. Combined with the exec-layer table locks (a
+// retriever holds S on the child relations for its whole query, an updater
+// holds X), no stale unit can be re-inserted after its invalidation.
+// Latch order: table locks -> cache latch -> buffer-pool latches.
+//
 // The directory of cached hashkeys (at most SizeCache = 1000 entries) is
 // likewise memory-resident: strategies may *test* residency for free, but
 // fetching, inserting, or invalidating unit values costs hash-file I/O.
@@ -21,6 +30,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,15 +80,30 @@ class CacheManager {
   /// (each invalidation is a hash-relation delete, which costs I/O).
   Status InvalidateSubobject(const Oid& oid);
 
-  uint32_t size() const { return static_cast<uint32_t>(dir_.size()); }
+  uint32_t size() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return static_cast<uint32_t>(dir_.size());
+  }
   uint32_t capacity() const { return size_cache_; }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> l(mu_);
+    stats_ = CacheStats{};
+  }
   const HashFile& hash_file() const { return hash_; }
 
  private:
   /// Removes one unit from the cache (hash delete + lock release).
-  Status RemoveUnit(uint64_t hashkey);
+  /// Caller holds mu_.
+  Status RemoveUnitLocked(uint64_t hashkey);
+
+  /// Serializes every cache operation: directory, LRU, I-lock table, and
+  /// the hash-relation I/O they imply. Held across buffer-pool calls
+  /// (latch order: cache latch before pool latches, never the reverse).
+  mutable std::mutex mu_;
 
   BufferPool* pool_;
   uint32_t size_cache_;

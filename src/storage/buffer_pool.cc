@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <thread>
+
 #include "util/macros.h"
 
 namespace objrep {
@@ -13,142 +15,181 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t capacity)
   }
 }
 
-void BufferPool::LruPushBack(uint32_t frame) {
-  Frame& f = frames_[frame];
-  OBJREP_CHECK(!f.in_lru);
-  f.in_lru = true;
-  f.lru_prev = lru_tail_;
-  f.lru_next = UINT32_MAX;
-  if (lru_tail_ != UINT32_MAX) {
-    frames_[lru_tail_].lru_next = frame;
-  } else {
-    lru_head_ = frame;
-  }
-  lru_tail_ = frame;
-}
-
-void BufferPool::LruRemove(uint32_t frame) {
-  Frame& f = frames_[frame];
-  OBJREP_CHECK(f.in_lru);
-  f.in_lru = false;
-  if (f.lru_prev != UINT32_MAX) {
-    frames_[f.lru_prev].lru_next = f.lru_next;
-  } else {
-    lru_head_ = f.lru_next;
-  }
-  if (f.lru_next != UINT32_MAX) {
-    frames_[f.lru_next].lru_prev = f.lru_prev;
-  } else {
-    lru_tail_ = f.lru_prev;
-  }
-  f.lru_prev = f.lru_next = UINT32_MAX;
-}
-
 void BufferPool::Unpin(uint32_t frame) {
   Frame& f = frames_[frame];
-  OBJREP_CHECK(f.pin_count > 0);
-  if (--f.pin_count == 0) {
-    LruPushBack(frame);
-  }
+  // Stamp while the pin is still held: once pin_count reaches 0 an evictor
+  // may claim and reuse the frame, so the stamp must land first. Nested
+  // pins overwrite each other; the final (1 -> 0) unpin writes last, which
+  // is exactly the old push-to-LRU-on-last-release order.
+  f.last_unpin.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  int prev = f.pin_count.fetch_sub(1, std::memory_order_release);
+  OBJREP_CHECK(prev > 0);
 }
 
-Status BufferPool::Evict(uint32_t* frame_out) {
-  if (lru_head_ == UINT32_MAX) {
-    return Status::NoSpace("buffer pool exhausted: all frames pinned");
+Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
+  Frame& f = frames_[frame];
+  // Unmap first: after the erase no hit path can reach the frame, so the
+  // claimed pin_count can be dropped without a window for false pins.
+  {
+    Shard& shard = ShardFor(f.pid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    shard.map.erase(f.pid);
   }
-  uint32_t victim = lru_head_;
-  LruRemove(victim);
-  Frame& f = frames_[victim];
-  if (f.dirty) {
-    OBJREP_RETURN_NOT_OK(disk_->WritePage(f.pid, f.page));
-    f.dirty = false;
+  Status s = Status::OK();
+  if (f.dirty.load(std::memory_order_relaxed)) {
+    s = disk_->WritePage(f.pid, f.page);
+    f.dirty.store(false, std::memory_order_relaxed);
   }
-  table_.erase(f.pid);
   f.in_use = false;
   f.pid = kInvalidPageId;
-  *frame_out = victim;
-  return Status::OK();
+  f.pin_count.store(0, std::memory_order_release);
+  return s;
+}
+
+Status BufferPool::AllocateFrameLocked(uint32_t* frame_out) {
+  if (!free_frames_.empty()) {
+    *frame_out = free_frames_.back();
+    free_frames_.pop_back();
+    return Status::OK();
+  }
+  for (;;) {
+    // Strict LRU: the unpinned in-use frame with the oldest last unpin.
+    uint32_t victim = UINT32_MAX;
+    uint64_t oldest = UINT64_MAX;
+    for (uint32_t i = 0; i < frames_.size(); ++i) {
+      Frame& f = frames_[i];
+      if (!f.in_use || f.pin_count.load(std::memory_order_relaxed) != 0) {
+        continue;
+      }
+      uint64_t stamp = f.last_unpin.load(std::memory_order_relaxed);
+      if (stamp < oldest) {
+        oldest = stamp;
+        victim = i;
+      }
+    }
+    if (victim == UINT32_MAX) {
+      return Status::NoSpace("buffer pool exhausted: all frames pinned");
+    }
+    int expected = 0;
+    if (!frames_[victim].pin_count.compare_exchange_strong(
+            expected, kEvicting, std::memory_order_acquire)) {
+      continue;  // raced with a concurrent pin; rescan
+    }
+    OBJREP_RETURN_NOT_OK(ReclaimFrameLocked(victim));
+    *frame_out = victim;
+    return Status::OK();
+  }
 }
 
 Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
-                               uint32_t* frame_out) {
-  uint32_t frame;
-  if (!free_frames_.empty()) {
-    frame = free_frames_.back();
-    free_frames_.pop_back();
-  } else {
-    OBJREP_RETURN_NOT_OK(Evict(&frame));
+                               PageGuard* out) {
+  std::lock_guard<std::mutex> big(evict_mu_);
+  if (load_from_disk) {
+    // Another thread may have loaded `pid` while we waited for evict_mu_.
+    // No evictor can run concurrently (we hold evict_mu_), so a mapped
+    // frame is pinnable with a plain increment.
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it != shard.map.end()) {
+      frames_[it->second].pin_count.fetch_add(1, std::memory_order_acquire);
+      *out = PageGuard(this, it->second, pid);
+      return Status::OK();
+    }
   }
+  uint32_t frame;
+  OBJREP_RETURN_NOT_OK(AllocateFrameLocked(&frame));
   Frame& f = frames_[frame];
   f.pid = pid;
-  f.pin_count = 1;
-  f.dirty = false;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(!load_from_disk, std::memory_order_relaxed);
   f.in_use = true;
   if (load_from_disk) {
     Status s = disk_->ReadPage(pid, &f.page);
     if (!s.ok()) {
       f.in_use = false;
-      f.pin_count = 0;
+      f.pid = kInvalidPageId;
+      f.pin_count.store(0, std::memory_order_relaxed);
       free_frames_.push_back(frame);
       return s;
     }
   } else {
     f.page.Zero();
   }
-  table_[pid] = frame;
-  *frame_out = frame;
+  {
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    shard.map[pid] = frame;
+  }
+  *out = PageGuard(this, frame, pid);
   return Status::OK();
 }
 
 Status BufferPool::FetchPage(PageId pid, PageGuard* out) {
-  auto it = table_.find(pid);
-  if (it != table_.end()) {
-    ++hits_;
-    uint32_t frame = it->second;
-    Frame& f = frames_[frame];
-    if (f.pin_count++ == 0) {
-      LruRemove(frame);
+  Shard& shard = ShardFor(pid);
+  for (;;) {
+    bool claimed = false;
+    {
+      std::lock_guard<std::mutex> l(shard.mu);
+      auto it = shard.map.find(pid);
+      if (it == shard.map.end()) break;  // miss
+      Frame& f = frames_[it->second];
+      int c = f.pin_count.load(std::memory_order_relaxed);
+      while (c >= 0) {
+        if (f.pin_count.compare_exchange_weak(c, c + 1,
+                                              std::memory_order_acquire)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          *out = PageGuard(this, it->second, pid);
+          return Status::OK();
+        }
+      }
+      // pin_count == kEvicting: an evictor claimed the frame and is about
+      // to erase this mapping (it needs our bucket latch to do so).
+      claimed = true;
     }
-    *out = PageGuard(this, frame, pid);
-    return Status::OK();
+    if (!claimed) break;
+    std::this_thread::yield();  // let the evictor finish, then re-probe
   }
-  ++misses_;
-  uint32_t frame;
-  OBJREP_RETURN_NOT_OK(PinFrameFor(pid, /*load_from_disk=*/true, &frame));
-  *out = PageGuard(this, frame, pid);
-  return Status::OK();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return PinFrameFor(pid, /*load_from_disk=*/true, out);
 }
 
 Status BufferPool::NewPage(PageGuard* out) {
   PageId pid = disk_->AllocatePage();
-  uint32_t frame;
-  OBJREP_RETURN_NOT_OK(PinFrameFor(pid, /*load_from_disk=*/false, &frame));
-  frames_[frame].dirty = true;
-  *out = PageGuard(this, frame, pid);
-  return Status::OK();
+  return PinFrameFor(pid, /*load_from_disk=*/false, out);
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> big(evict_mu_);
   for (Frame& f : frames_) {
-    if (f.in_use && f.dirty) {
+    if (f.in_use && f.dirty.load(std::memory_order_relaxed)) {
       OBJREP_RETURN_NOT_OK(disk_->WritePage(f.pid, f.page));
-      f.dirty = false;
+      f.dirty.store(false, std::memory_order_relaxed);
     }
   }
   return Status::OK();
 }
 
 void BufferPool::InvalidateAllClean() {
+  std::lock_guard<std::mutex> big(evict_mu_);
   for (uint32_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
-    if (f.in_use && f.pin_count == 0 && !f.dirty) {
-      LruRemove(i);
-      table_.erase(f.pid);
-      f.in_use = false;
-      f.pid = kInvalidPageId;
-      free_frames_.push_back(i);
+    if (!f.in_use || f.dirty.load(std::memory_order_relaxed)) continue;
+    int expected = 0;
+    if (!f.pin_count.compare_exchange_strong(expected, kEvicting,
+                                             std::memory_order_acquire)) {
+      continue;  // pinned
     }
+    // Clean by the check above; ReclaimFrameLocked will not write.
+    OBJREP_CHECK(ReclaimFrameLocked(i).ok());
+    free_frames_.push_back(i);
   }
+}
+
+void BufferPool::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace objrep

@@ -1,14 +1,35 @@
-// LRU buffer pool.
+// LRU buffer pool, safe for concurrent use by the execution engine.
 //
 // The paper fixes a main-memory buffer of 100 INGRES data pages for every
 // experiment; the buffer pool is therefore a first-class part of the cost
 // model — B-tree roots and hot leaves hit in memory, cold leaves cost one
 // physical read, and dirty pages cost one physical write when evicted (or
 // at end-of-run flush).
+//
+// Concurrency design (DESIGN.md §8):
+//   * The page table is sharded into kNumShards hash buckets, each behind
+//     its own latch, so concurrent hits on different pages do not contend.
+//   * Pins are per-frame atomics (a pin is taken by CAS under the bucket
+//     latch; releases are latch-free). A frame with pin_count == kEvicting
+//     is claimed by an evictor and behaves as absent.
+//   * Replacement is exact strict LRU: each frame records the global clock
+//     stamp of its last unpin, and eviction (serialized by `evict_mu_`,
+//     which also covers the miss path, FlushAll, and InvalidateAllClean)
+//     picks the unpinned in-use frame with the smallest stamp. This is
+//     bit-identical to the seed's intrusive-list LRU for single-threaded
+//     runs, so all paper figures are unchanged.
+//   * hits()/misses() are monotonic relaxed atomics: totals are exact once
+//     the pool is quiescent, but a concurrent reader may observe them
+//     mid-update (approximate while workers run).
+//
+// Latch order: evict_mu_ -> bucket latch. The hit path takes only a bucket
+// latch; no path takes two bucket latches at once.
 #ifndef OBJREP_STORAGE_BUFFER_POOL_H_
 #define OBJREP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -61,7 +82,10 @@ class PageGuard {
 };
 
 /// Fixed-capacity page cache with strict LRU replacement among unpinned
-/// frames. All page traffic in the library flows through here.
+/// frames. All page traffic in the library flows through here. Concurrent
+/// FetchPage/NewPage/guard use is safe; writers of page *content* must be
+/// isolated from readers of the same relation by the exec-layer
+/// LockManager (the pool latches frames, not tuples).
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, uint32_t capacity);
@@ -76,54 +100,79 @@ class BufferPool {
   Status NewPage(PageGuard* out);
 
   /// Writes back every dirty frame (each costs one physical write).
+  /// Requires quiescence: no concurrent guard may be mutating content.
   Status FlushAll();
 
   /// Drops every unpinned frame without writing it back. Only used by tests.
   void InvalidateAllClean();
 
+  /// Zeroes hits()/misses(). RunWorkload calls this at the start of every
+  /// measured sequence so the counters describe the run, not whatever
+  /// happened since construction (database build, warmup, earlier runs).
+  void ResetStats();
+
   uint32_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  /// Monotonic; exact when quiescent, approximate while workers run.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   DiskManager* disk() const { return disk_; }
 
  private:
   friend class PageGuard;
 
+  static constexpr uint32_t kNumShards = 16;
+  /// pin_count value marking a frame claimed by an evictor.
+  static constexpr int kEvicting = -1;
+
   struct Frame {
     Page page;
     PageId pid = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
-    bool in_use = false;
-    // Intrusive LRU list links (indices into frames_, UINT32_MAX = none).
-    uint32_t lru_prev = UINT32_MAX;
-    uint32_t lru_next = UINT32_MAX;
-    bool in_lru = false;
+    std::atomic<int> pin_count{0};
+    std::atomic<bool> dirty{false};
+    bool in_use = false;  // guarded by evict_mu_
+    /// Global clock stamp of the last unpin; eviction takes the minimum
+    /// over unpinned frames — exactly the old intrusive-list LRU order.
+    std::atomic<uint64_t> last_unpin{0};
   };
 
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, uint32_t> map;
+  };
+
+  Shard& ShardFor(PageId pid) {
+    // Pages ids are sequential; spread neighbors across shards.
+    return shards_[(pid * 0x9e3779b1u >> 16) & (kNumShards - 1)];
+  }
+
   void Unpin(uint32_t frame);
-  void LruPushBack(uint32_t frame);
-  void LruRemove(uint32_t frame);
-  /// Frees an unpinned frame for reuse; writes it back if dirty.
-  Status Evict(uint32_t* frame_out);
-  Status PinFrameFor(PageId pid, bool load_from_disk, uint32_t* frame_out);
+  /// Under evict_mu_: takes a free frame or evicts the strict-LRU victim.
+  Status AllocateFrameLocked(uint32_t* frame_out);
+  /// Under evict_mu_: claims + unmaps one evictable frame, writing it back
+  /// if dirty. Used by AllocateFrameLocked and InvalidateAllClean.
+  Status ReclaimFrameLocked(uint32_t frame);
+  Status PinFrameFor(PageId pid, bool load_from_disk, PageGuard* out);
 
   DiskManager* disk_;
   uint32_t capacity_;
   std::vector<Frame> frames_;
-  std::vector<uint32_t> free_frames_;
-  std::unordered_map<PageId, uint32_t> table_;
-  uint32_t lru_head_ = UINT32_MAX;
-  uint32_t lru_tail_ = UINT32_MAX;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+
+  std::mutex evict_mu_;                // miss path, eviction, flush
+  std::vector<uint32_t> free_frames_;  // guarded by evict_mu_
+  Shard shards_[kNumShards];
+
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 inline Page* PageGuard::page() { return &pool_->frames_[frame_].page; }
 inline const Page* PageGuard::page() const {
   return &pool_->frames_[frame_].page;
 }
-inline void PageGuard::MarkDirty() { pool_->frames_[frame_].dirty = true; }
+inline void PageGuard::MarkDirty() {
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_relaxed);
+}
 inline void PageGuard::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(frame_);

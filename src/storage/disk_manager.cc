@@ -1,31 +1,50 @@
 #include "storage/disk_manager.h"
 
+#include <chrono>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 namespace objrep {
+
+void DiskManager::SimulateLatency() const {
+  uint32_t us = io_latency_us_.load(std::memory_order_relaxed);
+  if (us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
 
 PageId DiskManager::AllocatePage() {
   auto page = std::make_unique<Page>();
   page->Zero();
+  std::unique_lock<std::shared_mutex> l(mu_);
   pages_.push_back(std::move(page));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status DiskManager::ReadPage(PageId page_id, Page* out) {
-  if (page_id >= pages_.size()) {
-    return Status::IOError("read of unallocated page");
+  {
+    std::shared_lock<std::shared_mutex> l(mu_);
+    if (page_id >= pages_.size()) {
+      return Status::IOError("read of unallocated page");
+    }
+    std::memcpy(out->data, pages_[page_id]->data, kPageSize);
   }
-  std::memcpy(out->data, pages_[page_id]->data, kPageSize);
-  ++counters_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency();
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId page_id, const Page& in) {
-  if (page_id >= pages_.size()) {
-    return Status::IOError("write of unallocated page");
+  {
+    std::shared_lock<std::shared_mutex> l(mu_);
+    if (page_id >= pages_.size()) {
+      return Status::IOError("write of unallocated page");
+    }
+    std::memcpy(pages_[page_id]->data, in.data, kPageSize);
   }
-  std::memcpy(pages_[page_id]->data, in.data, kPageSize);
-  ++counters_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency();
   return Status::OK();
 }
 

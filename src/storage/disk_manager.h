@@ -3,10 +3,19 @@
 // This replaces the real disk under commercial INGRES in the paper's setup.
 // The substitution is safe because the study's metric is the *number* of
 // page I/Os, not their latency (DESIGN.md §2).
+//
+// Thread safety: page reads/writes take a shared lock (the volume only
+// grows; distinct pages are distinct buffers) and AllocatePage takes an
+// exclusive lock. The I/O counters are relaxed atomics — monotonic and
+// exact in total, but a mid-run snapshot may interleave with concurrent
+// increments. Writers of the *same* page must be serialized by the
+// exec-layer LockManager, exactly as with a real device.
 #ifndef OBJREP_STORAGE_DISK_MANAGER_H_
 #define OBJREP_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/io_stats.h"
@@ -33,14 +42,40 @@ class DiskManager {
   /// Copies `in` onto "disk". Charges one write.
   Status WritePage(PageId page_id, const Page& in);
 
-  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+  uint32_t num_pages() const {
+    std::shared_lock<std::shared_mutex> l(mu_);
+    return static_cast<uint32_t>(pages_.size());
+  }
 
-  const IoCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = IoCounters{}; }
+  /// Snapshot of the I/O counters (exact once the engine is quiescent).
+  IoCounters counters() const {
+    return IoCounters{reads_.load(std::memory_order_relaxed),
+                      writes_.load(std::memory_order_relaxed)};
+  }
+  void ResetCounters() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Simulated per-I/O device latency (default 0: the seed's pure counting
+  /// model). When nonzero, every physical read/write sleeps this long —
+  /// lets the throughput bench show I/O overlap across worker threads the
+  /// way a real spindle/SSD queue would.
+  void set_io_latency_us(uint32_t us) {
+    io_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  uint32_t io_latency_us() const {
+    return io_latency_us_.load(std::memory_order_relaxed);
+  }
 
  private:
+  void SimulateLatency() const;
+
+  mutable std::shared_mutex mu_;  // guards pages_ growth vs. access
   std::vector<std::unique_ptr<Page>> pages_;
-  IoCounters counters_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint32_t> io_latency_us_{0};
 };
 
 }  // namespace objrep

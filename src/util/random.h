@@ -86,6 +86,41 @@ class Rng {
   /// for small k, shuffle prefix for large k).
   std::vector<uint64_t> SampleDistinct(uint64_t n, uint64_t k);
 
+  /// Advances the state 2^128 steps (the xoshiro256** jump polynomial).
+  /// Partitions one seed's sequence into non-overlapping subsequences, so
+  /// parallel workers drawing from jumped copies never correlate.
+  void Jump() {
+    static constexpr uint64_t kJump[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (1ULL << b)) {
+          s0 ^= s_[0];
+          s1 ^= s_[1];
+          s2 ^= s_[2];
+          s3 ^= s_[3];
+        }
+        Next();
+      }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+  /// Deterministic per-worker stream: a copy of *this advanced `stream`
+  /// jumps. ForStream(0) replays this generator's own sequence; distinct
+  /// streams are disjoint 2^128-long segments, so a K-thread run is
+  /// reproducible for any K.
+  Rng ForStream(uint64_t stream) const {
+    Rng r = *this;
+    for (uint64_t i = 0; i < stream; ++i) r.Jump();
+    return r;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

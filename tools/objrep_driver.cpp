@@ -4,34 +4,87 @@
 //
 //   $ ./build/tools/objrep_driver configs/fig3_point.cfg
 //   $ ./build/tools/objrep_driver -        # read config from stdin
+//
+// Concurrent mode (the execution engine, src/exec/): with --threads=K the
+// query stream is partitioned across K worker sessions over one shared
+// database, and the report adds throughput (queries/sec) and latency
+// percentiles alongside the aggregate I/O bill.
+//
+//   $ ./build/tools/objrep_driver --threads=8 configs/fig3_point.cfg
+//   $ ./build/tools/objrep_driver --threads=8 --duration=5 cfg   # timed run
+//   $ ./build/tools/objrep_driver --num-queries=5000 cfg
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "core/experiment_config.h"
 #include "core/runner.h"
+#include "exec/concurrent_runner.h"
 #include "objstore/database.h"
 
 using namespace objrep;
 
+namespace {
+
+struct DriverFlags {
+  uint32_t threads = 0;       // 0: sequential runner (the default report)
+  uint32_t num_queries = 0;   // 0: keep the config's value
+  double duration_seconds = 0;  // >0: timed run (resamples the stream)
+  std::string config_path;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--threads=K] [--num-queries=N] [--duration=S] "
+               "<config-file | ->\n"
+               "see src/core/experiment_config.h for the config format\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr,
-                 "usage: %s <config-file | ->\n"
-                 "see src/core/experiment_config.h for the format\n",
-                 argv[0]);
-    return 2;
+  DriverFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--threads", &v)) {
+      flags.threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      if (flags.threads == 0) return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--num-queries", &v)) {
+      flags.num_queries = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--duration", &v)) {
+      flags.duration_seconds = std::strtod(v, nullptr);
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+      return Usage(argv[0]);
+    } else if (flags.config_path.empty()) {
+      flags.config_path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
   }
+  if (flags.config_path.empty()) return Usage(argv[0]);
+
   std::string text;
-  if (std::string(argv[1]) == "-") {
+  if (flags.config_path == "-") {
     std::ostringstream ss;
     ss << std::cin.rdbuf();
     text = ss.str();
   } else {
-    std::ifstream in(argv[1]);
+    std::ifstream in(flags.config_path);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", flags.config_path.c_str());
       return 2;
     }
     std::ostringstream ss;
@@ -45,6 +98,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "config error: %s\n", s.ToString().c_str());
     return 1;
   }
+  if (flags.num_queries > 0) config.workload.num_queries = flags.num_queries;
 
   std::printf(
       "database: |ParentRel|=%u SizeUnit=%u Use=%u Overlap=%u "
@@ -56,13 +110,23 @@ int main(int argc, char** argv) {
       config.db.build_cluster ? " cluster" : "");
   std::printf(
       "workload: %u queries, NumTop=%u, Pr(UPDATE)=%.2f, batch=%u, "
-      "seed=%llu\n\n",
+      "seed=%llu\n",
       config.workload.num_queries, config.workload.num_top,
       config.workload.pr_update, config.workload.update_batch,
       static_cast<unsigned long long>(config.workload.seed));
 
-  std::printf("%-16s %12s %12s %12s %10s %12s\n", "strategy", "avg I/O",
-              "retrieve", "update", "hit-rate", "result-sum");
+  const bool concurrent = flags.threads > 0;
+  if (concurrent) {
+    std::printf("engine: %u worker threads%s\n\n", flags.threads,
+                flags.duration_seconds > 0 ? " (timed)" : "");
+    std::printf("%-16s %10s %10s %10s %10s %10s %12s\n", "strategy",
+                "queries/s", "p50 ms", "p95 ms", "p99 ms", "avg I/O",
+                "result-sum");
+  } else {
+    std::printf("\n%-16s %12s %12s %12s %10s %12s\n", "strategy", "avg I/O",
+                "retrieve", "update", "hit-rate", "result-sum");
+  }
+
   for (StrategyKind kind : config.strategies) {
     // Fresh database per strategy: identical contents (same seed), no
     // inherited buffer or cache state.
@@ -78,6 +142,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "workload failed: %s\n", s.ToString().c_str());
       return 1;
     }
+
+    if (concurrent) {
+      ConcurrentRunOptions opts;
+      opts.num_threads = flags.threads;
+      opts.duration_seconds = flags.duration_seconds;
+      opts.seed = config.workload.seed;
+      ConcurrentRunResult r;
+      s = RunConcurrentWorkload(kind, config.options, db.get(), queries, opts,
+                                &r);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", StrategyKindName(kind),
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("%-16s %10.0f %10.3f %10.3f %10.3f %10.1f %12lld\n",
+                  StrategyKindName(kind), r.queries_per_sec,
+                  r.latency.p50_us / 1000.0, r.latency.p95_us / 1000.0,
+                  r.latency.p99_us / 1000.0, r.avg_io_per_query,
+                  static_cast<long long>(r.combined.result_sum));
+      continue;
+    }
+
     std::unique_ptr<Strategy> strategy;
     s = MakeStrategy(kind, db.get(), config.options, &strategy);
     if (!s.ok()) {
