@@ -73,9 +73,10 @@ int main() {
     OBJREP_CHECK(BuildDatabase(spec, &src).ok());
     std::unique_ptr<DsmDatabase> dsm;
     OBJREP_CHECK(DsmDatabase::Build(*src, &dsm).ok());
-    std::printf("\nstorage: NSM %u pages, DSM %u pages "
+    std::printf("\nstorage: NSM %llu pages, DSM %u pages "
                 "(ret columns: %u + %u + %u leaves)\n",
-                src->TotalPages(), dsm->total_pages(),
+                static_cast<unsigned long long>(src->TotalPages()),
+                dsm->total_pages(),
                 dsm->column_leaf_pages(0), dsm->column_leaf_pages(1),
                 dsm->column_leaf_pages(2));
     // 200 update batches against each.

@@ -1,0 +1,213 @@
+// Wall-clock effect of the batched I/O & prefetch pipeline (DESIGN.md §9)
+// on a simulated disk with per-seek latency.
+//
+// The I/O *counts* are identical with prefetch on or off by construction
+// (tests/prefetch_equivalence_test.cc asserts it); what changes is the
+// shape of the reads. Sorted hint batches over bulk-loaded leaves form
+// contiguous page runs, so the vectored read pays one seek where demand
+// paging pays one per page — and with background I/O workers the staging
+// reads overlap query compute on top of that. This harness makes the win
+// visible: a disk-bound database (every child probed, tiny buffer pool),
+// a nonzero --io-latency-us, and a sweep of prefetch configurations.
+//
+//   $ ./build/bench/io_pipeline                  # full sweep, 100us seeks
+//   $ ./build/bench/io_pipeline --quick          # CI smoke (seconds)
+//   $ ./build/bench/io_pipeline --io-latency-us=250
+//   $ ./build/bench/io_pipeline --json           # also BENCH_throughput.json
+//   $ ./build/bench/io_pipeline --json=out.json
+//
+// DFSCLUST is run at use_factor=1 (every child belongs to its parent's
+// cluster), where its ClusterRel extent scan is nearly all sequential and
+// extent read-ahead approaches the device's transfer-bound floor.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace objrep {
+namespace bench {
+namespace {
+
+struct RunPoint {
+  bool prefetch = false;
+  uint32_t workers = 0;  // meaningful only when prefetch is on
+  double seconds = 0;
+  double qps = 0;
+  double avg_io = 0;
+  double seq_pct = 0;
+};
+
+DatabaseSpec DiskBoundSpec(uint32_t io_latency_us,
+                           uint32_t io_transfer_us) {
+  DatabaseSpec spec;
+  spec.num_parents = 2000;
+  spec.size_unit = 5;
+  spec.use_factor = 1;     // every child in-cluster: DFSCLUST extent-bound
+  spec.overlap_factor = 1;
+  spec.buffer_pages = 100;  // the paper's buffer: working set never fits
+  spec.build_cluster = true;
+  spec.io_latency_us = io_latency_us;
+  spec.io_transfer_us = io_transfer_us;
+  spec.seed = 53;
+  return spec;
+}
+
+RunPoint MeasurePoint(StrategyKind kind, const WorkloadSpec& wl,
+                      uint32_t io_latency_us, uint32_t io_transfer_us,
+                      bool prefetch, uint32_t workers) {
+  DatabaseSpec spec = DiskBoundSpec(io_latency_us, io_transfer_us);
+  spec.prefetch = prefetch;
+  spec.prefetch_workers = workers;
+  std::unique_ptr<ComplexDatabase> db;
+  Status s = BuildDatabase(spec, &db);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  std::vector<Query> queries;
+  s = GenerateWorkload(wl, *db, &queries);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  std::unique_ptr<Strategy> strategy;
+  s = MakeStrategy(kind, db.get(), {}, &strategy);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  RunResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  s = RunWorkload(strategy.get(), db.get(), queries, &r);
+  auto t1 = std::chrono::steady_clock::now();
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  RunPoint p;
+  p.prefetch = prefetch;
+  p.workers = workers;
+  p.seconds = std::chrono::duration<double>(t1 - t0).count();
+  p.qps = p.seconds > 0 ? r.num_queries / p.seconds : 0;
+  p.avg_io = r.AvgIoPerQuery();
+  p.seq_pct = 100.0 * r.io.seq_fraction();
+  return p;
+}
+
+struct StrategySweep {
+  StrategyKind kind;
+  std::vector<RunPoint> points;  // [0] is the prefetch-off baseline
+};
+
+void WriteJson(const std::string& path, uint32_t io_latency_us,
+               uint32_t io_transfer_us, const WorkloadSpec& wl,
+               const std::vector<StrategySweep>& sweeps) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  OBJREP_CHECK_MSG(f != nullptr, "cannot open JSON output path");
+  std::fprintf(f,
+               "{\n  \"bench\": \"io_pipeline\",\n"
+               "  \"io_latency_us\": %u,\n  \"io_transfer_us\": %u,\n"
+               "  \"num_queries\": %u,\n"
+               "  \"strategies\": [",
+               io_latency_us, io_transfer_us, wl.num_queries);
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const StrategySweep& sw = sweeps[i];
+    const double base_qps = sw.points[0].qps;
+    std::fprintf(f, "%s\n    {\n      \"strategy\": \"%s\",\n"
+                    "      \"runs\": [",
+                 i == 0 ? "" : ",", StrategyKindName(sw.kind));
+    for (size_t j = 0; j < sw.points.size(); ++j) {
+      const RunPoint& p = sw.points[j];
+      std::fprintf(
+          f,
+          "%s\n        {\"prefetch\": %s, \"workers\": %u, "
+          "\"seconds\": %.4f, \"queries_per_sec\": %.2f, "
+          "\"speedup\": %.3f, \"avg_io_per_query\": %.2f, "
+          "\"seq_read_pct\": %.1f}",
+          j == 0 ? "" : ",", p.prefetch ? "true" : "false", p.workers,
+          p.seconds, p.qps, base_qps > 0 ? p.qps / base_qps : 0.0, p.avg_io,
+          p.seq_pct);
+    }
+    std::fprintf(f, "\n      ]\n    }");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+void RunBench(uint32_t io_latency_us, uint32_t io_transfer_us, bool quick,
+              const char* json_path) {
+  const std::vector<StrategyKind> kinds = {
+      StrategyKind::kBfs, StrategyKind::kDfs, StrategyKind::kDfsClust};
+  const std::vector<uint32_t> worker_counts =
+      quick ? std::vector<uint32_t>{0, 8}
+            : std::vector<uint32_t>{0, 1, 2, 4, 8, 16};
+  WorkloadSpec wl;
+  wl.num_queries = quick ? 10 : 40;
+  wl.num_top = 50;
+  wl.pr_update = 0.0;
+  wl.seed = 54;
+
+  std::printf("%-10s %-14s %9s %11s %9s %11s %7s\n", "strategy", "prefetch",
+              "seconds", "queries/s", "speedup", "avg I/O", "seq%");
+  std::vector<StrategySweep> sweeps;
+  for (StrategyKind kind : kinds) {
+    StrategySweep sweep;
+    sweep.kind = kind;
+    sweep.points.push_back(MeasurePoint(kind, wl, io_latency_us,
+                                        io_transfer_us, /*prefetch=*/false,
+                                        0));
+    for (uint32_t w : worker_counts) {
+      sweep.points.push_back(MeasurePoint(kind, wl, io_latency_us,
+                                          io_transfer_us, /*prefetch=*/true,
+                                          w));
+    }
+    const double base_qps = sweep.points[0].qps;
+    for (const RunPoint& p : sweep.points) {
+      char mode[32];
+      if (!p.prefetch) {
+        std::snprintf(mode, sizeof mode, "off");
+      } else if (p.workers == 0) {
+        std::snprintf(mode, sizeof mode, "on (sync)");
+      } else {
+        std::snprintf(mode, sizeof mode, "on (%uw)", p.workers);
+      }
+      std::printf("%-10s %-14s %9.3f %11.0f %8.2fx %11.1f %6.1f%%\n",
+                  StrategyKindName(kind), mode, p.seconds, p.qps,
+                  base_qps > 0 ? p.qps / base_qps : 0.0, p.avg_io, p.seq_pct);
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+  if (json_path != nullptr) {
+    WriteJson(json_path, io_latency_us, io_transfer_us, wl, sweeps);
+    std::printf("\nwrote %s\n", json_path);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace objrep
+
+int main(int argc, char** argv) {
+  uint32_t io_latency_us = 100;
+  uint32_t io_transfer_us = 50;
+  bool quick = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--io-latency-us=", 16) == 0) {
+      io_latency_us =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 16, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--io-transfer-us=", 17) == 0) {
+      io_transfer_us =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 17, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_throughput.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--io-latency-us=N] [--io-transfer-us=N] "
+                   "[--quick] [--json[=PATH]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  objrep::bench::PrintTitle(
+      "I/O pipeline: vectored reads + read-ahead on a seek-charging disk",
+      "identical I/O counts; seeks coalesce and overlap query compute");
+  objrep::bench::RunBench(io_latency_us, io_transfer_us, quick, json_path);
+  return 0;
+}

@@ -92,7 +92,7 @@ int main() {
     auto mb = [](uint32_t pages) {
       return pages * static_cast<double>(kPageSize) / (1024.0 * 1024.0);
     };
-    uint32_t oid_pages = db->TotalPages();
+    uint32_t oid_pages = static_cast<uint32_t>(db->TotalPages());
     uint32_t val_pages = vdb->total_pages();
     uint32_t proc_pages = pdb->disk()->num_pages();
     std::printf("%6u %12s %12u %12.2f %14.1f %14.1f\n", sf, "procedural",

@@ -56,7 +56,38 @@ WorkloadSpec ReadOnlySpec() {
   return wl;
 }
 
-void RunSweep(double duration_seconds, uint32_t io_latency_us) {
+struct SweepPoint {
+  StrategyKind kind;
+  uint32_t threads;
+  double qps;
+  double speedup;
+  double p50_ms, p95_ms, p99_ms;
+};
+
+void WriteJson(const char* path, double duration_seconds,
+               uint32_t io_latency_us, const std::vector<SweepPoint>& pts) {
+  std::FILE* f = std::fopen(path, "w");
+  OBJREP_CHECK_MSG(f != nullptr, "cannot open JSON output path");
+  std::fprintf(f,
+               "{\n  \"bench\": \"throughput_scaling\",\n"
+               "  \"duration_seconds\": %.3f,\n  \"io_latency_us\": %u,\n"
+               "  \"points\": [",
+               duration_seconds, io_latency_us);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    std::fprintf(f,
+                 "%s\n    {\"strategy\": \"%s\", \"threads\": %u, "
+                 "\"queries_per_sec\": %.2f, \"speedup\": %.3f, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+                 i == 0 ? "" : ",", StrategyKindName(p.kind), p.threads,
+                 p.qps, p.speedup, p.p50_ms, p.p95_ms, p.p99_ms);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+void RunSweep(double duration_seconds, uint32_t io_latency_us,
+              const char* json_path) {
   const std::vector<StrategyKind> kinds = {
       StrategyKind::kDfs,          StrategyKind::kBfs,
       StrategyKind::kBfsNoDup,     StrategyKind::kDfsCache,
@@ -67,6 +98,7 @@ void RunSweep(double duration_seconds, uint32_t io_latency_us) {
 
   std::printf("%-16s %8s %12s %9s %10s %10s %10s\n", "strategy", "threads",
               "queries/s", "speedup", "p50 ms", "p95 ms", "p99 ms");
+  std::vector<SweepPoint> points;
   for (StrategyKind kind : kinds) {
     std::unique_ptr<ComplexDatabase> db;
     Status s = BuildDatabase(CacheResidentSpec(), &db);
@@ -96,12 +128,20 @@ void RunSweep(double duration_seconds, uint32_t io_latency_us) {
       s = RunConcurrentWorkload(kind, {}, db.get(), queries, opts, &r);
       OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
       if (k == 1) base_qps = r.queries_per_sec;
+      const double speedup =
+          base_qps > 0 ? r.queries_per_sec / base_qps : 0.0;
       std::printf("%-16s %8u %12.0f %8.2fx %10.3f %10.3f %10.3f\n",
-                  StrategyKindName(kind), k, r.queries_per_sec,
-                  base_qps > 0 ? r.queries_per_sec / base_qps : 0.0,
+                  StrategyKindName(kind), k, r.queries_per_sec, speedup,
                   r.latency.p50_us / 1000.0, r.latency.p95_us / 1000.0,
                   r.latency.p99_us / 1000.0);
+      points.push_back({kind, k, r.queries_per_sec, speedup,
+                        r.latency.p50_us / 1000.0, r.latency.p95_us / 1000.0,
+                        r.latency.p99_us / 1000.0});
     }
+  }
+  if (json_path != nullptr) {
+    WriteJson(json_path, duration_seconds, io_latency_us, points);
+    std::printf("\nwrote %s\n", json_path);
   }
 }
 
@@ -112,21 +152,28 @@ void RunSweep(double duration_seconds, uint32_t io_latency_us) {
 int main(int argc, char** argv) {
   double duration = 0.25;
   uint32_t io_latency_us = 0;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--duration=", 11) == 0) {
       duration = std::strtod(argv[i] + 11, nullptr);
     } else if (std::strncmp(argv[i], "--io-latency-us=", 16) == 0) {
       io_latency_us = static_cast<uint32_t>(
           std::strtoul(argv[i] + 16, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_throughput.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--duration=S] [--io-latency-us=N]\n", argv[0]);
+                   "usage: %s [--duration=S] [--io-latency-us=N] "
+                   "[--json[=PATH]]\n",
+                   argv[0]);
       return 2;
     }
   }
   objrep::bench::PrintTitle(
       "Throughput scaling: concurrent sessions over one shared database",
       "cache-resident read-only stream; timed sweep per (strategy, K)");
-  objrep::bench::RunSweep(duration, io_latency_us);
+  objrep::bench::RunSweep(duration, io_latency_us, json_path);
   return 0;
 }

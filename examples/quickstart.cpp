@@ -29,7 +29,8 @@ int main() {
     std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("database: %u pages (%.1f MB), %u units\n", db->TotalPages(),
+  std::printf("database: %llu pages (%.1f MB), %u units\n",
+              static_cast<unsigned long long>(db->TotalPages()),
               db->TotalPages() * 2048.0 / (1 << 20), spec.num_units());
 
   // 2. Generate a query sequence: 90% retrieves of 20 objects' subobjects,

@@ -247,6 +247,159 @@ Status BPlusTree::DescendToLeaf(uint64_t key, PageGuard* leaf,
   return pool_->FetchPage(pid, leaf);
 }
 
+Status BPlusTree::DescendToLeafProbe(uint64_t key, const uint64_t* upcoming,
+                                     size_t n, PageGuard* leaf) const {
+  if (!pool_->prefetch_enabled() || n == 0 || stats_.height < 2) {
+    return DescendToLeaf(key, leaf, nullptr);
+  }
+  const uint32_t cap = pool_->prefetch_options().readahead_pages;
+  PageId pid = root_;
+  // Exclusive upper bound of the current subtree's key range, inherited
+  // from the ancestors' separators. Needed at the leaf level: a probe for
+  // a key past this bound re-descends from the root into the *next*
+  // subtree, so hinting this node's last child for it would stage a page
+  // the walk never reads (a §9 exactness violation).
+  uint64_t subtree_end = UINT64_MAX;
+  for (uint32_t depth = 1; depth < stats_.height; ++depth) {
+    PageGuard guard;
+    OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+    const Page& p = *guard.page();
+    uint16_t child_index = InternalSearch(p, key);
+    if (depth + 1 == stats_.height) {
+      // The children are leaves. Batch the target leaf with the leaves the
+      // upcoming (sorted) keys land in — identities read straight off this
+      // node, so the batch is exact: every page in it is about to be
+      // demand-fetched by the probe walk.
+      uint16_t count = InternalCount(p);
+      std::vector<PageId> hint;
+      hint.reserve(cap);
+      hint.push_back(InternalChild(p, child_index));
+      size_t ki = 0;
+      for (uint16_t j = child_index + 1; j <= count && hint.size() < cap;
+           ++j) {
+        uint64_t low = InternalKey(p, j - 1);
+        while (ki < n && upcoming[ki] < low) ++ki;
+        if (ki == n) break;
+        uint64_t high = j == count ? subtree_end : InternalKey(p, j);
+        if (upcoming[ki] < high) {
+          hint.push_back(InternalChild(p, j));
+        }
+      }
+      if (hint.size() > 1) {
+        pool_->PrefetchHint(hint.data(), hint.size());
+      }
+    }
+    if (child_index < InternalCount(p)) {
+      subtree_end = InternalKey(p, child_index);
+    }
+    pid = InternalChild(p, child_index);
+  }
+  return pool_->FetchPage(pid, leaf);
+}
+
+Status BPlusTree::DescendToLeafRange(uint64_t key, uint64_t end_key,
+                                     uint32_t fan,
+                                     std::vector<PageId>* siblings,
+                                     PageGuard* leaf) const {
+  siblings->clear();
+  PageId pid = root_;
+  for (uint32_t depth = 1; depth < stats_.height; ++depth) {
+    PageGuard guard;
+    OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+    const Page& p = *guard.page();
+    uint16_t child_index = InternalSearch(p, key);
+    if (depth + 1 == stats_.height) {
+      uint16_t count = InternalCount(p);
+      for (uint16_t j = child_index + 1; j <= count; ++j) {
+        if (InternalKey(p, j - 1) > end_key) break;
+        siblings->push_back(InternalChild(p, j));
+      }
+      // First read-ahead window: the target leaf plus its next `fan`
+      // scan-order siblings, all certain to be read by a scan to end_key.
+      if (!siblings->empty()) {
+        std::vector<PageId> hint;
+        hint.reserve(1 + fan);
+        hint.push_back(InternalChild(p, child_index));
+        for (size_t j = 0; j < siblings->size() && hint.size() < 1 + fan;
+             ++j) {
+          hint.push_back((*siblings)[j]);
+        }
+        pool_->PrefetchHint(hint.data(), hint.size());
+      }
+    }
+    pid = InternalChild(p, child_index);
+  }
+  return pool_->FetchPage(pid, leaf);
+}
+
+Status BPlusTree::ProbeBatch(
+    const uint64_t* keys, size_t n,
+    const std::function<Status(size_t index, std::string_view value)>&
+        on_found) const {
+  Iterator it(this);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0) {
+      OBJREP_RETURN_NOT_OK(it.SeekHinted(keys[0], keys + 1, n - 1));
+    } else if (keys[i] != keys[i - 1]) {
+      OBJREP_RETURN_NOT_OK(
+          it.SeekForwardHinted(keys[i], keys + i + 1, n - i - 1));
+    }
+    // Duplicate keys reuse the cursor position untouched.
+    if (!it.valid()) break;  // past the last entry: the rest are absent
+    if (it.key() == keys[i]) {
+      OBJREP_RETURN_NOT_OK(on_found(i, it.value()));
+    }
+  }
+  return Status::OK();
+}
+
+void BPlusTree::HintLeavesForKeys(const uint64_t* keys, size_t n) const {
+  if (!pool_->prefetch_enabled() || n == 0 || stats_.height < 2) return;
+  const uint32_t cap = pool_->prefetch_options().readahead_pages;
+  std::vector<PageId> hint;
+  hint.reserve(cap);
+  size_t ki = 0;
+  while (ki < n && hint.size() < cap) {
+    // Stampless resident-only descent to the leaf parent covering keys[ki],
+    // tracking the subtree's exclusive upper bound so keys belonging to the
+    // next subtree are never attributed to this node's last child.
+    uint64_t subtree_end = UINT64_MAX;
+    PageId pid = root_;
+    PageGuard g;
+    bool resident = true;
+    for (uint32_t depth = 1; depth + 1 < stats_.height; ++depth) {
+      if (!pool_->TryFetchResident(pid, &g)) {
+        resident = false;
+        break;
+      }
+      const Page& p = *g.page();
+      uint16_t child_index = InternalSearch(p, keys[ki]);
+      if (child_index < InternalCount(p)) {
+        subtree_end = InternalKey(p, child_index);
+      }
+      pid = InternalChild(p, child_index);
+    }
+    if (!resident || !pool_->TryFetchResident(pid, &g)) break;
+    const Page& p = *g.page();
+    const uint16_t count = InternalCount(p);
+    const size_t ki_before = ki;
+    for (uint16_t j = InternalSearch(p, keys[ki]);
+         j <= count && ki < n && hint.size() < cap; ++j) {
+      uint64_t high = j == count ? subtree_end : InternalKey(p, j);
+      bool any = false;
+      while (ki < n && keys[ki] < high) {
+        any = true;
+        ++ki;
+      }
+      if (any) hint.push_back(InternalChild(p, j));
+    }
+    if (ki == ki_before) break;  // key >= subtree_end == UINT64_MAX
+  }
+  if (!hint.empty()) {
+    pool_->PrefetchHint(hint.data(), hint.size());
+  }
+}
+
 Status BPlusTree::Get(uint64_t key, std::string* value) const {
   PageGuard leaf;
   OBJREP_RETURN_NOT_OK(DescendToLeaf(key, &leaf, nullptr));
@@ -457,6 +610,8 @@ Status BPlusTree::Delete(uint64_t key) {
 }
 
 Status BPlusTree::Iterator::Seek(uint64_t key) {
+  range_mode_ = false;
+  refill_pending_ = false;
   valid_ = false;
   guard_.Release();
   PageGuard leaf;
@@ -466,6 +621,123 @@ Status BPlusTree::Iterator::Seek(uint64_t key) {
   slot_ = LeafLowerBound(sp, key);
   valid_ = true;
   return SkipDeletedForward();
+}
+
+Status BPlusTree::Iterator::SeekRange(uint64_t key, uint64_t end_key,
+                                      uint32_t fan) {
+  range_mode_ = false;
+  refill_pending_ = false;
+  upcoming_leaves_.clear();
+  upcoming_pos_ = 0;
+  if (!tree_->pool_->prefetch_enabled() || tree_->stats_.height < 2) {
+    return Seek(key);
+  }
+  range_mode_ = true;
+  end_key_ = end_key;
+  fan_ = fan == 0 ? tree_->pool_->prefetch_options().readahead_pages : fan;
+  valid_ = false;
+  guard_.Release();
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(tree_->DescendToLeafRange(key, end_key, fan_,
+                                                 &upcoming_leaves_, &leaf));
+  guard_ = std::move(leaf);
+  SlottedPage sp(guard_.page());
+  slot_ = LeafLowerBound(sp, key);
+  valid_ = true;
+  return SkipDeletedForward();
+}
+
+Status BPlusTree::Iterator::SeekHinted(uint64_t key, const uint64_t* upcoming,
+                                       size_t n) {
+  range_mode_ = false;
+  refill_pending_ = false;
+  valid_ = false;
+  guard_.Release();
+  PageGuard leaf;
+  OBJREP_RETURN_NOT_OK(tree_->DescendToLeafProbe(key, upcoming, n, &leaf));
+  guard_ = std::move(leaf);
+  SlottedPage sp(guard_.page());
+  slot_ = LeafLowerBound(sp, key);
+  valid_ = true;
+  return SkipDeletedForward();
+}
+
+Status BPlusTree::Iterator::SeekForwardHinted(uint64_t key,
+                                              const uint64_t* upcoming,
+                                              size_t n) {
+  if (!valid_) return Status::OK();
+  SlottedPage sp(guard_.page());
+  uint16_t cnt = sp.num_slots();
+  if (slot_ < cnt && LeafKeyAt(sp, slot_) >= key) {
+    return Status::OK();  // already positioned
+  }
+  if (cnt > 0 && LeafKeyAt(sp, static_cast<uint16_t>(cnt - 1)) >= key) {
+    slot_ = LeafLowerBound(sp, key);
+    return SkipDeletedForward();
+  }
+  return SeekHinted(key, upcoming, n);
+}
+
+void BPlusTree::Iterator::MaybeHintChain(PageId next) {
+  if (upcoming_pos_ < upcoming_leaves_.size() &&
+      upcoming_leaves_[upcoming_pos_] == next) {
+    // `next` is the expected sibling: slide the read-ahead window past it.
+    ++upcoming_pos_;
+    size_t len =
+        std::min<size_t>(fan_, upcoming_leaves_.size() - upcoming_pos_);
+    if (len > 0) {
+      tree_->pool_->PrefetchHint(upcoming_leaves_.data() + upcoming_pos_,
+                                 len);
+    }
+  } else {
+    // List exhausted (crossing into the next internal node's subtree) or
+    // stale (tree mutated): rebuild it once the next leaf is loaded.
+    upcoming_leaves_.clear();
+    upcoming_pos_ = 0;
+    refill_pending_ = true;
+  }
+}
+
+Status BPlusTree::Iterator::RefillRangeHints() {
+  refill_pending_ = false;
+  SlottedPage sp(guard_.page());
+  if (sp.num_slots() == 0) {
+    refill_pending_ = true;  // empty leaf: retry on the next one
+    return Status::OK();
+  }
+  uint64_t key0 = LeafKeyAt(sp, 0);
+  if (key0 > end_key_) {
+    range_mode_ = false;  // past the range: the scan is about to stop
+    return Status::OK();
+  }
+  // Re-walk the internal levels to find this leaf's scan-order siblings.
+  // Resident-only pins: the walk must never add I/O of its own, so if an
+  // internal node fell out of the buffer we simply skip this window and
+  // retry at the next leaf crossing.
+  upcoming_leaves_.clear();
+  upcoming_pos_ = 0;
+  PageId pid = tree_->root_;
+  for (uint32_t depth = 1; depth < tree_->stats_.height; ++depth) {
+    PageGuard g;
+    if (!tree_->pool_->TryFetchResident(pid, &g)) {
+      return Status::OK();
+    }
+    const Page& p = *g.page();
+    uint16_t child_index = InternalSearch(p, key0);
+    if (depth + 1 == tree_->stats_.height) {
+      uint16_t count = InternalCount(p);
+      for (uint16_t j = child_index + 1; j <= count; ++j) {
+        if (InternalKey(p, j - 1) > end_key_) break;
+        upcoming_leaves_.push_back(InternalChild(p, j));
+      }
+    }
+    pid = InternalChild(p, child_index);
+  }
+  size_t len = std::min<size_t>(fan_, upcoming_leaves_.size());
+  if (len > 0) {
+    tree_->pool_->PrefetchHint(upcoming_leaves_.data(), len);
+  }
+  return Status::OK();
 }
 
 Status BPlusTree::Iterator::SeekForward(uint64_t key) {
@@ -510,8 +782,14 @@ Status BPlusTree::Iterator::SkipDeletedForward() {
       guard_.Release();
       return Status::OK();
     }
+    if (range_mode_) {
+      MaybeHintChain(next);
+    }
     OBJREP_RETURN_NOT_OK(tree_->pool_->FetchPage(next, &guard_));
     slot_ = 0;
+    if (range_mode_ && refill_pending_) {
+      OBJREP_RETURN_NOT_OK(RefillRangeHints());
+    }
   }
 }
 

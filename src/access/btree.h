@@ -11,6 +11,7 @@
 #define OBJREP_ACCESS_BTREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,9 +61,35 @@ class BPlusTree {
   /// Removes a key (lazy: no page merging; space reclaimed on page rebuild).
   Status Delete(uint64_t key);
 
+  /// Looks up `keys[0..n)` (sorted ascending, duplicates allowed) in one
+  /// coordinated forward pass, invoking `on_found(i, value)` for each key
+  /// present. Probes sharing a leaf reuse the pinned page, and each
+  /// re-descent offers the upcoming keys' leaves to the buffer pool as a
+  /// read-ahead batch (one vectored read instead of n single-page reads).
+  /// With prefetch disabled this costs exactly the same disk I/O as n
+  /// Get() calls; callers gate on pool()->prefetch_enabled() anyway so
+  /// disabled runs keep the seed's Get()-loop code path bit-for-bit.
+  Status ProbeBatch(
+      const uint64_t* keys, size_t n,
+      const std::function<Status(size_t index, std::string_view value)>&
+          on_found) const;
+
+  /// Offers the leaves that `keys[0..n)` (sorted ascending) land in to the
+  /// buffer pool as a read-ahead batch, without performing the probes.
+  /// Entirely invisible to the demand path: the walk pins only resident
+  /// internal nodes, counts no hits or misses, and leaves every LRU stamp
+  /// untouched, so a caller that afterwards Get()s the keys in *any* order
+  /// sees bit-identical I/O counts to not calling this at all — the only
+  /// change is that the leaf reads happen here, batched and sorted
+  /// (DESIGN.md §9). Best-effort: stops at the first non-resident internal
+  /// node or when the hint window (readahead_pages) fills. No-op when
+  /// prefetch is disabled.
+  void HintLeavesForKeys(const uint64_t* keys, size_t n) const;
+
   const Stats& stats() const { return stats_; }
   PageId root() const { return root_; }
   PageId first_leaf() const { return first_leaf_; }
+  BufferPool* pool() const { return pool_; }
 
   /// Forward cursor over leaf entries in key order.
   class Iterator {
@@ -81,17 +108,47 @@ class BPlusTree {
     /// Advances; `valid()` turns false past the last entry.
     Status Next();
 
+    /// Seek(key) for a scan that will stop at `end_key` (inclusive): the
+    /// iterator learns the upcoming leaves from the internal nodes (exact
+    /// page identities, never guesses) and offers them to the buffer pool
+    /// as read-ahead while the scan walks the leaf chain. `fan` caps how
+    /// many leaves ahead each hint reaches (0 == the pool's
+    /// readahead_pages); callers whose per-entry work touches many other
+    /// pages pass a small fan so read-ahead never alters eviction
+    /// (DESIGN.md §9). Identical to Seek() when prefetch is disabled.
+    Status SeekRange(uint64_t key, uint64_t end_key, uint32_t fan = 0);
+    /// Seek(key) that also offers the leaves of `upcoming[0..n)` (sorted
+    /// ascending, all >= key) as read-ahead during the descent.
+    Status SeekHinted(uint64_t key, const uint64_t* upcoming, size_t n);
+    /// SeekForward(key) whose re-descents hint `upcoming` like SeekHinted.
+    Status SeekForwardHinted(uint64_t key, const uint64_t* upcoming,
+                             size_t n);
+
     bool valid() const { return valid_; }
     uint64_t key() const;
     std::string_view value() const;
 
    private:
     Status SkipDeletedForward();
+    /// Chain-walk hook of a SeekRange scan: hints the window after `next`
+    /// and notices when the precomputed leaf list goes stale.
+    void MaybeHintChain(PageId next);
+    /// Recomputes the upcoming-leaf list from the internal level for the
+    /// (just loaded, non-empty) current leaf, then hints the first window.
+    Status RefillRangeHints();
 
     const BPlusTree* tree_;
     PageGuard guard_;
     uint16_t slot_ = 0;
     bool valid_ = false;
+
+    // SeekRange state (inert unless range_mode_).
+    bool range_mode_ = false;
+    bool refill_pending_ = false;
+    uint64_t end_key_ = 0;
+    uint32_t fan_ = 0;
+    std::vector<PageId> upcoming_leaves_;
+    size_t upcoming_pos_ = 0;
   };
 
   Iterator NewIterator() const { return Iterator(this); }
@@ -133,6 +190,18 @@ class BPlusTree {
 
   Status DescendToLeaf(uint64_t key, PageGuard* leaf,
                        std::vector<PathEntry>* path) const;
+  /// DescendToLeaf that, at the last internal level, offers the target
+  /// leaf plus the leaves holding `upcoming[0..n)` (sorted, >= key) as one
+  /// read-ahead batch. Falls back to a plain descent when prefetch is off.
+  Status DescendToLeafProbe(uint64_t key, const uint64_t* upcoming, size_t n,
+                            PageGuard* leaf) const;
+  /// DescendToLeafProbe for a range scan: collects into `siblings` every
+  /// later child of the last internal node whose key range intersects
+  /// [key, end_key] (uncapped — the scan consumes them window by window)
+  /// and hints the first `fan`-leaf window.
+  Status DescendToLeafRange(uint64_t key, uint64_t end_key, uint32_t fan,
+                            std::vector<PageId>* siblings,
+                            PageGuard* leaf) const;
   Status InsertIntoParent(std::vector<PathEntry>* path, uint64_t sep_key,
                           PageId new_child);
   Status SplitLeafAndInsert(PageGuard* leaf, uint64_t key,

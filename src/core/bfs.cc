@@ -54,8 +54,11 @@ Status BfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       SortOptions opts;
       opts.work_mem_pages = work_mem_;
       opts.dedup = dedup_;
+      opts.reclaim_runs = db_->spec.reclaim_temp_pages;
       OBJREP_RETURN_NOT_OK(
           ExternalSort(db_->pool.get(), temp, opts, &sorted));
+      // The unsorted input is dead once the sort has consumed it.
+      if (db_->spec.reclaim_temp_pages) temp.FreePages();
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {
@@ -71,6 +74,10 @@ Status BfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
           out->values.push_back(v);
           return Status::OK();
         }));
+    if (db_->spec.reclaim_temp_pages) {
+      IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
+      sorted.FreePages();
+    }
   }
   return Status::OK();
 }

@@ -52,6 +52,8 @@ Status BfsHashStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
         ++build[r.value()];
         OBJREP_RETURN_NOT_OK(r.Next());
       }
+      // No sort phase here: the temp is dead once the hash table holds it.
+      if (db_->spec.reclaim_temp_pages) temp.FreePages();
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {

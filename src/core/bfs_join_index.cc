@@ -61,8 +61,10 @@ Status BfsJoinIndexStrategy::ExecuteRetrieve(const Query& q,
       IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
       SortOptions opts;
       opts.work_mem_pages = work_mem_;
+      opts.reclaim_runs = db_->spec.reclaim_temp_pages;
       OBJREP_RETURN_NOT_OK(
           ExternalSort(db_->pool.get(), temp, opts, &sorted));
+      if (db_->spec.reclaim_temp_pages) temp.FreePages();
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {
@@ -78,6 +80,10 @@ Status BfsJoinIndexStrategy::ExecuteRetrieve(const Query& q,
           out->values.push_back(v);
           return Status::OK();
         }));
+    if (db_->spec.reclaim_temp_pages) {
+      IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
+      sorted.FreePages();
+    }
   }
   return Status::OK();
 }

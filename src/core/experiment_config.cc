@@ -169,6 +169,21 @@ Status ParseExperimentConfig(std::string_view text, ExperimentConfig* out) {
     } else if (key == "SMART_THRESHOLD") {
       OBJREP_RETURN_NOT_OK(
           ParseU32(value, line_no, &out->options.smart_threshold));
+    } else if (key == "PREFETCH") {
+      OBJREP_RETURN_NOT_OK(ParseOnOff(value, line_no, &out->db.prefetch));
+    } else if (key == "READAHEAD_PAGES") {
+      OBJREP_RETURN_NOT_OK(
+          ParseU32(value, line_no, &out->db.readahead_pages));
+    } else if (key == "PREFETCH_WORKERS") {
+      OBJREP_RETURN_NOT_OK(
+          ParseU32(value, line_no, &out->db.prefetch_workers));
+    } else if (key == "RECLAIM_TEMPS") {
+      OBJREP_RETURN_NOT_OK(
+          ParseOnOff(value, line_no, &out->db.reclaim_temp_pages));
+    } else if (key == "IO_LATENCY_US") {
+      OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->db.io_latency_us));
+    } else if (key == "IO_TRANSFER_US") {
+      OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->db.io_transfer_us));
     } else if (key == "STRATEGIES") {
       out->strategies.clear();
       std::string_view rest = value;

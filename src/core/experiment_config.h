@@ -25,6 +25,14 @@
 //
 //     strategies = DFS, BFS, DFSCACHE, SMART
 //
+//     # I/O scheduling (DESIGN.md §9; all default to seed behaviour)
+//     prefetch = on
+//     readahead_pages = 8
+//     prefetch_workers = 0
+//     reclaim_temps = off
+//     io_latency_us = 0
+//     io_transfer_us = 0
+//
 // Unknown keys are an error (typos must not silently become defaults).
 #ifndef OBJREP_CORE_EXPERIMENT_CONFIG_H_
 #define OBJREP_CORE_EXPERIMENT_CONFIG_H_

@@ -72,7 +72,7 @@ class HierarchyDatabase {
 
   const HierarchySpec& spec() const { return spec_; }
   DiskManager* disk() { return disk_.get(); }
-  uint32_t TotalPages() const { return disk_->num_pages(); }
+  uint64_t TotalPages() const { return disk_->num_pages(); }
   /// Ground truth for tests: unit id of each object at level l < depth-1.
   const std::vector<std::vector<uint32_t>>& unit_of_object() const {
     return unit_of_object_;

@@ -10,6 +10,7 @@ Status RunWorkload(Strategy* strategy, ComplexDatabase* db,
   // any earlier run against the same pool.
   db->pool->ResetStats();
   if (db->cache != nullptr) db->cache->ResetStats();
+  IoCounters run_start = db->disk->counters();
 
   for (const Query& q : queries) {
     IoCounters before = db->disk->counters();
@@ -36,6 +37,7 @@ Status RunWorkload(Strategy* strategy, ComplexDatabase* db,
   OBJREP_RETURN_NOT_OK(db->pool->FlushAll());
   out->flush_io = (db->disk->counters() - before_flush).total();
   out->total_io = out->retrieve_io + out->update_io + out->flush_io;
+  out->io = db->disk->counters() - run_start;
   if (db->cache != nullptr) out->cache_stats = db->cache->stats();
   return Status::OK();
 }

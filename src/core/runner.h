@@ -9,6 +9,7 @@
 #include "core/strategy.h"
 #include "objstore/cache_manager.h"
 #include "objstore/workload.h"
+#include "storage/io_stats.h"
 #include "util/status.h"
 
 namespace objrep {
@@ -22,6 +23,10 @@ struct RunResult {
   uint64_t retrieve_io = 0;
   uint64_t update_io = 0;
   uint64_t flush_io = 0;
+
+  /// Raw counter delta over the whole run (queries + flush). io.total()
+  /// == total_io; the seq/rand split feeds the driver's seq% column.
+  IoCounters io;
 
   CostBreakdown retrieve_cost;  ///< summed over retrieves
 

@@ -56,8 +56,10 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
       SortOptions opts;
       opts.work_mem_pages = work_mem_;
+      opts.reclaim_runs = db_->spec.reclaim_temp_pages;
       OBJREP_RETURN_NOT_OK(
           ExternalSort(db_->pool.get(), temp, opts, &sorted));
+      if (db_->spec.reclaim_temp_pages) temp.FreePages();
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {
@@ -73,6 +75,10 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
           out->values.push_back(v);
           return Status::OK();
         }));
+    if (db_->spec.reclaim_temp_pages) {
+      IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
+      sorted.FreePages();
+    }
   }
   return Status::OK();
 }

@@ -1,69 +1,9 @@
-// Fixed-size thread pool with a FIFO task queue and futures.
-//
-// The execution engine's workers: the ConcurrentRunner submits one session
-// closure per worker, and the throughput bench reuses one pool across
-// sweep points. Tasks may block on LockManager locks; they must not
-// submit-and-wait on further tasks in the same pool (no work stealing, so
-// that would deadlock once all workers wait).
+// The ThreadPool moved to util/thread_pool.h so the BufferPool's prefetch
+// workers (storage layer, below exec) can use it; this header remains for
+// the execution engine's includes.
 #ifndef OBJREP_EXEC_THREAD_POOL_H_
 #define OBJREP_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <utility>
-#include <vector>
-
-#include "util/macros.h"
-
-namespace objrep {
-
-class ThreadPool {
- public:
-  /// Spawns `num_threads` workers (at least one).
-  explicit ThreadPool(uint32_t num_threads);
-
-  /// Drains the queue (already-submitted tasks still run), then joins all
-  /// workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
-
-  /// Enqueues `fn` and returns a future for its result. An exception
-  /// thrown by `fn` is captured into the future (the library itself is
-  /// exception-free on data paths; this covers test code).
-  template <typename Fn, typename R = std::invoke_result_t<Fn>>
-  std::future<R> Submit(Fn fn) {
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
-    std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> l(mu_);
-      OBJREP_CHECK(!stopping_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
-    return fut;
-  }
-
- private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool stopping_ = false;                    // guarded by mu_
-  std::vector<std::thread> workers_;
-};
-
-}  // namespace objrep
+#include "util/thread_pool.h"  // IWYU pragma: export
 
 #endif  // OBJREP_EXEC_THREAD_POOL_H_

@@ -294,6 +294,14 @@ Status BuildDatabase(const DatabaseSpec& spec,
     OBJREP_RETURN_NOT_OK(db->cache->Init());
   }
 
+  // Apply the I/O scheduling policy only now: the build itself always runs
+  // with the seed's plain demand paging, so on-disk layout and build-time
+  // counters are independent of the prefetch configuration.
+  db->disk->set_io_latency_us(spec.io_latency_us);
+  db->disk->set_transfer_us(spec.io_transfer_us);
+  db->pool->SetPrefetchOptions(PrefetchOptions{
+      spec.prefetch, spec.readahead_pages, spec.prefetch_workers});
+
   // Start measurements from a flushed, zeroed state.
   OBJREP_RETURN_NOT_OK(db->pool->FlushAll());
   db->disk->ResetCounters();

@@ -69,8 +69,10 @@ struct ComplexDatabase {
     return nullptr;
   }
 
-  /// Total pages occupied on the simulated disk.
-  uint32_t TotalPages() const { return disk->num_pages(); }
+  /// Total pages occupied on the simulated disk (allocated minus freed).
+  uint64_t TotalPages() const {
+    return disk->num_pages() - disk->num_free_pages();
+  }
 };
 
 /// Generates and bulk-loads a database per `spec`. Deterministic in

@@ -59,6 +59,30 @@ struct DatabaseSpec {
   /// kExecIndexed).
   bool build_tag_index = false;
 
+  // --- I/O scheduling (DESIGN.md §9). All default to the seed behaviour:
+  //     no read-ahead, zero-latency device, temps never reclaimed. ---
+  /// Enable buffer-pool read-ahead (vectored batch reads of exactly-known
+  /// upcoming pages). With a zero-latency device every I/O count is
+  /// bit-identical to prefetch off; with latency it overlaps and amortizes
+  /// seeks.
+  bool prefetch = false;
+  /// Max pages per read-ahead batch.
+  uint32_t readahead_pages = 8;
+  /// Background I/O workers servicing read-ahead hints. 0 == synchronous
+  /// (deterministic; required for count comparisons). Nonzero overlaps
+  /// read-ahead with execution — throughput runs only.
+  uint32_t prefetch_workers = 0;
+  /// Return the pages of consumed temporaries (BFS temps, sort runs) to
+  /// the disk free list so long workloads have bounded footprint. Changes
+  /// which dirty pages remain for end-of-run flushes, hence off for the
+  /// paper experiments.
+  bool reclaim_temp_pages = false;
+  /// Simulated seek time per discontiguous read segment / per write
+  /// (microseconds). 0 == pure counter, no sleeping.
+  uint32_t io_latency_us = 0;
+  /// Simulated per-page transfer time (microseconds).
+  uint32_t io_transfer_us = 0;
+
   uint64_t seed = 42;
 
   // --- Derived quantities (paper eqn. (1) and following). ---

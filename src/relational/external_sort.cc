@@ -105,6 +105,13 @@ Status ExternalSort(BufferPool* pool, const TempFile& input,
           std::make_move_iterator(runs.begin() + static_cast<ptrdiff_t>(end)));
       TempFile merged;
       OBJREP_RETURN_NOT_OK(MergeRuns(pool, &group, options.dedup, &merged));
+      if (options.reclaim_runs) {
+        // Every run here was created by this sort (phase 1 or an earlier
+        // merge pass), never the caller's input, and its readers are gone.
+        for (TempFile& consumed : group) {
+          consumed.FreePages();
+        }
+      }
       next_runs.push_back(std::move(merged));
     }
     runs.swap(next_runs);

@@ -20,6 +20,13 @@ struct SortOptions {
   /// Drop duplicate values while sorting (BFSNODUP's duplicate elimination
   /// step — the paper removes duplicates "before executing the query").
   bool dedup = false;
+  /// Free the pages of intermediate runs as soon as a merge pass has
+  /// consumed them, so a long workload's temp footprint stays bounded
+  /// instead of growing monotonically. Off by default: freeing changes
+  /// which dirty pages remain for the end-of-run flush, so the paper
+  /// experiments keep the seed's leak-everything behaviour. The caller's
+  /// `input` file is never freed.
+  bool reclaim_runs = false;
 };
 
 /// Sorts `input` into a new temp file `out` (ascending).

@@ -1,13 +1,32 @@
 #include "relational/merge_join.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace objrep {
 
 Status MergeJoinSortedKeys(
     TempFile::Reader keys, const BPlusTree& tree,
     const std::function<Status(uint64_t, std::string_view)>& on_match) {
   if (!keys.valid()) return Status::OK();
+  // With prefetch enabled, the keys the join will probe next are sitting
+  // in the reader's current (pinned) temp page — peek them once per page
+  // and let each cursor re-descent read ahead along the leaf level. Costs
+  // nothing when disabled: the seed's Seek/SeekForward path runs verbatim.
+  const bool hinted = tree.pool() != nullptr && tree.pool()->prefetch_enabled();
+  std::vector<uint64_t> upcoming;
+  uint32_t peeked_ordinal = 0;
+  if (hinted) {
+    keys.PeekCurrentPage(&upcoming);
+    peeked_ordinal = keys.page_ordinal();
+  }
   BPlusTree::Iterator cursor = tree.NewIterator();
-  OBJREP_RETURN_NOT_OK(cursor.Seek(keys.value()));
+  if (hinted) {
+    OBJREP_RETURN_NOT_OK(cursor.SeekHinted(keys.value(), upcoming.data() + 1,
+                                           upcoming.size() - 1));
+  } else {
+    OBJREP_RETURN_NOT_OK(cursor.Seek(keys.value()));
+  }
   bool have_match = false;
   uint64_t match_key = 0;
   std::string match_value;
@@ -23,7 +42,19 @@ Status MergeJoinSortedKeys(
     // Advance the tree cursor to the first entry >= k (sequential within
     // a leaf, probing across distant leaves — both ends of merge-join
     // behaviour on a sorted outer).
-    OBJREP_RETURN_NOT_OK(cursor.SeekForward(k));
+    if (hinted) {
+      if (keys.page_ordinal() != peeked_ordinal) {
+        upcoming.clear();
+        keys.PeekCurrentPage(&upcoming);
+        peeked_ordinal = keys.page_ordinal();
+      }
+      // Already-consumed peeked keys (< k) at the front are skipped by the
+      // hint computation itself.
+      OBJREP_RETURN_NOT_OK(
+          cursor.SeekForwardHinted(k, upcoming.data(), upcoming.size()));
+    } else {
+      OBJREP_RETURN_NOT_OK(cursor.SeekForward(k));
+    }
     if (!cursor.valid()) break;
     if (cursor.key() == k) {
       match_key = k;

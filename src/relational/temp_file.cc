@@ -1,5 +1,6 @@
 #include "relational/temp_file.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/macros.h"
@@ -39,6 +40,8 @@ Status TempFile::Create(BufferPool* pool, TempFile* out) {
   SetPageCount(guard.page(), 0);
   guard.MarkDirty();
   out->first_page_ = guard.page_id();
+  out->pages_ = std::make_shared<std::vector<PageId>>();
+  out->pages_->push_back(guard.page_id());
   out->tail_guard_ = std::move(guard);
   out->num_pages_ = 1;
   out->num_entries_ = 0;
@@ -57,6 +60,7 @@ Status TempFile::Append(uint64_t v) {
     fresh.MarkDirty();
     SetPageNext(p, fresh.page_id());
     tail_guard_.MarkDirty();
+    pages_->push_back(fresh.page_id());
     tail_guard_ = std::move(fresh);
     p = tail_guard_.page();
     count = 0;
@@ -69,25 +73,56 @@ Status TempFile::Append(uint64_t v) {
   return Status::OK();
 }
 
-TempFile::Reader::Reader(BufferPool* pool, PageId first_page,
+void TempFile::FreePages() {
+  if (pool_ == nullptr) return;
+  tail_guard_.Release();
+  if (pages_ != nullptr) {
+    for (PageId pid : *pages_) {
+      pool_->FreePage(pid);  // false (still pinned) just leaks that page
+    }
+    pages_->clear();
+  }
+  first_page_ = kInvalidPageId;
+  num_pages_ = 0;
+  num_entries_ = 0;
+}
+
+TempFile::Reader::Reader(BufferPool* pool,
+                         std::shared_ptr<const std::vector<PageId>> pages,
                          uint64_t num_entries)
-    : pool_(pool), remaining_(num_entries) {
-  if (remaining_ == 0) {
+    : pool_(pool), pages_(std::move(pages)), remaining_(num_entries) {
+  if (remaining_ == 0 || pages_ == nullptr || pages_->empty()) {
     valid_ = false;
     return;
   }
-  Status s = LoadPage(first_page);
+  Status s = LoadPage(0);
   if (!s.ok()) {
     valid_ = false;
     return;
   }
   value_ = EntryAt(*guard_.page(), 0);
-  index_in_page_ = 0;
   valid_ = true;
 }
 
-Status TempFile::Reader::LoadPage(PageId pid) {
-  OBJREP_RETURN_NOT_OK(pool_->FetchPage(pid, &guard_));
+Status TempFile::Reader::LoadPage(uint32_t ordinal) {
+  if (pool_->prefetch_enabled()) {
+    // Hint the next pages of the stream. Only pages this reader will
+    // actually consume are offered: interior pages are always full, so the
+    // page count still to be read follows exactly from `remaining_`.
+    uint64_t entries_here =
+        std::min<uint64_t>(remaining_, kEntriesPerPage);
+    uint64_t entries_after = remaining_ - entries_here;
+    uint64_t pages_after =
+        (entries_after + kEntriesPerPage - 1) / kEntriesPerPage;
+    uint64_t avail = pages_->size() - ordinal - 1;
+    size_t n = static_cast<size_t>(std::min<uint64_t>(
+        std::min<uint64_t>(pages_after, avail), kReadaheadPages));
+    if (n > 0) {
+      pool_->PrefetchHint(pages_->data() + ordinal + 1, n);
+    }
+  }
+  OBJREP_RETURN_NOT_OK(pool_->FetchPage((*pages_)[ordinal], &guard_));
+  ordinal_ = ordinal;
   index_in_page_ = 0;
   count_in_page_ = PageCount(*guard_.page());
   return Status::OK();
@@ -107,10 +142,19 @@ Status TempFile::Reader::Next() {
       guard_.Release();
       return Status::OK();
     }
-    OBJREP_RETURN_NOT_OK(LoadPage(next));
+    OBJREP_RETURN_NOT_OK(LoadPage(ordinal_ + 1));
   }
   value_ = EntryAt(*guard_.page(), index_in_page_);
   return Status::OK();
+}
+
+void TempFile::Reader::PeekCurrentPage(std::vector<uint64_t>* out) const {
+  if (!valid_) return;
+  uint64_t n = std::min<uint64_t>(count_in_page_ - index_in_page_,
+                                  remaining_);
+  for (uint64_t i = 0; i < n; ++i) {
+    out->push_back(EntryAt(*guard_.page(), index_in_page_ + i));
+  }
 }
 
 }  // namespace objrep

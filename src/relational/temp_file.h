@@ -9,6 +9,7 @@
 #define OBJREP_RELATIONAL_TEMP_FILE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -33,6 +34,14 @@ class TempFile {
   /// Unpins the tail page (call when writing is done).
   void Seal() { tail_guard_.Release(); }
 
+  /// Returns every page of this temp file to the disk free list (writing
+  /// dirty ones back first, so I/O counts are unchanged) and resets to an
+  /// unusable empty state. The caller must ensure no Reader over this file
+  /// is still live. Pinned pages are skipped (and stay allocated), so
+  /// calling with the tail still pinned just leaks that one page — Seal()
+  /// first. Safe on a default-constructed file.
+  void FreePages();
+
   uint64_t num_entries() const { return num_entries_; }
   uint32_t num_pages() const { return num_pages_; }
   PageId first_page() const { return first_page_; }
@@ -41,17 +50,39 @@ class TempFile {
   class Reader {
    public:
     Reader() = default;
-    Reader(BufferPool* pool, PageId first_page, uint64_t num_entries);
+    Reader(BufferPool* pool,
+           std::shared_ptr<const std::vector<PageId>> pages,
+           uint64_t num_entries);
 
     bool valid() const { return valid_; }
     uint64_t value() const { return value_; }
     Status Next();
 
+    /// Ordinal (0-based) of the page the cursor is on. Changes exactly
+    /// when the cursor crosses a page boundary — consumers use that as a
+    /// cheap "time to re-peek" signal.
+    uint32_t page_ordinal() const { return ordinal_; }
+
+    /// Appends the not-yet-consumed entries of the current page (starting
+    /// at the cursor, clipped to the stream end) to `*out`. Lets a join
+    /// know every key it will see before the next page boundary without
+    /// extra I/O — the page is already pinned.
+    void PeekCurrentPage(std::vector<uint64_t>* out) const;
+
    private:
-    Status LoadPage(PageId pid);
+    // The stream is consumed front to back, so the next pages to be read
+    // are known exactly from the page list; each page load hints a few
+    // successors into the pool's staging frames. Kept moderate: with
+    // external sort's 15-way merges every live reader wants a window, and
+    // the staging frames are a shared budget (DESIGN.md §9).
+    static constexpr uint32_t kReadaheadPages = 4;
+
+    Status LoadPage(uint32_t ordinal);
 
     BufferPool* pool_ = nullptr;
+    std::shared_ptr<const std::vector<PageId>> pages_;
     PageGuard guard_;
+    uint32_t ordinal_ = 0;
     uint32_t index_in_page_ = 0;
     uint32_t count_in_page_ = 0;
     uint64_t remaining_ = 0;
@@ -59,12 +90,15 @@ class TempFile {
     bool valid_ = false;
   };
 
-  Reader Read() const { return Reader(pool_, first_page_, num_entries_); }
+  Reader Read() const { return Reader(pool_, pages_, num_entries_); }
 
  private:
   BufferPool* pool_ = nullptr;
   PageId first_page_ = kInvalidPageId;
   PageGuard tail_guard_;  // keeps the tail pinned while appending
+  /// Every page of the file in chain order; shared with Readers so a
+  /// Reader survives the TempFile being moved.
+  std::shared_ptr<std::vector<PageId>> pages_;
   uint32_t num_pages_ = 0;
   uint64_t num_entries_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "util/macros.h"
 
@@ -15,14 +17,87 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t capacity)
   }
 }
 
-void BufferPool::Unpin(uint32_t frame) {
+BufferPool::~BufferPool() {
+  // Join prefetch workers before frames_ tears down.
+  prefetch_workers_.reset();
+}
+
+void BufferPool::SetPrefetchOptions(const PrefetchOptions& options) {
+  prefetch_workers_.reset();  // join in-flight hints before reprovisioning
+  if (staging_count_ > 0) DropStagedPages();
+  prefetch_ = options;
+  staging_count_ =
+      prefetch_.enabled ? prefetch_.readahead_pages * kStagingPerWindow : 0;
+  staging_.reset();
+  free_staging_.clear();
+  if (staging_count_ > 0) {
+    staging_ = std::make_unique<StagingFrame[]>(staging_count_);
+    free_staging_.reserve(staging_count_);
+    for (uint32_t i = 0; i < staging_count_; ++i) {
+      free_staging_.push_back(staging_count_ - 1 - i);
+    }
+  }
+  if (prefetch_.enabled && prefetch_.io_workers > 0) {
+    prefetch_workers_ = std::make_unique<ThreadPool>(prefetch_.io_workers);
+  }
+}
+
+void BufferPool::ReleaseStagingFrame(uint32_t st_idx) {
+  staging_[st_idx].pid = kInvalidPageId;
+  std::lock_guard<std::mutex> l(staging_mu_);
+  free_staging_.push_back(st_idx);
+}
+
+std::vector<PageId> BufferPool::StagedPageIds() {
+  std::vector<PageId> out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard.mu);
+    for (const auto& [pid, slot] : shard.map) {
+      if (slot >= capacity_) out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+void BufferPool::DropStagedPages() {
+  // Unmap under the bucket latches; wait out in-flight hint reads and
+  // recycle outside them (a hint thread may be claiming pages in the same
+  // shard before issuing its read — waiting under the latch would deadlock).
+  std::vector<uint32_t> dropped;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->second >= capacity_) {
+        dropped.push_back(it->second - capacity_);
+        it = shard.map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (uint32_t st : dropped) {
+    WaitStagingReady(st);
+    ReleaseStagingFrame(st);
+  }
+}
+
+void BufferPool::WaitStagingReady(uint32_t st_idx) {
+  while (!staging_[st_idx].ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void BufferPool::Unpin(uint32_t frame, bool restamp) {
   Frame& f = frames_[frame];
   // Stamp while the pin is still held: once pin_count reaches 0 an evictor
   // may claim and reuse the frame, so the stamp must land first. Nested
   // pins overwrite each other; the final (1 -> 0) unpin writes last, which
-  // is exactly the old push-to-LRU-on-last-release order.
-  f.last_unpin.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-                     std::memory_order_relaxed);
+  // is exactly the old push-to-LRU-on-last-release order. No-restamp
+  // releases (TryFetchResident) leave the recency untouched.
+  if (restamp) {
+    f.last_unpin.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+  }
   int prev = f.pin_count.fetch_sub(1, std::memory_order_release);
   OBJREP_CHECK(prev > 0);
 }
@@ -31,10 +106,16 @@ Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
   Frame& f = frames_[frame];
   // Unmap first: after the erase no hit path can reach the frame, so the
   // claimed pin_count can be dropped without a window for false pins.
+  // Erase only this frame's own mapping — after a page id was freed and
+  // reallocated, a stale frame can coexist briefly with the id's live
+  // mapping, and reclaiming the stale one must not unmap the live one.
   {
     Shard& shard = ShardFor(f.pid);
     std::lock_guard<std::mutex> l(shard.mu);
-    shard.map.erase(f.pid);
+    auto it = shard.map.find(f.pid);
+    if (it != shard.map.end() && it->second == frame) {
+      shard.map.erase(it);
+    }
   }
   Status s = Status::OK();
   if (f.dirty.load(std::memory_order_relaxed)) {
@@ -47,39 +128,105 @@ Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
   return s;
 }
 
-Status BufferPool::AllocateFrameLocked(uint32_t* frame_out) {
-  if (!free_frames_.empty()) {
-    *frame_out = free_frames_.back();
+Status BufferPool::AllocateFramesLocked(size_t k,
+                                        std::vector<uint32_t>* frames_out) {
+  frames_out->clear();
+  frames_out->reserve(k);
+  while (frames_out->size() < k && !free_frames_.empty()) {
+    frames_out->push_back(free_frames_.back());
     free_frames_.pop_back();
-    return Status::OK();
   }
-  for (;;) {
-    // Strict LRU: the unpinned in-use frame with the oldest last unpin.
-    uint32_t victim = UINT32_MAX;
-    uint64_t oldest = UINT64_MAX;
+  // One LRU scan selects all remaining victims; reclaiming oldest-first
+  // evicts the same frames in the same order as repeated single-victim
+  // scans would, so write-back order (and thus every I/O count) matches
+  // the one-page-at-a-time path exactly.
+  std::vector<std::pair<uint64_t, uint32_t>> candidates;
+  while (frames_out->size() < k) {
+    candidates.clear();
     for (uint32_t i = 0; i < frames_.size(); ++i) {
       Frame& f = frames_[i];
       if (!f.in_use || f.pin_count.load(std::memory_order_relaxed) != 0) {
         continue;
       }
-      uint64_t stamp = f.last_unpin.load(std::memory_order_relaxed);
-      if (stamp < oldest) {
-        oldest = stamp;
-        victim = i;
-      }
+      candidates.emplace_back(f.last_unpin.load(std::memory_order_relaxed), i);
     }
-    if (victim == UINT32_MAX) {
+    if (candidates.empty()) {
+      // Roll back: the batch is all-or-nothing.
+      for (uint32_t fr : *frames_out) free_frames_.push_back(fr);
+      frames_out->clear();
       return Status::NoSpace("buffer pool exhausted: all frames pinned");
     }
-    int expected = 0;
-    if (!frames_[victim].pin_count.compare_exchange_strong(
-            expected, kEvicting, std::memory_order_acquire)) {
-      continue;  // raced with a concurrent pin; rescan
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [stamp, victim] : candidates) {
+      if (frames_out->size() == k) break;
+      int expected = 0;
+      if (!frames_[victim].pin_count.compare_exchange_strong(
+              expected, kEvicting, std::memory_order_acquire)) {
+        continue;  // raced with a concurrent pin; maybe rescan
+      }
+      Status s = ReclaimFrameLocked(victim);
+      if (!s.ok()) {
+        free_frames_.push_back(victim);
+        for (uint32_t fr : *frames_out) free_frames_.push_back(fr);
+        frames_out->clear();
+        return s;
+      }
+      frames_out->push_back(victim);
     }
-    OBJREP_RETURN_NOT_OK(ReclaimFrameLocked(victim));
-    *frame_out = victim;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::AllocateFrameLocked(uint32_t* frame_out) {
+  std::vector<uint32_t> one;
+  OBJREP_RETURN_NOT_OK(AllocateFramesLocked(1, &one));
+  *frame_out = one[0];
+  return Status::OK();
+}
+
+void BufferPool::AbandonFrameLocked(uint32_t frame) {
+  Frame& f = frames_[frame];
+  f.in_use = false;
+  f.pid = kInvalidPageId;
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.pin_count.store(0, std::memory_order_relaxed);
+  free_frames_.push_back(frame);
+}
+
+Status BufferPool::PromoteStagedLocked(uint32_t st_idx, PageId pid,
+                                       bool* stale, PageGuard* out) {
+  // The mapping may be *pending*: an async hint publishes before its
+  // vectored read lands. Wait it out (we hold evict_mu_ but no bucket
+  // latch, so the hint thread can finish claiming and read). If the read
+  // failed, the hint retired the frame (pid reset, mapping erased) — report
+  // stale so the caller demand-loads instead.
+  *stale = false;
+  WaitStagingReady(st_idx);
+  if (staging_[st_idx].pid != pid) {
+    *stale = true;
     return Status::OK();
   }
+  // The victim is chosen here, at first demand access — the same frame, at
+  // the same moment, that the demand-paged run's miss would evict. The
+  // staged bytes substitute for the disk read, which already happened (and
+  // was already counted) at hint time. This is what keeps every I/O count
+  // bit-identical to running with prefetch off (DESIGN.md §9).
+  uint32_t frame;
+  OBJREP_RETURN_NOT_OK(AllocateFrameLocked(&frame));
+  Frame& f = frames_[frame];
+  f.page = staging_[st_idx].page;
+  f.pid = pid;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.in_use = true;
+  {
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    shard.map[pid] = frame;  // overwrites the staged mapping
+  }
+  ReleaseStagingFrame(st_idx);
+  *out = PageGuard(this, frame, pid);
+  return Status::OK();
 }
 
 Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
@@ -88,14 +235,29 @@ Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
   if (load_from_disk) {
     // Another thread may have loaded `pid` while we waited for evict_mu_.
     // No evictor can run concurrently (we hold evict_mu_), so a mapped
-    // frame is pinnable with a plain increment.
-    Shard& shard = ShardFor(pid);
-    std::lock_guard<std::mutex> l(shard.mu);
-    auto it = shard.map.find(pid);
-    if (it != shard.map.end()) {
-      frames_[it->second].pin_count.fetch_add(1, std::memory_order_acquire);
-      *out = PageGuard(this, it->second, pid);
-      return Status::OK();
+    // pool frame is pinnable with a plain increment; a staged copy is
+    // consumed by promotion instead.
+    uint32_t staged = UINT32_MAX;
+    {
+      Shard& shard = ShardFor(pid);
+      std::lock_guard<std::mutex> l(shard.mu);
+      auto it = shard.map.find(pid);
+      if (it != shard.map.end()) {
+        if (it->second < capacity_) {
+          frames_[it->second].pin_count.fetch_add(1,
+                                                  std::memory_order_acquire);
+          *out = PageGuard(this, it->second, pid);
+          return Status::OK();
+        }
+        staged = it->second - capacity_;
+      }
+    }
+    if (staged != UINT32_MAX) {
+      bool stale = false;
+      OBJREP_RETURN_NOT_OK(PromoteStagedLocked(staged, pid, &stale, out));
+      if (!stale) return Status::OK();
+      // The hint's read failed and its frame was retired; fall through to
+      // a demand load of our own.
     }
   }
   uint32_t frame;
@@ -108,56 +270,331 @@ Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
   if (load_from_disk) {
     Status s = disk_->ReadPage(pid, &f.page);
     if (!s.ok()) {
-      f.in_use = false;
-      f.pid = kInvalidPageId;
-      f.pin_count.store(0, std::memory_order_relaxed);
-      free_frames_.push_back(frame);
+      AbandonFrameLocked(frame);
       return s;
     }
   } else {
     f.page.Zero();
   }
+  uint32_t redundant_staged = UINT32_MAX;
   {
     Shard& shard = ShardFor(pid);
     std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it != shard.map.end() && it->second >= capacity_) {
+      // An async hint staged `pid` while we loaded it (NewPage of a
+      // recycled id, or a racing demand load): the staged copy is
+      // redundant now.
+      redundant_staged = it->second - capacity_;
+    }
     shard.map[pid] = frame;
+  }
+  if (redundant_staged != UINT32_MAX) {
+    // Recycle outside the bucket latch: the hint's read may still be in
+    // flight, and the hint thread may need this shard's latch to finish
+    // claiming its batch before it issues that read.
+    WaitStagingReady(redundant_staged);
+    ReleaseStagingFrame(redundant_staged);
   }
   *out = PageGuard(this, frame, pid);
   return Status::OK();
 }
 
-Status BufferPool::FetchPage(PageId pid, PageGuard* out) {
+bool BufferPool::TryPinResident(PageId pid, PageGuard* out) {
   Shard& shard = ShardFor(pid);
   for (;;) {
     bool claimed = false;
     {
       std::lock_guard<std::mutex> l(shard.mu);
       auto it = shard.map.find(pid);
-      if (it == shard.map.end()) break;  // miss
+      if (it == shard.map.end()) return false;  // miss
+      if (it->second >= capacity_) {
+        // Staged copy: not a hit. The miss path promotes it, charging the
+        // miss the demand-paged run would take here.
+        return false;
+      }
       Frame& f = frames_[it->second];
       int c = f.pin_count.load(std::memory_order_relaxed);
       while (c >= 0) {
         if (f.pin_count.compare_exchange_weak(c, c + 1,
                                               std::memory_order_acquire)) {
-          hits_.fetch_add(1, std::memory_order_relaxed);
           *out = PageGuard(this, it->second, pid);
-          return Status::OK();
+          return true;
         }
       }
       // pin_count == kEvicting: an evictor claimed the frame and is about
       // to erase this mapping (it needs our bucket latch to do so).
       claimed = true;
     }
-    if (!claimed) break;
-    std::this_thread::yield();  // let the evictor finish, then re-probe
+    if (claimed) {
+      std::this_thread::yield();  // let the evictor finish, then re-probe
+    }
+  }
+}
+
+Status BufferPool::FetchPage(PageId pid, PageGuard* out) {
+  if (TryPinResident(pid, out)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   return PinFrameFor(pid, /*load_from_disk=*/true, out);
 }
 
+Status BufferPool::FetchPages(const PageId* pids, size_t n,
+                              std::vector<PageGuard>* out) {
+  out->clear();
+  out->resize(n);
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < n; ++i) {
+    if (TryPinResident(pids[i], &(*out)[i])) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+  misses_.fetch_add(missing.size(), std::memory_order_relaxed);
+
+  Status s = Status::OK();
+  {
+    std::lock_guard<std::mutex> big(evict_mu_);
+    // Re-check residency under evict_mu_ (a racing loader may have added
+    // some of these; duplicate ids within the batch collapse here too).
+    // Absent pages are vector-loaded; staged pages are promoted. Both need
+    // a pool frame, allocated in batch-position order — the same frames,
+    // in the same order, n sequential FetchPage calls would take.
+    std::vector<std::pair<size_t, uint32_t>> need;  // (position, st or MAX)
+    std::unordered_map<PageId, uint32_t> loading;   // pid -> frame
+    std::vector<size_t> alias;  // positions duplicating a `loading` pid
+    for (size_t i : missing) {
+      PageId pid = pids[i];
+      bool resident = false;
+      uint32_t staged = UINT32_MAX;
+      {
+        Shard& shard = ShardFor(pid);
+        std::lock_guard<std::mutex> l(shard.mu);
+        auto it = shard.map.find(pid);
+        if (it != shard.map.end()) {
+          if (it->second < capacity_) {
+            frames_[it->second].pin_count.fetch_add(
+                1, std::memory_order_acquire);
+            (*out)[i] = PageGuard(this, it->second, pid);
+            resident = true;
+          } else {
+            staged = it->second - capacity_;
+          }
+        }
+      }
+      if (resident) continue;
+      if (loading.count(pid) != 0) {
+        alias.push_back(i);
+        continue;
+      }
+      loading.emplace(pid, 0);
+      need.emplace_back(i, staged);
+    }
+    if (!need.empty()) {
+      std::vector<uint32_t> frames;
+      s = AllocateFramesLocked(need.size(), &frames);
+      if (s.ok()) {
+        std::vector<PageId> load_pids;
+        std::vector<Page*> ptrs;
+        load_pids.reserve(need.size());
+        ptrs.reserve(need.size());
+        for (size_t j = 0; j < need.size(); ++j) {
+          auto [i, staged] = need[j];
+          Frame& f = frames_[frames[j]];
+          PageId pid = pids[i];
+          f.pid = pid;
+          f.pin_count.store(1, std::memory_order_relaxed);
+          f.dirty.store(false, std::memory_order_relaxed);
+          f.in_use = true;
+          loading[pid] = frames[j];
+          if (staged != UINT32_MAX) {
+            // May be pending (async hint published before its read landed);
+            // no bucket latch is held here, so waiting is safe. A retired
+            // frame (failed hint read) falls back to our own load.
+            WaitStagingReady(staged);
+            if (staging_[staged].pid == pid) {
+              f.page = staging_[staged].page;
+            } else {
+              load_pids.push_back(pid);
+              ptrs.push_back(&f.page);
+            }
+          } else {
+            load_pids.push_back(pid);
+            ptrs.push_back(&f.page);
+          }
+        }
+        if (!load_pids.empty()) {
+          s = disk_->ReadPages(load_pids.data(), load_pids.size(),
+                               ptrs.data());
+        }
+        if (s.ok()) {
+          std::vector<uint32_t> consumed_staging;
+          for (size_t j = 0; j < need.size(); ++j) {
+            auto [i, staged] = need[j];
+            PageId pid = pids[i];
+            Shard& shard = ShardFor(pid);
+            std::lock_guard<std::mutex> l(shard.mu);
+            auto it = shard.map.find(pid);
+            if (it != shard.map.end() && it->second >= capacity_) {
+              // The staged copy we promoted, or one a racing async hint
+              // published mid-load; either way it is spent now.
+              consumed_staging.push_back(it->second - capacity_);
+            }
+            shard.map[pid] = frames[j];
+            (*out)[i] = PageGuard(this, frames[j], pid);
+          }
+          for (uint32_t st : consumed_staging) {
+            WaitStagingReady(st);  // a racing hint's read may be in flight
+            ReleaseStagingFrame(st);
+          }
+          for (size_t i : alias) {
+            uint32_t fr = loading[pids[i]];
+            frames_[fr].pin_count.fetch_add(1, std::memory_order_relaxed);
+            (*out)[i] = PageGuard(this, fr, pids[i]);
+          }
+        } else {
+          for (uint32_t fr : frames) AbandonFrameLocked(fr);
+        }
+      }
+    }
+  }
+  if (!s.ok()) out->clear();  // releases every pin taken above
+  return s;
+}
+
+Status BufferPool::Prefetch(const PageId* pids, size_t n) {
+  if (n == 0 || staging_count_ == 0) return Status::OK();
+  // Claim-and-publish pass (order-preserving, duplicates dropped): ids
+  // already resident or staged are skipped; the rest get a staging frame
+  // and a *pending* mapping (ready == false) before the read is issued.
+  // Publishing first means a concurrent demand fetch of an in-flight page
+  // waits for this one read instead of paying a redundant one of its own.
+  // If staging runs short the batch's tail is dropped — the earliest pages
+  // are the ones consumed soonest. No pool frame is touched: read-ahead
+  // never evicts.
+  std::vector<PageId> want;
+  std::vector<uint32_t> claimed;
+  want.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PageId pid = pids[i];
+    if (std::find(want.begin(), want.end(), pid) != want.end()) continue;
+    bool exhausted = false;
+    {
+      Shard& shard = ShardFor(pid);
+      std::lock_guard<std::mutex> l(shard.mu);
+      if (shard.map.count(pid) != 0) continue;
+      uint32_t st_idx = 0;
+      {
+        std::lock_guard<std::mutex> ls(staging_mu_);
+        if (free_staging_.empty()) {
+          exhausted = true;
+        } else {
+          st_idx = free_staging_.back();
+          free_staging_.pop_back();
+        }
+      }
+      if (!exhausted) {
+        StagingFrame& st = staging_[st_idx];
+        st.pid = pid;
+        st.ready.store(false, std::memory_order_relaxed);
+        shard.map[pid] = capacity_ + st_idx;
+        want.push_back(pid);
+        claimed.push_back(st_idx);
+      }
+    }
+    if (exhausted) break;
+  }
+  if (want.empty()) return Status::OK();
+  std::vector<Page*> ptrs(claimed.size());
+  for (size_t j = 0; j < claimed.size(); ++j) {
+    ptrs[j] = &staging_[claimed[j]].page;
+  }
+  Status s = disk_->ReadPages(want.data(), want.size(), ptrs.data());
+  if (!s.ok()) {
+    // Unpublish. The frames are retired, not recycled: a waiter that read
+    // the pending mapping before the erase may still inspect the frame, and
+    // a reuse could hand it fresh bytes under a matching pid. Retiring is
+    // safe because hint reads only fail on corrupt volumes — the waiter's
+    // own fallback read surfaces the same error.
+    for (size_t j = 0; j < claimed.size(); ++j) {
+      {
+        Shard& shard = ShardFor(want[j]);
+        std::lock_guard<std::mutex> l(shard.mu);
+        auto it = shard.map.find(want[j]);
+        if (it != shard.map.end() && it->second == capacity_ + claimed[j]) {
+          shard.map.erase(it);
+        }
+      }
+      staging_[claimed[j]].pid = kInvalidPageId;
+      staging_[claimed[j]].ready.store(true, std::memory_order_release);
+    }
+    return s;
+  }
+  for (size_t j = 0; j < claimed.size(); ++j) {
+    staging_[claimed[j]].ready.store(true, std::memory_order_release);
+  }
+  prefetched_.fetch_add(want.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void BufferPool::PrefetchHint(const PageId* pids, size_t n) {
+  if (!prefetch_.enabled || n == 0) return;
+  n = std::min<size_t>(n, prefetch_.readahead_pages);
+  if (prefetch_workers_ != nullptr) {
+    std::vector<PageId> batch(pids, pids + n);
+    prefetch_workers_->Submit([this, batch = std::move(batch)] {
+      (void)Prefetch(batch.data(), batch.size());
+    });
+    return;
+  }
+  (void)Prefetch(pids, n);
+}
+
 Status BufferPool::NewPage(PageGuard* out) {
   PageId pid = disk_->AllocatePage();
   return PinFrameFor(pid, /*load_from_disk=*/false, out);
+}
+
+bool BufferPool::FreePage(PageId pid) {
+  std::lock_guard<std::mutex> big(evict_mu_);
+  uint32_t frame = UINT32_MAX;
+  uint32_t staged = UINT32_MAX;
+  {
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it != shard.map.end()) {
+      if (it->second >= capacity_) {
+        // Unconsumed staged copy: never dirty, just drop it. Unmap here;
+        // recycle below, outside the bucket latch.
+        staged = it->second - capacity_;
+        shard.map.erase(it);
+      } else {
+        frame = it->second;
+      }
+    }
+  }
+  if (staged != UINT32_MAX) {
+    WaitStagingReady(staged);  // the hint's read may still be in flight
+    ReleaseStagingFrame(staged);
+  }
+  if (frame != UINT32_MAX) {
+    int expected = 0;
+    if (!frames_[frame].pin_count.compare_exchange_strong(
+            expected, kEvicting, std::memory_order_acquire)) {
+      return false;  // pinned: the caller keeps the page
+    }
+    // Write-back if dirty: the same write that eviction or the end-of-run
+    // flush would charge, so freeing never hides an I/O.
+    OBJREP_CHECK(ReclaimFrameLocked(frame).ok());
+    free_frames_.push_back(frame);
+  }
+  disk_->FreePage(pid);
+  return true;
 }
 
 Status BufferPool::FlushAll() {
@@ -173,6 +610,7 @@ Status BufferPool::FlushAll() {
 
 void BufferPool::InvalidateAllClean() {
   std::lock_guard<std::mutex> big(evict_mu_);
+  if (staging_count_ > 0) DropStagedPages();
   for (uint32_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (!f.in_use || f.dirty.load(std::memory_order_relaxed)) continue;
@@ -190,6 +628,7 @@ void BufferPool::InvalidateAllClean() {
 void BufferPool::ResetStats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  prefetched_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace objrep

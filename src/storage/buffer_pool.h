@@ -22,13 +22,43 @@
 //     the pool is quiescent, but a concurrent reader may observe them
 //     mid-update (approximate while workers run).
 //
-// Latch order: evict_mu_ -> bucket latch. The hit path takes only a bucket
-// latch; no path takes two bucket latches at once.
+// Batched I/O (DESIGN.md §9): FetchPages pins a whole batch with one
+// evict_mu_ pass — victims for all missing pages are selected in one LRU
+// scan (oldest first, the same victims the one-at-a-time path would pick)
+// and the missing pages are read with a single vectored DiskManager::
+// ReadPages.
+//
+// Read-ahead runs through dedicated *staging frames*, never the pool
+// proper: Prefetch vector-reads absent pages into staging frames (map
+// entries >= capacity_ denote staged copies), evicting nothing. The first
+// demand access of a staged page counts as a miss and *promotes* it —
+// allocating a pool frame through the very same free-list/LRU decision the
+// demand-paged run would make at that instant, then copying the staged
+// bytes in place of the disk read (which already happened, and was already
+// counted, at hint time). By induction the pool's frame contents, LRU
+// stamps, victims, and every hit/miss/read/write count are bit-identical
+// to running with prefetch off; only the *timing* of reads moves earlier,
+// which is what turns random single-page reads into sequential vectored
+// segments. PrefetchHint is the gated entry point consumers use: a no-op
+// until SetPrefetchOptions enables it, so the default pool behaves
+// bit-identically to the seed. With io_workers > 0 hints run on background
+// threads and overlap with query execution (throughput mode). Hints
+// publish their staged mappings *before* reading, so a demand fetch racing
+// an in-flight hint waits for that one read rather than issuing its own;
+// the only residual count drift is a hint racing a demand load already
+// mid-read (the demand path publishes after its read, so the hint's read
+// is redundant).
+//
+// Latch order: evict_mu_ -> bucket latch -> staging_mu_. The hit path
+// takes only a bucket latch; no path takes two bucket latches at once.
+// Prefetch itself takes no evict_mu_ at all, so background read-ahead
+// never blocks the demand path.
 #ifndef OBJREP_STORAGE_BUFFER_POOL_H_
 #define OBJREP_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +66,7 @@
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace objrep {
 
@@ -58,6 +89,7 @@ class PageGuard {
       pool_ = other.pool_;
       frame_ = other.frame_;
       pid_ = other.pid_;
+      stamp_on_release_ = other.stamp_on_release_;
       other.pool_ = nullptr;
     }
     return *this;
@@ -65,6 +97,12 @@ class PageGuard {
 
   bool valid() const { return pool_ != nullptr; }
   PageId page_id() const { return pid_; }
+
+  /// Makes Release() skip the LRU restamp, leaving the frame's recency
+  /// exactly as it was before this pin. Read-ahead bookkeeping peeks
+  /// (TryFetchResident) use this so they cannot rescue a page from an
+  /// eviction the demand-paged run would have taken (DESIGN.md §9).
+  void DisableStampOnRelease() { stamp_on_release_ = false; }
 
   Page* page();
   const Page* page() const;
@@ -79,6 +117,23 @@ class PageGuard {
   BufferPool* pool_ = nullptr;
   uint32_t frame_ = 0;
   PageId pid_ = kInvalidPageId;
+  bool stamp_on_release_ = true;
+};
+
+/// Read-ahead policy of a pool. Default-constructed == disabled, which is
+/// the seed's behavior; every consumer-side hint routes through
+/// PrefetchHint and therefore vanishes when disabled.
+struct PrefetchOptions {
+  /// Master switch for PrefetchHint.
+  bool enabled = false;
+  /// Cap on pages per hint (a consumer may offer more; the rest are
+  /// dropped, not queued). The pool provisions 4x this many staging
+  /// frames, so a few consumers' windows can be in flight at once.
+  uint32_t readahead_pages = 8;
+  /// Background I/O workers servicing hints. 0 == synchronous: the hint
+  /// loads its pages before returning, which keeps single-threaded runs
+  /// deterministic. Nonzero overlaps read-ahead with query execution.
+  uint32_t io_workers = 0;
 };
 
 /// Fixed-capacity page cache with strict LRU replacement among unpinned
@@ -89,6 +144,7 @@ class PageGuard {
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, uint32_t capacity);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -96,8 +152,66 @@ class BufferPool {
   /// Pins page `pid`, reading it from disk on a miss.
   Status FetchPage(PageId pid, PageGuard* out);
 
+  /// Pins `pid` only if it is already resident in the pool proper (staged
+  /// copies do not count). Never touches the disk, does not count a hit or
+  /// a miss, and the release does not restamp the LRU — read-ahead
+  /// bookkeeping (e.g. the B-tree re-walking buffer-hot internal nodes to
+  /// learn upcoming leaf ids) uses this to stay completely invisible to
+  /// both the I/O accounting and the replacement order.
+  bool TryFetchResident(PageId pid, PageGuard* out) {
+    if (!TryPinResident(pid, out)) return false;
+    out->DisableStampOnRelease();
+    return true;
+  }
+
+  /// Pins all of `pids[0..n)` (duplicates allowed), reading the missing
+  /// ones with one vectored disk read under a single evict_mu_ pass.
+  /// Counts one hit/miss per element, exactly as n FetchPage calls would.
+  /// On error no pins are retained. Fails with NoSpace when the misses
+  /// need more frames than can be evicted (n may not exceed capacity).
+  Status FetchPages(const PageId* pids, size_t n,
+                    std::vector<PageGuard>* out);
+
+  /// Vector-reads the absent pages of `pids[0..n)` into staging frames.
+  /// Evicts nothing and does not touch hits()/misses(); the staged copy is
+  /// promoted into a pool frame (counting the miss the demand run would
+  /// take) on first demand access. Pages that cannot get a staging frame
+  /// are silently skipped — prefetch is advisory.
+  Status Prefetch(const PageId* pids, size_t n);
+
+  /// Gated, capped, possibly-async Prefetch — the only entry point
+  /// consumers call. No-op unless prefetch is enabled; caps at
+  /// readahead_pages; with io_workers > 0 runs on a background worker.
+  /// Errors are swallowed (a failed read-ahead surfaces later as an
+  /// ordinary demand-fetch error).
+  void PrefetchHint(const PageId* pids, size_t n);
+
+  /// Replaces the prefetch policy and (re)provisions the staging frames,
+  /// dropping any staged pages. Not thread-safe against in-flight hints:
+  /// call while the pool is quiescent (between runs).
+  void SetPrefetchOptions(const PrefetchOptions& options);
+  const PrefetchOptions& prefetch_options() const { return prefetch_; }
+  bool prefetch_enabled() const { return prefetch_.enabled; }
+
+  /// Pages actually loaded (not already resident) by Prefetch calls.
+  uint64_t prefetched_pages() const {
+    return prefetched_.load(std::memory_order_relaxed);
+  }
+
+  /// Page ids currently sitting in staging frames (hinted, read, but not
+  /// yet promoted by a demand access). Quiescent use only — tests and
+  /// debugging; a long-lived entry here means some consumer hinted a page
+  /// it never read, violating the §9 exactness invariant.
+  std::vector<PageId> StagedPageIds();
+
   /// Allocates a new zeroed page on disk and pins it (dirty).
   Status NewPage(PageGuard* out);
+
+  /// Discards `pid` from the pool (writing it back first if dirty — the
+  /// same write eviction or FlushAll would charge) and returns it to the
+  /// disk's free list. Returns false and does nothing if the page is
+  /// currently pinned. Only temp relations free pages (DESIGN.md §9).
+  bool FreePage(PageId pid);
 
   /// Writes back every dirty frame (each costs one physical write).
   /// Requires quiescence: no concurrent guard may be mutating content.
@@ -135,9 +249,29 @@ class BufferPool {
     std::atomic<uint64_t> last_unpin{0};
   };
 
+  /// A read-ahead buffer outside the pool. Liveness is defined by the page
+  /// table: a staged copy is mapped as capacity_ + index. Staged pages are
+  /// never pinned, never dirty, and never eviction candidates.
+  ///
+  /// Hints publish the mapping *before* the disk read (`ready` false until
+  /// the bytes land), so a concurrent demand fetch of an in-flight page
+  /// waits for the one read already underway instead of issuing its own —
+  /// the promotion then still counts the same single read the demand run
+  /// would have. `pid` is rechecked after the ready wait: a mismatch means
+  /// the hint failed or the frame was recycled, and the waiter falls back
+  /// to a plain demand read.
+  struct StagingFrame {
+    Page page;
+    PageId pid = kInvalidPageId;
+    std::atomic<bool> ready{false};
+  };
+
+  /// Staging frames provisioned per readahead_pages (see PrefetchOptions).
+  static constexpr uint32_t kStagingPerWindow = 4;
+
   struct Shard {
     std::mutex mu;
-    std::unordered_map<PageId, uint32_t> map;
+    std::unordered_map<PageId, uint32_t> map;  // >= capacity_: staged
   };
 
   Shard& ShardFor(PageId pid) {
@@ -145,13 +279,39 @@ class BufferPool {
     return shards_[(pid * 0x9e3779b1u >> 16) & (kNumShards - 1)];
   }
 
-  void Unpin(uint32_t frame);
+  void Unpin(uint32_t frame, bool restamp = true);
+  /// Hit path of FetchPage without the miss fallback: pins `pid` if it is
+  /// mapped (retrying around in-flight evictions). Returns false on miss.
+  bool TryPinResident(PageId pid, PageGuard* out);
   /// Under evict_mu_: takes a free frame or evicts the strict-LRU victim.
   Status AllocateFrameLocked(uint32_t* frame_out);
+  /// Under evict_mu_: takes/evicts `k` frames at once — free frames first,
+  /// then the k oldest unpinned victims from a single LRU scan, reclaimed
+  /// oldest-first (the same victims, same write-back order, as k
+  /// AllocateFrameLocked calls). On failure nothing is allocated.
+  Status AllocateFramesLocked(size_t k, std::vector<uint32_t>* frames_out);
   /// Under evict_mu_: claims + unmaps one evictable frame, writing it back
   /// if dirty. Used by AllocateFrameLocked and InvalidateAllClean.
   Status ReclaimFrameLocked(uint32_t frame);
   Status PinFrameFor(PageId pid, bool load_from_disk, PageGuard* out);
+  /// Under evict_mu_: resets a frame that was allocated but whose disk
+  /// read failed, returning it to the free list.
+  void AbandonFrameLocked(uint32_t frame);
+  /// Under evict_mu_: moves staged page `pid` (staging index `st_idx`)
+  /// into a pool frame — allocating the victim now, exactly as the demand
+  /// miss would — and returns the pinned guard. Waits for an in-flight
+  /// hint read to land first; if the staged copy turns out stale (failed
+  /// or recycled hint), sets *stale and allocates nothing.
+  Status PromoteStagedLocked(uint32_t st_idx, PageId pid, bool* stale,
+                             PageGuard* out);
+  /// Blocks (yielding) until staging frame `st_idx` finishes its in-flight
+  /// read. Never called while holding a bucket latch — the hint thread
+  /// needs bucket latches to make progress.
+  void WaitStagingReady(uint32_t st_idx);
+  /// Returns a staging frame to the free list.
+  void ReleaseStagingFrame(uint32_t st_idx);
+  /// Drops every staged mapping (requires quiescence: no in-flight hints).
+  void DropStagedPages();
 
   DiskManager* disk_;
   uint32_t capacity_;
@@ -164,6 +324,16 @@ class BufferPool {
   std::atomic<uint64_t> clock_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> prefetched_{0};
+
+  PrefetchOptions prefetch_;  // written only by SetPrefetchOptions
+  uint32_t staging_count_ = 0;
+  std::unique_ptr<StagingFrame[]> staging_;
+  std::mutex staging_mu_;               // guards free_staging_ only
+  std::vector<uint32_t> free_staging_;  // claimable staging frames
+  // Declared last: destroyed (joined) first, so no worker touches a frame
+  // after the pool starts tearing down.
+  std::unique_ptr<ThreadPool> prefetch_workers_;
 };
 
 inline Page* PageGuard::page() { return &pool_->frames_[frame_].page; }
@@ -175,8 +345,9 @@ inline void PageGuard::MarkDirty() {
 }
 inline void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(frame_, stamp_on_release_);
     pool_ = nullptr;
+    stamp_on_release_ = true;
   }
 }
 

@@ -5,21 +5,56 @@
 #include <mutex>
 #include <thread>
 
+#include "util/macros.h"
+
 namespace objrep {
 
-void DiskManager::SimulateLatency() const {
-  uint32_t us = io_latency_us_.load(std::memory_order_relaxed);
-  if (us != 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(us));
+void DiskManager::SimulateLatency(uint64_t seeks, uint64_t pages) const {
+  uint64_t seek_us = io_latency_us_.load(std::memory_order_relaxed);
+  uint64_t xfer_us = transfer_us_.load(std::memory_order_relaxed);
+  uint64_t total = seeks * seek_us + pages * xfer_us;
+  if (total != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(total));
   }
 }
 
+uint64_t DiskManager::AccountReadRun(PageId first, uint64_t n) {
+  // The run [first, first + n) is contiguous on the platter; whether its
+  // head page costs a seek depends on where the arm was left. exchange is
+  // atomic but two racing readers can still interleave — acceptable, the
+  // split is diagnostic and the timing simulated.
+  uint64_t prev =
+      last_read_.exchange(static_cast<uint64_t>(first) + n - 1,
+                          std::memory_order_relaxed);
+  bool head_seq = prev != UINT64_MAX && static_cast<uint64_t>(first) == prev + 1;
+  uint64_t seeks = head_seq ? 0 : 1;
+  seq_reads_.fetch_add(n - seeks, std::memory_order_relaxed);
+  rand_reads_.fetch_add(seeks, std::memory_order_relaxed);
+  return seeks;
+}
+
 PageId DiskManager::AllocatePage() {
+  std::unique_lock<std::shared_mutex> l(mu_);
+  if (!free_list_.empty()) {
+    PageId pid = free_list_.back();
+    free_list_.pop_back();
+    page_is_free_[pid] = 0;
+    pages_[pid]->Zero();
+    return pid;
+  }
   auto page = std::make_unique<Page>();
   page->Zero();
-  std::unique_lock<std::shared_mutex> l(mu_);
   pages_.push_back(std::move(page));
+  page_is_free_.push_back(0);
   return static_cast<PageId>(pages_.size() - 1);
+}
+
+void DiskManager::FreePage(PageId page_id) {
+  std::unique_lock<std::shared_mutex> l(mu_);
+  OBJREP_CHECK_MSG(page_id < pages_.size(), "free of unallocated page");
+  OBJREP_CHECK_MSG(!page_is_free_[page_id], "double free of page");
+  page_is_free_[page_id] = 1;
+  free_list_.push_back(page_id);
 }
 
 Status DiskManager::ReadPage(PageId page_id, Page* out) {
@@ -31,7 +66,38 @@ Status DiskManager::ReadPage(PageId page_id, Page* out) {
     std::memcpy(out->data, pages_[page_id]->data, kPageSize);
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
-  SimulateLatency();
+  uint64_t seeks = AccountReadRun(page_id, 1);
+  SimulateLatency(seeks, 1);
+  return Status::OK();
+}
+
+Status DiskManager::ReadPages(const PageId* page_ids, size_t n,
+                              Page* const* outs) {
+  if (n == 0) return Status::OK();
+  {
+    std::shared_lock<std::shared_mutex> l(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      if (page_ids[i] >= pages_.size()) {
+        return Status::IOError("read of unallocated page");
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(outs[i]->data, pages_[page_ids[i]]->data, kPageSize);
+    }
+  }
+  reads_.fetch_add(n, std::memory_order_relaxed);
+  // Charge one seek per discontiguous segment of the batch: the counters
+  // are identical to n single ReadPage calls (n reads; the same pages are
+  // sequential in the same order), only the simulated arm time amortizes.
+  uint64_t seeks = 0;
+  size_t run_start = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || page_ids[i] != page_ids[i - 1] + 1) {
+      seeks += AccountReadRun(page_ids[run_start], i - run_start);
+      run_start = i;
+    }
+  }
+  SimulateLatency(seeks, n);
   return Status::OK();
 }
 
@@ -44,7 +110,10 @@ Status DiskManager::WritePage(PageId page_id, const Page& in) {
     std::memcpy(pages_[page_id]->data, in.data, kPageSize);
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
-  SimulateLatency();
+  // Writes always pay the seek (eviction writebacks are scattered), and
+  // they move the arm off the read position.
+  last_read_.store(UINT64_MAX, std::memory_order_relaxed);
+  SimulateLatency(1, 1);
   return Status::OK();
 }
 

@@ -4,16 +4,25 @@
 // The substitution is safe because the study's metric is the *number* of
 // page I/Os, not their latency (DESIGN.md §2).
 //
+// Device model (DESIGN.md §9): with the default zero latency the disk is a
+// pure counter, bit-identical to the seed. When `io_latency_us` (seek) or
+// `transfer_us` (per-page transfer) is nonzero, each I/O sleeps
+//   seek * (1 if discontiguous else 0) + transfer
+// outside the latch; a vectored ReadPages charges one seek per
+// discontiguity in the batch, which is how physical contiguity becomes
+// wall-clock throughput without ever changing an I/O count.
+//
 // Thread safety: page reads/writes take a shared lock (the volume only
-// grows; distinct pages are distinct buffers) and AllocatePage takes an
-// exclusive lock. The I/O counters are relaxed atomics — monotonic and
-// exact in total, but a mid-run snapshot may interleave with concurrent
+// grows; distinct pages are distinct buffers) and AllocatePage/FreePage
+// take an exclusive lock. The I/O counters are relaxed atomics — monotonic
+// and exact in total, but a mid-run snapshot may interleave with concurrent
 // increments. Writers of the *same* page must be serialized by the
 // exec-layer LockManager, exactly as with a real device.
 #ifndef OBJREP_STORAGE_DISK_MANAGER_H_
 #define OBJREP_STORAGE_DISK_MANAGER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <shared_mutex>
 #include <vector>
@@ -32,35 +41,62 @@ class DiskManager {
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Allocates a fresh zeroed page and returns its id. Allocation itself is
-  /// not charged; the first write of the page is.
+  /// Allocates a zeroed page and returns its id — a previously freed page
+  /// when the free list is non-empty, else a fresh one. Allocation itself
+  /// is not charged; the first write of the page is.
   PageId AllocatePage();
+
+  /// Returns `page_id` to the free list for reuse by AllocatePage. Only
+  /// temp relations call this (DESIGN.md §9); base relations live for the
+  /// whole experiment. Freeing an unallocated or already-free page is a
+  /// fatal bug, not a Status.
+  void FreePage(PageId page_id);
 
   /// Copies a page from "disk" into `out`. Charges one read.
   Status ReadPage(PageId page_id, Page* out);
 
+  /// Vectored read: copies `n` pages into `outs[0..n)`. Charges `n` reads
+  /// exactly as `n` ReadPage calls would, but sleeps one seek per
+  /// discontiguous segment instead of one per page. All-or-nothing: an
+  /// unallocated id anywhere in the batch fails the whole call with no
+  /// reads charged.
+  Status ReadPages(const PageId* page_ids, size_t n, Page* const* outs);
+
   /// Copies `in` onto "disk". Charges one write.
   Status WritePage(PageId page_id, const Page& in);
 
-  uint32_t num_pages() const {
+  /// Allocated address space in pages (free-listed pages included — the
+  /// high-water footprint of the volume).
+  uint64_t num_pages() const {
     std::shared_lock<std::shared_mutex> l(mu_);
-    return static_cast<uint32_t>(pages_.size());
+    return pages_.size();
+  }
+  /// Pages currently on the free list.
+  uint64_t num_free_pages() const {
+    std::shared_lock<std::shared_mutex> l(mu_);
+    return free_list_.size();
   }
 
   /// Snapshot of the I/O counters (exact once the engine is quiescent).
   IoCounters counters() const {
     return IoCounters{reads_.load(std::memory_order_relaxed),
-                      writes_.load(std::memory_order_relaxed)};
+                      writes_.load(std::memory_order_relaxed),
+                      seq_reads_.load(std::memory_order_relaxed),
+                      rand_reads_.load(std::memory_order_relaxed)};
   }
   void ResetCounters() {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
+    seq_reads_.store(0, std::memory_order_relaxed);
+    rand_reads_.store(0, std::memory_order_relaxed);
   }
 
-  /// Simulated per-I/O device latency (default 0: the seed's pure counting
-  /// model). When nonzero, every physical read/write sleeps this long —
-  /// lets the throughput bench show I/O overlap across worker threads the
-  /// way a real spindle/SSD queue would.
+  /// Simulated seek latency (default 0: the seed's pure counting model).
+  /// When nonzero, every discontiguous physical I/O sleeps this long
+  /// *outside* the DiskManager latch — lets the throughput bench show I/O
+  /// overlap across worker threads the way a real spindle/SSD queue would.
+  /// Reads whose page id follows the previous read (sequentially, or
+  /// within a ReadPages batch) skip the seek.
   void set_io_latency_us(uint32_t us) {
     io_latency_us_.store(us, std::memory_order_relaxed);
   }
@@ -68,14 +104,37 @@ class DiskManager {
     return io_latency_us_.load(std::memory_order_relaxed);
   }
 
- private:
-  void SimulateLatency() const;
+  /// Simulated per-page transfer time (default 0), charged to every
+  /// physical read/write regardless of contiguity.
+  void set_transfer_us(uint32_t us) {
+    transfer_us_.store(us, std::memory_order_relaxed);
+  }
+  uint32_t transfer_us() const {
+    return transfer_us_.load(std::memory_order_relaxed);
+  }
 
-  mutable std::shared_mutex mu_;  // guards pages_ growth vs. access
+ private:
+  /// Sleeps `seeks` seek latencies plus `pages` transfer times (no-op when
+  /// both knobs are 0). Called after the latch is released.
+  void SimulateLatency(uint64_t seeks, uint64_t pages) const;
+  /// Classifies a read run starting at `first` for `n` contiguous pages
+  /// against last_read_ and updates seq/rand counters; returns seeks (0/1).
+  uint64_t AccountReadRun(PageId first, uint64_t n);
+
+  mutable std::shared_mutex mu_;  // guards pages_ / free_list_ growth
   std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;        // guarded by mu_
+  std::vector<uint8_t> page_is_free_;    // guarded by mu_; double-free check
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> seq_reads_{0};
+  std::atomic<uint64_t> rand_reads_{0};
+  /// Page id of the most recent read; the head position of the simulated
+  /// device arm. Relaxed: a race only perturbs the seq/rand split and the
+  /// simulated timing, never a count.
+  std::atomic<uint64_t> last_read_{UINT64_MAX};
   std::atomic<uint32_t> io_latency_us_{0};
+  std::atomic<uint32_t> transfer_us_{0};
 };
 
 }  // namespace objrep

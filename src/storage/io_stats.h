@@ -4,6 +4,13 @@
 // queried from an EQUEL/C driver; we measure at the same boundary, the
 // simulated disk. A buffer-pool hit costs nothing; a physical page read or
 // write costs one I/O.
+//
+// Reads are further classified sequential vs random: a read is sequential
+// when its page id immediately follows the previously read page (within a
+// vectored batch or across single reads), which is what the device model
+// charges no seek for. reads == seq_reads + rand_reads always; `total()`
+// and the original fields are untouched so long-lived consumers (IoBracket,
+// figure benches, JSON reports) see identical numbers.
 #ifndef OBJREP_STORAGE_IO_STATS_H_
 #define OBJREP_STORAGE_IO_STATS_H_
 
@@ -15,15 +22,26 @@ namespace objrep {
 struct IoCounters {
   uint64_t reads = 0;
   uint64_t writes = 0;
+  uint64_t seq_reads = 0;   ///< reads at last-read page id + 1 (no seek)
+  uint64_t rand_reads = 0;  ///< reads that required a seek
 
   uint64_t total() const { return reads + writes; }
 
+  /// Fraction of reads that were sequential (0 when there were none).
+  double seq_fraction() const {
+    return reads == 0 ? 0.0 : static_cast<double>(seq_reads) / reads;
+  }
+
   IoCounters operator-(const IoCounters& other) const {
-    return IoCounters{reads - other.reads, writes - other.writes};
+    return IoCounters{reads - other.reads, writes - other.writes,
+                      seq_reads - other.seq_reads,
+                      rand_reads - other.rand_reads};
   }
   IoCounters& operator+=(const IoCounters& other) {
     reads += other.reads;
     writes += other.writes;
+    seq_reads += other.seq_reads;
+    rand_reads += other.rand_reads;
     return *this;
   }
 };

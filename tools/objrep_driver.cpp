@@ -34,6 +34,10 @@ struct DriverFlags {
   uint32_t threads = 0;       // 0: sequential runner (the default report)
   uint32_t num_queries = 0;   // 0: keep the config's value
   double duration_seconds = 0;  // >0: timed run (resamples the stream)
+  // I/O scheduling overrides (-1: keep the config's value).
+  int prefetch = -1;            // --prefetch=on/off
+  int64_t readahead_pages = -1;   // --readahead-pages=N
+  int64_t io_latency_us = -1;     // --io-latency-us=U (seek per segment)
   std::string config_path;
 };
 
@@ -46,8 +50,9 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--threads=K] [--num-queries=N] [--duration=S] "
-               "<config-file | ->\n"
+               "usage: %s [--threads=K] [--num-queries=N] [--duration=S]\n"
+               "          [--prefetch=on|off] [--readahead-pages=N] "
+               "[--io-latency-us=U] <config-file | ->\n"
                "see src/core/experiment_config.h for the config format\n",
                prog);
   return 2;
@@ -66,6 +71,16 @@ int main(int argc, char** argv) {
       flags.num_queries = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (ParseFlag(argv[i], "--duration", &v)) {
       flags.duration_seconds = std::strtod(v, nullptr);
+    } else if (ParseFlag(argv[i], "--prefetch", &v)) {
+      if (std::strcmp(v, "on") == 0) flags.prefetch = 1;
+      else if (std::strcmp(v, "off") == 0) flags.prefetch = 0;
+      else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--readahead-pages", &v)) {
+      flags.readahead_pages =
+          static_cast<int64_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--io-latency-us", &v)) {
+      flags.io_latency_us =
+          static_cast<int64_t>(std::strtoul(v, nullptr, 10));
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       return Usage(argv[0]);
     } else if (flags.config_path.empty()) {
@@ -99,6 +114,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (flags.num_queries > 0) config.workload.num_queries = flags.num_queries;
+  if (flags.prefetch >= 0) config.db.prefetch = flags.prefetch == 1;
+  if (flags.readahead_pages >= 0) {
+    config.db.readahead_pages =
+        static_cast<uint32_t>(flags.readahead_pages);
+  }
+  if (flags.io_latency_us >= 0) {
+    config.db.io_latency_us = static_cast<uint32_t>(flags.io_latency_us);
+  }
 
   std::printf(
       "database: |ParentRel|=%u SizeUnit=%u Use=%u Overlap=%u "
@@ -123,8 +146,9 @@ int main(int argc, char** argv) {
                 "queries/s", "p50 ms", "p95 ms", "p99 ms", "avg I/O",
                 "result-sum");
   } else {
-    std::printf("\n%-16s %12s %12s %12s %10s %12s\n", "strategy", "avg I/O",
-                "retrieve", "update", "hit-rate", "result-sum");
+    std::printf("\n%-16s %12s %12s %12s %10s %8s %12s\n", "strategy",
+                "avg I/O", "retrieve", "update", "hit-rate", "seq%",
+                "result-sum");
   }
 
   for (StrategyKind kind : config.strategies) {
@@ -178,10 +202,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     uint64_t probes = r.cache_stats.hits + r.cache_stats.misses;
-    std::printf("%-16s %12.1f %12.1f %12.1f %9.1f%% %12lld\n",
+    std::printf("%-16s %12.1f %12.1f %12.1f %9.1f%% %7.1f%% %12lld\n",
                 StrategyKindName(kind), r.AvgIoPerQuery(), r.AvgRetrieveIo(),
                 r.AvgUpdateIo(),
                 probes ? 100.0 * r.cache_stats.hits / probes : 0.0,
+                100.0 * r.io.seq_fraction(),
                 static_cast<long long>(r.result_sum));
   }
   return 0;
