@@ -86,6 +86,23 @@ RunPoint MeasurePoint(StrategyKind kind, const WorkloadSpec& wl,
   return p;
 }
 
+// The workload is deterministic and the disk is simulated, so every run
+// of a cell does identical work; host-side noise (scheduler, frequency,
+// neighbors) can only slow a run down, never speed it up. The fastest of
+// five runs is therefore the least-perturbed estimate of the cell's
+// throughput, and is far more stable run-to-run than any single timing.
+RunPoint MeasurePointStable(StrategyKind kind, const WorkloadSpec& wl,
+                            uint32_t io_latency_us, uint32_t io_transfer_us,
+                            bool prefetch, uint32_t workers) {
+  RunPoint best;
+  for (int i = 0; i < 5; ++i) {
+    RunPoint p = MeasurePoint(kind, wl, io_latency_us, io_transfer_us,
+                              prefetch, workers);
+    if (i == 0 || p.qps > best.qps) best = p;
+  }
+  return best;
+}
+
 struct StrategySweep {
   StrategyKind kind;
   std::vector<RunPoint> points;  // [0] is the prefetch-off baseline
@@ -133,8 +150,11 @@ void RunBench(uint32_t io_latency_us, uint32_t io_transfer_us, bool quick,
   const std::vector<uint32_t> worker_counts =
       quick ? std::vector<uint32_t>{0, 8}
             : std::vector<uint32_t>{0, 1, 2, 4, 8, 16};
+  // Quick mode trims the worker sweep, not the query stream: the stream
+  // must match the full run's so a --quick measurement is comparable,
+  // cell for cell, against a committed full-sweep baseline.
   WorkloadSpec wl;
-  wl.num_queries = quick ? 10 : 40;
+  wl.num_queries = 40;
   wl.num_top = 50;
   wl.pr_update = 0.0;
   wl.seed = 54;
@@ -145,13 +165,11 @@ void RunBench(uint32_t io_latency_us, uint32_t io_transfer_us, bool quick,
   for (StrategyKind kind : kinds) {
     StrategySweep sweep;
     sweep.kind = kind;
-    sweep.points.push_back(MeasurePoint(kind, wl, io_latency_us,
-                                        io_transfer_us, /*prefetch=*/false,
-                                        0));
+    sweep.points.push_back(MeasurePointStable(
+        kind, wl, io_latency_us, io_transfer_us, /*prefetch=*/false, 0));
     for (uint32_t w : worker_counts) {
-      sweep.points.push_back(MeasurePoint(kind, wl, io_latency_us,
-                                          io_transfer_us, /*prefetch=*/true,
-                                          w));
+      sweep.points.push_back(MeasurePointStable(
+          kind, wl, io_latency_us, io_transfer_us, /*prefetch=*/true, w));
     }
     const double base_qps = sweep.points[0].qps;
     for (const RunPoint& p : sweep.points) {

@@ -42,6 +42,7 @@ Status HashFile::Create(BufferPool* pool, uint32_t num_buckets,
   out->num_entries_ = 0;
   out->buckets_.clear();
   out->buckets_.reserve(num_buckets);
+  out->pages_.clear();
   for (uint32_t i = 0; i < num_buckets; ++i) {
     PageGuard guard;
     OBJREP_RETURN_NOT_OK(pool->NewPage(&guard));
@@ -49,6 +50,7 @@ Status HashFile::Create(BufferPool* pool, uint32_t num_buckets,
     sp.Init();
     guard.MarkDirty();
     out->buckets_.push_back(guard.page_id());
+    out->pages_.push_back(guard.page_id());
   }
   return Status::OK();
 }
@@ -85,6 +87,7 @@ Status HashFile::Insert(uint64_t key, std::string_view value) {
       fresh.MarkDirty();
       sp.set_next_page(fresh.page_id());
       guard.MarkDirty();
+      pages_.push_back(fresh.page_id());
       ++num_pages_;
       ++num_entries_;
       return Status::OK();
@@ -144,6 +147,20 @@ Status HashFile::Delete(uint64_t key) {
     pid = sp.next_page();
   }
   return Status::NotFound();
+}
+
+Status HashFile::Destroy() {
+  for (PageId pid : pages_) {
+    if (!pool_->FreePage(pid)) {
+      return Status::Internal("hash file page pinned during Destroy");
+    }
+  }
+  pages_.clear();
+  buckets_.clear();
+  num_buckets_ = 0;
+  num_pages_ = 0;
+  num_entries_ = 0;
+  return Status::OK();
 }
 
 }  // namespace objrep

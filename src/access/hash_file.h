@@ -37,9 +37,17 @@ class HashFile {
   /// Removes the key; NotFound if absent.
   Status Delete(uint64_t key);
 
+  /// Frees every page of the file (buckets and overflow pages alike) and
+  /// resets the object to empty. Crash recovery uses this to rebuild the
+  /// cache relation from scratch — the cache is soft state (DESIGN.md §10).
+  Status Destroy();
+
   uint32_t num_buckets() const { return num_buckets_; }
   uint32_t num_pages() const { return num_pages_; }
   uint64_t num_entries() const { return num_entries_; }
+  /// Every page the file owns, buckets first then overflow, in
+  /// allocation order.
+  const std::vector<PageId>& pages() const { return pages_; }
 
  private:
   uint32_t BucketOf(uint64_t key) const;
@@ -49,6 +57,7 @@ class HashFile {
   uint32_t num_pages_ = 0;
   uint64_t num_entries_ = 0;
   std::vector<PageId> buckets_;
+  std::vector<PageId> pages_;  // buckets_ plus overflow pages
 };
 
 }  // namespace objrep

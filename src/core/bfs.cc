@@ -58,7 +58,9 @@ Status BfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       OBJREP_RETURN_NOT_OK(
           ExternalSort(db_->pool.get(), temp, opts, &sorted));
       // The unsorted input is dead once the sort has consumed it.
-      if (db_->spec.reclaim_temp_pages) temp.FreePages();
+      if (db_->spec.reclaim_temp_pages) {
+        OBJREP_RETURN_NOT_OK(temp.FreePages());
+      }
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {
@@ -76,7 +78,7 @@ Status BfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
         }));
     if (db_->spec.reclaim_temp_pages) {
       IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
-      sorted.FreePages();
+      OBJREP_RETURN_NOT_OK(sorted.FreePages());
     }
   }
   return Status::OK();

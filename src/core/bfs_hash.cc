@@ -53,7 +53,9 @@ Status BfsHashStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
         OBJREP_RETURN_NOT_OK(r.Next());
       }
       // No sort phase here: the temp is dead once the hash table holds it.
-      if (db_->spec.reclaim_temp_pages) temp.FreePages();
+      if (db_->spec.reclaim_temp_pages) {
+        OBJREP_RETURN_NOT_OK(temp.FreePages());
+      }
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {

@@ -64,7 +64,9 @@ Status BfsJoinIndexStrategy::ExecuteRetrieve(const Query& q,
       opts.reclaim_runs = db_->spec.reclaim_temp_pages;
       OBJREP_RETURN_NOT_OK(
           ExternalSort(db_->pool.get(), temp, opts, &sorted));
-      if (db_->spec.reclaim_temp_pages) temp.FreePages();
+      if (db_->spec.reclaim_temp_pages) {
+        OBJREP_RETURN_NOT_OK(temp.FreePages());
+      }
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {
@@ -82,7 +84,7 @@ Status BfsJoinIndexStrategy::ExecuteRetrieve(const Query& q,
         }));
     if (db_->spec.reclaim_temp_pages) {
       IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
-      sorted.FreePages();
+      OBJREP_RETURN_NOT_OK(sorted.FreePages());
     }
   }
   return Status::OK();

@@ -11,6 +11,7 @@
 #include "core/strategies_impl.h"
 #include "objstore/rows.h"
 #include "objstore/unit_blob.h"
+#include "storage/fault_injector.h"
 
 namespace objrep {
 namespace internal {
@@ -215,6 +216,11 @@ Status DfsClustCacheStrategy::ExecuteUpdate(const Query& q) {
     OBJREP_RETURN_NOT_OK(EncodeRecord(schema, values, &encoded));
     OBJREP_RETURN_NOT_OK(
         db_->cluster_rel->tree().UpdateInPlace(cluster_key, encoded));
+    // Crash point between the clustered write and its cache invalidation:
+    // without the enclosing transaction the cache could outlive the page
+    // image that made it stale.
+    OBJREP_RETURN_NOT_OK(
+        db_->disk->fault_injector()->MaybeCrash("clust.update.mid"));
     OBJREP_RETURN_NOT_OK(db_->cache->InvalidateSubobject(oid));
   }
   return Status::OK();
@@ -238,6 +244,8 @@ Status DfsClustStrategy::ExecuteUpdate(const Query& q) {
     OBJREP_RETURN_NOT_OK(EncodeRecord(schema, values, &encoded));
     OBJREP_RETURN_NOT_OK(
         db_->cluster_rel->tree().UpdateInPlace(cluster_key, encoded));
+    OBJREP_RETURN_NOT_OK(
+        db_->disk->fault_injector()->MaybeCrash("clust.update.mid"));
   }
   return Status::OK();
 }

@@ -184,6 +184,8 @@ Status ParseExperimentConfig(std::string_view text, ExperimentConfig* out) {
       OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->db.io_latency_us));
     } else if (key == "IO_TRANSFER_US") {
       OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->db.io_transfer_us));
+    } else if (key == "WAL") {
+      OBJREP_RETURN_NOT_OK(ParseOnOff(value, line_no, &out->db.enable_wal));
     } else if (key == "STRATEGIES") {
       out->strategies.clear();
       std::string_view rest = value;

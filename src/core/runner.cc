@@ -24,7 +24,22 @@ Status RunWorkload(Strategy* strategy, ComplexDatabase* db,
       for (int32_t v : result.values) out->result_sum += v;
       ++out->num_retrieves;
     } else {
-      OBJREP_RETURN_NOT_OK(strategy->ExecuteUpdate(q));
+      // With a WAL attached the update query is one transaction: all its
+      // in-place writes (plus cache invalidations and deferred frees)
+      // commit together or not at all (DESIGN.md §10). Without one this
+      // is the seed's unprotected path.
+      if (db->pool->wal() != nullptr) {
+        OBJREP_RETURN_NOT_OK(db->pool->BeginTxn());
+        Status s = strategy->ExecuteUpdate(q);
+        if (s.ok()) {
+          s = db->pool->CommitTxn();
+        } else {
+          db->pool->AbortTxn();
+        }
+        OBJREP_RETURN_NOT_OK(s);
+      } else {
+        OBJREP_RETURN_NOT_OK(strategy->ExecuteUpdate(q));
+      }
       out->update_io += (db->disk->counters() - before).total();
       ++out->num_updates;
     }

@@ -59,7 +59,9 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       opts.reclaim_runs = db_->spec.reclaim_temp_pages;
       OBJREP_RETURN_NOT_OK(
           ExternalSort(db_->pool.get(), temp, opts, &sorted));
-      if (db_->spec.reclaim_temp_pages) temp.FreePages();
+      if (db_->spec.reclaim_temp_pages) {
+        OBJREP_RETURN_NOT_OK(temp.FreePages());
+      }
     }
     const Table* table = db_->ChildRelById(rel_id);
     if (table == nullptr) {
@@ -77,7 +79,7 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
         }));
     if (db_->spec.reclaim_temp_pages) {
       IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
-      sorted.FreePages();
+      OBJREP_RETURN_NOT_OK(sorted.FreePages());
     }
   }
   return Status::OK();

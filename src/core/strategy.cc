@@ -6,6 +6,7 @@
 #include "core/strategies_impl.h"
 #include "objstore/rows.h"
 #include "objstore/unit_blob.h"
+#include "storage/fault_injector.h"
 
 namespace objrep {
 
@@ -17,7 +18,10 @@ Status Strategy::UpdateChildInPlace(const Oid& oid, int32_t new_ret1) {
   std::vector<Value> values;
   OBJREP_RETURN_NOT_OK(table->Get(oid.key, &values));
   values[kChildRet1] = Value(new_ret1);
-  return table->UpdateInPlace(oid.key, values);
+  OBJREP_RETURN_NOT_OK(table->UpdateInPlace(oid.key, values));
+  // Crash point between the targets of a multi-target update query: only
+  // a transaction makes the query all-or-nothing.
+  return db_->disk->fault_injector()->MaybeCrash("update.child");
 }
 
 Status Strategy::ExecuteUpdate(const Query& q) {

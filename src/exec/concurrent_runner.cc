@@ -64,7 +64,8 @@ std::vector<std::pair<LockId, LockMode>> LockRequestsFor(
   return reqs;
 }
 
-Status ExecuteOne(Strategy* strategy, const Query& q, WorkerResult* wr) {
+Status ExecuteOne(Strategy* strategy, ComplexDatabase* db, const Query& q,
+                  WorkerResult* wr) {
   if (q.kind == Query::Kind::kRetrieve) {
     RetrieveResult result;
     OBJREP_RETURN_NOT_OK(strategy->ExecuteRetrieve(q, &result));
@@ -72,7 +73,21 @@ Status ExecuteOne(Strategy* strategy, const Query& q, WorkerResult* wr) {
     for (int32_t v : result.values) wr->result_sum += v;
     ++wr->num_retrieves;
   } else {
-    OBJREP_RETURN_NOT_OK(strategy->ExecuteUpdate(q));
+    // One WAL transaction per update query; the worker already holds X
+    // table locks, so wal_mu_ ranks below them (DESIGN.md §10 latch
+    // order) and cannot deadlock against another worker's query.
+    if (db->pool->wal() != nullptr) {
+      OBJREP_RETURN_NOT_OK(db->pool->BeginTxn());
+      Status s = strategy->ExecuteUpdate(q);
+      if (s.ok()) {
+        s = db->pool->CommitTxn();
+      } else {
+        db->pool->AbortTxn();
+      }
+      OBJREP_RETURN_NOT_OK(s);
+    } else {
+      OBJREP_RETURN_NOT_OK(strategy->ExecuteUpdate(q));
+    }
     ++wr->num_updates;
   }
   ++wr->num_queries;
@@ -105,7 +120,7 @@ void RunWorker(Strategy* strategy, ComplexDatabase* db, LockManager* locks,
     Clock::time_point t0 = Clock::now();
     {
       ScopedLockSet held(locks, LockRequestsFor(*db, *q));
-      wr->status = ExecuteOne(strategy, *q, wr);
+      wr->status = ExecuteOne(strategy, db, *q, wr);
     }
     if (!wr->status.ok()) return;
     double us = std::chrono::duration<double, std::micro>(Clock::now() - t0)

@@ -294,6 +294,14 @@ Status BuildDatabase(const DatabaseSpec& spec,
     OBJREP_RETURN_NOT_OK(db->cache->Init());
   }
 
+  // Attach the WAL only now: the build is a single-owner bulk load with
+  // nothing to recover to, so logging it would only slow it down. From here
+  // on every multi-page mutation runs as a redo-logged transaction.
+  if (spec.enable_wal) {
+    db->wal = std::make_unique<Wal>(db->disk.get());
+    db->pool->AttachWal(db->wal.get());
+  }
+
   // Apply the I/O scheduling policy only now: the build itself always runs
   // with the seed's plain demand paging, so on-disk layout and build-time
   // counters are independent of the prefetch configuration.

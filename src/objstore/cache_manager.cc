@@ -51,10 +51,9 @@ Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
   return Status::OK();
 }
 
-Status CacheManager::RemoveUnitLocked(uint64_t hashkey) {
+void CacheManager::ForgetUnitLocked(uint64_t hashkey) {
   auto it = dir_.find(hashkey);
   OBJREP_CHECK(it != dir_.end());
-  OBJREP_RETURN_NOT_OK(hash_.Delete(hashkey));
   lru_.erase(it->second);
   dir_.erase(it);
   auto mem_it = unit_members_.find(hashkey);
@@ -67,49 +66,140 @@ Status CacheManager::RemoveUnitLocked(uint64_t hashkey) {
     if (held.empty()) lock_table_.erase(lt);
   }
   unit_members_.erase(mem_it);
-  return Status::OK();
 }
 
 Status CacheManager::InsertUnit(uint64_t hashkey,
                                 const std::vector<Oid>& unit_oids,
                                 std::string_view blob) {
+  // A unit install touches multiple hash-relation pages (a possible
+  // eviction's delete, the insert, maybe a fresh overflow page): one WAL
+  // transaction. Order matters for latches (wal_mu_ before the cache
+  // latch, same as an update query's runner-level transaction) and for
+  // abort safety (all hash I/O before any memory mutation, so a failed
+  // transaction leaves directory and hash relation agreeing).
+  OBJREP_RETURN_NOT_OK(pool_->BeginTxn());
   std::lock_guard<std::mutex> l(mu_);
-  if (dir_.find(hashkey) != dir_.end()) {
-    return Status::OK();  // outside cache: already present, shared entry
-  }
-  if (dir_.size() >= size_cache_) {
-    if (admission_ == CacheAdmission::kRejectWhenFull) {
-      ++stats_.rejections;
-      return Status::OK();
+  Status s = [&]() -> Status {
+    if (dir_.find(hashkey) != dir_.end()) {
+      return Status::OK();  // outside cache: already present, shared entry
     }
-    // Evict the least recently used unit.
-    OBJREP_CHECK(!lru_.empty());
-    uint64_t victim = lru_.front();
-    OBJREP_RETURN_NOT_OK(RemoveUnitLocked(victim));
-    ++stats_.evictions;
+    uint64_t victim = 0;
+    bool have_victim = false;
+    if (dir_.size() >= size_cache_) {
+      if (admission_ == CacheAdmission::kRejectWhenFull) {
+        ++stats_.rejections;
+        return Status::OK();
+      }
+      // Evict the least recently used unit.
+      OBJREP_CHECK(!lru_.empty());
+      victim = lru_.front();
+      have_victim = true;
+    }
+    if (have_victim) {
+      OBJREP_RETURN_NOT_OK(hash_.Delete(victim));
+    }
+    OBJREP_RETURN_NOT_OK(
+        pool_->disk()->fault_injector()->MaybeCrash("cache.install.mid"));
+    OBJREP_RETURN_NOT_OK(hash_.Insert(hashkey, blob));
+    // All I/O done; the memory structures below cannot fail.
+    if (have_victim) {
+      ForgetUnitLocked(victim);
+      ++stats_.evictions;
+    }
+    lru_.push_back(hashkey);
+    dir_[hashkey] = std::prev(lru_.end());
+    auto& members = unit_members_[hashkey];
+    members.reserve(unit_oids.size());
+    for (const Oid& oid : unit_oids) {
+      members.push_back(oid.Packed());
+      lock_table_[oid.Packed()].push_back(hashkey);
+    }
+    ++stats_.inserts;
+    return Status::OK();
+  }();
+  if (s.ok()) {
+    s = pool_->CommitTxn();
+  } else {
+    pool_->AbortTxn();
   }
-  OBJREP_RETURN_NOT_OK(hash_.Insert(hashkey, blob));
-  lru_.push_back(hashkey);
-  dir_[hashkey] = std::prev(lru_.end());
-  auto& members = unit_members_[hashkey];
-  members.reserve(unit_oids.size());
-  for (const Oid& oid : unit_oids) {
-    members.push_back(oid.Packed());
-    lock_table_[oid.Packed()].push_back(hashkey);
-  }
-  ++stats_.inserts;
-  return Status::OK();
+  return s;
 }
 
 Status CacheManager::InvalidateSubobject(const Oid& oid) {
+  // Inside an update query this joins the runner-level transaction
+  // (reentrant BeginTxn); on its own (tests) it is one transaction.
+  OBJREP_RETURN_NOT_OK(pool_->BeginTxn());
   std::lock_guard<std::mutex> l(mu_);
-  auto it = lock_table_.find(oid.Packed());
-  if (it == lock_table_.end()) return Status::OK();
-  // RemoveUnitLocked mutates the lock table; work from a copy of the list.
-  std::vector<uint64_t> held = it->second;
-  for (uint64_t hashkey : held) {
-    OBJREP_RETURN_NOT_OK(RemoveUnitLocked(hashkey));
-    ++stats_.invalidated_units;
+  Status s = [&]() -> Status {
+    auto it = lock_table_.find(oid.Packed());
+    if (it == lock_table_.end()) return Status::OK();
+    // The forget pass mutates the lock table; work from a copy.
+    std::vector<uint64_t> held = it->second;
+    FaultInjector* fi = pool_->disk()->fault_injector();
+    for (uint64_t hashkey : held) {
+      OBJREP_RETURN_NOT_OK(hash_.Delete(hashkey));
+      OBJREP_RETURN_NOT_OK(fi->MaybeCrash("cache.invalidate.mid"));
+    }
+    for (uint64_t hashkey : held) {
+      ForgetUnitLocked(hashkey);
+      ++stats_.invalidated_units;
+    }
+    return Status::OK();
+  }();
+  if (s.ok()) {
+    s = pool_->CommitTxn();
+  } else {
+    pool_->AbortTxn();
+  }
+  return s;
+}
+
+Status CacheManager::ResetForRecovery() {
+  std::lock_guard<std::mutex> l(mu_);
+  OBJREP_RETURN_NOT_OK(hash_.Destroy());
+  OBJREP_RETURN_NOT_OK(HashFile::Create(pool_, num_buckets_, &hash_));
+  lru_.clear();
+  dir_.clear();
+  unit_members_.clear();
+  lock_table_.clear();
+  stats_ = CacheStats{};
+  return Status::OK();
+}
+
+Status CacheManager::CheckInvariants() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (dir_.size() != lru_.size()) {
+    return Status::Internal("cache directory and LRU disagree");
+  }
+  if (dir_.size() != unit_members_.size()) {
+    return Status::Internal("cache directory and member table disagree");
+  }
+  if (hash_.num_entries() != dir_.size()) {
+    return Status::Internal("cache directory and hash relation disagree");
+  }
+  for (const auto& [packed, held] : lock_table_) {
+    (void)packed;
+    if (held.empty()) return Status::Internal("empty I-lock list");
+    for (uint64_t hk : held) {
+      if (dir_.find(hk) == dir_.end()) {
+        return Status::Internal("I-lock on uncached unit");
+      }
+    }
+  }
+  for (const auto& [hk, members] : unit_members_) {
+    for (uint64_t packed : members) {
+      auto lt = lock_table_.find(packed);
+      if (lt == lock_table_.end() ||
+          std::find(lt->second.begin(), lt->second.end(), hk) ==
+              lt->second.end()) {
+        return Status::Internal("cached unit member missing its I-lock");
+      }
+    }
+    bool found = false;
+    OBJREP_RETURN_NOT_OK(hash_.Contains(hk, &found));
+    if (!found) {
+      return Status::Internal("cached unit missing from hash relation");
+    }
   }
   return Status::OK();
 }

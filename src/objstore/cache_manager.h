@@ -80,6 +80,17 @@ class CacheManager {
   /// (each invalidation is a hash-relation delete, which costs I/O).
   Status InvalidateSubobject(const Oid& oid);
 
+  /// Crash recovery: the cache is soft state (DESIGN.md §10). Frees the
+  /// old hash relation's pages, re-creates it empty, and clears the
+  /// directory, LRU, and I-lock table. Call after the pool was emptied
+  /// and the WAL redone.
+  Status ResetForRecovery();
+
+  /// Structural consistency check for tests: directory, LRU, I-lock
+  /// table, and hash relation must all describe the same set of units.
+  /// Costs hash-file I/O (one Contains per cached unit).
+  Status CheckInvariants();
+
   uint32_t size() const {
     std::lock_guard<std::mutex> l(mu_);
     return static_cast<uint32_t>(dir_.size());
@@ -96,9 +107,12 @@ class CacheManager {
   const HashFile& hash_file() const { return hash_; }
 
  private:
-  /// Removes one unit from the cache (hash delete + lock release).
-  /// Caller holds mu_.
-  Status RemoveUnitLocked(uint64_t hashkey);
+  /// Memory-only removal: directory, LRU, members, I-locks. Caller holds
+  /// mu_ and has already deleted (or is abandoning) the hash entry. Kept
+  /// separate from the hash I/O so mutations can be ordered I/O-first:
+  /// an aborted transaction then leaves the memory directory untouched
+  /// and consistent with the rolled-back hash relation.
+  void ForgetUnitLocked(uint64_t hashkey);
 
   /// Serializes every cache operation: directory, LRU, I-lock table, and
   /// the hash-relation I/O they imply. Held across buffer-pool calls

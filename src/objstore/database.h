@@ -23,6 +23,7 @@
 #include "relational/table.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/wal.h"
 #include "util/status.h"
 
 namespace objrep {
@@ -32,6 +33,7 @@ struct ComplexDatabase {
 
   std::unique_ptr<DiskManager> disk;
   std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<Wal> wal;  // null unless spec.enable_wal
   Catalog catalog;
 
   Table* parent_rel = nullptr;
@@ -80,6 +82,20 @@ struct ComplexDatabase {
 /// reset, so measurements start clean.
 Status BuildDatabase(const DatabaseSpec& spec,
                      std::unique_ptr<ComplexDatabase>* out);
+
+/// What Recover did, for tests and the driver's crash demo.
+struct RecoveryReport {
+  WalRecoveryStats wal;
+  uint64_t frames_dropped = 0;  ///< pool frames discarded (soft state)
+  bool cache_reset = false;     ///< Cache relation rebuilt empty
+};
+
+/// Crash recovery (DESIGN.md §10). Clears the injector's crashed state,
+/// discards every buffer-pool frame, redoes the WAL's committed-but-
+/// unapplied transactions against the disk, and rebuilds the cache (soft
+/// state) empty. Requires spec.enable_wal. After it returns the base
+/// relations hold exactly the committed prefix of the update history.
+Status RecoverDatabase(ComplexDatabase* db, RecoveryReport* report = nullptr);
 
 }  // namespace objrep
 

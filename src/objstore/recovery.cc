@@ -1,0 +1,48 @@
+// Crash recovery (DESIGN.md §10).
+//
+// The recovery invariant: after RecoverDatabase the base relations hold
+// exactly the committed prefix of the update history. Everything else —
+// buffer-pool frames, the Cache relation, I-locks — is soft state and is
+// rebuilt empty rather than recovered:
+//
+//   1. Clear the injector's crashed state so I/O works again (the simulated
+//      volume "comes back up"; rates and armed crash points are kept so a
+//      test can re-arm without reconfiguring).
+//   2. Drop every buffer-pool frame without writing back. Uncommitted dirty
+//      frames must not reach the disk; committed ones were written through
+//      at commit, so dropping loses nothing.
+//   3. Redo the WAL: rewrite the page images and replay the frees of every
+//      committed-but-unapplied transaction (there is at most one — commits
+//      are serialized and apply runs inside commit).
+//   4. Rebuild the cache relation empty and clear the directory, LRU, and
+//      I-lock table. A cached unit whose install raced the crash may or
+//      may not have committed; starting cold is always correct because the
+//      cache only ever re-derives data from the base relations.
+#include <memory>
+
+#include "objstore/database.h"
+#include "storage/fault_injector.h"
+#include "util/macros.h"
+
+namespace objrep {
+
+Status RecoverDatabase(ComplexDatabase* db, RecoveryReport* report) {
+  if (db->wal == nullptr) {
+    return Status::InvalidArgument("recovery requires spec.enable_wal");
+  }
+  RecoveryReport local;
+  RecoveryReport* rep = report != nullptr ? report : &local;
+  *rep = RecoveryReport{};
+
+  db->disk->fault_injector()->ClearCrash();
+  rep->frames_dropped = db->pool->DropAllFrames();
+  OBJREP_RETURN_NOT_OK(db->wal->Recover(&rep->wal));
+  db->wal->Reset();
+  if (db->cache != nullptr) {
+    OBJREP_RETURN_NOT_OK(db->cache->ResetForRecovery());
+    rep->cache_reset = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace objrep

@@ -83,6 +83,15 @@ struct DatabaseSpec {
   /// Simulated per-page transfer time (microseconds).
   uint32_t io_transfer_us = 0;
 
+  // --- Durability (DESIGN.md §10). ---
+  /// Attach a page-level write-ahead commit log to the buffer pool and run
+  /// every multi-page mutation (update queries, cache unit installs and
+  /// invalidations, temp-file reclaim) as a redo-logged transaction, so a
+  /// crash at any registered fault point is recoverable. Off for the paper
+  /// experiments: logging adds no simulated I/O, but the txn latches
+  /// serialize mutators, which is not part of the paper's cost model.
+  bool enable_wal = false;
+
   uint64_t seed = 42;
 
   // --- Derived quantities (paper eqn. (1) and following). ---

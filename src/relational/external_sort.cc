@@ -109,7 +109,7 @@ Status ExternalSort(BufferPool* pool, const TempFile& input,
         // Every run here was created by this sort (phase 1 or an earlier
         // merge pass), never the caller's input, and its readers are gone.
         for (TempFile& consumed : group) {
-          consumed.FreePages();
+          OBJREP_RETURN_NOT_OK(consumed.FreePages());
         }
       }
       next_runs.push_back(std::move(merged));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "storage/fault_injector.h"
 #include "util/macros.h"
 
 namespace objrep {
@@ -73,18 +74,41 @@ Status TempFile::Append(uint64_t v) {
   return Status::OK();
 }
 
-void TempFile::FreePages() {
-  if (pool_ == nullptr) return;
+Status TempFile::FreePages() {
+  if (pool_ == nullptr) return Status::OK();
   tail_guard_.Release();
-  if (pages_ != nullptr) {
-    for (PageId pid : *pages_) {
-      pool_->FreePage(pid);  // false (still pinned) just leaks that page
+  Status s = Status::OK();
+  if (pages_ != nullptr && !pages_->empty()) {
+    // Under a WAL the reclaim is one transaction: the frees are deferred
+    // to commit, so a crash mid-reclaim returns either none or all of the
+    // file's pages — never a half-freed chain.
+    const bool txn = pool_->wal() != nullptr;
+    if (txn) s = pool_->BeginTxn();
+    if (s.ok()) {
+      FaultInjector* fi = pool_->disk()->fault_injector();
+      bool first = true;
+      for (PageId pid : *pages_) {
+        pool_->FreePage(pid);  // false (still pinned) just leaks that page
+        if (first) {
+          first = false;
+          s = fi->MaybeCrash("temp.reclaim.mid");
+          if (!s.ok()) break;
+        }
+      }
+      if (txn) {
+        if (s.ok()) {
+          s = pool_->CommitTxn();
+        } else {
+          pool_->AbortTxn();
+        }
+      }
     }
     pages_->clear();
   }
   first_page_ = kInvalidPageId;
   num_pages_ = 0;
   num_entries_ = 0;
+  return s;
 }
 
 TempFile::Reader::Reader(BufferPool* pool,

@@ -39,8 +39,11 @@ class TempFile {
   /// unusable empty state. The caller must ensure no Reader over this file
   /// is still live. Pinned pages are skipped (and stay allocated), so
   /// calling with the tail still pinned just leaks that one page — Seal()
-  /// first. Safe on a default-constructed file.
-  void FreePages();
+  /// first. Safe on a default-constructed file. With a WAL attached the
+  /// reclaim is one redo-logged transaction (all pages freed or none);
+  /// the only failures are injected faults at the "temp.reclaim.mid"
+  /// crash point or during commit.
+  Status FreePages();
 
   uint64_t num_entries() const { return num_entries_; }
   uint32_t num_pages() const { return num_pages_; }

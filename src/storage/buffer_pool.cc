@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "storage/wal.h"
 #include "util/macros.h"
 
 namespace objrep {
@@ -30,6 +31,8 @@ void BufferPool::SetPrefetchOptions(const PrefetchOptions& options) {
       prefetch_.enabled ? prefetch_.readahead_pages * kStagingPerWindow : 0;
   staging_.reset();
   free_staging_.clear();
+  retired_staging_.clear();
+  retired_count_.store(0, std::memory_order_relaxed);
   if (staging_count_ > 0) {
     staging_ = std::make_unique<StagingFrame[]>(staging_count_);
     free_staging_.reserve(staging_count_);
@@ -46,6 +49,14 @@ void BufferPool::ReleaseStagingFrame(uint32_t st_idx) {
   staging_[st_idx].pid = kInvalidPageId;
   std::lock_guard<std::mutex> l(staging_mu_);
   free_staging_.push_back(st_idx);
+}
+
+void BufferPool::RecycleRetiredStagingLocked() {
+  if (retired_count_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<std::mutex> l(staging_mu_);
+  for (uint32_t st : retired_staging_) free_staging_.push_back(st);
+  retired_staging_.clear();
+  retired_count_.store(0, std::memory_order_release);
 }
 
 std::vector<PageId> BufferPool::StagedPageIds() {
@@ -104,11 +115,25 @@ void BufferPool::Unpin(uint32_t frame, bool restamp) {
 
 Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
   Frame& f = frames_[frame];
-  // Unmap first: after the erase no hit path can reach the frame, so the
-  // claimed pin_count can be dropped without a window for false pins.
-  // Erase only this frame's own mapping — after a page id was freed and
-  // reallocated, a stale frame can coexist briefly with the id's live
-  // mapping, and reclaiming the stale one must not unmap the live one.
+  // Write back *before* unmapping, while the frame is still intact: if the
+  // device fails the write (fault injection makes that path real), restore
+  // the claim and leave the page resident + dirty, so an eviction can never
+  // silently drop committed bytes. Hit-path waiters that saw the kEvicting
+  // claim spin without the bucket latch, so they cannot block the unmap and
+  // simply re-probe once the claim resolves either way.
+  if (f.dirty.load(std::memory_order_relaxed)) {
+    Status s = disk_->WritePage(f.pid, f.page);
+    if (!s.ok()) {
+      f.pin_count.store(0, std::memory_order_release);  // un-claim; intact
+      return s;
+    }
+    f.dirty.store(false, std::memory_order_relaxed);
+  }
+  // Unmap: after the erase no hit path can reach the frame, so the claimed
+  // pin_count can be dropped without a window for false pins. Erase only
+  // this frame's own mapping — after a page id was freed and reallocated,
+  // a stale frame can coexist briefly with the id's live mapping, and
+  // reclaiming the stale one must not unmap the live one.
   {
     Shard& shard = ShardFor(f.pid);
     std::lock_guard<std::mutex> l(shard.mu);
@@ -117,15 +142,10 @@ Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
       shard.map.erase(it);
     }
   }
-  Status s = Status::OK();
-  if (f.dirty.load(std::memory_order_relaxed)) {
-    s = disk_->WritePage(f.pid, f.page);
-    f.dirty.store(false, std::memory_order_relaxed);
-  }
   f.in_use = false;
   f.pid = kInvalidPageId;
   f.pin_count.store(0, std::memory_order_release);
-  return s;
+  return Status::OK();
 }
 
 Status BufferPool::AllocateFramesLocked(size_t k,
@@ -166,7 +186,9 @@ Status BufferPool::AllocateFramesLocked(size_t k,
       }
       Status s = ReclaimFrameLocked(victim);
       if (!s.ok()) {
-        free_frames_.push_back(victim);
+        // The victim's write-back failed: ReclaimFrameLocked restored it
+        // (still resident, still dirty), so only the frames already taken
+        // roll back to the free list.
         for (uint32_t fr : *frames_out) free_frames_.push_back(fr);
         frames_out->clear();
         return s;
@@ -232,6 +254,7 @@ Status BufferPool::PromoteStagedLocked(uint32_t st_idx, PageId pid,
 Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
                                PageGuard* out) {
   std::lock_guard<std::mutex> big(evict_mu_);
+  RecycleRetiredStagingLocked();
   if (load_from_disk) {
     // Another thread may have loaded `pid` while we waited for evict_mu_.
     // No evictor can run concurrently (we hold evict_mu_), so a mapped
@@ -359,6 +382,7 @@ Status BufferPool::FetchPages(const PageId* pids, size_t n,
   Status s = Status::OK();
   {
     std::lock_guard<std::mutex> big(evict_mu_);
+    RecycleRetiredStagingLocked();
     // Re-check residency under evict_mu_ (a racing loader may have added
     // some of these; duplicate ids within the batch collapse here too).
     // Absent pages are vector-loaded; staged pages are promoted. Both need
@@ -515,11 +539,15 @@ Status BufferPool::Prefetch(const PageId* pids, size_t n) {
   }
   Status s = disk_->ReadPages(want.data(), want.size(), ptrs.data());
   if (!s.ok()) {
-    // Unpublish. The frames are retired, not recycled: a waiter that read
-    // the pending mapping before the erase may still inspect the frame, and
-    // a reuse could hand it fresh bytes under a matching pid. Retiring is
-    // safe because hint reads only fail on corrupt volumes — the waiter's
-    // own fallback read surfaces the same error.
+    // Unpublish and *retire*. The frames cannot go straight back to
+    // free_staging_: a waiter that read the pending mapping before the
+    // erase may still inspect the frame, and a reuse could hand it fresh
+    // bytes under a matching pid (ABA). Retired frames are recycled at the
+    // top of a later evict_mu_ section — every staged-frame consumer
+    // inspects frames only inside evict_mu_, so the recycle can never
+    // interleave with an inspection. Without the recycle, every injected
+    // hint-read fault would permanently leak a staging frame and
+    // eventually disable read-ahead altogether.
     for (size_t j = 0; j < claimed.size(); ++j) {
       {
         Shard& shard = ShardFor(want[j]);
@@ -531,6 +559,12 @@ Status BufferPool::Prefetch(const PageId* pids, size_t n) {
       }
       staging_[claimed[j]].pid = kInvalidPageId;
       staging_[claimed[j]].ready.store(true, std::memory_order_release);
+    }
+    {
+      std::lock_guard<std::mutex> ls(staging_mu_);
+      for (uint32_t st : claimed) retired_staging_.push_back(st);
+      retired_count_.store(static_cast<uint32_t>(retired_staging_.size()),
+                           std::memory_order_release);
     }
     return s;
   }
@@ -556,11 +590,35 @@ void BufferPool::PrefetchHint(const PageId* pids, size_t n) {
 
 Status BufferPool::NewPage(PageGuard* out) {
   PageId pid = disk_->AllocatePage();
-  return PinFrameFor(pid, /*load_from_disk=*/false, out);
+  Status s = PinFrameFor(pid, /*load_from_disk=*/false, out);
+  if (!s.ok()) {
+    // Undo the allocation — without this, every failed NewPage (pool
+    // exhausted, all frames pinned) leaked a disk page forever.
+    disk_->FreePage(pid);
+    return s;
+  }
+  // Route the initial dirtying through MarkDirty so a fresh page created
+  // inside a transaction is captured like any other touched page (a hash
+  // overflow page allocated mid-install must be redo-logged, or recovery
+  // would resurrect a bucket chain pointing at zeroed bytes).
+  out->MarkDirty();
+  return Status::OK();
 }
 
 bool BufferPool::FreePage(PageId pid) {
+  if (wal_ != nullptr && InTxn()) {
+    // Deferred to commit: the page stays allocated (and resident) until
+    // the transaction's outcome is durable, so an abort simply forgets
+    // the free and a crash can never have reused the page uncommitted.
+    txn_frees_.push_back(pid);
+    return true;
+  }
+  return DoFreePage(pid);
+}
+
+bool BufferPool::DoFreePage(PageId pid) {
   std::lock_guard<std::mutex> big(evict_mu_);
+  RecycleRetiredStagingLocked();
   uint32_t frame = UINT32_MAX;
   uint32_t staged = UINT32_MAX;
   {
@@ -589,8 +647,10 @@ bool BufferPool::FreePage(PageId pid) {
       return false;  // pinned: the caller keeps the page
     }
     // Write-back if dirty: the same write that eviction or the end-of-run
-    // flush would charge, so freeing never hides an I/O.
-    OBJREP_CHECK(ReclaimFrameLocked(frame).ok());
+    // flush would charge, so freeing never hides an I/O. If the device
+    // fails the write the frame is restored intact and the page stays
+    // allocated — the caller keeps it, same contract as the pinned case.
+    if (!ReclaimFrameLocked(frame).ok()) return false;
     free_frames_.push_back(frame);
   }
   disk_->FreePage(pid);
@@ -629,6 +689,192 @@ void BufferPool::ResetStats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   prefetched_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Transactions (DESIGN.md §10). No-steal + write-through + redo-only WAL.
+
+Status BufferPool::BeginTxn() {
+  if (wal_ == nullptr) return Status::OK();
+  if (InTxn()) {
+    ++txn_depth_;
+    return Status::OK();
+  }
+  if (needs_recovery_.load(std::memory_order_acquire)) {
+    // A committed transaction's write-through apply failed. Until redo
+    // recovery runs, a new commit could be partially rolled back by that
+    // redo (its pages may share frames with the unapplied transaction's),
+    // so refuse to open one.
+    return Status::IOError("volume needs recovery before new transactions");
+  }
+  wal_mu_.lock();
+  txn_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  txn_active_.store(true, std::memory_order_release);
+  txn_depth_ = 1;
+  txn_failed_ = false;
+  txn_id_ = wal_->Begin();
+  txn_frames_.clear();
+  txn_frees_.clear();
+  return Status::OK();
+}
+
+void BufferPool::NoteTxnWrite(uint32_t frame) {
+  // Owner thread only; the caller holds a pin, so frame -> pid is stable.
+  // Transactions touch at most a few dozen pages; linear dedup is fine.
+  for (uint32_t f : txn_frames_) {
+    if (f == frame) return;
+  }
+  // The no-steal pin: while the transaction is open the frame cannot be
+  // evicted, so no uncommitted image can ever reach the volume.
+  frames_[frame].pin_count.fetch_add(1, std::memory_order_relaxed);
+  txn_frames_.push_back(frame);
+}
+
+Status BufferPool::CommitTxn() {
+  if (wal_ == nullptr) return Status::OK();
+  OBJREP_CHECK_MSG(InTxn(), "CommitTxn without an owned transaction");
+  if (txn_depth_ > 1) {
+    --txn_depth_;
+    return Status::OK();
+  }
+  Status s;
+  if (txn_failed_) {
+    // A nested scope aborted; the outer commit cannot resurrect it.
+    DropTxnFrames();
+    s = Status::Internal("transaction aborted by nested scope");
+  } else {
+    s = DoCommit();
+  }
+  EndTxnState();
+  return s;
+}
+
+void BufferPool::AbortTxn() {
+  if (wal_ == nullptr) return;
+  OBJREP_CHECK_MSG(InTxn(), "AbortTxn without an owned transaction");
+  if (txn_depth_ > 1) {
+    // Defer to the outermost scope, poisoning its commit.
+    --txn_depth_;
+    txn_failed_ = true;
+    return;
+  }
+  DropTxnFrames();
+  EndTxnState();
+}
+
+Status BufferPool::DoCommit() {
+  if (txn_frames_.empty() && txn_frees_.empty()) return Status::OK();
+  FaultInjector* fi = disk_->fault_injector();
+
+  Status s = fi->MaybeCrash("wal.commit.begin");
+  if (s.ok()) {
+    // Log after-images in page-id order: the log content of a transaction
+    // is then a function of *what* it touched, not of guard access order.
+    std::sort(txn_frames_.begin(), txn_frames_.end(),
+              [this](uint32_t a, uint32_t b) {
+                return frames_[a].pid < frames_[b].pid;
+              });
+    for (uint32_t fr : txn_frames_) {
+      wal_->AppendPageImage(txn_id_, frames_[fr].pid, frames_[fr].page);
+    }
+    for (PageId pid : txn_frees_) {
+      wal_->AppendFreePage(txn_id_, pid);
+    }
+    s = wal_->Commit(txn_id_);
+  }
+  if (!s.ok()) {
+    // Never reached the commit point: the transaction is simply gone.
+    // Drop its frames; the volume holds the last committed image of every
+    // touched page (no-steal + write-through induction).
+    DropTxnFrames();
+    return s;
+  }
+
+  // Durable. Write through so the volume converges to the committed state
+  // immediately; a crash anywhere in here is repaired by WAL redo.
+  Status apply = Status::OK();
+  for (uint32_t fr : txn_frames_) {
+    if (apply.ok()) apply = fi->MaybeCrash("wal.apply.page");
+    if (apply.ok()) apply = disk_->WritePage(frames_[fr].pid, frames_[fr].page);
+    if (apply.ok()) frames_[fr].dirty.store(false, std::memory_order_relaxed);
+  }
+  // Release the no-steal pins regardless of apply outcome: the content is
+  // committed either way. Frames whose write-through failed stay dirty, so
+  // a later eviction/flush (or recovery redo) still converges the volume.
+  // No restamp — the extra pin was invisible to the LRU.
+  for (uint32_t fr : txn_frames_) {
+    Unpin(fr, /*restamp=*/false);
+  }
+  txn_frames_.clear();
+  if (apply.ok()) {
+    for (PageId pid : txn_frees_) {
+      apply = fi->MaybeCrash("wal.apply.free");
+      if (!apply.ok()) break;
+      DoFreePage(pid);
+    }
+  }
+  txn_frees_.clear();
+  if (apply.ok()) apply = wal_->AppendApplied(txn_id_);
+  if (!apply.ok()) {
+    // Committed but not (provably) fully applied: the volume must be
+    // redone before the next transaction (see BeginTxn).
+    needs_recovery_.store(true, std::memory_order_release);
+  }
+  return apply;
+}
+
+void BufferPool::DropTxnFrames() {
+  std::lock_guard<std::mutex> big(evict_mu_);
+  for (uint32_t fr : txn_frames_) {
+    Frame& f = frames_[fr];
+    // By commit/abort time every guard is released (RAII scopes inside the
+    // strategy) and the LockManager isolates writers, so the no-steal pin
+    // is the only one left. Claim it and drop the frame without write-back.
+    int expected = 1;
+    OBJREP_CHECK_MSG(f.pin_count.compare_exchange_strong(
+                         expected, kEvicting, std::memory_order_acquire),
+                     "transaction frame still pinned at abort");
+    f.dirty.store(false, std::memory_order_relaxed);
+    OBJREP_CHECK(ReclaimFrameLocked(fr).ok());  // clean: cannot fail
+    free_frames_.push_back(fr);
+  }
+  txn_frames_.clear();
+  txn_frees_.clear();
+}
+
+void BufferPool::EndTxnState() {
+  txn_frames_.clear();
+  txn_frees_.clear();
+  txn_depth_ = 0;
+  txn_failed_ = false;
+  txn_active_.store(false, std::memory_order_release);
+  txn_owner_.store(std::thread::id(), std::memory_order_relaxed);
+  wal_mu_.unlock();
+}
+
+uint64_t BufferPool::DropAllFrames() {
+  std::lock_guard<std::mutex> big(evict_mu_);
+  OBJREP_CHECK_MSG(!txn_active_.load(std::memory_order_acquire),
+                   "DropAllFrames during an active transaction");
+  // The caller is the recovery path; WAL redo follows and repairs any
+  // committed-but-unapplied transaction.
+  needs_recovery_.store(false, std::memory_order_release);
+  if (staging_count_ > 0) DropStagedPages();
+  RecycleRetiredStagingLocked();
+  uint64_t dropped = 0;
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (!f.in_use) continue;
+    int expected = 0;
+    OBJREP_CHECK_MSG(f.pin_count.compare_exchange_strong(
+                         expected, kEvicting, std::memory_order_acquire),
+                     "DropAllFrames with pinned frames");
+    f.dirty.store(false, std::memory_order_relaxed);
+    OBJREP_CHECK(ReclaimFrameLocked(i).ok());  // forced clean: cannot fail
+    free_frames_.push_back(i);
+    ++dropped;
+  }
+  return dropped;
 }
 
 }  // namespace objrep

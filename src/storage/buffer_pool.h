@@ -49,10 +49,20 @@
 // mid-read (the demand path publishes after its read, so the hint's read
 // is redundant).
 //
-// Latch order: evict_mu_ -> bucket latch -> staging_mu_. The hit path
-// takes only a bucket latch; no path takes two bucket latches at once.
-// Prefetch itself takes no evict_mu_ at all, so background read-ahead
-// never blocks the demand path.
+// Transactions (DESIGN.md §10): with a Wal attached, Begin/Commit/Abort
+// bracket multi-page mutations. The pool runs a no-steal policy — every
+// frame dirtied inside a transaction takes one extra pin until the
+// transaction resolves, so uncommitted bytes never reach the volume — and
+// commit is write-through (log after-images, sync, then WritePage each),
+// so after every commit the volume holds exactly the committed state and
+// abort is simply dropping the touched frames without write-back.
+// FreePage calls inside a transaction are deferred to commit. One
+// transaction runs at a time (wal_mu_, reentrant on the owner thread).
+//
+// Latch order: wal_mu_ -> evict_mu_ -> bucket latch -> staging_mu_. The
+// hit path takes only a bucket latch; no path takes two bucket latches at
+// once. Prefetch itself takes no evict_mu_ at all, so background
+// read-ahead never blocks the demand path.
 #ifndef OBJREP_STORAGE_BUFFER_POOL_H_
 #define OBJREP_STORAGE_BUFFER_POOL_H_
 
@@ -60,6 +70,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +82,7 @@
 namespace objrep {
 
 class BufferPool;
+class Wal;
 
 /// RAII pin on a buffered page. Move-only; unpins on destruction.
 class PageGuard {
@@ -225,6 +237,42 @@ class BufferPool {
   /// happened since construction (database build, warmup, earlier runs).
   void ResetStats();
 
+  /// Attaches a write-ahead log, enabling Begin/Commit/AbortTxn. Without
+  /// one the three are no-ops and the pool behaves exactly as the seed.
+  void AttachWal(Wal* wal) { wal_ = wal; }
+  Wal* wal() const { return wal_; }
+
+  /// Opens a transaction (blocks while another thread's is active).
+  /// Reentrant on the owner thread: nested Begin/Commit pairs join the
+  /// outer transaction, which alone decides the outcome.
+  Status BeginTxn();
+  /// Commit point + write-through apply. On any failure (injected fault,
+  /// crash point) the touched frames are dropped and the volume is left
+  /// on the last committed state — unless the commit record became
+  /// durable first, in which case recovery will redo the transaction.
+  Status CommitTxn();
+  /// Drops every frame the transaction dirtied, without write-back, and
+  /// forgets its deferred frees. The volume already holds the last
+  /// committed image of each touched page (no-steal + write-through).
+  void AbortTxn();
+  /// True when the calling thread owns the active transaction.
+  bool InTxn() const {
+    return txn_active_.load(std::memory_order_acquire) &&
+           txn_owner_.load(std::memory_order_relaxed) ==
+               std::this_thread::get_id();
+  }
+  /// True after a durable commit whose write-through apply failed; BeginTxn
+  /// refuses new transactions until recovery (DropAllFrames + WAL redo).
+  bool needs_recovery() const {
+    return needs_recovery_.load(std::memory_order_acquire);
+  }
+
+  /// Empties the pool without writing anything back — the simulated loss
+  /// of volatile state. First step of crash recovery; requires no pinned
+  /// frames and no active transaction (fatal otherwise). Returns the
+  /// number of resident frames discarded.
+  uint64_t DropAllFrames();
+
   uint32_t capacity() const { return capacity_; }
   /// Monotonic; exact when quiescent, approximate while workers run.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -280,6 +328,34 @@ class BufferPool {
   }
 
   void Unpin(uint32_t frame, bool restamp = true);
+  /// PageGuard::MarkDirty lands here: sets the dirty flag and, when the
+  /// calling thread owns the active transaction, captures the frame into
+  /// it (NoteTxnWrite). Non-owner threads (concurrent temp writers) are
+  /// deliberately not captured — their pages are not transactional.
+  void MarkFrameDirty(uint32_t frame) {
+    frames_[frame].dirty.store(true, std::memory_order_relaxed);
+    if (txn_active_.load(std::memory_order_acquire) &&
+        txn_owner_.load(std::memory_order_relaxed) ==
+            std::this_thread::get_id()) {
+      NoteTxnWrite(frame);
+    }
+  }
+  /// Owner thread only. Takes the no-steal extra pin on first capture.
+  void NoteTxnWrite(uint32_t frame);
+  /// Releases the transaction's frames without write-back (abort, or
+  /// commit that failed before the commit point). Takes evict_mu_.
+  void DropTxnFrames();
+  /// Clears transaction state and releases wal_mu_.
+  void EndTxnState();
+  /// The full commit protocol; called with wal_mu_ held, depth at 0.
+  Status DoCommit();
+  /// FreePage without transactional deferral (also the commit-apply path).
+  bool DoFreePage(PageId pid);
+  /// Under evict_mu_: returns staging frames retired by failed hint reads
+  /// to the free list. Safe only under evict_mu_ — every staged-frame
+  /// consumer inspects frames inside an evict_mu_ section, so a recycle
+  /// at the top of a later section can never interleave with one.
+  void RecycleRetiredStagingLocked();
   /// Hit path of FetchPage without the miss fallback: pins `pid` if it is
   /// mapped (retrying around in-flight evictions). Returns false on miss.
   bool TryPinResident(PageId pid, PageGuard* out);
@@ -329,8 +405,28 @@ class BufferPool {
   PrefetchOptions prefetch_;  // written only by SetPrefetchOptions
   uint32_t staging_count_ = 0;
   std::unique_ptr<StagingFrame[]> staging_;
-  std::mutex staging_mu_;               // guards free_staging_ only
+  std::mutex staging_mu_;               // guards free_staging_/retired_
   std::vector<uint32_t> free_staging_;  // claimable staging frames
+  /// Staging frames whose hint read failed; recycled under evict_mu_.
+  std::vector<uint32_t> retired_staging_;
+  std::atomic<uint32_t> retired_count_{0};
+
+  // Transaction state. wal_mu_ is held from BeginTxn to Commit/AbortTxn;
+  // the vectors and txn_id_/txn_depth_/txn_failed_ are touched only by
+  // the owner thread while it holds wal_mu_.
+  Wal* wal_ = nullptr;
+  std::mutex wal_mu_;
+  std::atomic<bool> txn_active_{false};
+  std::atomic<std::thread::id> txn_owner_{};
+  int txn_depth_ = 0;
+  bool txn_failed_ = false;
+  uint64_t txn_id_ = 0;
+  std::vector<uint32_t> txn_frames_;  // captured frames, one extra pin each
+  std::vector<PageId> txn_frees_;     // deferred FreePage calls
+  /// Set when a durable commit's write-through apply failed: redo recovery
+  /// must run before the next transaction, or its redo could roll back
+  /// pages a later commit also touched. Cleared by DropAllFrames.
+  std::atomic<bool> needs_recovery_{false};
   // Declared last: destroyed (joined) first, so no worker touches a frame
   // after the pool starts tearing down.
   std::unique_ptr<ThreadPool> prefetch_workers_;
@@ -340,9 +436,7 @@ inline Page* PageGuard::page() { return &pool_->frames_[frame_].page; }
 inline const Page* PageGuard::page() const {
   return &pool_->frames_[frame_].page;
 }
-inline void PageGuard::MarkDirty() {
-  pool_->frames_[frame_].dirty.store(true, std::memory_order_relaxed);
-}
+inline void PageGuard::MarkDirty() { pool_->MarkFrameDirty(frame_); }
 inline void PageGuard::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(frame_, stamp_on_release_);

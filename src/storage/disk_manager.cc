@@ -58,6 +58,9 @@ void DiskManager::FreePage(PageId page_id) {
 }
 
 Status DiskManager::ReadPage(PageId page_id, Page* out) {
+  if (injector_.enabled()) {
+    OBJREP_RETURN_NOT_OK(injector_.OnRead(1));
+  }
   {
     std::shared_lock<std::shared_mutex> l(mu_);
     if (page_id >= pages_.size()) {
@@ -74,6 +77,12 @@ Status DiskManager::ReadPage(PageId page_id, Page* out) {
 Status DiskManager::ReadPages(const PageId* page_ids, size_t n,
                               Page* const* outs) {
   if (n == 0) return Status::OK();
+  // All-or-nothing like the unallocated-id check: a fault anywhere in the
+  // batch fails the whole vectored read with no reads charged. This is the
+  // path async prefetch workers take, so injected faults reach them too.
+  if (injector_.enabled()) {
+    OBJREP_RETURN_NOT_OK(injector_.OnRead(n));
+  }
   {
     std::shared_lock<std::shared_mutex> l(mu_);
     for (size_t i = 0; i < n; ++i) {
@@ -102,6 +111,20 @@ Status DiskManager::ReadPages(const PageId* page_ids, size_t n,
 }
 
 Status DiskManager::WritePage(PageId page_id, const Page& in) {
+  if (injector_.enabled()) {
+    OBJREP_RETURN_NOT_OK(injector_.OnWrite());
+    Status torn = injector_.MaybeCrash("disk.write.torn");
+    if (!torn.ok()) {
+      // Torn sector: half the page lands on the platter, then the crash.
+      // The partial transfer below makes the damage real; recovery must
+      // restore the page from a durable WAL image, never trust it.
+      std::shared_lock<std::shared_mutex> l(mu_);
+      if (page_id < pages_.size()) {
+        std::memcpy(pages_[page_id]->data, in.data, kPageSize / 2);
+      }
+      return torn;
+    }
+  }
   {
     std::shared_lock<std::shared_mutex> l(mu_);
     if (page_id >= pages_.size()) {
@@ -115,6 +138,35 @@ Status DiskManager::WritePage(PageId page_id, const Page& in) {
   last_read_.store(UINT64_MAX, std::memory_order_relaxed);
   SimulateLatency(1, 1);
   return Status::OK();
+}
+
+Status DiskManager::ReadPageRaw(PageId page_id, Page* out) const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  if (page_id >= pages_.size()) {
+    return Status::IOError("raw read of unallocated page");
+  }
+  std::memcpy(out->data, pages_[page_id]->data, kPageSize);
+  return Status::OK();
+}
+
+void DiskManager::WritePageRaw(PageId page_id, const Page& in) {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  OBJREP_CHECK_MSG(page_id < pages_.size(), "raw write of unallocated page");
+  std::memcpy(pages_[page_id]->data, in.data, kPageSize);
+}
+
+bool DiskManager::PageIsAllocated(PageId page_id) const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  return page_id < pages_.size() && !page_is_free_[page_id];
+}
+
+bool DiskManager::TryFreePage(PageId page_id) {
+  std::unique_lock<std::shared_mutex> l(mu_);
+  OBJREP_CHECK_MSG(page_id < pages_.size(), "try-free of unallocated page");
+  if (page_is_free_[page_id]) return false;
+  page_is_free_[page_id] = 1;
+  free_list_.push_back(page_id);
+  return true;
 }
 
 }  // namespace objrep

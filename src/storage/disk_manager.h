@@ -27,6 +27,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "storage/fault_injector.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -62,8 +63,30 @@ class DiskManager {
   /// reads charged.
   Status ReadPages(const PageId* page_ids, size_t n, Page* const* outs);
 
-  /// Copies `in` onto "disk". Charges one write.
+  /// Copies `in` onto "disk". Charges one write. Honors the
+  /// `disk.write.torn` crash point: a prefix of the page is transferred,
+  /// the volume crashes, and the call fails — the torn-sector model.
   Status WritePage(PageId page_id, const Page& in);
+
+  /// Uncounted, unfaulted read — the forensic path for recovery, WAL redo
+  /// verification, and test checksums. Never perturbs the I/O study.
+  Status ReadPageRaw(PageId page_id, Page* out) const;
+
+  /// Uncounted, unfaulted write — WAL redo lands committed images through
+  /// this, so replay cost never pollutes the experiment counters.
+  void WritePageRaw(PageId page_id, const Page& in);
+
+  /// Idempotent free for recovery replay: returns false (no-op) when the
+  /// page is already on the free list, true when this call freed it.
+  bool TryFreePage(PageId page_id);
+
+  /// True when `page_id` exists and is not on the free list — lets test
+  /// checksums walk exactly the live pages of the volume.
+  bool PageIsAllocated(PageId page_id) const;
+
+  /// The volume's fault source. Disabled by default (one relaxed load on
+  /// the hot path); configure/arm it to inject faults or crashes.
+  FaultInjector* fault_injector() { return &injector_; }
 
   /// Allocated address space in pages (free-listed pages included — the
   /// high-water footprint of the volume).
@@ -135,6 +158,7 @@ class DiskManager {
   std::atomic<uint64_t> last_read_{UINT64_MAX};
   std::atomic<uint32_t> io_latency_us_{0};
   std::atomic<uint32_t> transfer_us_{0};
+  FaultInjector injector_;
 };
 
 }  // namespace objrep

@@ -1,0 +1,156 @@
+#include "storage/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace objrep {
+
+namespace {
+
+// The crash-point registry. A fixed table, not distributed registration:
+// every site that calls MaybeCrash must name an entry here (checked
+// fatally), and every entry must be reachable from the wal_recovery_test
+// workload — the sweep asserts each point actually fired.
+//
+// Ordering is roughly the lifetime of one committed transaction.
+constexpr const char* kCrashPoints[] = {
+    "disk.write.torn",          // WritePage transfers a prefix, then dies
+    "wal.commit.begin",         // before anything is logged
+    "wal.commit.before_sync",   // commit record appended, tail not durable
+    "wal.sync.torn",            // sync makes only part of the tail durable
+    "wal.commit.after_sync",    // commit durable, nothing applied yet
+    "wal.apply.page",           // before each write-through page install
+    "wal.apply.free",           // before each deferred page free applies
+    "wal.applied.before_sync",  // applied record appended, not yet durable
+    "cache.install.mid",        // CacheManager::InsertUnit, mid-install
+    "cache.invalidate.mid",     // CacheManager::InvalidateSubobject, mid
+    "update.child",             // Strategy::UpdateChildInPlace, per target
+    "clust.update.mid",         // DFSCLUST update translation, per target
+    "temp.reclaim.mid",         // TempFile::FreePages, mid-reclaim
+};
+
+int IndexOfPoint(const char* point) {
+  for (size_t i = 0; i < sizeof(kCrashPoints) / sizeof(kCrashPoints[0]); ++i) {
+    // Sites pass string literals; compare contents, not addresses.
+    if (std::string_view(kCrashPoints[i]) == point) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FaultInjector::RegisteredCrashPoints() {
+  static const std::vector<std::string>* points = [] {
+    auto* v = new std::vector<std::string>;
+    for (const char* p : kCrashPoints) v->emplace_back(p);
+    return v;
+  }();
+  return *points;
+}
+
+void FaultInjector::Configure(uint64_t seed, double read_fault_rate,
+                              double write_fault_rate) {
+  std::lock_guard<std::mutex> l(mu_);
+  rng_ = Rng(seed);
+  read_fault_rate_ = read_fault_rate;
+  write_fault_rate_ = write_fault_rate;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmCrash(const std::string& point, uint32_t hit) {
+  OBJREP_CHECK_MSG(IndexOfPoint(point.c_str()) >= 0,
+                   "ArmCrash of unregistered crash point");
+  OBJREP_CHECK_MSG(hit >= 1, "crash hit counts are 1-based");
+  std::lock_guard<std::mutex> l(mu_);
+  armed_point_ = point;
+  armed_hit_ = hit;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> l(mu_);
+  read_fault_rate_ = 0;
+  write_fault_rate_ = 0;
+  armed_point_.clear();
+  armed_hit_ = 0;
+  crashed_at_.clear();
+  hits_.clear();
+  read_faults_.store(0, std::memory_order_relaxed);
+  write_faults_.store(0, std::memory_order_relaxed);
+  crashed_.store(false, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::ClearCrash() {
+  std::lock_guard<std::mutex> l(mu_);
+  armed_point_.clear();
+  armed_hit_ = 0;
+  crashed_.store(false, std::memory_order_relaxed);
+  // Leave enabled_ as-is: rate faults (if configured) keep applying, and a
+  // re-armed point can target the post-recovery run.
+}
+
+Status FaultInjector::OnRead(size_t n_pages) {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("simulated crash: volume is down");
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  if (read_fault_rate_ <= 0) return Status::OK();
+  for (size_t i = 0; i < n_pages; ++i) {
+    if (rng_.Bernoulli(read_fault_rate_)) {
+      read_faults_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError("injected read fault");
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnWrite() {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("simulated crash: volume is down");
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  if (write_fault_rate_ <= 0) return Status::OK();
+  if (rng_.Bernoulli(write_fault_rate_)) {
+    write_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected write fault");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::MaybeCrash(const char* point) {
+  // Disabled fast path: one relaxed load, no mutex, no registry scan.
+  if (!enabled_.load(std::memory_order_relaxed)) return Status::OK();
+  int idx = IndexOfPoint(point);
+  OBJREP_CHECK_MSG(idx >= 0, "MaybeCrash at unregistered crash point");
+  std::lock_guard<std::mutex> l(mu_);
+  if (hits_.empty()) hits_.resize(RegisteredCrashPoints().size(), 0);
+  ++hits_[static_cast<size_t>(idx)];
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("simulated crash: volume is down");
+  }
+  if (armed_point_.empty() || armed_point_ != point) return Status::OK();
+  if (hits_[static_cast<size_t>(idx)] < armed_hit_) return Status::OK();
+  crashed_at_ = armed_point_;
+  armed_point_.clear();
+  crashed_.store(true, std::memory_order_relaxed);
+  return Status::IOError("simulated crash at " + crashed_at_);
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  int idx = IndexOfPoint(point.c_str());
+  OBJREP_CHECK_MSG(idx >= 0, "HitCount of unregistered crash point");
+  std::lock_guard<std::mutex> l(mu_);
+  if (hits_.empty()) return 0;
+  return hits_[static_cast<size_t>(idx)];
+}
+
+std::string FaultInjector::CrashedAt() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return crashed_at_;
+}
+
+}  // namespace objrep

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the simulated disk (DESIGN.md §10).
+//
+// Two failure modes, both seeded and replayable:
+//
+//  1. Rate faults: every physical read/write rolls a Bernoulli trial on a
+//     seeded xoshiro stream and fails with Status::IOError at the
+//     configured rate. Same seed + same I/O sequence = same faults.
+//
+//  2. Crash points: named program locations (the fixed registry in
+//     fault_injector.cc) call MaybeCrash("name"). Arming a point makes its
+//     Nth hit "crash" the volume: the call returns an error, the injector
+//     enters the crashed state, and every subsequent disk I/O fails until
+//     ClearCrash() — the software analogue of yanking the power cord.
+//     Torn behavior is a property of the *site*, encoded in the point name:
+//     DiskManager::WritePage honors `disk.write.torn` by transferring a
+//     prefix of the page before the crash lands, and Wal::Sync honors
+//     `wal.sync.torn` by making only part of the unsynced tail durable —
+//     so a sweep over the registry exercises torn writes for free.
+//
+// Thread safety: `enabled_` / `crashed_` are atomics so the disabled fast
+// path is one relaxed load; all mutable decision state (rng, armed point,
+// hit counters) lives behind a mutex taken only when injection is enabled.
+#ifndef OBJREP_STORAGE_FAULT_INJECTOR_H_
+#define OBJREP_STORAGE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace objrep {
+
+/// Deterministic fault source owned by the DiskManager.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// All crash-point names a test sweep should iterate. The registry is a
+  /// fixed table (fault_injector.cc), so sweeps cannot silently miss a
+  /// point hidden behind a dropped static initializer.
+  static const std::vector<std::string>& RegisteredCrashPoints();
+
+  /// Enables seeded rate faults. Each rate applies independently to every
+  /// physical read/write; 0 disables rolls but keeps crash machinery armed.
+  void Configure(uint64_t seed, double read_fault_rate,
+                 double write_fault_rate);
+
+  /// Arms `point` (must be registered) to crash on its `hit`-th execution
+  /// (1-based). Implicitly enables the injector. One point at a time.
+  void ArmCrash(const std::string& point, uint32_t hit = 1);
+
+  /// Disables everything: rate faults, armed crash, crashed state.
+  void Reset();
+
+  /// Clears only the crashed state + armed point — recovery's first step.
+  /// Rate faults stay configured (a recovering system may fault again).
+  void ClearCrash();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
+
+  /// Hook for DiskManager::ReadPage(s)/WritePage. Returns non-OK when the
+  /// volume is crashed or the rate roll fails; `n` pages roll `n` trials.
+  Status OnRead(size_t n_pages);
+  Status OnWrite();
+
+  /// Crash-point hook. Returns OK when the point is not armed here (or is
+  /// armed for a later hit); otherwise marks the volume crashed and
+  /// returns the crash error. Sites with torn semantics perform their
+  /// partial transfer before calling / upon seeing the error — see the
+  /// header comment.
+  Status MaybeCrash(const char* point);
+
+  /// Times MaybeCrash(point) has executed while enabled (armed or not) —
+  /// lets tests assert a sweep actually reached a point.
+  uint64_t HitCount(const std::string& point) const;
+
+  /// Name of the point whose crash fired ("" if none) — for reports.
+  std::string CrashedAt() const;
+
+  /// Total injected rate faults, for leak-sweep accounting.
+  uint64_t injected_read_faults() const {
+    return read_faults_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_write_faults() const {
+    return write_faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> read_faults_{0};
+  std::atomic<uint64_t> write_faults_{0};
+
+  mutable std::mutex mu_;
+  Rng rng_{0};                  // guarded by mu_
+  double read_fault_rate_ = 0;  // guarded by mu_
+  double write_fault_rate_ = 0;
+  std::string armed_point_;  // empty = no armed crash
+  uint32_t armed_hit_ = 0;
+  std::string crashed_at_;
+  std::vector<uint64_t> hits_;  // parallel to RegisteredCrashPoints()
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_STORAGE_FAULT_INJECTOR_H_

@@ -1,0 +1,193 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "storage/disk_manager.h"
+#include "storage/fault_injector.h"
+#include "util/hash.h"
+#include "util/macros.h"
+
+namespace objrep {
+
+namespace {
+
+// Record framing:  [u8 type][u64 txn][u32 payload_len] payload [u64 fnv]
+// The checksum covers header + payload; a record whose framing runs past
+// the durable watermark or whose checksum mismatches is a torn tail and
+// ends the recoverable log.
+constexpr size_t kHeaderBytes = 1 + 8 + 4;
+constexpr size_t kTrailerBytes = 8;
+
+template <typename T>
+T LoadLE(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void StoreLE(std::vector<uint8_t>* buf, T v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  buf->insert(buf->end(), p, p + sizeof(T));
+}
+
+}  // namespace
+
+uint64_t Wal::Begin() { return next_txn_++; }
+
+void Wal::AppendRecord(RecordType type, uint64_t txn, const uint8_t* payload,
+                       uint32_t payload_len) {
+  size_t start = log_.size();
+  log_.push_back(static_cast<uint8_t>(type));
+  StoreLE<uint64_t>(&log_, txn);
+  StoreLE<uint32_t>(&log_, payload_len);
+  if (payload_len != 0) {
+    log_.insert(log_.end(), payload, payload + payload_len);
+  }
+  uint64_t crc = Fnv1a64(log_.data() + start, kHeaderBytes + payload_len);
+  StoreLE<uint64_t>(&log_, crc);
+}
+
+void Wal::AppendPageImage(uint64_t txn, PageId pid, const Page& image) {
+  uint8_t payload[4 + kPageSize];
+  std::memcpy(payload, &pid, 4);
+  std::memcpy(payload + 4, image.data, kPageSize);
+  AppendRecord(kPageImage, txn, payload, sizeof(payload));
+}
+
+void Wal::AppendFreePage(uint64_t txn, PageId pid) {
+  uint8_t payload[4];
+  std::memcpy(payload, &pid, 4);
+  AppendRecord(kFreePage, txn, payload, sizeof(payload));
+}
+
+Status Wal::Sync() {
+  FaultInjector* fi = disk_->fault_injector();
+  Status torn = fi->MaybeCrash("wal.sync.torn");
+  if (!torn.ok()) {
+    // The device persisted part of the tail before dying. Cut roughly in
+    // half — always making progress, and for multi-record tails always
+    // landing inside a record so recovery must checksum-reject it.
+    durable_ += (log_.size() - durable_ + 1) / 2;
+    return torn;
+  }
+  durable_ = log_.size();
+  return Status::OK();
+}
+
+Status Wal::Commit(uint64_t txn) {
+  FaultInjector* fi = disk_->fault_injector();
+  AppendRecord(kCommit, txn, nullptr, 0);
+  OBJREP_RETURN_NOT_OK(fi->MaybeCrash("wal.commit.before_sync"));
+  OBJREP_RETURN_NOT_OK(Sync());  // <- the commit point
+  ++committed_txns_;
+  ++open_applies_;
+  return fi->MaybeCrash("wal.commit.after_sync");
+}
+
+Status Wal::AppendApplied(uint64_t txn) {
+  FaultInjector* fi = disk_->fault_injector();
+  AppendRecord(kApplied, txn, nullptr, 0);
+  OBJREP_RETURN_NOT_OK(fi->MaybeCrash("wal.applied.before_sync"));
+  OBJREP_RETURN_NOT_OK(Sync());
+  OBJREP_CHECK_MSG(open_applies_ > 0, "applied record without open commit");
+  if (--open_applies_ == 0) {
+    // Every committed transaction is written through: the entire log is
+    // redo-dead. Truncating here is the (free) checkpoint.
+    log_.clear();
+    durable_ = 0;
+  }
+  return Status::OK();
+}
+
+Status Wal::Recover(WalRecoveryStats* stats) {
+  WalRecoveryStats local;
+  WalRecoveryStats* st = stats != nullptr ? stats : &local;
+  *st = WalRecoveryStats{};
+
+  struct TxnRecords {
+    std::vector<std::pair<PageId, size_t>> images;  // pid, payload offset
+    std::vector<PageId> frees;
+    bool committed = false;
+    bool applied = false;
+  };
+  // Commit order == log order (the pool serializes transactions), so an
+  // insertion-ordered vector with an id index is enough.
+  std::vector<std::pair<uint64_t, TxnRecords>> txns;
+  std::unordered_map<uint64_t, size_t> index;
+  auto txn_of = [&](uint64_t id) -> TxnRecords& {
+    auto it = index.find(id);
+    if (it == index.end()) {
+      index.emplace(id, txns.size());
+      txns.emplace_back(id, TxnRecords{});
+      return txns.back().second;
+    }
+    return txns[it->second].second;
+  };
+
+  // Parse the durable prefix, stopping at the first torn/corrupt record.
+  size_t pos = 0;
+  while (pos + kHeaderBytes + kTrailerBytes <= durable_) {
+    uint8_t type = log_[pos];
+    uint64_t txn = LoadLE<uint64_t>(log_.data() + pos + 1);
+    uint32_t len = LoadLE<uint32_t>(log_.data() + pos + 9);
+    if (type < kPageImage || type > kApplied) break;
+    size_t rec_end = pos + kHeaderBytes + len + kTrailerBytes;
+    if (rec_end > durable_) break;  // framing runs past the watermark: torn
+    uint64_t crc = LoadLE<uint64_t>(log_.data() + pos + kHeaderBytes + len);
+    if (Fnv1a64(log_.data() + pos, kHeaderBytes + len) != crc) break;
+    const uint8_t* payload = log_.data() + pos + kHeaderBytes;
+    switch (static_cast<RecordType>(type)) {
+      case kPageImage: {
+        OBJREP_CHECK_MSG(len == 4 + kPageSize, "bad page-image record");
+        PageId pid = LoadLE<PageId>(payload);
+        txn_of(txn).images.emplace_back(pid, pos + kHeaderBytes + 4);
+        break;
+      }
+      case kFreePage: {
+        OBJREP_CHECK_MSG(len == 4, "bad free-page record");
+        txn_of(txn).frees.push_back(LoadLE<PageId>(payload));
+        break;
+      }
+      case kCommit:
+        txn_of(txn).committed = true;
+        break;
+      case kApplied:
+        txn_of(txn).applied = true;
+        break;
+    }
+    pos = rec_end;
+  }
+  st->torn_bytes = durable_ - pos;
+
+  // Redo committed-but-unapplied transactions in log order. Page image
+  // rewrites are idempotent; frees are re-applied idempotently because a
+  // crash can land between the individual frees of one transaction.
+  for (const auto& [id, recs] : txns) {
+    (void)id;
+    if (!recs.committed) continue;  // never reached the commit point: lost
+    ++st->txns_seen;
+    if (recs.applied) continue;
+    ++st->txns_redone;
+    for (const auto& [pid, off] : recs.images) {
+      Page img;
+      std::memcpy(img.data, log_.data() + off, kPageSize);
+      disk_->WritePageRaw(pid, img);
+      ++st->pages_redone;
+    }
+    for (PageId pid : recs.frees) {
+      if (disk_->TryFreePage(pid)) ++st->frees_redone;
+    }
+  }
+  return Status::OK();
+}
+
+void Wal::Reset() {
+  log_.clear();
+  durable_ = 0;
+  committed_txns_ = 0;
+  open_applies_ = 0;
+}
+
+}  // namespace objrep

@@ -1,0 +1,118 @@
+// Page-level write-ahead commit log (DESIGN.md §10).
+//
+// Modeled on an append-only commit log: fixed-header records with a
+// trailing FNV-1a checksum, appended to a byte buffer with an explicit
+// durable watermark. Everything past the watermark is lost in a crash;
+// Sync() advances it (and is where the `wal.sync.torn` crash point can
+// leave a half-record durable, which recovery must detect and discard).
+//
+// Redo-only protocol — there are no before-images because the buffer pool
+// runs the companion no-steal policy (txn-dirtied frames hold an extra pin
+// until commit, so uncommitted data never reaches disk):
+//
+//   BeginTxn                       (BufferPool, one writer at a time)
+//     ... strategy mutates pages through PageGuards ...
+//   CommitTxn:
+//     append kPageImage for every touched page, kFreePage for every
+//       deferred free, then kCommit; Sync()           <- commit point
+//     write-through: WritePage every image to the volume, apply frees
+//     append kApplied; Sync()     <- marks redo unnecessary
+//
+// Recovery replays, in log order, every transaction whose kCommit record
+// is durable and intact but whose kApplied record is not: page images are
+// rewritten (idempotent) and frees re-applied (idempotently — a crash can
+// land between individual frees). Transactions without a durable commit
+// record are ignored; the no-steal pool guarantees none of their pages hit
+// the volume. Once every committed transaction is applied the whole log is
+// dead weight, so AppendApplied truncates it — the checkpoint is free
+// because apply is write-through.
+//
+// Thread safety: none needed here. The BufferPool serializes transactions
+// on wal_mu_ and recovery is single-threaded by contract.
+#ifndef OBJREP_STORAGE_WAL_H_
+#define OBJREP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace objrep {
+
+class DiskManager;
+class FaultInjector;
+
+/// Outcome of Wal::Recover, for reports and test assertions.
+struct WalRecoveryStats {
+  uint64_t txns_seen = 0;      ///< committed txns found in the durable log
+  uint64_t txns_redone = 0;    ///< committed-but-unapplied txns replayed
+  uint64_t pages_redone = 0;   ///< page images rewritten to the volume
+  uint64_t frees_redone = 0;   ///< deferred frees re-applied
+  uint64_t torn_bytes = 0;     ///< durable bytes discarded as torn tail
+};
+
+/// In-memory write-ahead commit log with an explicit durable watermark.
+class Wal {
+ public:
+  explicit Wal(DiskManager* disk) : disk_(disk) {}
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Starts a new transaction; returns its id (monotonic from 1).
+  uint64_t Begin();
+
+  /// Appends the after-image of `pid` for `txn`. Not yet durable.
+  void AppendPageImage(uint64_t txn, PageId pid, const Page& image);
+
+  /// Appends a deferred free of `pid` for `txn`. Not yet durable.
+  void AppendFreePage(uint64_t txn, PageId pid);
+
+  /// Appends the commit record and makes the log durable — the commit
+  /// point. Crash points: wal.commit.before_sync / wal.sync.torn /
+  /// wal.commit.after_sync.
+  Status Commit(uint64_t txn);
+
+  /// Appends the applied record (txn fully written through) and syncs.
+  /// When no committed transaction remains unapplied, truncates the log.
+  /// Crash point: wal.applied.before_sync.
+  Status AppendApplied(uint64_t txn);
+
+  /// Redo pass over the durable prefix: validates record framing +
+  /// checksums (stopping at the first torn/corrupt record), then replays
+  /// committed-but-unapplied transactions in log order onto the volume.
+  /// Call with the injector's crash state already cleared.
+  Status Recover(WalRecoveryStats* stats);
+
+  /// Drops all log state (post-recovery, or tests). Txn ids keep rising.
+  void Reset();
+
+  /// Bytes currently held by the log (durable or not).
+  uint64_t size_bytes() const { return log_.size(); }
+  uint64_t durable_bytes() const { return durable_; }
+  uint64_t committed_txns() const { return committed_txns_; }
+
+ private:
+  enum RecordType : uint8_t {
+    kPageImage = 1,
+    kFreePage = 2,
+    kCommit = 3,
+    kApplied = 4,
+  };
+
+  void AppendRecord(RecordType type, uint64_t txn, const uint8_t* payload,
+                    uint32_t payload_len);
+  /// Advances the durable watermark to the log end (crash points apply).
+  Status Sync();
+
+  DiskManager* disk_;
+  std::vector<uint8_t> log_;
+  uint64_t durable_ = 0;  ///< log_[0, durable_) survives a crash
+  uint64_t next_txn_ = 1;
+  uint64_t committed_txns_ = 0;
+  uint64_t open_applies_ = 0;  ///< committed txns whose kApplied isn't logged
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_STORAGE_WAL_H_

@@ -1,0 +1,168 @@
+// Regression tests for resource handling on injected-fault error paths
+// (DESIGN.md §10): staging frames retired by failed hint reads must be
+// recycled, NewPage must return the disk page when it cannot pin a frame,
+// a failed eviction write-back must leave the victim resident and dirty,
+// and a FetchPages batch that fails mid-way must release every pin it
+// took. Each of these once leaked quietly — the pool kept working until
+// the leaked resource ran out.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fault_injector.h"
+
+namespace objrep {
+namespace {
+
+/// Allocates `n` disk pages stamped with a recognizable byte.
+std::vector<PageId> MakePages(DiskManager* disk, size_t n) {
+  std::vector<PageId> pids;
+  for (size_t i = 0; i < n; ++i) {
+    PageId pid = disk->AllocatePage();
+    Page p;
+    std::memset(p.data, static_cast<int>(0x40 + i % 64), kPageSize);
+    disk->WritePageRaw(pid, p);
+    pids.push_back(pid);
+  }
+  return pids;
+}
+
+TEST(FaultPathsTest, FailedHintReadsRecycleStagingFrames) {
+  DiskManager disk;
+  BufferPool pool(&disk, /*capacity=*/8);
+  PrefetchOptions opts;
+  opts.enabled = true;
+  opts.readahead_pages = 4;  // 16 staging frames total
+  pool.SetPrefetchOptions(opts);
+  std::vector<PageId> pids = MakePages(&disk, 64);
+
+  // Fail every read: each 4-page hint retires 4 staging frames. Without
+  // recycling, 4 failed hints would exhaust all 16 staging frames and
+  // read-ahead would be dead for the rest of the run. A demand fetch
+  // between hints (any evict_mu_ section) performs the recycle.
+  FaultInjector* fi = disk.fault_injector();
+  fi->Configure(/*seed=*/5, /*read_fault_rate=*/1.0, /*write_fault_rate=*/0);
+  for (size_t round = 0; round < 8; ++round) {
+    pool.PrefetchHint(&pids[round * 4], 4);
+    EXPECT_TRUE(pool.StagedPageIds().empty());
+    fi->Reset();
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(pids[32 + round], &g).ok());
+    g.Release();
+    fi->Configure(5, 1.0, 0);
+  }
+
+  // With faults off, a full window must still stage — proof no staging
+  // frame was permanently lost to the 8 failed rounds above.
+  fi->Reset();
+  uint64_t before = pool.prefetched_pages();
+  pool.PrefetchHint(pids.data(), 4);
+  EXPECT_EQ(pool.prefetched_pages(), before + 4);
+  EXPECT_EQ(pool.StagedPageIds().size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(pids[i], &g).ok());
+    EXPECT_EQ(g.page()->data[0], static_cast<char>(0x40 + i));
+  }
+}
+
+TEST(FaultPathsTest, NewPageReturnsDiskPageWhenPoolExhausted) {
+  DiskManager disk;
+  BufferPool pool(&disk, /*capacity=*/4);
+  std::vector<PageGuard> pins(4);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.NewPage(&pins[i]).ok());
+  }
+  uint64_t live = disk.num_pages() - disk.num_free_pages();
+
+  // Every frame is pinned: NewPage allocates a disk page, fails to pin a
+  // frame for it, and must give the page back.
+  for (int i = 0; i < 10; ++i) {
+    PageGuard g;
+    Status s = pool.NewPage(&g);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(disk.num_pages() - disk.num_free_pages(), live)
+        << "failed NewPage leaked a disk page";
+  }
+}
+
+TEST(FaultPathsTest, EvictionWriteFailurePreservesDirtyData) {
+  DiskManager disk;
+  BufferPool pool(&disk, /*capacity=*/2);
+  std::vector<PageId> pids = MakePages(&disk, 4);
+
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(pids[0], &g).ok());
+    g.page()->data[0] = 'X';
+    g.MarkDirty();
+  }
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(pids[1], &g).ok());
+  }
+
+  // Fetching a third page must evict pids[0] (LRU), whose write-back
+  // fails; the miss surfaces the error and the dirty frame stays intact.
+  FaultInjector* fi = disk.fault_injector();
+  fi->Configure(/*seed=*/7, /*read_fault_rate=*/0, /*write_fault_rate=*/1.0);
+  {
+    PageGuard g;
+    Status s = pool.FetchPage(pids[2], &g);
+    ASSERT_FALSE(s.ok());
+  }
+  fi->Reset();
+
+  // The modified byte survives: still resident (the fetch is a hit, so no
+  // disk read could have refreshed it) and still dirty.
+  uint64_t hits = pool.hits();
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(pids[0], &g).ok());
+    EXPECT_EQ(pool.hits(), hits + 1);
+    EXPECT_EQ(g.page()->data[0], 'X');
+  }
+  // And with the device healthy again the eviction completes normally.
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(pids[2], &g).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page p;
+  ASSERT_TRUE(disk.ReadPageRaw(pids[0], &p).ok());
+  EXPECT_EQ(p.data[0], 'X');
+}
+
+TEST(FaultPathsTest, FetchPagesMidBatchFailureReleasesAllPins) {
+  DiskManager disk;
+  BufferPool pool(&disk, /*capacity=*/8);
+  std::vector<PageId> pids = MakePages(&disk, 4);
+
+  // Make the first two resident so the batch mixes hits (pinned up front)
+  // with misses (whose vectored read will fail).
+  for (size_t i = 0; i < 2; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(pids[i], &g).ok());
+  }
+
+  FaultInjector* fi = disk.fault_injector();
+  fi->Configure(/*seed=*/9, /*read_fault_rate=*/1.0, /*write_fault_rate=*/0);
+  std::vector<PageGuard> guards;
+  Status s = pool.FetchPages(pids.data(), pids.size(), &guards);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(guards.empty());
+  fi->Reset();
+
+  // No pin may survive the failed batch: FreePage returns false for a
+  // pinned page, so a successful free of every element proves the hit
+  // pins were dropped along with the aborted miss frames.
+  for (PageId pid : pids) {
+    EXPECT_TRUE(pool.FreePage(pid)) << "leaked pin on page " << pid;
+  }
+}
+
+}  // namespace
+}  // namespace objrep

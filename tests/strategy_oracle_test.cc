@@ -1,0 +1,318 @@
+// Cross-strategy differential oracle: for randomized database specs and
+// randomized retrieve/update sequences, all nine strategies must return
+// exactly the same answers — the multiset of projected attribute values
+// predicted by the generation ground truth (BFSNODUP: the distinct set).
+// A second pass crashes each run at a registered fault point, recovers,
+// and requires the recovered database to answer a full scan with the
+// committed prefix of the update history.
+//
+// Seeds default to 50; the nightly sweep sets OBJREP_ORACLE_SEEDS=500.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+#include "storage/fault_injector.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace objrep {
+namespace {
+
+constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::kDfs,          StrategyKind::kBfs,
+    StrategyKind::kBfsNoDup,     StrategyKind::kDfsCache,
+    StrategyKind::kDfsClust,     StrategyKind::kSmart,
+    StrategyKind::kDfsClustCache, StrategyKind::kBfsJoinIndex,
+    StrategyKind::kBfsHash,
+};
+
+int NumSeeds() {
+  const char* env = std::getenv("OBJREP_ORACLE_SEEDS");
+  if (env != nullptr) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 50;
+}
+
+/// Random spec satisfying every Validate() divisibility constraint:
+/// num_parents = use * overlap * num_child_rels * m makes NumUnits and
+/// |ChildRel| divide evenly for any factor choice.
+DatabaseSpec RandomSpec(uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  DatabaseSpec spec;
+  const uint32_t uses[] = {1, 2, 5};
+  spec.use_factor = uses[rng.Uniform(3)];
+  spec.overlap_factor = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  spec.size_unit = 2 + static_cast<uint32_t>(rng.Uniform(6));
+  spec.num_child_rels = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  uint32_t m = 8 + static_cast<uint32_t>(rng.Uniform(25));
+  spec.num_parents =
+      spec.use_factor * spec.overlap_factor * spec.num_child_rels * m;
+  spec.buffer_pages = 40 + static_cast<uint32_t>(rng.Uniform(60));
+  spec.build_cache = true;
+  spec.size_cache = 8 + static_cast<uint32_t>(rng.Uniform(24));
+  spec.cache_buckets = 16;
+  spec.build_cluster = true;
+  spec.build_join_index = true;
+  spec.enable_wal = true;
+  spec.seed = seed + 1000;
+  return spec;
+}
+
+/// Random query sequence with globally distinct update targets and
+/// distinct update markers, so any prefix of the update history is
+/// identifiable from content.
+std::vector<Query> RandomQueries(uint64_t seed, const ComplexDatabase& db) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 3);
+  const uint32_t num_parents = db.spec.num_parents;
+  const uint32_t children_per_rel =
+      db.spec.num_children_total() / db.spec.num_child_rels;
+  std::set<uint64_t> used;
+  std::vector<Query> qs;
+  uint32_t updates = 0;
+  const uint32_t n = 8 + static_cast<uint32_t>(rng.Uniform(5));
+  for (uint32_t i = 0; i < n; ++i) {
+    Query q;
+    if (rng.Bernoulli(0.4)) {
+      q.kind = Query::Kind::kUpdate;
+      uint32_t batch = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      for (uint32_t b = 0; b < batch; ++b) {
+        for (int tries = 0; tries < 64; ++tries) {
+          uint32_t r =
+              static_cast<uint32_t>(rng.Uniform(db.spec.num_child_rels));
+          uint32_t k = static_cast<uint32_t>(rng.Uniform(children_per_rel));
+          Oid oid{db.child_rels[r]->rel_id(), k};
+          if (used.insert(oid.Packed()).second) {
+            q.update_targets.push_back(oid);
+            break;
+          }
+        }
+      }
+      if (q.update_targets.empty()) continue;
+      q.new_ret1 = static_cast<int32_t>(2000000 + updates);
+      ++updates;
+    } else {
+      q.kind = Query::Kind::kRetrieve;
+      q.num_top = 1 + static_cast<uint32_t>(
+                          rng.Uniform(std::min(num_parents, 20u)));
+      q.lo_parent =
+          static_cast<uint32_t>(rng.Uniform(num_parents - q.num_top + 1));
+      q.attr_index = static_cast<int>(rng.Uniform(3));
+    }
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+/// Ground-truth simulator: current ret1 per packed OID (ret2/ret3 are
+/// never updated), advanced one update query at a time.
+class Oracle {
+ public:
+  explicit Oracle(const ComplexDatabase& db) : db_(&db) {
+    for (size_t r = 0; r < db.child_rels.size(); ++r) {
+      rel_index_[db.child_rels[r]->rel_id()] = r;
+    }
+  }
+
+  void Apply(const Query& q) {
+    OBJREP_CHECK(q.kind == Query::Kind::kUpdate);
+    for (const Oid& oid : q.update_targets) {
+      overrides_[oid.Packed()] = q.new_ret1;
+    }
+  }
+
+  int32_t ValueOf(const Oid& oid, int attr) const {
+    size_t r = rel_index_.at(oid.rel);
+    const ChildRow& row = db_->child_rows[r][oid.key];
+    if (attr == 1) return row.ret2;
+    if (attr == 2) return row.ret3;
+    auto it = overrides_.find(oid.Packed());
+    return it != overrides_.end() ? it->second : row.ret1;
+  }
+
+  std::multiset<int32_t> Expected(const Query& q) const {
+    std::multiset<int32_t> out;
+    for (uint32_t p = q.lo_parent; p < q.lo_parent + q.num_top; ++p) {
+      for (const Oid& oid : db_->units[db_->unit_of_parent[p]]) {
+        out.insert(ValueOf(oid, q.attr_index));
+      }
+    }
+    return out;
+  }
+
+  /// BFSNODUP's answer: duplicate *OIDs* are eliminated before the join,
+  /// so each distinct subobject projects once — but distinct subobjects
+  /// sharing a value still produce repeated values.
+  std::multiset<int32_t> ExpectedNoDup(const Query& q) const {
+    std::set<uint64_t> seen;
+    std::multiset<int32_t> out;
+    for (uint32_t p = q.lo_parent; p < q.lo_parent + q.num_top; ++p) {
+      for (const Oid& oid : db_->units[db_->unit_of_parent[p]]) {
+        if (seen.insert(oid.Packed()).second) {
+          out.insert(ValueOf(oid, q.attr_index));
+        }
+      }
+    }
+    return out;
+  }
+
+  std::multiset<int32_t> ExpectedFor(StrategyKind kind,
+                                     const Query& q) const {
+    return kind == StrategyKind::kBfsNoDup ? ExpectedNoDup(q) : Expected(q);
+  }
+
+ private:
+  const ComplexDatabase* db_;
+  std::map<uint32_t, size_t> rel_index_;
+  std::map<uint64_t, int32_t> overrides_;
+};
+
+/// Runs one query with the runner's transaction protocol.
+Status RunOne(Strategy* strategy, ComplexDatabase* db, const Query& q,
+              RetrieveResult* result) {
+  if (q.kind == Query::Kind::kRetrieve) {
+    return strategy->ExecuteRetrieve(q, result);
+  }
+  OBJREP_RETURN_NOT_OK(db->pool->BeginTxn());
+  Status s = strategy->ExecuteUpdate(q);
+  if (s.ok()) return db->pool->CommitTxn();
+  db->pool->AbortTxn();
+  return s;
+}
+
+void ExpectMatchesOracle(StrategyKind kind, const Oracle& oracle,
+                         const Query& q, const RetrieveResult& result) {
+  std::multiset<int32_t> got(result.values.begin(), result.values.end());
+  EXPECT_EQ(got, oracle.ExpectedFor(kind, q)) << StrategyKindName(kind);
+}
+
+TEST(StrategyOracleTest, AllStrategiesAgreeOnRandomizedWorkloads) {
+  const int seeds = NumSeeds();
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed));
+    ASSERT_TRUE(spec.Validate().ok());
+
+    // The query sequence depends only on the spec (via the ground truth
+    // shapes), so one build supplies it for every strategy.
+    std::vector<Query> queries;
+    {
+      std::unique_ptr<ComplexDatabase> proto;
+      ASSERT_TRUE(BuildDatabase(spec, &proto).ok());
+      queries = RandomQueries(static_cast<uint64_t>(seed), *proto);
+    }
+
+    for (StrategyKind kind : kAllStrategies) {
+      // Fresh database per strategy: updates are translated into the
+      // strategy's own representation, so state cannot be shared.
+      std::unique_ptr<ComplexDatabase> db;
+      ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+      std::unique_ptr<Strategy> strategy;
+      ASSERT_TRUE(
+          MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+      Oracle oracle(*db);
+      for (const Query& q : queries) {
+        RetrieveResult result;
+        ASSERT_TRUE(RunOne(strategy.get(), db.get(), q, &result).ok())
+            << StrategyKindName(kind);
+        if (q.kind == Query::Kind::kRetrieve) {
+          ExpectMatchesOracle(kind, oracle, q, result);
+        } else {
+          oracle.Apply(q);
+        }
+      }
+      if (HasFailure()) return;
+    }
+  }
+}
+
+TEST(StrategyOracleTest, RecoveryAfterCrashReproducesOracleAnswer) {
+  const int seeds = NumSeeds();
+  const auto& points = FaultInjector::RegisteredCrashPoints();
+  int crashed_runs = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed));
+    StrategyKind kind =
+        kAllStrategies[static_cast<size_t>(seed) % std::size(kAllStrategies)];
+    const std::string& point = points[static_cast<size_t>(seed) %
+                                      points.size()];
+    SCOPED_TRACE(std::string(StrategyKindName(kind)) + " @ " + point);
+
+    std::unique_ptr<ComplexDatabase> db;
+    ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+    std::vector<Query> queries =
+        RandomQueries(static_cast<uint64_t>(seed), *db);
+    std::unique_ptr<Strategy> strategy;
+    ASSERT_TRUE(
+        MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+    db->disk->fault_injector()->ArmCrash(point);
+
+    // Oracle states after each committed update prefix.
+    Oracle oracle(*db);
+    std::vector<Oracle> prefix_states;
+    prefix_states.push_back(oracle);
+    for (const Query& q : queries) {
+      if (q.kind == Query::Kind::kUpdate) {
+        oracle.Apply(q);
+        prefix_states.push_back(oracle);
+      }
+    }
+
+    size_t updates_done = 0;
+    bool crashed = false;
+    for (const Query& q : queries) {
+      RetrieveResult result;
+      Status s = RunOne(strategy.get(), db.get(), q, &result);
+      if (!s.ok()) {
+        ASSERT_TRUE(db->disk->fault_injector()->crashed())
+            << "non-crash failure: " << s.ToString();
+        crashed = true;
+        break;
+      }
+      if (q.kind == Query::Kind::kUpdate) ++updates_done;
+    }
+    if (!crashed) continue;  // this workload never reached the point
+    ++crashed_runs;
+
+    RecoveryReport rep;
+    ASSERT_TRUE(RecoverDatabase(db.get(), &rep).ok());
+
+    // The recovered database must answer a full scan with the committed
+    // prefix: exactly `updates_done` updates, or one more when the crash
+    // landed after the in-flight commit became durable.
+    Query scan;
+    scan.kind = Query::Kind::kRetrieve;
+    scan.lo_parent = 0;
+    scan.num_top = spec.num_parents;
+    scan.attr_index = 0;
+    RetrieveResult result;
+    ASSERT_TRUE(strategy->ExecuteRetrieve(scan, &result).ok());
+    std::multiset<int32_t> got(result.values.begin(), result.values.end());
+    bool ok = got == prefix_states[updates_done].ExpectedFor(kind, scan);
+    if (!ok && updates_done + 1 < prefix_states.size()) {
+      ok = got == prefix_states[updates_done + 1].ExpectedFor(kind, scan);
+    }
+    EXPECT_TRUE(ok) << "recovered scan matches neither committed prefix "
+                    << updates_done << " nor " << updates_done + 1;
+    if (HasFailure()) return;
+  }
+  // The sweep is vacuous if the random (strategy, point, workload) triples
+  // rarely crash; require a real share of the seeds to exercise recovery.
+  EXPECT_GE(crashed_runs, seeds / 4)
+      << "only " << crashed_runs << "/" << seeds << " runs crashed";
+}
+
+}  // namespace
+}  // namespace objrep

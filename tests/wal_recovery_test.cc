@@ -1,0 +1,460 @@
+// Crash-recovery sweep (DESIGN.md §10): every registered crash point is
+// exercised in a scenario that reaches it, the simulated volume is crashed
+// there, RecoverDatabase runs, and the recovered state must satisfy the
+// recovery invariant — the base relations hold exactly a committed prefix
+// of the update history (prefix k, or k+1 when the crash landed after the
+// commit record became durable), and the cache passes its structural
+// invariants.
+//
+// Update sequences use pairwise-disjoint targets and distinct marker
+// values, so "which prefix is on disk" is decidable from content alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+#include "storage/fault_injector.h"
+#include "util/hash.h"
+#include "util/macros.h"
+
+namespace objrep {
+namespace {
+
+DatabaseSpec BaseSpec(bool cache, bool cluster) {
+  DatabaseSpec spec;
+  spec.num_parents = 200;
+  spec.size_unit = 4;
+  spec.use_factor = 2;
+  spec.overlap_factor = 1;
+  spec.buffer_pages = 60;
+  spec.build_cache = cache;
+  spec.size_cache = 20;
+  spec.cache_buckets = 16;
+  spec.build_cluster = cluster;
+  spec.enable_wal = true;
+  spec.seed = 11;
+  return spec;
+}
+
+/// `n` update queries over pairwise-disjoint child keys; query i writes
+/// marker 1000000 + i, so the committed prefix length is decidable by
+/// reading any one target of each query.
+std::vector<Query> DisjointUpdates(const ComplexDatabase& db, uint32_t n,
+                                   uint32_t batch) {
+  std::vector<Query> qs;
+  qs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Query q;
+    q.kind = Query::Kind::kUpdate;
+    for (uint32_t j = 0; j < batch; ++j) {
+      q.update_targets.push_back(
+          Oid{db.child_rels[0]->rel_id(), i * batch + j});
+    }
+    q.new_ret1 = static_cast<int32_t>(1000000 + i);
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+Query Retrieve(uint32_t lo, uint32_t n) {
+  Query q;
+  q.kind = Query::Kind::kRetrieve;
+  q.lo_parent = lo;
+  q.num_top = n;
+  q.attr_index = 0;
+  return q;
+}
+
+/// Executes queries in order with the runner's per-update transaction
+/// protocol, stopping at the first error. Returns the count of queries
+/// that completed successfully.
+size_t RunUntilError(Strategy* strategy, ComplexDatabase* db,
+                     const std::vector<Query>& qs, Status* err) {
+  size_t done = 0;
+  for (const Query& q : qs) {
+    Status s;
+    if (q.kind == Query::Kind::kUpdate) {
+      s = db->pool->BeginTxn();
+      if (s.ok()) {
+        s = strategy->ExecuteUpdate(q);
+        if (s.ok()) {
+          s = db->pool->CommitTxn();
+        } else {
+          db->pool->AbortTxn();
+        }
+      }
+    } else {
+      RetrieveResult r;
+      s = strategy->ExecuteRetrieve(q, &r);
+    }
+    if (!s.ok()) {
+      *err = s;
+      return done;
+    }
+    ++done;
+  }
+  *err = Status::OK();
+  return done;
+}
+
+/// Order-independent checksum of the live page contents of the volume:
+/// the sorted multiset of per-page FNV hashes. Page ids are deliberately
+/// excluded — recovery re-creates the cache relation's (byte-identical)
+/// bucket pages, and the free-list order may hand them back at permuted
+/// ids. All-zero pages are skipped: a page allocated by an aborted
+/// transaction and never written is indistinguishable from free space.
+uint64_t VolumeChecksum(const DiskManager& disk) {
+  std::vector<uint64_t> page_hashes;
+  Page page;
+  for (PageId pid = 0; pid < disk.num_pages(); ++pid) {
+    if (!disk.PageIsAllocated(pid)) continue;
+    OBJREP_CHECK(disk.ReadPageRaw(pid, &page).ok());
+    bool all_zero = true;
+    for (char c : page.data) {
+      if (c != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+    page_hashes.push_back(Fnv1a64(page.data, kPageSize));
+  }
+  std::sort(page_hashes.begin(), page_hashes.end());
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t ph : page_hashes) h = HashCombine(h, ph);
+  return h;
+}
+
+/// Volume checksums of the reference execution after 0, 1, ..., n
+/// committed update queries (no faults). `reset_cache` mirrors recovery's
+/// cache rebuild so cache-bearing scenarios stay comparable.
+std::vector<uint64_t> ReferenceChecksums(const DatabaseSpec& spec,
+                                         StrategyKind kind,
+                                         const std::vector<Query>& prelude,
+                                         const std::vector<Query>& updates,
+                                         bool reset_cache) {
+  std::vector<uint64_t> sums;
+  std::unique_ptr<ComplexDatabase> db;
+  OBJREP_CHECK(BuildDatabase(spec, &db).ok());
+  std::unique_ptr<Strategy> strategy;
+  OBJREP_CHECK(MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+  Status err;
+  OBJREP_CHECK(RunUntilError(strategy.get(), db.get(), prelude, &err) ==
+               prelude.size());
+  auto snapshot = [&]() {
+    // Mirror what the crashed run's verification does: rebuild the cache
+    // from scratch (soft state), flush, checksum. The cache pages are
+    // then byte-identical empty buckets on both sides.
+    if (reset_cache && db->cache != nullptr) {
+      OBJREP_CHECK(db->cache->ResetForRecovery().ok());
+    }
+    OBJREP_CHECK(db->pool->FlushAll().ok());
+    sums.push_back(VolumeChecksum(*db->disk));
+  };
+  snapshot();
+  for (const Query& q : updates) {
+    std::vector<Query> one{q};
+    OBJREP_CHECK(RunUntilError(strategy.get(), db.get(), one, &err) == 1);
+    snapshot();
+  }
+  return sums;
+}
+
+struct SweepOutcome {
+  size_t committed = 0;       // queries completed before the crash
+  RecoveryReport report;
+  uint64_t checksum = 0;      // volume checksum after recovery + flush
+};
+
+/// Builds a fresh database, arms `point`, runs prelude + updates until the
+/// injected crash, recovers, and returns the post-recovery state. Fails
+/// the test if the point never fires.
+void CrashAndRecover(const DatabaseSpec& spec, StrategyKind kind,
+                     const std::vector<Query>& prelude,
+                     const std::vector<Query>& updates,
+                     const std::string& point, SweepOutcome* out) {
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  std::unique_ptr<Strategy> strategy;
+  ASSERT_TRUE(
+      MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+  FaultInjector* fi = db->disk->fault_injector();
+  fi->ArmCrash(point);
+
+  std::vector<Query> all = prelude;
+  all.insert(all.end(), updates.begin(), updates.end());
+  Status err;
+  size_t done = RunUntilError(strategy.get(), db.get(), all, &err);
+  ASSERT_FALSE(err.ok()) << point << ": workload never reached the point";
+  ASSERT_TRUE(fi->crashed()) << point << ": error was not the crash: "
+                             << err.ToString();
+  ASSERT_EQ(fi->CrashedAt(), point);
+
+  ASSERT_TRUE(RecoverDatabase(db.get(), &out->report).ok()) << point;
+  ASSERT_FALSE(fi->crashed());
+  if (db->cache != nullptr) {
+    ASSERT_TRUE(db->cache->CheckInvariants().ok()) << point;
+    ASSERT_TRUE(db->pool->FlushAll().ok());
+  }
+  out->committed = done >= prelude.size() ? done - prelude.size() : 0;
+  out->checksum = VolumeChecksum(*db->disk);
+
+  // The recovered database must be fully operational: a scan of every
+  // parent and a fresh update query (with its own transaction) succeed.
+  RetrieveResult scan;
+  ASSERT_TRUE(
+      strategy->ExecuteRetrieve(Retrieve(0, spec.num_parents), &scan).ok())
+      << point;
+  EXPECT_EQ(scan.values.size(),
+            static_cast<size_t>(spec.num_parents) * spec.size_unit);
+}
+
+/// The prefix-k-or-k-plus-1 assertion shared by the page-exact sweeps.
+void ExpectCommittedPrefix(const std::string& point,
+                           const SweepOutcome& outcome,
+                           const std::vector<uint64_t>& refs) {
+  size_t k = outcome.committed;
+  ASSERT_LT(k, refs.size()) << point;
+  bool match_k = outcome.checksum == refs[k];
+  bool match_k1 = k + 1 < refs.size() && outcome.checksum == refs[k + 1];
+  EXPECT_TRUE(match_k || match_k1)
+      << point << ": recovered volume matches neither prefix " << k
+      << " nor prefix " << k + 1;
+}
+
+// --- Sweep 1: plain DFS updates (no cache, no cluster). Page-exact. ---
+
+TEST(WalRecoveryTest, CrashPointSweepDfsUpdates) {
+  const std::vector<std::string> points = {
+      "disk.write.torn",         "wal.commit.begin",
+      "wal.commit.before_sync",  "wal.sync.torn",
+      "wal.commit.after_sync",   "wal.apply.page",
+      "wal.applied.before_sync", "update.child",
+  };
+  DatabaseSpec spec = BaseSpec(/*cache=*/false, /*cluster=*/false);
+  std::unique_ptr<ComplexDatabase> proto;
+  ASSERT_TRUE(BuildDatabase(spec, &proto).ok());
+  std::vector<Query> updates = DisjointUpdates(*proto, 6, 3);
+  proto.reset();
+
+  std::vector<uint64_t> refs = ReferenceChecksums(
+      spec, StrategyKind::kDfs, {}, updates, /*reset_cache=*/false);
+  for (const std::string& point : points) {
+    SCOPED_TRACE(point);
+    SweepOutcome outcome;
+    CrashAndRecover(spec, StrategyKind::kDfs, {}, updates, point, &outcome);
+    if (HasFatalFailure()) return;
+    ExpectCommittedPrefix(point, outcome, refs);
+  }
+}
+
+// --- Sweep 2: clustered updates (ClusterRel translation). Page-exact. ---
+
+TEST(WalRecoveryTest, CrashPointSweepClusteredUpdates) {
+  const std::vector<std::string> points = {
+      "clust.update.mid",
+      "wal.commit.after_sync",
+      "wal.apply.page",
+  };
+  DatabaseSpec spec = BaseSpec(/*cache=*/false, /*cluster=*/true);
+  std::unique_ptr<ComplexDatabase> proto;
+  ASSERT_TRUE(BuildDatabase(spec, &proto).ok());
+  std::vector<Query> updates = DisjointUpdates(*proto, 6, 3);
+  proto.reset();
+
+  std::vector<uint64_t> refs = ReferenceChecksums(
+      spec, StrategyKind::kDfsClust, {}, updates, /*reset_cache=*/false);
+  for (const std::string& point : points) {
+    SCOPED_TRACE(point);
+    SweepOutcome outcome;
+    CrashAndRecover(spec, StrategyKind::kDfsClust, {}, updates, point,
+                    &outcome);
+    if (HasFatalFailure()) return;
+    ExpectCommittedPrefix(point, outcome, refs);
+  }
+}
+
+// --- Sweep 3: DFSCACHE with a populated cache. The cache is soft state
+//     rebuilt empty by recovery, so the reference snapshots mirror the
+//     rebuild before comparing. ---
+
+TEST(WalRecoveryTest, CrashPointSweepCacheInstallAndInvalidate) {
+  const std::vector<std::string> points = {
+      "cache.install.mid",
+      "cache.invalidate.mid",
+      "wal.commit.after_sync",
+  };
+  DatabaseSpec spec = BaseSpec(/*cache=*/true, /*cluster=*/false);
+  std::unique_ptr<ComplexDatabase> proto;
+  ASSERT_TRUE(BuildDatabase(spec, &proto).ok());
+  std::vector<Query> updates = DisjointUpdates(*proto, 6, 3);
+  proto.reset();
+  // Retrieves that materialize (and cache) units whose subobjects the
+  // updates then invalidate.
+  std::vector<Query> prelude = {Retrieve(0, 40), Retrieve(100, 40)};
+
+  std::vector<uint64_t> refs =
+      ReferenceChecksums(spec, StrategyKind::kDfsCache, prelude, updates,
+                         /*reset_cache=*/true);
+  for (const std::string& point : points) {
+    SCOPED_TRACE(point);
+    SweepOutcome outcome;
+    CrashAndRecover(spec, StrategyKind::kDfsCache, prelude, updates, point,
+                    &outcome);
+    if (HasFatalFailure()) return;
+    // cache.install.mid fires during a prelude retrieve (committed
+    // updates = 0); the others during the update tail.
+    ExpectCommittedPrefix(point, outcome, refs);
+  }
+}
+
+// --- Sweep 4: temp-file reclaim (BFS retrieves). No page-exact oracle —
+//     an aborted reclaim legitimately strands temp pages — so the checks
+//     are functional: the crash fires, recovery succeeds, and the
+//     recovered database answers retrieves correctly. ---
+
+TEST(WalRecoveryTest, CrashPointSweepTempReclaim) {
+  const std::vector<std::string> points = {
+      "temp.reclaim.mid",
+      "wal.apply.free",
+  };
+  DatabaseSpec spec = BaseSpec(/*cache=*/false, /*cluster=*/false);
+  spec.reclaim_temp_pages = true;
+  std::vector<Query> prelude = {Retrieve(0, 150), Retrieve(20, 150)};
+
+  for (const std::string& point : points) {
+    SCOPED_TRACE(point);
+    SweepOutcome outcome;
+    CrashAndRecover(spec, StrategyKind::kBfs, prelude, {}, point, &outcome);
+    if (HasFatalFailure()) return;
+    if (point == "wal.apply.free") {
+      // The commit record was durable, so recovery must have replayed the
+      // interrupted frees.
+      EXPECT_GT(outcome.report.wal.txns_redone, 0u);
+      EXPECT_GT(outcome.report.wal.frees_redone, 0u);
+    }
+  }
+}
+
+// --- The four sweeps together must cover the whole registry. ---
+
+TEST(WalRecoveryTest, SweepsCoverEveryRegisteredCrashPoint) {
+  const std::set<std::string> covered = {
+      "disk.write.torn",         "wal.commit.begin",
+      "wal.commit.before_sync",  "wal.sync.torn",
+      "wal.commit.after_sync",   "wal.apply.page",
+      "wal.apply.free",          "wal.applied.before_sync",
+      "cache.install.mid",       "cache.invalidate.mid",
+      "update.child",            "clust.update.mid",
+      "temp.reclaim.mid",
+  };
+  std::set<std::string> registered;
+  for (const std::string& p : FaultInjector::RegisteredCrashPoints()) {
+    registered.insert(p);
+  }
+  EXPECT_EQ(covered, registered)
+      << "a crash point was added to the registry without a sweep scenario";
+}
+
+// --- Torn write is really torn: the disk page holds a half-old half-new
+//     hybrid after the crash, and recovery restores the logged image. ---
+
+TEST(WalRecoveryTest, TornWriteLeavesHybridPageAndRecoveryRepairsIt) {
+  DatabaseSpec spec = BaseSpec(/*cache=*/false, /*cluster=*/false);
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  std::unique_ptr<Strategy> strategy;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kDfs, db.get(), StrategyOptions{},
+                           &strategy)
+                  .ok());
+  std::vector<Query> updates = DisjointUpdates(*db, 1, 3);
+  db->disk->fault_injector()->ArmCrash("disk.write.torn");
+
+  Status err;
+  ASSERT_EQ(RunUntilError(strategy.get(), db.get(), updates, &err), 0u);
+  ASSERT_TRUE(db->disk->fault_injector()->crashed());
+
+  RecoveryReport rep;
+  ASSERT_TRUE(RecoverDatabase(db.get(), &rep).ok());
+  // The commit record was durable (the torn write happens during apply),
+  // so the update must be redone in full.
+  EXPECT_EQ(rep.wal.txns_redone, 1u);
+  EXPECT_GT(rep.wal.pages_redone, 0u);
+  std::vector<Value> row;
+  ASSERT_TRUE(db->child_rels[0]->Get(0, &row).ok());
+  EXPECT_EQ(row[kChildRet1], Value(static_cast<int32_t>(1000000)));
+}
+
+// --- Rate faults: seeded random read/write failures abort queries
+//     cleanly; the database stays consistent and usable throughout. ---
+
+TEST(WalRecoveryTest, RandomRateFaultsNeverCorrupt) {
+  DatabaseSpec spec = BaseSpec(/*cache=*/true, /*cluster=*/false);
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  std::unique_ptr<Strategy> strategy;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kDfsCache, db.get(),
+                           StrategyOptions{}, &strategy)
+                  .ok());
+  std::vector<Query> updates = DisjointUpdates(*db, 10, 3);
+  WorkloadSpec wspec;
+  wspec.num_queries = 30;
+  wspec.pr_update = 0.0;
+  wspec.num_top = 10;
+  std::vector<Query> retrieves;
+  ASSERT_TRUE(GenerateWorkload(wspec, *db, &retrieves).ok());
+
+  FaultInjector* fi = db->disk->fault_injector();
+  fi->Configure(/*seed=*/99, /*read=*/0.02, /*write=*/0.02);
+  size_t failures = 0;
+  for (size_t i = 0; i < updates.size() + retrieves.size(); ++i) {
+    const Query& q =
+        i < updates.size() ? updates[i] : retrieves[i - updates.size()];
+    Status err;
+    std::vector<Query> one{q};
+    if (RunUntilError(strategy.get(), db.get(), one, &err) == 0) {
+      ++failures;
+      ASSERT_FALSE(fi->crashed());  // rate faults never crash the volume
+    }
+  }
+  EXPECT_GT(fi->injected_read_faults() + fi->injected_write_faults(), 0u);
+  (void)failures;
+
+  // A write fault during a commit's apply phase leaves the volume needing
+  // redo, and BeginTxn refuses to run ahead of it; recovery repairs either
+  // way. Then every touched structure must be consistent.
+  fi->Reset();
+  RecoveryReport rep;
+  ASSERT_TRUE(RecoverDatabase(db.get(), &rep).ok());
+  ASSERT_FALSE(db->pool->needs_recovery());
+  ASSERT_TRUE(db->cache->CheckInvariants().ok());
+  ASSERT_TRUE(db->pool->FlushAll().ok());
+  RetrieveResult scan;
+  ASSERT_TRUE(
+      strategy->ExecuteRetrieve(Retrieve(0, spec.num_parents), &scan).ok());
+  // Each committed update query is all-or-nothing: for every query, all
+  // three of its targets carry the marker or none do.
+  for (uint32_t i = 0; i < 10; ++i) {
+    int marked = 0;
+    for (uint32_t j = 0; j < 3; ++j) {
+      std::vector<Value> row;
+      ASSERT_TRUE(db->child_rels[0]->Get(i * 3 + j, &row).ok());
+      if (row[kChildRet1] == Value(static_cast<int32_t>(1000000 + i))) {
+        ++marked;
+      }
+    }
+    EXPECT_TRUE(marked == 0 || marked == 3)
+        << "update " << i << " applied partially (" << marked << "/3)";
+  }
+}
+
+}  // namespace
+}  // namespace objrep

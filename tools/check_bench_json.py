@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Schema check for bench/io_pipeline JSON output (BENCH_throughput.json).
+
+Validates structure and value sanity so CI catches a bench whose emitter
+drifted (missing fields, wrong types, nonsensical numbers) even when the
+JSON still parses. Stdlib only.
+
+Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
+
+With --baseline, also compares per-(strategy, prefetch, workers) run
+results against the baseline file. Two signals are checked:
+
+- avg_io_per_query must match the baseline within 1% (the pipeline is
+  deterministic; drift here is a real behavior change, machine-independent)
+- queries_per_sec must not regress by more than PCT percent (default 3).
+  Wall clock is host-sensitive, so this gate is only meaningful against a
+  baseline recorded on the same machine; CI's smoke uses schema-only mode.
+
+Speedups never fail the check.
+"""
+
+import argparse
+import json
+import sys
+
+RUN_FIELDS = {
+    "prefetch": bool,
+    "workers": int,
+    "seconds": (int, float),
+    "queries_per_sec": (int, float),
+    "speedup": (int, float),
+    "avg_io_per_query": (int, float),
+    "seq_read_pct": (int, float),
+}
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_type(obj, field, types, ctx):
+    if field not in obj:
+        fail(f"{ctx}: missing field '{field}'")
+    if not isinstance(obj[field], types):
+        fail(f"{ctx}: field '{field}' has type {type(obj[field]).__name__}")
+    return obj[field]
+
+
+def validate(doc):
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    check_type(doc, "bench", str, "top level")
+    check_type(doc, "io_latency_us", int, "top level")
+    check_type(doc, "io_transfer_us", int, "top level")
+    num_queries = check_type(doc, "num_queries", int, "top level")
+    if num_queries <= 0:
+        fail("num_queries must be positive")
+    strategies = check_type(doc, "strategies", list, "top level")
+    if not strategies:
+        fail("strategies is empty")
+
+    runs_by_key = {}
+    for s in strategies:
+        name = check_type(s, "strategy", str, "strategy entry")
+        runs = check_type(s, "runs", list, f"strategy {name}")
+        if not runs:
+            fail(f"strategy {name}: runs is empty")
+        for run in runs:
+            ctx = f"strategy {name} run {run.get('workers', '?')}w"
+            for field, types in RUN_FIELDS.items():
+                check_type(run, field, types, ctx)
+            if run["seconds"] <= 0 or run["queries_per_sec"] <= 0:
+                fail(f"{ctx}: non-positive timing")
+            if run["speedup"] <= 0 or run["avg_io_per_query"] < 0:
+                fail(f"{ctx}: nonsensical speedup/io")
+            if not 0 <= run["seq_read_pct"] <= 100:
+                fail(f"{ctx}: seq_read_pct out of [0, 100]")
+            if run["workers"] < 0:
+                fail(f"{ctx}: negative workers")
+            runs_by_key[(name, run["prefetch"], run["workers"])] = run
+        # The first run of each strategy is the no-prefetch baseline the
+        # speedups are computed against.
+        base = runs[0]
+        if base["prefetch"] or base["workers"] != 0:
+            fail(f"strategy {name}: first run is not the baseline config")
+    return runs_by_key
+
+
+def compare(current, baseline, tolerance):
+    # Compare over the intersection of run configs: a --quick run sweeps a
+    # subset of the committed full sweep's (strategy, prefetch, workers)
+    # points, and those points must still hit baseline throughput.
+    matched = 0
+    worst = 0.0
+    for key, cur_run in current.items():
+        base_run = baseline.get(key)
+        if base_run is None:
+            continue
+        matched += 1
+        base_io = base_run["avg_io_per_query"]
+        cur_io = cur_run["avg_io_per_query"]
+        if base_io > 0 and abs(cur_io - base_io) / base_io > 0.01:
+            fail(
+                f"run {key}: avg_io_per_query {cur_io:.2f} vs baseline "
+                f"{base_io:.2f} — the I/O pipeline changed behavior"
+            )
+        base_qps = base_run["queries_per_sec"]
+        cur_qps = cur_run["queries_per_sec"]
+        drop_pct = 100.0 * (base_qps - cur_qps) / base_qps
+        worst = max(worst, drop_pct)
+        if drop_pct > tolerance:
+            fail(
+                f"run {key}: {cur_qps:.2f} q/s vs baseline "
+                f"{base_qps:.2f} q/s ({drop_pct:.1f}% regression, "
+                f"tolerance {tolerance}%)"
+            )
+    if matched == 0:
+        fail("no run config in common with the baseline")
+    print(f"check_bench_json: {matched} runs within {tolerance}% of "
+          f"baseline (worst regression {worst:.1f}%)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("file")
+    parser.add_argument("--baseline")
+    parser.add_argument("--tolerance", type=float, default=3.0)
+    args = parser.parse_args()
+
+    with open(args.file) as f:
+        current = validate(json.load(f))
+    print(f"check_bench_json: {args.file}: schema OK ({len(current)} runs)")
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = validate(json.load(f))
+        compare(current, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@
 //   $ ./build/tools/objrep_driver --threads=8 configs/fig3_point.cfg
 //   $ ./build/tools/objrep_driver --threads=8 --duration=5 cfg   # timed run
 //   $ ./build/tools/objrep_driver --num-queries=5000 cfg
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +26,7 @@
 #include "core/runner.h"
 #include "exec/concurrent_runner.h"
 #include "objstore/database.h"
+#include "storage/fault_injector.h"
 
 using namespace objrep;
 
@@ -38,6 +40,11 @@ struct DriverFlags {
   int prefetch = -1;            // --prefetch=on/off
   int64_t readahead_pages = -1;   // --readahead-pages=N
   int64_t io_latency_us = -1;     // --io-latency-us=U (seek per segment)
+  // Durability / fault injection (DESIGN.md §10).
+  int wal = -1;                 // --wal=on/off (overrides the WAL key)
+  uint64_t fault_seed = 0;      // --fault-seed=N (injector rng)
+  double fault_rate = 0;        // --fault-rate=P (per-I/O failure prob.)
+  std::string fault_crash_point;  // --fault-crash-point=NAME[:HIT]
   std::string config_path;
 };
 
@@ -52,8 +59,11 @@ int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--threads=K] [--num-queries=N] [--duration=S]\n"
                "          [--prefetch=on|off] [--readahead-pages=N] "
-               "[--io-latency-us=U] <config-file | ->\n"
-               "see src/core/experiment_config.h for the config format\n",
+               "[--io-latency-us=U]\n"
+               "          [--wal=on|off] [--fault-seed=N] [--fault-rate=P]\n"
+               "          [--fault-crash-point=NAME[:HIT]] <config-file | ->\n"
+               "see src/core/experiment_config.h for the config format;\n"
+               "--fault-crash-point=list prints the registered points\n",
                prog);
   return 2;
 }
@@ -81,6 +91,17 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--io-latency-us", &v)) {
       flags.io_latency_us =
           static_cast<int64_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--wal", &v)) {
+      if (std::strcmp(v, "on") == 0) flags.wal = 1;
+      else if (std::strcmp(v, "off") == 0) flags.wal = 0;
+      else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--fault-seed", &v)) {
+      flags.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--fault-rate", &v)) {
+      flags.fault_rate = std::strtod(v, nullptr);
+      if (flags.fault_rate < 0 || flags.fault_rate > 1) return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--fault-crash-point", &v)) {
+      flags.fault_crash_point = v;
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       return Usage(argv[0]);
     } else if (flags.config_path.empty()) {
@@ -121,6 +142,37 @@ int main(int argc, char** argv) {
   }
   if (flags.io_latency_us >= 0) {
     config.db.io_latency_us = static_cast<uint32_t>(flags.io_latency_us);
+  }
+  if (flags.wal >= 0) config.db.enable_wal = flags.wal == 1;
+
+  if (flags.fault_crash_point == "list") {
+    for (const std::string& name : FaultInjector::RegisteredCrashPoints()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  std::string crash_point = flags.fault_crash_point;
+  uint64_t crash_hit = 1;
+  if (size_t colon = crash_point.find(':'); colon != std::string::npos) {
+    crash_hit = std::strtoull(crash_point.c_str() + colon + 1, nullptr, 10);
+    if (crash_hit == 0) crash_hit = 1;
+    crash_point.resize(colon);
+  }
+  if (!crash_point.empty()) {
+    const auto& points = FaultInjector::RegisteredCrashPoints();
+    if (std::find(points.begin(), points.end(), crash_point) ==
+        points.end()) {
+      std::fprintf(stderr,
+                   "unknown crash point '%s' (--fault-crash-point=list)\n",
+                   crash_point.c_str());
+      return 2;
+    }
+  }
+  const bool faults = flags.fault_rate > 0 || !crash_point.empty();
+  if (faults && !config.db.enable_wal) {
+    std::fprintf(stderr,
+                 "note: faults without --wal=on; failures will not be "
+                 "recoverable\n");
   }
 
   std::printf(
@@ -166,6 +218,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "workload failed: %s\n", s.ToString().c_str());
       return 1;
     }
+    if (faults) {
+      FaultInjector* fi = db->disk->fault_injector();
+      fi->Configure(flags.fault_seed, flags.fault_rate, flags.fault_rate);
+      if (!crash_point.empty()) {
+        fi->ArmCrash(crash_point, static_cast<uint32_t>(crash_hit));
+      }
+    }
 
     if (concurrent) {
       ConcurrentRunOptions opts;
@@ -176,8 +235,29 @@ int main(int argc, char** argv) {
       s = RunConcurrentWorkload(kind, config.options, db.get(), queries, opts,
                                 &r);
       if (!s.ok()) {
+        if (db->disk->fault_injector()->crashed() && db->wal != nullptr) {
+          std::fprintf(stderr, "%s: %s\n", StrategyKindName(kind),
+                       s.ToString().c_str());
+          RecoveryReport rep;
+          Status rs = RecoverDatabase(db.get(), &rep);
+          if (!rs.ok()) {
+            std::fprintf(stderr, "recovery failed: %s\n",
+                         rs.ToString().c_str());
+            return 1;
+          }
+          std::printf(
+              "%-16s recovered: %llu txns redone, %llu pages, %llu frees, "
+              "%llu frames dropped\n",
+              StrategyKindName(kind),
+              static_cast<unsigned long long>(rep.wal.txns_redone),
+              static_cast<unsigned long long>(rep.wal.pages_redone),
+              static_cast<unsigned long long>(rep.wal.frees_redone),
+              static_cast<unsigned long long>(rep.frames_dropped));
+          continue;
+        }
         std::fprintf(stderr, "%s: %s\n", StrategyKindName(kind),
                      s.ToString().c_str());
+        if (flags.fault_rate > 0) continue;  // faults were requested
         return 1;
       }
       std::printf("%-16s %10.0f %10.3f %10.3f %10.3f %10.1f %12lld\n",
@@ -198,7 +278,29 @@ int main(int argc, char** argv) {
     RunResult r;
     s = RunWorkload(strategy.get(), db.get(), queries, &r);
     if (!s.ok()) {
+      if (db->disk->fault_injector()->crashed() && db->wal != nullptr) {
+        std::fprintf(stderr, "run crashed: %s\n", s.ToString().c_str());
+        RecoveryReport rep;
+        Status rs = RecoverDatabase(db.get(), &rep);
+        if (!rs.ok()) {
+          std::fprintf(stderr, "recovery failed: %s\n", rs.ToString().c_str());
+          return 1;
+        }
+        std::printf(
+            "%-16s recovered: %llu txns redone, %llu pages, %llu frees, "
+            "%llu frames dropped\n",
+            StrategyKindName(kind),
+            static_cast<unsigned long long>(rep.wal.txns_redone),
+            static_cast<unsigned long long>(rep.wal.pages_redone),
+            static_cast<unsigned long long>(rep.wal.frees_redone),
+            static_cast<unsigned long long>(rep.frames_dropped));
+        continue;
+      }
       std::fprintf(stderr, "run failed: %s\n", s.ToString().c_str());
+      // A rate fault the user injected is an expected outcome for this
+      // strategy's run, not a reason to abandon the rest of the table;
+      // every strategy gets a fresh database, so nothing is shared.
+      if (flags.fault_rate > 0) continue;
       return 1;
     }
     uint64_t probes = r.cache_stats.hits + r.cache_stats.misses;
