@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/io_context.h"
 
 namespace objrep {
 namespace bench {
@@ -39,6 +40,8 @@ struct RunPoint {
   double qps = 0;
   double avg_io = 0;
   double seq_pct = 0;
+  uint64_t io_total = 0;      // raw pages over the run, == sum of io_by_tag
+  IoTagBreakdown io_by_tag;
 };
 
 DatabaseSpec DiskBoundSpec(uint32_t io_latency_us,
@@ -83,6 +86,8 @@ RunPoint MeasurePoint(StrategyKind kind, const WorkloadSpec& wl,
   p.qps = p.seconds > 0 ? r.num_queries / p.seconds : 0;
   p.avg_io = r.AvgIoPerQuery();
   p.seq_pct = 100.0 * r.io.seq_fraction();
+  p.io_total = r.io.total();
+  p.io_by_tag = r.io_by_tag;
   return p;
 }
 
@@ -132,10 +137,21 @@ void WriteJson(const std::string& path, uint32_t io_latency_us,
           "%s\n        {\"prefetch\": %s, \"workers\": %u, "
           "\"seconds\": %.4f, \"queries_per_sec\": %.2f, "
           "\"speedup\": %.3f, \"avg_io_per_query\": %.2f, "
-          "\"seq_read_pct\": %.1f}",
+          "\"seq_read_pct\": %.1f, \"io_total\": %llu, "
+          "\"io_by_tag\": {",
           j == 0 ? "" : ",", p.prefetch ? "true" : "false", p.workers,
           p.seconds, p.qps, base_qps > 0 ? p.qps / base_qps : 0.0, p.avg_io,
-          p.seq_pct);
+          p.seq_pct, static_cast<unsigned long long>(p.io_total));
+      bool first_tag = true;
+      for (size_t t = 0; t < kNumIoTags; ++t) {
+        uint64_t n = p.io_by_tag.total_for(static_cast<IoTag>(t));
+        if (n == 0) continue;
+        std::fprintf(f, "%s\"%s\": %llu", first_tag ? "" : ", ",
+                     IoTagName(static_cast<IoTag>(t)),
+                     static_cast<unsigned long long>(n));
+        first_tag = false;
+      }
+      std::fprintf(f, "}}");
     }
     std::fprintf(f, "\n      ]\n    }");
   }

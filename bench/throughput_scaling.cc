@@ -25,6 +25,7 @@
 
 #include "bench/bench_util.h"
 #include "exec/concurrent_runner.h"
+#include "obs/trace.h"
 
 namespace objrep {
 namespace bench {
@@ -153,6 +154,7 @@ int main(int argc, char** argv) {
   double duration = 0.25;
   uint32_t io_latency_us = 0;
   const char* json_path = nullptr;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--duration=", 11) == 0) {
       duration = std::strtod(argv[i] + 11, nullptr);
@@ -163,17 +165,30 @@ int main(int argc, char** argv) {
       json_path = "BENCH_throughput.json";
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      // Tracing on for the whole sweep: this is the overhead yardstick —
+      // enabled-vs-disabled throughput at 8 threads must stay within 5%.
+      trace_path = argv[i] + 12;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--duration=S] [--io-latency-us=N] "
-                   "[--json[=PATH]]\n",
+                   "[--json[=PATH]] [--trace-out=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (trace_path != nullptr) objrep::Trace::SetEnabled(true);
   objrep::bench::PrintTitle(
       "Throughput scaling: concurrent sessions over one shared database",
       "cache-resident read-only stream; timed sweep per (strategy, K)");
   objrep::bench::RunSweep(duration, io_latency_us, json_path);
+  if (trace_path != nullptr) {
+    objrep::Status s = objrep::Trace::FlushToFile(trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace flush failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path);
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "core/strategies_impl.h"
+#include "obs/io_context.h"
 #include "objstore/rows.h"
 #include "relational/merge_join.h"
 
@@ -67,6 +68,10 @@ Status BfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       return Status::Corruption("temp references unknown relation");
     }
     IoBracket child_bracket(db_->disk.get(), &cost.child_io);
+    // Near-sequential child-leaf reads of the merge join — the BFS payoff
+    // the paper trades the sort for (§5). Temp-stream reads of `sorted`
+    // re-tag kTempSort inside TempFile::Reader.
+    ScopedIoTag heap_tag(IoTag::kHeapFetch);
     OBJREP_RETURN_NOT_OK(MergeJoinSortedKeys(
         sorted.Read(), table->tree(),
         [&](uint64_t /*packed*/, std::string_view raw) -> Status {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "core/strategies_impl.h"
+#include "obs/io_context.h"
 #include "objstore/rows.h"
 
 namespace objrep {
@@ -63,6 +64,7 @@ Status BfsHashStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
     }
     // Phase 3: one sequential probe scan over the whole relation.
     IoBracket child_bracket(db_->disk.get(), &cost.child_io);
+    ScopedIoTag heap_tag(IoTag::kHeapFetch);
     BPlusTree::Iterator it = table->tree().NewIterator();
     OBJREP_RETURN_NOT_OK(it.SeekToFirst());
     while (it.valid()) {

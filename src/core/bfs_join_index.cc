@@ -10,6 +10,7 @@
 #include <map>
 
 #include "core/strategies_impl.h"
+#include "obs/io_context.h"
 #include "objstore/rows.h"
 #include "relational/merge_join.h"
 
@@ -28,6 +29,9 @@ Status BfsJoinIndexStrategy::ExecuteRetrieve(const Query& q,
   // Phase 1: contiguous join-index scan over the qualifying objects.
   std::map<RelationId, TempFile> temps;
   {
+    // The join-index scan is this strategy's (much thinner) parent scan;
+    // temp appends re-tag kTempSort inside TempFile.
+    ScopedIoTag io_tag(IoTag::kParentScan);
     BPlusTree::Iterator it = db_->join_index.NewIterator();
     OBJREP_RETURN_NOT_OK(it.Seek(static_cast<uint64_t>(q.lo_parent) << 12));
     const uint64_t end =
@@ -73,6 +77,7 @@ Status BfsJoinIndexStrategy::ExecuteRetrieve(const Query& q,
       return Status::Corruption("temp references unknown relation");
     }
     IoBracket child_bracket(db_->disk.get(), &cost.child_io);
+    ScopedIoTag heap_tag(IoTag::kHeapFetch);
     OBJREP_RETURN_NOT_OK(MergeJoinSortedKeys(
         sorted.Read(), table->tree(),
         [&](uint64_t /*key*/, std::string_view raw) -> Status {

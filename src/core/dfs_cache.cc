@@ -6,6 +6,7 @@
 // The cache is maintained on the retrieval path (fresh units inserted) and
 // invalidated on the update path through I-locks.
 #include "core/strategies_impl.h"
+#include "obs/io_context.h"
 #include "objstore/unit_blob.h"
 
 namespace objrep {
@@ -19,11 +20,19 @@ Status CachedDepthFirstRetrieve(ComplexDatabase* db, const Query& q,
       db, q,
       [&](uint32_t /*parent_key*/, const std::vector<Oid>& unit) -> Status {
         uint64_t hashkey = CacheManager::HashKeyOf(unit);
-        if (db->cache->IsCached(hashkey)) {
+        {
+          // Atomic probe+fetch: a concurrent retriever's insert may evict
+          // this unit between a residency check and the read, so the two
+          // are one directory-lock hold and a miss is an answer, not an
+          // error.
           IoBracket cache_bracket(db->disk.get(), &cost.cache_io);
+          bool found = false;
           std::string blob;
-          OBJREP_RETURN_NOT_OK(db->cache->FetchUnit(hashkey, &blob));
-          return ProjectUnitBlob(db, blob, q.attr_index, &out->values);
+          OBJREP_RETURN_NOT_OK(db->cache->TryFetchUnit(hashkey, &blob,
+                                                       &found));
+          if (found) {
+            return ProjectUnitBlob(db, blob, q.attr_index, &out->values);
+          }
         }
         // Miss: materialize the unit, then maintain the cache.
         std::vector<std::string> raws;
@@ -46,6 +55,7 @@ Status DfsCacheStrategy::ExecuteRetrieve(const Query& q,
 }
 
 Status DfsCacheStrategy::ExecuteUpdate(const Query& q) {
+  ScopedIoTag tag(IoTag::kUpdate);  // invalidation re-tags kCacheMaint
   for (const Oid& oid : q.update_targets) {
     OBJREP_RETURN_NOT_OK(UpdateChildInPlace(oid, q.new_ret1));
     // The update holds the subobject's page; its I-locks name the cached

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/strategies_impl.h"
+#include "obs/io_context.h"
 #include "objstore/rows.h"
 #include "objstore/unit_blob.h"
 #include "storage/fault_injector.h"
@@ -35,6 +36,9 @@ Status DfsClustStrategy::ExecuteRetrieve(const Query& q,
   CostBreakdown& cost = out->cost;
   IoCounters start = db_->disk->counters();
   const Schema& schema = db_->cluster_rel->schema();
+  // Everything is ClusterRel traffic except the remote probes, which
+  // re-tag kIndexProbe below.
+  ScopedIoTag io_tag(IoTag::kClusterScan);
 
   struct Group {
     std::vector<Oid> unit;
@@ -53,6 +57,7 @@ Status DfsClustStrategy::ExecuteRetrieve(const Query& q,
       }
       // Clustered elsewhere: ISAM probe, then random ClusterRel access.
       IoBracket child_bracket(db_->disk.get(), &cost.child_io);
+      ScopedIoTag probe_tag(IoTag::kIndexProbe);
       uint64_t cluster_key;
       Status s = db_->cluster_oid_index.Lookup(oid.Packed(), &cluster_key);
       if (!s.ok()) {
@@ -109,6 +114,9 @@ Status DfsClustCacheStrategy::ExecuteRetrieve(const Query& q,
   CostBreakdown& cost = out->cost;
   IoCounters start = db_->disk->counters();
   const Schema& schema = db_->cluster_rel->schema();
+  // Cache traffic self-tags inside CacheManager; remote probes re-tag
+  // kIndexProbe below; the rest is the ClusterRel extent scan.
+  ScopedIoTag io_tag(IoTag::kClusterScan);
 
   struct Group {
     std::vector<Oid> unit;
@@ -127,19 +135,25 @@ Status DfsClustCacheStrategy::ExecuteRetrieve(const Query& q,
   auto finish_group = [&]() -> Status {
     if (!group.active) return Status::OK();
     uint64_t hashkey = CacheManager::HashKeyOf(group.unit);
-    if (db_->cache->IsCached(hashkey)) {
-      // The scan already read the local rows for nothing — the structural
-      // redundancy of combining the two approaches.
+    {
+      // Atomic probe+fetch (see dfs_cache.cc): concurrent eviction must
+      // read as a miss, not a NotFound error. On a hit the scan already
+      // read the local rows for nothing — the structural redundancy of
+      // combining the two approaches.
       IoBracket cache_bracket(db_->disk.get(), &cost.cache_io);
+      bool found = false;
       std::string blob;
-      OBJREP_RETURN_NOT_OK(db_->cache->FetchUnit(hashkey, &blob));
-      std::vector<std::string_view> records;
-      OBJREP_RETURN_NOT_OK(DecodeUnitBlob(blob, &records));
-      for (std::string_view raw : records) {
-        OBJREP_RETURN_NOT_OK(project(raw));
+      OBJREP_RETURN_NOT_OK(db_->cache->TryFetchUnit(hashkey, &blob,
+                                                    &found));
+      if (found) {
+        std::vector<std::string_view> records;
+        OBJREP_RETURN_NOT_OK(DecodeUnitBlob(blob, &records));
+        for (std::string_view raw : records) {
+          OBJREP_RETURN_NOT_OK(project(raw));
+        }
+        group = Group{};
+        return Status::OK();
       }
-      group = Group{};
-      return Status::OK();
     }
     // Miss: assemble the unit from local rows + remote fetches, project,
     // then maintain the cache.
@@ -152,6 +166,7 @@ Status DfsClustCacheStrategy::ExecuteRetrieve(const Query& q,
         continue;
       }
       IoBracket child_bracket(db_->disk.get(), &cost.child_io);
+      ScopedIoTag probe_tag(IoTag::kIndexProbe);
       uint64_t cluster_key;
       Status s = db_->cluster_oid_index.Lookup(oid.Packed(), &cluster_key);
       if (!s.ok()) {
@@ -202,6 +217,7 @@ Status DfsClustCacheStrategy::ExecuteRetrieve(const Query& q,
 Status DfsClustCacheStrategy::ExecuteUpdate(const Query& q) {
   // Clustered update translation plus I-lock invalidation: both
   // maintenance bills, another §3.4 redundancy.
+  ScopedIoTag tag(IoTag::kUpdate);  // invalidation re-tags kCacheMaint
   const Schema& schema = db_->cluster_rel->schema();
   for (const Oid& oid : q.update_targets) {
     uint64_t cluster_key;
@@ -230,6 +246,7 @@ Status DfsClustStrategy::ExecuteUpdate(const Query& q) {
   // Updates are "translated into equivalent queries on ClusterRel"
   // (paper §4 [2]): locate the subobject through the ISAM index and modify
   // it in place wherever it is clustered.
+  ScopedIoTag tag(IoTag::kUpdate);
   const Schema& schema = db_->cluster_rel->schema();
   for (const Oid& oid : q.update_targets) {
     uint64_t cluster_key;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "obs/io_context.h"
 #include "objstore/cache_manager.h"
 #include "objstore/workload.h"
 #include "storage/io_stats.h"
@@ -27,6 +28,11 @@ struct RunResult {
   /// Raw counter delta over the whole run (queries + flush). io.total()
   /// == total_io; the seq/rand split feeds the driver's seq% column.
   IoCounters io;
+
+  /// Per-component attribution of the same window (DESIGN.md §11).
+  /// io_by_tag.total() == io.total() always: DiskManager bumps the tag
+  /// slot and the raw counter at the same sites by the same amounts.
+  IoTagBreakdown io_by_tag;
 
   CostBreakdown retrieve_cost;  ///< summed over retrieves
 

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "core/strategies_impl.h"
+#include "obs/io_context.h"
 #include "objstore/rows.h"
 #include "objstore/unit_blob.h"
 #include "relational/merge_join.h"
@@ -28,11 +29,17 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       db_, q,
       [&](uint32_t /*parent_key*/, const std::vector<Oid>& unit) -> Status {
         uint64_t hashkey = CacheManager::HashKeyOf(unit);
-        if (db_->cache->IsCached(hashkey)) {
+        {
+          // Atomic probe+fetch (see dfs_cache.cc): concurrent eviction
+          // must read as a miss, not a NotFound error.
           IoBracket cache_bracket(db_->disk.get(), &cost.cache_io);
+          bool found = false;
           std::string blob;
-          OBJREP_RETURN_NOT_OK(db_->cache->FetchUnit(hashkey, &blob));
-          return ProjectUnitBlob(db_, blob, q.attr_index, &out->values);
+          OBJREP_RETURN_NOT_OK(db_->cache->TryFetchUnit(hashkey, &blob,
+                                                        &found));
+          if (found) {
+            return ProjectUnitBlob(db_, blob, q.attr_index, &out->values);
+          }
         }
         IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
         for (const Oid& oid : unit) {
@@ -68,6 +75,7 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       return Status::Corruption("temp references unknown relation");
     }
     IoBracket child_bracket(db_->disk.get(), &cost.child_io);
+    ScopedIoTag heap_tag(IoTag::kHeapFetch);
     OBJREP_RETURN_NOT_OK(MergeJoinSortedKeys(
         sorted.Read(), table->tree(),
         [&](uint64_t /*key*/, std::string_view raw) -> Status {
@@ -86,6 +94,7 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
 }
 
 Status SmartStrategy::ExecuteUpdate(const Query& q) {
+  ScopedIoTag tag(IoTag::kUpdate);  // invalidation re-tags kCacheMaint
   for (const Oid& oid : q.update_targets) {
     OBJREP_RETURN_NOT_OK(UpdateChildInPlace(oid, q.new_ret1));
     OBJREP_RETURN_NOT_OK(db_->cache->InvalidateSubobject(oid));

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/strategies_impl.h"
+#include "obs/io_context.h"
 #include "objstore/rows.h"
 #include "objstore/unit_blob.h"
 #include "storage/fault_injector.h"
@@ -25,6 +26,9 @@ Status Strategy::UpdateChildInPlace(const Oid& oid, int32_t new_ret1) {
 }
 
 Status Strategy::ExecuteUpdate(const Query& q) {
+  // Index descent + heap write per target; invalidation and WAL traffic
+  // inside re-tag themselves (kCacheMaint / kWal).
+  ScopedIoTag tag(IoTag::kUpdate);
   for (const Oid& oid : q.update_targets) {
     OBJREP_RETURN_NOT_OK(UpdateChildInPlace(oid, q.new_ret1));
   }
@@ -108,6 +112,11 @@ Status ScanParents(
     ComplexDatabase* db, const Query& q,
     const std::function<Status(uint32_t, const std::vector<Oid>&)>& fn) {
   if (q.num_top == 0) return Status::OK();
+  // The whole loop runs under kParentScan: the parent-leaf reads bill
+  // here, while per-unit work inside `fn` re-tags itself (child probes are
+  // kIndexProbe via MaterializeUnit, temp spills kTempSort, cache traffic
+  // kCacheFetch/kCacheMaint). Innermost tag wins.
+  ScopedIoTag io_tag(IoTag::kParentScan);
   BPlusTree::Iterator it = db->parent_rel->tree().NewIterator();
   const uint64_t end = static_cast<uint64_t>(q.lo_parent) + q.num_top;
   // Read ahead along the parent leaves of [lo_parent, end): every leaf in
@@ -172,6 +181,10 @@ Status BatchProbeUnit(ComplexDatabase* db, const std::vector<Oid>& unit) {
 Status MaterializeUnit(ComplexDatabase* db, const std::vector<Oid>& unit,
                        int attr_index, std::vector<std::string>* raw_records,
                        std::vector<int32_t>* values) {
+  // Random child-index descents — the DFS family's dominant cost (paper
+  // §4). Covers the hint pass too (the hint's actual disk reads re-tag
+  // kPrefetch inside BufferPool::Prefetch; only timing moves, DESIGN.md §9).
+  ScopedIoTag tag(IoTag::kIndexProbe);
   if (raw_records != nullptr) raw_records->clear();
   if (db->pool->prefetch_enabled() && unit.size() >= 2) {
     OBJREP_RETURN_NOT_OK(BatchProbeUnit(db, unit));

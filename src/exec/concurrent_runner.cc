@@ -7,6 +7,7 @@
 
 #include "exec/lock_manager.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace objrep {
@@ -67,12 +68,16 @@ std::vector<std::pair<LockId, LockMode>> LockRequestsFor(
 Status ExecuteOne(Strategy* strategy, ComplexDatabase* db, const Query& q,
                   WorkerResult* wr) {
   if (q.kind == Query::Kind::kRetrieve) {
+    TraceSpan span("retrieve", "query");
+    span.SetArg("num_top", q.num_top);
     RetrieveResult result;
     OBJREP_RETURN_NOT_OK(strategy->ExecuteRetrieve(q, &result));
     wr->result_count += result.values.size();
     for (int32_t v : result.values) wr->result_sum += v;
     ++wr->num_retrieves;
   } else {
+    TraceSpan span("update", "query");
+    span.SetArg("targets", q.update_targets.size());
     // One WAL transaction per update query; the worker already holds X
     // table locks, so wal_mu_ ranks below them (DESIGN.md §10 latch
     // order) and cannot deadlock against another worker's query.
@@ -177,6 +182,7 @@ Status RunConcurrentWorkload(StrategyKind kind,
   LockManager locks;
   std::vector<WorkerResult> results(k);
   IoCounters io_start = db->disk->counters();
+  IoTagBreakdown tags_start = db->disk->breakdown();
 
   Clock::time_point wall0 = Clock::now();
   {
@@ -217,6 +223,8 @@ Status RunConcurrentWorkload(StrategyKind kind,
   OBJREP_RETURN_NOT_OK(db->pool->FlushAll());
   r.flush_io = (db->disk->counters() - before_flush).total();
   r.total_io = run_io + r.flush_io;
+  r.io = db->disk->counters() - io_start;
+  r.io_by_tag = db->disk->breakdown() - tags_start;
   if (db->cache != nullptr) r.cache_stats = db->cache->stats();
 
   out->queries_per_sec =

@@ -1,9 +1,35 @@
 #include "exec/lock_manager.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace objrep {
+
+namespace {
+
+// Cumulative registry mirrors (DESIGN.md §11).
+struct LockMetrics {
+  Counter* acquisitions =
+      MetricsRegistry::Global().GetCounter("lock.acquisitions");
+  Counter* waits = MetricsRegistry::Global().GetCounter("lock.waits");
+  Histogram* wait_us =
+      MetricsRegistry::Global().GetHistogram("lock.wait_us");
+};
+
+LockMetrics& Metrics() {
+  static LockMetrics* m = new LockMetrics();
+  return *m;
+}
+
+}  // namespace
 
 void LockManager::Acquire(LockId id, LockMode mode) {
   std::unique_lock<std::mutex> l(mu_);
+  Metrics().acquisitions->Add(1);
+  // A wait is counted (and its duration recorded) only when the lock is
+  // not immediately grantable — the uncontended path stays one map lookup.
+  bool blocked = !GrantableLocked(table_[id], mode);
+  uint64_t wait_start = blocked ? Trace::NowMicros() : 0;
   // Re-look up the entry on every wakeup: Release() erases fully-free
   // entries, so a reference cached across the wait could dangle. A waiting
   // writer pins its entry via waiting_writers, but a blocked *reader*
@@ -22,6 +48,12 @@ void LockManager::Acquire(LockId id, LockMode mode) {
     cv_.wait(l,
              [&] { return GrantableLocked(table_[id], LockMode::kShared); });
     ++table_[id].readers;
+  }
+  if (blocked) {
+    uint64_t waited = Trace::NowMicros() - wait_start;
+    Metrics().waits->Add(1);
+    Metrics().wait_us->Record(waited);
+    Trace::Complete("lock_wait", "lock", wait_start, waited, "lock_id", id);
   }
 }
 

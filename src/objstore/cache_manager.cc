@@ -2,10 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/io_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/hash.h"
 #include "util/macros.h"
 
 namespace objrep {
+
+namespace {
+
+// Cumulative registry mirrors (DESIGN.md §11); per-run deltas come from
+// CacheStats via ResetStats.
+struct CacheMetrics {
+  Counter* hits = MetricsRegistry::Global().GetCounter("cache.hits");
+  Counter* misses = MetricsRegistry::Global().GetCounter("cache.misses");
+  Counter* inserts = MetricsRegistry::Global().GetCounter("cache.inserts");
+  Counter* invalidated =
+      MetricsRegistry::Global().GetCounter("cache.invalidated_units");
+  Counter* ilocks = MetricsRegistry::Global().GetCounter("cache.ilocks");
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics* m = new CacheMetrics();
+  return *m;
+}
+
+}  // namespace
 
 CacheManager::CacheManager(BufferPool* pool, uint32_t size_cache_units,
                            uint32_t num_buckets, CacheAdmission admission)
@@ -15,6 +38,8 @@ CacheManager::CacheManager(BufferPool* pool, uint32_t size_cache_units,
       admission_(admission) {}
 
 Status CacheManager::Init() {
+  // Building the cache's hash relation is maintenance traffic.
+  ScopedIoTag tag(IoTag::kCacheMaint);
   return HashFile::Create(pool_, num_buckets_, &hash_);
 }
 
@@ -31,15 +56,21 @@ uint64_t CacheManager::HashKeyOf(const std::vector<Oid>& unit_oids) {
 bool CacheManager::IsCached(uint64_t hashkey) {
   std::lock_guard<std::mutex> l(mu_);
   bool cached = dir_.find(hashkey) != dir_.end();
-  if (!cached) ++stats_.misses;
+  if (!cached) {
+    ++stats_.misses;
+    Metrics().misses->Add(1);
+  }
   return cached;
 }
 
 Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
+  // Hit-path hash-relation reads are the cache paying for itself.
+  ScopedIoTag tag(IoTag::kCacheFetch);
   std::lock_guard<std::mutex> l(mu_);
   auto it = dir_.find(hashkey);
   if (it == dir_.end()) {
     ++stats_.misses;
+    Metrics().misses->Add(1);
     return Status::NotFound("unit not cached");
   }
   OBJREP_RETURN_NOT_OK(hash_.Lookup(hashkey, blob));
@@ -48,6 +79,28 @@ Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
   lru_.push_back(hashkey);
   it->second = std::prev(lru_.end());
   ++stats_.hits;
+  Metrics().hits->Add(1);
+  return Status::OK();
+}
+
+Status CacheManager::TryFetchUnit(uint64_t hashkey, std::string* blob,
+                                  bool* found) {
+  ScopedIoTag tag(IoTag::kCacheFetch);
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = dir_.find(hashkey);
+  if (it == dir_.end()) {
+    *found = false;
+    ++stats_.misses;
+    Metrics().misses->Add(1);
+    return Status::OK();
+  }
+  OBJREP_RETURN_NOT_OK(hash_.Lookup(hashkey, blob));
+  lru_.erase(it->second);
+  lru_.push_back(hashkey);
+  it->second = std::prev(lru_.end());
+  *found = true;
+  ++stats_.hits;
+  Metrics().hits->Add(1);
   return Status::OK();
 }
 
@@ -77,6 +130,10 @@ Status CacheManager::InsertUnit(uint64_t hashkey,
   // latch, same as an update query's runner-level transaction) and for
   // abort safety (all hash I/O before any memory mutation, so a failed
   // transaction leaves directory and hash relation agreeing).
+  // Everything an install touches — victim delete, insert, overflow-page
+  // allocation, and the commit's deferred write-backs via dirty_tag — is
+  // cache maintenance, the DFSCACHE overhead the paper charges (§6).
+  ScopedIoTag tag(IoTag::kCacheMaint);
   OBJREP_RETURN_NOT_OK(pool_->BeginTxn());
   std::lock_guard<std::mutex> l(mu_);
   Status s = [&]() -> Status {
@@ -114,7 +171,9 @@ Status CacheManager::InsertUnit(uint64_t hashkey,
       members.push_back(oid.Packed());
       lock_table_[oid.Packed()].push_back(hashkey);
     }
+    Metrics().ilocks->Add(unit_oids.size());
     ++stats_.inserts;
+    Metrics().inserts->Add(1);
     return Status::OK();
   }();
   if (s.ok()) {
@@ -128,6 +187,7 @@ Status CacheManager::InsertUnit(uint64_t hashkey,
 Status CacheManager::InvalidateSubobject(const Oid& oid) {
   // Inside an update query this joins the runner-level transaction
   // (reentrant BeginTxn); on its own (tests) it is one transaction.
+  ScopedIoTag tag(IoTag::kCacheMaint);
   OBJREP_RETURN_NOT_OK(pool_->BeginTxn());
   std::lock_guard<std::mutex> l(mu_);
   Status s = [&]() -> Status {
@@ -144,6 +204,8 @@ Status CacheManager::InvalidateSubobject(const Oid& oid) {
       ForgetUnitLocked(hashkey);
       ++stats_.invalidated_units;
     }
+    Metrics().invalidated->Add(held.size());
+    Trace::Instant("ilock_invalidate", "cache", "units", held.size());
     return Status::OK();
   }();
   if (s.ok()) {
@@ -155,6 +217,7 @@ Status CacheManager::InvalidateSubobject(const Oid& oid) {
 }
 
 Status CacheManager::ResetForRecovery() {
+  ScopedIoTag tag(IoTag::kCacheMaint);
   std::lock_guard<std::mutex> l(mu_);
   OBJREP_RETURN_NOT_OK(hash_.Destroy());
   OBJREP_RETURN_NOT_OK(HashFile::Create(pool_, num_buckets_, &hash_));

@@ -71,6 +71,13 @@ class CacheManager {
   /// refreshes LRU recency. NotFound if not cached.
   Status FetchUnit(uint64_t hashkey, std::string* blob);
 
+  /// Atomic IsCached + FetchUnit: one directory-lock hold, so a concurrent
+  /// insert's eviction cannot turn a positive residency probe into a
+  /// NotFound (`*found = false` is the miss answer, not an error). Counts
+  /// a hit or a miss accordingly. Strategies under the concurrent engine
+  /// must use this instead of the check-then-fetch pair.
+  Status TryFetchUnit(uint64_t hashkey, std::string* blob, bool* found);
+
   /// Inserts a freshly materialized unit, evicting or rejecting per the
   /// admission policy, and registers I-locks on its subobjects.
   Status InsertUnit(uint64_t hashkey, const std::vector<Oid>& unit_oids,

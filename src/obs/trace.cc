@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace objrep {
+
+namespace {
+
+// Per-thread ring. ~64k events x 80 B = ~5 MB/thread worst case; overwrite
+// keeps the newest events, which is what you want when diagnosing the end
+// of a long run.
+constexpr size_t kRingCapacity = 65536;
+
+struct ThreadBuffer {
+  std::mutex mu;  // uncontended except against a flush
+  uint32_t tid = 0;
+  std::vector<TraceEvent> ring;
+  size_t next = 0;        // write cursor
+  bool wrapped = false;   // ring has overwritten at least once
+  uint64_t dropped = 0;   // events overwritten
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // survive thread exit
+  uint32_t next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* r = new BufferRegistry();
+  return *r;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->ring.reserve(1024);
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> l(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void AppendEvent(ThreadBuffer& buf, const TraceEvent& ev) {
+  std::lock_guard<std::mutex> l(buf.mu);
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(ev);
+    return;
+  }
+  if (buf.next >= buf.ring.size()) buf.next = 0;
+  buf.ring[buf.next++] = ev;
+  buf.wrapped = true;
+  ++buf.dropped;
+}
+
+void WriteOneEvent(std::ostream& os, const TraceEvent& ev) {
+  os << "{\"name\":\"" << ev.name << "\",\"cat\":\"" << ev.cat
+     << "\",\"ph\":\"" << ev.ph << "\",\"pid\":1,\"tid\":" << ev.tid
+     << ",\"ts\":" << ev.ts_us;
+  if (ev.ph == 'X') os << ",\"dur\":" << ev.dur_us;
+  if (ev.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+  if (ev.arg_names[0] != nullptr) {
+    os << ",\"args\":{";
+    for (size_t i = 0; i < 2 && ev.arg_names[i] != nullptr; ++i) {
+      if (i) os << ",";
+      os << "\"" << ev.arg_names[i] << "\":" << ev.arg_vals[i];
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+uint64_t Trace::NowMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void Trace::Record(const TraceEvent& ev) {
+  ThreadBuffer& buf = LocalBuffer();
+  TraceEvent stamped = ev;
+  stamped.tid = buf.tid;
+  AppendEvent(buf, stamped);
+}
+
+void Trace::Instant(const char* name, const char* cat, const char* arg_name,
+                    uint64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_us = NowMicros();
+  if (arg_name != nullptr) {
+    ev.arg_names[0] = arg_name;
+    ev.arg_vals[0] = arg;
+  }
+  Record(ev);
+}
+
+void Trace::Complete(const char* name, const char* cat, uint64_t ts_us,
+                     uint64_t dur_us, const char* arg0_name, uint64_t arg0,
+                     const char* arg1_name, uint64_t arg1) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  if (arg0_name != nullptr) {
+    ev.arg_names[0] = arg0_name;
+    ev.arg_vals[0] = arg0;
+  }
+  if (arg1_name != nullptr) {
+    ev.arg_names[1] = arg1_name;
+    ev.arg_vals[1] = arg1;
+  }
+  Record(ev);
+}
+
+void Trace::WriteJson(std::ostream& os) {
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> rl(reg.mu);
+  os << "[";
+  bool first = true;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    // Oldest kept event first: [next, end) then [0, next) once wrapped.
+    size_t n = buf->ring.size();
+    size_t start = buf->wrapped ? buf->next % n : 0;
+    for (size_t k = 0; k < n; ++k) {
+      const TraceEvent& ev = buf->ring[(start + k) % n];
+      if (!first) os << ",\n";
+      first = false;
+      WriteOneEvent(os, ev);
+    }
+  }
+  os << "]\n";
+}
+
+Status Trace::FlushToFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open trace file: " + path);
+  WriteJson(out);
+  out.flush();
+  if (!out) return Status::IOError("failed writing trace file: " + path);
+  return Status::OK();
+}
+
+void Trace::Clear() {
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> rl(reg.mu);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->ring.clear();
+    buf->next = 0;
+    buf->wrapped = false;
+    buf->dropped = 0;
+  }
+}
+
+uint64_t Trace::dropped_events() {
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> rl(reg.mu);
+  uint64_t total = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+}  // namespace objrep

@@ -1,0 +1,126 @@
+// Span tracing: RAII spans and instant events recorded into per-thread
+// ring buffers, flushed as Chrome/Perfetto trace-event JSON (DESIGN.md §11).
+//
+// Cost model: tracing is off by default. Every record site guards on one
+// inline relaxed atomic load (`Trace::enabled()`), so the disabled path is
+// a predicted-not-taken branch — no clock read, no allocation, no lock.
+// When enabled, a record is one clock read plus an uncontended per-thread
+// buffer append (the buffer mutex only ever contends with a flush).
+//
+// Spans are recorded as complete ('X') events at scope exit — begin/end
+// can never be unbalanced, and a ring overwrite drops whole events, which
+// preserves the nest-or-disjoint property tools/trace_summary.py checks.
+// Event name/category/arg-name strings must have static storage duration
+// (string literals): the buffer stores the pointers.
+#ifndef OBJREP_OBS_TRACE_H_
+#define OBJREP_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace objrep {
+
+/// One buffered trace event (Chrome trace-event model, 'X' or 'i').
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char ph = 'X';
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;  // 'X' only
+  const char* arg_names[2] = {nullptr, nullptr};
+  uint64_t arg_vals[2] = {0, 0};
+};
+
+/// Global trace control + sinks. All static: there is one trace stream per
+/// process, like the metrics registry.
+class Trace {
+ public:
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Microseconds on the trace's steady clock (0 = first use).
+  static uint64_t NowMicros();
+
+  /// Records an instant ('i') event, e.g. a crash-point hit or an I-lock
+  /// invalidation. No-op when disabled.
+  static void Instant(const char* name, const char* cat,
+                      const char* arg_name = nullptr, uint64_t arg = 0);
+
+  /// Records a complete ('X') event with explicit timing — for sites that
+  /// measure a duration themselves (e.g. a lock wait recorded only when the
+  /// thread actually blocked). No-op when disabled.
+  static void Complete(const char* name, const char* cat, uint64_t ts_us,
+                       uint64_t dur_us, const char* arg0_name = nullptr,
+                       uint64_t arg0 = 0, const char* arg1_name = nullptr,
+                       uint64_t arg1 = 0);
+
+  /// Serializes all buffered events as a JSON array (oldest kept event
+  /// first per thread). Exact once recording threads are quiescent.
+  static void WriteJson(std::ostream& os);
+  static Status FlushToFile(const std::string& path);
+
+  /// Drops all buffered events (tests; between driver strategy runs the
+  /// buffers are intentionally kept — one trace per process run).
+  static void Clear();
+
+  /// Total events dropped to ring overwrite since the last Clear().
+  static uint64_t dropped_events();
+
+ private:
+  friend class TraceSpan;
+  static void Record(const TraceEvent& ev);  // stamps tid
+  inline static std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: captures the start time at construction, records one 'X'
+/// event at destruction (or End()). Attach up to two integer args — e.g.
+/// the I/O delta of the spanned work — any time before the span closes.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) {
+    if (Trace::enabled()) {
+      active_ = true;
+      ev_.name = name;
+      ev_.cat = cat;
+      ev_.ts_us = Trace::NowMicros();
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void SetArg(const char* name, uint64_t v) {
+    if (!active_) return;
+    for (auto& slot : ev_.arg_names) {
+      size_t i = static_cast<size_t>(&slot - ev_.arg_names);
+      if (ev_.arg_names[i] == nullptr || ev_.arg_names[i] == name) {
+        ev_.arg_names[i] = name;
+        ev_.arg_vals[i] = v;
+        return;
+      }
+    }
+  }
+
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    ev_.dur_us = Trace::NowMicros() - ev_.ts_us;
+    Trace::Record(ev_);
+  }
+
+ private:
+  bool active_ = false;
+  TraceEvent ev_;
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_OBS_TRACE_H_

@@ -4,11 +4,27 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/macros.h"
 
 namespace objrep {
 
 namespace {
+
+// Cumulative registry mirrors (DESIGN.md §11).
+struct SortMetrics {
+  Counter* sorts = MetricsRegistry::Global().GetCounter("sort.runs_started");
+  Counter* runs = MetricsRegistry::Global().GetCounter("sort.runs_formed");
+  Counter* merge_passes =
+      MetricsRegistry::Global().GetCounter("sort.merge_passes");
+  Counter* spill_pages =
+      MetricsRegistry::Global().GetCounter("sort.spill_pages");
+};
+
+SortMetrics& Metrics() {
+  static SortMetrics* m = new SortMetrics();
+  return *m;
+}
 
 /// Merges `runs` k-way into `out`, optionally dropping duplicates.
 Status MergeRuns(BufferPool* pool, std::vector<TempFile>* runs, bool dedup,
@@ -57,6 +73,7 @@ Status ExternalSort(BufferPool* pool, const TempFile& input,
   if (options.work_mem_pages < 3) {
     return Status::InvalidArgument("external sort needs >= 3 pages");
   }
+  Metrics().sorts->Add(1);
   const uint64_t run_capacity =
       static_cast<uint64_t>(options.work_mem_pages) * TempFile::kEntriesPerPage;
 
@@ -78,6 +95,8 @@ Status ExternalSort(BufferPool* pool, const TempFile& input,
         OBJREP_RETURN_NOT_OK(run.Append(v));
       }
       run.Seal();
+      Metrics().runs->Add(1);
+      Metrics().spill_pages->Add(run.num_pages());
       runs.push_back(std::move(run));
       buf.clear();
       return Status::OK();
@@ -97,6 +116,7 @@ Status ExternalSort(BufferPool* pool, const TempFile& input,
   // Phase 2: iterative k-way merges until a single run remains.
   const size_t fan_in = options.work_mem_pages - 1;
   while (runs.size() > 1) {
+    Metrics().merge_passes->Add(1);
     std::vector<TempFile> next_runs;
     for (size_t i = 0; i < runs.size(); i += fan_in) {
       size_t end = std::min(runs.size(), i + fan_in);

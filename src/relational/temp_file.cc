@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/io_context.h"
 #include "storage/fault_injector.h"
 #include "util/macros.h"
 
@@ -34,6 +35,10 @@ void SetEntryAt(Page* p, uint32_t i, uint64_t v) {
 }  // namespace
 
 Status TempFile::Create(BufferPool* pool, TempFile* out) {
+  // All temp-file traffic — page allocation, appends (whose deferred
+  // write-backs inherit the tag via the frames' dirty_tag), stream reads,
+  // and reclaim — is the BFS family's sort/temp cost (paper §5).
+  ScopedIoTag tag(IoTag::kTempSort);
   out->pool_ = pool;
   PageGuard guard;
   OBJREP_RETURN_NOT_OK(pool->NewPage(&guard));
@@ -50,6 +55,7 @@ Status TempFile::Create(BufferPool* pool, TempFile* out) {
 }
 
 Status TempFile::Append(uint64_t v) {
+  ScopedIoTag tag(IoTag::kTempSort);
   OBJREP_CHECK(tail_guard_.valid());  // Append after Seal() is a bug
   Page* p = tail_guard_.page();
   uint32_t count = PageCount(*p);
@@ -75,6 +81,7 @@ Status TempFile::Append(uint64_t v) {
 }
 
 Status TempFile::FreePages() {
+  ScopedIoTag tag(IoTag::kTempSort);
   if (pool_ == nullptr) return Status::OK();
   tail_guard_.Release();
   Status s = Status::OK();
@@ -129,6 +136,9 @@ TempFile::Reader::Reader(BufferPool* pool,
 }
 
 Status TempFile::Reader::LoadPage(uint32_t ordinal) {
+  // Demand reads of the stream are temp traffic; the PrefetchHint's actual
+  // disk reads re-tag themselves kPrefetch inside BufferPool::Prefetch.
+  ScopedIoTag tag(IoTag::kTempSort);
   if (pool_->prefetch_enabled()) {
     // Hint the next pages of the stream. Only pages this reader will
     // actually consume are offered: interior pages are always full, so the

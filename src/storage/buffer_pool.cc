@@ -4,10 +4,36 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "storage/wal.h"
 #include "util/macros.h"
 
 namespace objrep {
+
+namespace {
+
+// Cumulative process-wide registry mirrors (DESIGN.md §11); per-run deltas
+// come from the pool's own counters via ResetStats.
+struct PoolMetrics {
+  Counter* hits = MetricsRegistry::Global().GetCounter("pool.hits");
+  Counter* misses = MetricsRegistry::Global().GetCounter("pool.misses");
+  Counter* evictions = MetricsRegistry::Global().GetCounter("pool.evictions");
+  Counter* eviction_writes =
+      MetricsRegistry::Global().GetCounter("pool.eviction_writes");
+  Counter* prefetched =
+      MetricsRegistry::Global().GetCounter("pool.prefetch.pages");
+  Counter* promoted =
+      MetricsRegistry::Global().GetCounter("pool.prefetch.promoted");
+  Counter* wasted =
+      MetricsRegistry::Global().GetCounter("pool.prefetch.wasted");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, uint32_t capacity)
     : disk_(disk), capacity_(capacity), frames_(capacity) {
@@ -90,6 +116,8 @@ void BufferPool::DropStagedPages() {
     WaitStagingReady(st);
     ReleaseStagingFrame(st);
   }
+  prefetch_wasted_.fetch_add(dropped.size(), std::memory_order_relaxed);
+  Metrics().wasted->Add(dropped.size());
 }
 
 void BufferPool::WaitStagingReady(uint32_t st_idx) {
@@ -122,12 +150,18 @@ Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
   // claim spin without the bucket latch, so they cannot block the unmap and
   // simply re-probe once the claim resolves either way.
   if (f.dirty.load(std::memory_order_relaxed)) {
+    // Attribute the deferred write-back to the component that dirtied the
+    // page (temp append, cache install, update...), not to whatever query
+    // happened to trigger this reclaim.
+    ScopedIoTag tag(f.dirty_tag.load(std::memory_order_relaxed));
     Status s = disk_->WritePage(f.pid, f.page);
     if (!s.ok()) {
       f.pin_count.store(0, std::memory_order_release);  // un-claim; intact
       return s;
     }
     f.dirty.store(false, std::memory_order_relaxed);
+    eviction_writes_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().eviction_writes->Add(1);
   }
   // Unmap: after the erase no hit path can reach the frame, so the claimed
   // pin_count can be dropped without a window for false pins. Erase only
@@ -193,6 +227,8 @@ Status BufferPool::AllocateFramesLocked(size_t k,
         frames_out->clear();
         return s;
       }
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().evictions->Add(1);
       frames_out->push_back(victim);
     }
   }
@@ -247,6 +283,8 @@ Status BufferPool::PromoteStagedLocked(uint32_t st_idx, PageId pid,
     shard.map[pid] = frame;  // overwrites the staged mapping
   }
   ReleaseStagingFrame(st_idx);
+  prefetch_promoted_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().promoted->Add(1);
   *out = PageGuard(this, frame, pid);
   return Status::OK();
 }
@@ -318,6 +356,8 @@ Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
     // claiming its batch before it issues that read.
     WaitStagingReady(redundant_staged);
     ReleaseStagingFrame(redundant_staged);
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().wasted->Add(1);
   }
   *out = PageGuard(this, frame, pid);
   return Status::OK();
@@ -358,9 +398,11 @@ bool BufferPool::TryPinResident(PageId pid, PageGuard* out) {
 Status BufferPool::FetchPage(PageId pid, PageGuard* out) {
   if (TryPinResident(pid, out)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().hits->Add(1);
     return Status::OK();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().misses->Add(1);
   return PinFrameFor(pid, /*load_from_disk=*/true, out);
 }
 
@@ -372,12 +414,14 @@ Status BufferPool::FetchPages(const PageId* pids, size_t n,
   for (size_t i = 0; i < n; ++i) {
     if (TryPinResident(pids[i], &(*out)[i])) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().hits->Add(1);
     } else {
       missing.push_back(i);
     }
   }
   if (missing.empty()) return Status::OK();
   misses_.fetch_add(missing.size(), std::memory_order_relaxed);
+  Metrics().misses->Add(missing.size());
 
   Status s = Status::OK();
   {
@@ -442,6 +486,8 @@ Status BufferPool::FetchPages(const PageId* pids, size_t n,
             WaitStagingReady(staged);
             if (staging_[staged].pid == pid) {
               f.page = staging_[staged].page;
+              prefetch_promoted_.fetch_add(1, std::memory_order_relaxed);
+              Metrics().promoted->Add(1);
             } else {
               load_pids.push_back(pid);
               ptrs.push_back(&f.page);
@@ -537,7 +583,13 @@ Status BufferPool::Prefetch(const PageId* pids, size_t n) {
   for (size_t j = 0; j < claimed.size(); ++j) {
     ptrs[j] = &staging_[claimed[j]].page;
   }
-  Status s = disk_->ReadPages(want.data(), want.size(), ptrs.data());
+  Status s;
+  {
+    // Read-ahead reads are their own traffic class, whatever the hinting
+    // thread was doing (and async workers have no tag of their own).
+    ScopedIoTag tag(IoTag::kPrefetch);
+    s = disk_->ReadPages(want.data(), want.size(), ptrs.data());
+  }
   if (!s.ok()) {
     // Unpublish and *retire*. The frames cannot go straight back to
     // free_staging_: a waiter that read the pending mapping before the
@@ -566,12 +618,15 @@ Status BufferPool::Prefetch(const PageId* pids, size_t n) {
       retired_count_.store(static_cast<uint32_t>(retired_staging_.size()),
                            std::memory_order_release);
     }
+    prefetch_wasted_.fetch_add(claimed.size(), std::memory_order_relaxed);
+    Metrics().wasted->Add(claimed.size());
     return s;
   }
   for (size_t j = 0; j < claimed.size(); ++j) {
     staging_[claimed[j]].ready.store(true, std::memory_order_release);
   }
   prefetched_.fetch_add(want.size(), std::memory_order_relaxed);
+  Metrics().prefetched->Add(want.size());
   return Status::OK();
 }
 
@@ -639,6 +694,8 @@ bool BufferPool::DoFreePage(PageId pid) {
   if (staged != UINT32_MAX) {
     WaitStagingReady(staged);  // the hint's read may still be in flight
     ReleaseStagingFrame(staged);
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().wasted->Add(1);
   }
   if (frame != UINT32_MAX) {
     int expected = 0;
@@ -661,6 +718,9 @@ Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> big(evict_mu_);
   for (Frame& f : frames_) {
     if (f.in_use && f.dirty.load(std::memory_order_relaxed)) {
+      // Flush writes carry the tag of the component that dirtied the page,
+      // same as eviction write-backs.
+      ScopedIoTag tag(f.dirty_tag.load(std::memory_order_relaxed));
       OBJREP_RETURN_NOT_OK(disk_->WritePage(f.pid, f.page));
       f.dirty.store(false, std::memory_order_relaxed);
     }
@@ -689,6 +749,10 @@ void BufferPool::ResetStats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   prefetched_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  eviction_writes_.store(0, std::memory_order_relaxed);
+  prefetch_promoted_.store(0, std::memory_order_relaxed);
+  prefetch_wasted_.store(0, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -792,6 +856,10 @@ Status BufferPool::DoCommit() {
 
   // Durable. Write through so the volume converges to the committed state
   // immediately; a crash anywhere in here is repaired by WAL redo.
+  // Write-through traffic is the WAL protocol's, not the mutating
+  // component's — the component's own tag would double-bill it for pages
+  // the no-WAL run writes lazily at eviction/flush.
+  ScopedIoTag wal_tag(IoTag::kWal);
   Status apply = Status::OK();
   for (uint32_t fr : txn_frames_) {
     if (apply.ok()) apply = fi->MaybeCrash("wal.apply.page");

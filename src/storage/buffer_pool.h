@@ -232,9 +232,11 @@ class BufferPool {
   /// Drops every unpinned frame without writing it back. Only used by tests.
   void InvalidateAllClean();
 
-  /// Zeroes hits()/misses(). RunWorkload calls this at the start of every
-  /// measured sequence so the counters describe the run, not whatever
-  /// happened since construction (database build, warmup, earlier runs).
+  /// Zeroes every pool statistic (hits, misses, prefetched, evictions,
+  /// eviction writes, prefetch promoted/wasted). RunWorkload calls this at
+  /// the start of every measured sequence so the counters describe the run,
+  /// not whatever happened since construction (database build, warmup,
+  /// earlier runs) — and so per-run deltas can never go negative.
   void ResetStats();
 
   /// Attaches a write-ahead log, enabling Begin/Commit/AbortTxn. Without
@@ -277,6 +279,23 @@ class BufferPool {
   /// Monotonic; exact when quiescent, approximate while workers run.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// LRU victims reclaimed for a demand miss (free-list takes excluded).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Dirty reclaims that stalled on a write-back (eviction or free).
+  uint64_t eviction_writes() const {
+    return eviction_writes_.load(std::memory_order_relaxed);
+  }
+  /// Staged pages consumed by a demand access (the prefetch "hits").
+  uint64_t prefetch_promoted() const {
+    return prefetch_promoted_.load(std::memory_order_relaxed);
+  }
+  /// Staged pages dropped, freed, failed, or made redundant by a racing
+  /// demand load — read-ahead work that saved nothing.
+  uint64_t prefetch_wasted() const {
+    return prefetch_wasted_.load(std::memory_order_relaxed);
+  }
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -291,6 +310,13 @@ class BufferPool {
     PageId pid = kInvalidPageId;
     std::atomic<int> pin_count{0};
     std::atomic<bool> dirty{false};
+    /// IoTag of the thread that last dirtied the page. Deferred write-backs
+    /// (eviction, free, flush) re-enter this tag around their WritePage, so
+    /// the physical write is attributed to the component that *produced*
+    /// the bytes, not whichever query happened to trigger the eviction
+    /// (last writer wins on multiply-dirtied pages). Relaxed atomic: set
+    /// under a pin, read under evict_mu_ with pin_count == 0.
+    std::atomic<IoTag> dirty_tag{IoTag::kNone};
     bool in_use = false;  // guarded by evict_mu_
     /// Global clock stamp of the last unpin; eviction takes the minimum
     /// over unpinned frames — exactly the old intrusive-list LRU order.
@@ -334,6 +360,7 @@ class BufferPool {
   /// deliberately not captured — their pages are not transactional.
   void MarkFrameDirty(uint32_t frame) {
     frames_[frame].dirty.store(true, std::memory_order_relaxed);
+    frames_[frame].dirty_tag.store(CurrentIoTag(), std::memory_order_relaxed);
     if (txn_active_.load(std::memory_order_acquire) &&
         txn_owner_.load(std::memory_order_relaxed) ==
             std::this_thread::get_id()) {
@@ -401,6 +428,10 @@ class BufferPool {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> prefetched_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> eviction_writes_{0};
+  std::atomic<uint64_t> prefetch_promoted_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
 
   PrefetchOptions prefetch_;  // written only by SetPrefetchOptions
   uint32_t staging_count_ = 0;

@@ -5,31 +5,66 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/macros.h"
 
 namespace objrep {
+
+namespace {
+
+// Process-wide registry mirrors, looked up once and cached (DESIGN.md §11).
+// These are cumulative across all volumes; per-volume/per-run accounting
+// stays in the DiskManager's own counters.
+struct DiskMetrics {
+  Counter* reads = MetricsRegistry::Global().GetCounter("disk.reads");
+  Counter* writes = MetricsRegistry::Global().GetCounter("disk.writes");
+  Counter* seq_reads = MetricsRegistry::Global().GetCounter("disk.seq_reads");
+  Counter* rand_reads =
+      MetricsRegistry::Global().GetCounter("disk.rand_reads");
+  Counter* device_us = MetricsRegistry::Global().GetCounter("disk.device_us");
+};
+
+DiskMetrics& Metrics() {
+  static DiskMetrics* m = new DiskMetrics();
+  return *m;
+}
+
+}  // namespace
+
+uint64_t DiskManager::NextSerial() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 void DiskManager::SimulateLatency(uint64_t seeks, uint64_t pages) const {
   uint64_t seek_us = io_latency_us_.load(std::memory_order_relaxed);
   uint64_t xfer_us = transfer_us_.load(std::memory_order_relaxed);
   uint64_t total = seeks * seek_us + pages * xfer_us;
   if (total != 0) {
+    Metrics().device_us->Add(total);
     std::this_thread::sleep_for(std::chrono::microseconds(total));
   }
 }
 
 uint64_t DiskManager::AccountReadRun(PageId first, uint64_t n) {
   // The run [first, first + n) is contiguous on the platter; whether its
-  // head page costs a seek depends on where the arm was left. exchange is
-  // atomic but two racing readers can still interleave — acceptable, the
-  // split is diagnostic and the timing simulated.
-  uint64_t prev =
-      last_read_.exchange(static_cast<uint64_t>(first) + n - 1,
-                          std::memory_order_relaxed);
+  // head page costs a seek depends on where this *thread* left the arm on
+  // this volume. The arm is thread-local (keyed by the volume's serial):
+  // two interleaved sequential scanners each see their own run as
+  // sequential, instead of a global arm turning both random. The price is
+  // per-thread arms on one volume ignoring each other — the simulated
+  // device is optimistic about cross-thread locality, which is the right
+  // bias for a diagnostic split (DESIGN.md §11).
+  IoThreadState& st = CurrentIoThreadState();
+  uint64_t prev = st.arm_serial == serial_ ? st.last_read : UINT64_MAX;
+  st.arm_serial = serial_;
+  st.last_read = static_cast<uint64_t>(first) + n - 1;
   bool head_seq = prev != UINT64_MAX && static_cast<uint64_t>(first) == prev + 1;
   uint64_t seeks = head_seq ? 0 : 1;
   seq_reads_.fetch_add(n - seeks, std::memory_order_relaxed);
   rand_reads_.fetch_add(seeks, std::memory_order_relaxed);
+  Metrics().seq_reads->Add(n - seeks);
+  Metrics().rand_reads->Add(seeks);
   return seeks;
 }
 
@@ -69,6 +104,8 @@ Status DiskManager::ReadPage(PageId page_id, Page* out) {
     std::memcpy(out->data, pages_[page_id]->data, kPageSize);
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
+  AttributeReads(1);
+  Metrics().reads->Add(1);
   uint64_t seeks = AccountReadRun(page_id, 1);
   SimulateLatency(seeks, 1);
   return Status::OK();
@@ -95,6 +132,8 @@ Status DiskManager::ReadPages(const PageId* page_ids, size_t n,
     }
   }
   reads_.fetch_add(n, std::memory_order_relaxed);
+  AttributeReads(n);
+  Metrics().reads->Add(n);
   // Charge one seek per discontiguous segment of the batch: the counters
   // are identical to n single ReadPage calls (n reads; the same pages are
   // sequential in the same order), only the simulated arm time amortizes.
@@ -133,9 +172,15 @@ Status DiskManager::WritePage(PageId page_id, const Page& in) {
     std::memcpy(pages_[page_id]->data, in.data, kPageSize);
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
+  AttributeWrite();
+  Metrics().writes->Add(1);
   // Writes always pay the seek (eviction writebacks are scattered), and
-  // they move the arm off the read position.
-  last_read_.store(UINT64_MAX, std::memory_order_relaxed);
+  // they move the calling thread's arm off its read position.
+  {
+    IoThreadState& st = CurrentIoThreadState();
+    st.arm_serial = serial_;
+    st.last_read = UINT64_MAX;
+  }
   SimulateLatency(1, 1);
   return Status::OK();
 }

@@ -27,6 +27,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "obs/io_context.h"
 #include "storage/fault_injector.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
@@ -112,6 +113,23 @@ class DiskManager {
     writes_.store(0, std::memory_order_relaxed);
     seq_reads_.store(0, std::memory_order_relaxed);
     rand_reads_.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumIoTags; ++i) {
+      tag_reads_[i].store(0, std::memory_order_relaxed);
+      tag_writes_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Per-tag attribution snapshot. Each counted read/write also bumps the
+  /// slot of the thread's current IoTag at the same site by the same
+  /// amount, so summing the breakdown over all tags reproduces counters()
+  /// exactly (once quiescent).
+  IoTagBreakdown breakdown() const {
+    IoTagBreakdown b;
+    for (size_t i = 0; i < kNumIoTags; ++i) {
+      b.reads[i] = tag_reads_[i].load(std::memory_order_relaxed);
+      b.writes[i] = tag_writes_[i].load(std::memory_order_relaxed);
+    }
+    return b;
   }
 
   /// Simulated seek latency (default 0: the seed's pure counting model).
@@ -141,8 +159,19 @@ class DiskManager {
   /// both knobs are 0). Called after the latch is released.
   void SimulateLatency(uint64_t seeks, uint64_t pages) const;
   /// Classifies a read run starting at `first` for `n` contiguous pages
-  /// against last_read_ and updates seq/rand counters; returns seeks (0/1).
+  /// against the calling thread's arm position and updates seq/rand
+  /// counters; returns seeks (0/1).
   uint64_t AccountReadRun(PageId first, uint64_t n);
+  /// Bumps the calling thread's IoTag slot for `n` reads.
+  void AttributeReads(uint64_t n) {
+    tag_reads_[static_cast<size_t>(CurrentIoTag())].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  /// Bumps the calling thread's IoTag slot for one write.
+  void AttributeWrite() {
+    tag_writes_[static_cast<size_t>(CurrentIoTag())].fetch_add(
+        1, std::memory_order_relaxed);
+  }
 
   mutable std::shared_mutex mu_;  // guards pages_ / free_list_ growth
   std::vector<std::unique_ptr<Page>> pages_;
@@ -152,10 +181,14 @@ class DiskManager {
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> seq_reads_{0};
   std::atomic<uint64_t> rand_reads_{0};
-  /// Page id of the most recent read; the head position of the simulated
-  /// device arm. Relaxed: a race only perturbs the seq/rand split and the
-  /// simulated timing, never a count.
-  std::atomic<uint64_t> last_read_{UINT64_MAX};
+  std::atomic<uint64_t> tag_reads_[kNumIoTags] = {};
+  std::atomic<uint64_t> tag_writes_[kNumIoTags] = {};
+  /// Identifies this volume in per-thread arm state (IoThreadState): each
+  /// reading thread tracks its own last-read page, keyed by this serial, so
+  /// interleaved sequential scanners don't turn each other's runs random
+  /// and a thread alternating between volumes doesn't splice runs.
+  const uint64_t serial_ = NextSerial();
+  static uint64_t NextSerial();
   std::atomic<uint32_t> io_latency_us_{0};
   std::atomic<uint32_t> transfer_us_{0};
   FaultInjector injector_;

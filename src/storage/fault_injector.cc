@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/macros.h"
 
 namespace objrep {
@@ -129,6 +130,9 @@ Status FaultInjector::MaybeCrash(const char* point) {
   std::lock_guard<std::mutex> l(mu_);
   if (hits_.empty()) hits_.resize(RegisteredCrashPoints().size(), 0);
   ++hits_[static_cast<size_t>(idx)];
+  // `point` is a registered literal (checked above), so its lifetime
+  // satisfies the trace buffer's static-string contract.
+  Trace::Instant(point, "fault", "hit", hits_[static_cast<size_t>(idx)]);
   if (crashed_.load(std::memory_order_relaxed)) {
     return Status::IOError("simulated crash: volume is down");
   }
@@ -137,6 +141,7 @@ Status FaultInjector::MaybeCrash(const char* point) {
   crashed_at_ = armed_point_;
   armed_point_.clear();
   crashed_.store(true, std::memory_order_relaxed);
+  Trace::Instant("crash", "fault");
   return Status::IOError("simulated crash at " + crashed_at_);
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/fault_injector.h"
 #include "util/hash.h"
@@ -11,6 +12,25 @@
 namespace objrep {
 
 namespace {
+
+// Cumulative registry mirrors (DESIGN.md §11).
+struct WalMetrics {
+  Counter* records = MetricsRegistry::Global().GetCounter("wal.records");
+  Counter* bytes = MetricsRegistry::Global().GetCounter("wal.bytes");
+  Counter* syncs = MetricsRegistry::Global().GetCounter("wal.syncs");
+  Counter* commits = MetricsRegistry::Global().GetCounter("wal.commits");
+  Counter* recoveries =
+      MetricsRegistry::Global().GetCounter("wal.recovery.runs");
+  Counter* txns_redone =
+      MetricsRegistry::Global().GetCounter("wal.recovery.txns_redone");
+  Counter* pages_redone =
+      MetricsRegistry::Global().GetCounter("wal.recovery.pages_redone");
+};
+
+WalMetrics& Metrics() {
+  static WalMetrics* m = new WalMetrics();
+  return *m;
+}
 
 // Record framing:  [u8 type][u64 txn][u32 payload_len] payload [u64 fnv]
 // The checksum covers header + payload; a record whose framing runs past
@@ -47,6 +67,8 @@ void Wal::AppendRecord(RecordType type, uint64_t txn, const uint8_t* payload,
   }
   uint64_t crc = Fnv1a64(log_.data() + start, kHeaderBytes + payload_len);
   StoreLE<uint64_t>(&log_, crc);
+  Metrics().records->Add(1);
+  Metrics().bytes->Add(log_.size() - start);
 }
 
 void Wal::AppendPageImage(uint64_t txn, PageId pid, const Page& image) {
@@ -73,6 +95,7 @@ Status Wal::Sync() {
     return torn;
   }
   durable_ = log_.size();
+  Metrics().syncs->Add(1);
   return Status::OK();
 }
 
@@ -83,6 +106,7 @@ Status Wal::Commit(uint64_t txn) {
   OBJREP_RETURN_NOT_OK(Sync());  // <- the commit point
   ++committed_txns_;
   ++open_applies_;
+  Metrics().commits->Add(1);
   return fi->MaybeCrash("wal.commit.after_sync");
 }
 
@@ -180,6 +204,9 @@ Status Wal::Recover(WalRecoveryStats* stats) {
       if (disk_->TryFreePage(pid)) ++st->frees_redone;
     }
   }
+  Metrics().recoveries->Add(1);
+  Metrics().txns_redone->Add(st->txns_redone);
+  Metrics().pages_redone->Add(st->pages_redone);
   return Status::OK();
 }
 

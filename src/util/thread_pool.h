@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 
 namespace objrep {
@@ -62,33 +64,60 @@ class ThreadPool {
   std::future<R> Submit(Fn fn) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> fut = task->get_future();
+    // Queue-wait latency: enqueue-to-dequeue, recorded by the worker. The
+    // clock read costs one steady_clock call per task — tasks here are
+    // whole query sessions or vectored read batches, never per-page work.
+    uint64_t enqueued_us = Trace::NowMicros();
     {
       std::lock_guard<std::mutex> l(mu_);
       OBJREP_CHECK(!stopping_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.emplace_back(QueuedTask{[task] { (*task)(); }, enqueued_us});
+      QueueMetrics().depth->Set(static_cast<int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return fut;
   }
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueued_us = 0;
+  };
+
+  // Registry mirrors (DESIGN.md §11), shared by all pools in the process.
+  struct PoolQueueMetrics {
+    Gauge* depth = MetricsRegistry::Global().GetGauge("threadpool.queue_depth");
+    Histogram* queue_wait_us =
+        MetricsRegistry::Global().GetHistogram("threadpool.queue_wait_us");
+    Histogram* task_run_us =
+        MetricsRegistry::Global().GetHistogram("threadpool.task_run_us");
+  };
+  static PoolQueueMetrics& QueueMetrics() {
+    static PoolQueueMetrics* m = new PoolQueueMetrics();
+    return *m;
+  }
+
   void WorkerLoop() {
     for (;;) {
-      std::function<void()> task;
+      QueuedTask task;
       {
         std::unique_lock<std::mutex> l(mu_);
         cv_.wait(l, [this] { return stopping_ || !queue_.empty(); });
         if (queue_.empty()) return;  // stopping_ with nothing left to run
         task = std::move(queue_.front());
         queue_.pop_front();
+        QueueMetrics().depth->Set(static_cast<int64_t>(queue_.size()));
       }
-      task();
+      uint64_t start_us = Trace::NowMicros();
+      QueueMetrics().queue_wait_us->Record(start_us - task.enqueued_us);
+      task.fn();
+      QueueMetrics().task_run_us->Record(Trace::NowMicros() - start_us);
     }
   }
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  std::deque<QueuedTask> queue_;  // guarded by mu_
   bool stopping_ = false;                    // guarded by mu_
   std::vector<std::thread> workers_;
 };

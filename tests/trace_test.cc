@@ -1,0 +1,178 @@
+// Span tracing (DESIGN.md §11): disabled-path inertness, span/instant
+// recording across threads, JSON shape, flush-to-file, and ring-overwrite
+// accounting. The trace stream is process-global, so every test starts
+// from Clear() and restores the disabled state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace objrep {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::SetEnabled(false);
+    Trace::Clear();
+  }
+  void TearDown() override {
+    Trace::SetEnabled(false);
+    Trace::Clear();
+  }
+
+  static std::string Dump() {
+    std::ostringstream oss;
+    Trace::WriteJson(oss);
+    return oss.str();
+  }
+
+  static size_t CountOccurrences(const std::string& hay,
+                                 const std::string& needle) {
+    size_t n = 0;
+    for (size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    TraceSpan span("work", "test");
+    span.SetArg("io", 7);
+    Trace::Instant("tick", "test");
+    Trace::Complete("wait", "test", 0, 5);
+  }
+  EXPECT_EQ(Dump(), "[]\n");
+  EXPECT_EQ(Trace::dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEvent) {
+  Trace::SetEnabled(true);
+  {
+    TraceSpan span("retrieve", "query");
+    span.SetArg("io", 42);
+    span.SetArg("num_top", 5);
+  }
+  std::string json = Dump();
+  EXPECT_NE(json.find("\"name\":\"retrieve\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"io\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"num_top\":5"), std::string::npos);
+}
+
+TEST_F(TraceTest, SetArgOverwritesSameName) {
+  Trace::SetEnabled(true);
+  {
+    TraceSpan span("s", "test");
+    span.SetArg("io", 1);
+    span.SetArg("io", 9);  // same name reuses the slot
+  }
+  std::string json = Dump();
+  EXPECT_NE(json.find("\"io\":9"), std::string::npos);
+  EXPECT_EQ(json.find("\"io\":1"), std::string::npos);
+}
+
+TEST_F(TraceTest, InstantAndExplicitComplete) {
+  Trace::SetEnabled(true);
+  Trace::Instant("crash", "fault", "hit", 3);
+  Trace::Complete("lock_wait", "lock", 100, 25, "lock_id", 2);
+  std::string json = Dump();
+  EXPECT_NE(json.find("\"name\":\"crash\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lock_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+}
+
+TEST_F(TraceTest, NestedSpansCloseInnerFirst) {
+  Trace::SetEnabled(true);
+  {
+    TraceSpan outer("outer", "test");
+    {
+      TraceSpan inner("inner", "test");
+    }
+  }
+  std::string json = Dump();
+  // Inner records first (scope exit order); both are complete events.
+  size_t inner_pos = json.find("\"name\":\"inner\"");
+  size_t outer_pos = json.find("\"name\":\"outer\"");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  Trace::SetEnabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 10; ++i) {
+        TraceSpan span("worker", "test");
+      }
+      Trace::Instant("done", "test");
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::string json = Dump();
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"worker\""), 10u * kThreads);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"done\""),
+            static_cast<size_t>(kThreads));
+}
+
+TEST_F(TraceTest, FlushToFileWritesJsonArray) {
+  Trace::SetEnabled(true);
+  {
+    TraceSpan span("flushed", "test");
+  }
+  std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  Status s = Trace::FlushToFile(path);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  std::string content = oss.str();
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_NE(content.find("\"name\":\"flushed\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  Trace::SetEnabled(true);
+  Trace::Instant("gone", "test");
+  Trace::Clear();
+  EXPECT_EQ(Dump(), "[]\n");
+  EXPECT_EQ(Trace::dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, RingOverwriteCountsDrops) {
+  Trace::SetEnabled(true);
+  // One thread over-fills its 65536-slot ring by 100 events.
+  constexpr size_t kEvents = 65536 + 100;
+  std::thread filler([] {
+    for (size_t i = 0; i < kEvents; ++i) {
+      Trace::Instant("spam", "test");
+    }
+  });
+  filler.join();
+  EXPECT_EQ(Trace::dropped_events(), 100u);
+  // The dump still holds exactly one full ring of whole events.
+  EXPECT_EQ(CountOccurrences(Dump(), "\"name\":\"spam\""), size_t{65536});
+}
+
+}  // namespace
+}  // namespace objrep

@@ -6,6 +6,12 @@ drifted (missing fields, wrong types, nonsensical numbers) even when the
 JSON still parses. Stdlib only.
 
 Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
+       check_bench_json.py --metrics FILE
+
+With --metrics, FILE is instead a metrics-registry dump (the driver's
+--metrics-json output) and only its schema is validated: the three
+top-level sections, counter/gauge value types, and per-histogram summary
+fields with ordered percentiles.
 
 With --baseline, also compares per-(strategy, prefetch, workers) run
 results against the baseline file. Two signals are checked:
@@ -31,6 +37,15 @@ RUN_FIELDS = {
     "speedup": (int, float),
     "avg_io_per_query": (int, float),
     "seq_read_pct": (int, float),
+    "io_total": int,
+    "io_by_tag": dict,
+}
+
+# Tag names bench emitters may use (src/obs/io_context.h). "none" is
+# legitimate: setup I/O inside the measured window is untagged.
+IO_TAGS = {
+    "none", "parent_scan", "index_probe", "heap_fetch", "cluster_scan",
+    "temp_sort", "cache_fetch", "cache_maint", "update", "prefetch", "wal",
 }
 
 
@@ -78,6 +93,17 @@ def validate(doc):
                 fail(f"{ctx}: seq_read_pct out of [0, 100]")
             if run["workers"] < 0:
                 fail(f"{ctx}: negative workers")
+            if run["io_total"] < 0:
+                fail(f"{ctx}: negative io_total")
+            for tag, count in run["io_by_tag"].items():
+                if tag not in IO_TAGS:
+                    fail(f"{ctx}: unknown io_by_tag key '{tag}'")
+                if not isinstance(count, int) or count <= 0:
+                    fail(f"{ctx}: io_by_tag['{tag}'] must be a positive int"
+                         " (zero tags are omitted)")
+            if sum(run["io_by_tag"].values()) != run["io_total"]:
+                fail(f"{ctx}: io_by_tag does not sum to io_total — "
+                     "attribution lost pages")
             runs_by_key[(name, run["prefetch"], run["workers"])] = run
         # The first run of each strategy is the no-prefetch baseline the
         # speedups are computed against.
@@ -121,12 +147,48 @@ def compare(current, baseline, tolerance):
           f"baseline (worst regression {worst:.1f}%)")
 
 
+def validate_metrics(doc):
+    if not isinstance(doc, dict):
+        fail("metrics: top level is not an object")
+    counters = check_type(doc, "counters", dict, "metrics")
+    gauges = check_type(doc, "gauges", dict, "metrics")
+    histograms = check_type(doc, "histograms", dict, "metrics")
+    for name, v in counters.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"metrics: counter '{name}' is not a non-negative int")
+    for name, v in gauges.items():
+        if not isinstance(v, int):
+            fail(f"metrics: gauge '{name}' is not an int")
+    for name, h in histograms.items():
+        ctx = f"metrics: histogram '{name}'"
+        for field in ("count", "sum", "max", "p50", "p90", "p99"):
+            v = check_type(h, field, int, ctx)
+            if v < 0:
+                fail(f"{ctx}: negative {field}")
+        if not h["p50"] <= h["p90"] <= h["p99"] <= h["max"]:
+            fail(f"{ctx}: percentiles not ordered")
+        if h["count"] == 0 and (h["sum"] or h["max"]):
+            fail(f"{ctx}: empty histogram with nonzero sum/max")
+    return len(counters) + len(gauges) + len(histograms)
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("file")
     parser.add_argument("--baseline")
     parser.add_argument("--tolerance", type=float, default=3.0)
+    parser.add_argument("--metrics", action="store_true",
+                        help="FILE is a metrics-registry dump, not bench JSON")
     args = parser.parse_args()
+
+    if args.metrics:
+        if args.baseline:
+            fail("--metrics does not take a --baseline")
+        with open(args.file) as f:
+            n = validate_metrics(json.load(f))
+        print(f"check_bench_json: {args.file}: metrics schema OK "
+              f"({n} metrics)")
+        return
 
     with open(args.file) as f:
         current = validate(json.load(f))

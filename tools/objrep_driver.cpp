@@ -13,18 +13,35 @@
 //   $ ./build/tools/objrep_driver --threads=8 configs/fig3_point.cfg
 //   $ ./build/tools/objrep_driver --threads=8 --duration=5 cfg   # timed run
 //   $ ./build/tools/objrep_driver --num-queries=5000 cfg
+//
+// Observability (DESIGN.md §11): --trace-out=FILE writes a Chrome/Perfetto
+// trace of the run, --metrics-json=FILE dumps the metrics registry at
+// exit, --metrics-interval=MS streams registry snapshots to stderr while
+// running. After the per-strategy report the driver prints an I/O
+// attribution table splitting each strategy's page traffic by component
+// tag (parent scan, index probes, temp/sort, cache, ...).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/experiment_config.h"
 #include "core/runner.h"
 #include "exec/concurrent_runner.h"
+#include "obs/io_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "objstore/database.h"
 #include "storage/fault_injector.h"
 
@@ -45,8 +62,83 @@ struct DriverFlags {
   uint64_t fault_seed = 0;      // --fault-seed=N (injector rng)
   double fault_rate = 0;        // --fault-rate=P (per-I/O failure prob.)
   std::string fault_crash_point;  // --fault-crash-point=NAME[:HIT]
+  // Observability (DESIGN.md §11).
+  std::string metrics_json;     // --metrics-json=FILE (registry at exit)
+  std::string trace_out;        // --trace-out=FILE (Chrome/Perfetto JSON)
+  uint64_t metrics_interval_ms = 0;  // --metrics-interval=MS (to stderr)
   std::string config_path;
 };
+
+/// Background snapshot streamer for --metrics-interval: one JSON line of
+/// the whole registry to stderr every interval until stopped.
+class MetricsStreamer {
+ public:
+  explicit MetricsStreamer(uint64_t interval_ms) : interval_ms_(interval_ms) {
+    if (interval_ms_ > 0) thread_ = std::thread([this] { Loop(); });
+  }
+  ~MetricsStreamer() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> l(mu_);
+    while (!cv_.wait_for(l, std::chrono::milliseconds(interval_ms_),
+                         [this] { return stop_; })) {
+      std::string json = MetricsRegistry::Global().ToJson();
+      std::fprintf(stderr, "metrics: %s\n", json.c_str());
+    }
+  }
+
+  const uint64_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// One row of the attribution table.
+struct AttributionRow {
+  std::string strategy;
+  IoTagBreakdown tags;
+};
+
+void PrintAttributionTable(const std::vector<AttributionRow>& rows) {
+  if (rows.empty()) return;
+  // Only tags that moved for at least one strategy get a column.
+  std::vector<IoTag> cols;
+  for (size_t t = 0; t < kNumIoTags; ++t) {
+    for (const AttributionRow& row : rows) {
+      if (row.tags.total_for(static_cast<IoTag>(t)) > 0) {
+        cols.push_back(static_cast<IoTag>(t));
+        break;
+      }
+    }
+  }
+  std::printf("\nI/O attribution (pages; %% of strategy total):\n");
+  std::printf("%-16s", "strategy");
+  for (IoTag t : cols) std::printf(" %18s", IoTagName(t));
+  std::printf(" %12s\n", "total");
+  for (const AttributionRow& row : rows) {
+    uint64_t total = row.tags.total();
+    std::printf("%-16s", row.strategy.c_str());
+    for (IoTag t : cols) {
+      uint64_t n = row.tags.total_for(t);
+      double pct = total > 0 ? 100.0 * static_cast<double>(n) /
+                                   static_cast<double>(total)
+                             : 0.0;
+      std::printf(" %10llu (%4.1f%%)", static_cast<unsigned long long>(n),
+                  pct);
+    }
+    std::printf(" %12llu\n", static_cast<unsigned long long>(total));
+  }
+}
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
   size_t n = std::strlen(name);
@@ -61,7 +153,9 @@ int Usage(const char* prog) {
                "          [--prefetch=on|off] [--readahead-pages=N] "
                "[--io-latency-us=U]\n"
                "          [--wal=on|off] [--fault-seed=N] [--fault-rate=P]\n"
-               "          [--fault-crash-point=NAME[:HIT]] <config-file | ->\n"
+               "          [--fault-crash-point=NAME[:HIT]]\n"
+               "          [--metrics-json=FILE] [--trace-out=FILE]\n"
+               "          [--metrics-interval=MS] <config-file | ->\n"
                "see src/core/experiment_config.h for the config format;\n"
                "--fault-crash-point=list prints the registered points\n",
                prog);
@@ -102,6 +196,12 @@ int main(int argc, char** argv) {
       if (flags.fault_rate < 0 || flags.fault_rate > 1) return Usage(argv[0]);
     } else if (ParseFlag(argv[i], "--fault-crash-point", &v)) {
       flags.fault_crash_point = v;
+    } else if (ParseFlag(argv[i], "--metrics-json", &v)) {
+      flags.metrics_json = v;
+    } else if (ParseFlag(argv[i], "--trace-out", &v)) {
+      flags.trace_out = v;
+    } else if (ParseFlag(argv[i], "--metrics-interval", &v)) {
+      flags.metrics_interval_ms = std::strtoull(v, nullptr, 10);
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       return Usage(argv[0]);
     } else if (flags.config_path.empty()) {
@@ -190,6 +290,10 @@ int main(int argc, char** argv) {
       config.workload.pr_update, config.workload.update_batch,
       static_cast<unsigned long long>(config.workload.seed));
 
+  if (!flags.trace_out.empty()) Trace::SetEnabled(true);
+  MetricsStreamer streamer(flags.metrics_interval_ms);
+  std::vector<AttributionRow> attribution;
+
   const bool concurrent = flags.threads > 0;
   if (concurrent) {
     std::printf("engine: %u worker threads%s\n\n", flags.threads,
@@ -265,6 +369,8 @@ int main(int argc, char** argv) {
                   r.latency.p50_us / 1000.0, r.latency.p95_us / 1000.0,
                   r.latency.p99_us / 1000.0, r.avg_io_per_query,
                   static_cast<long long>(r.combined.result_sum));
+      attribution.push_back(
+          AttributionRow{StrategyKindName(kind), r.combined.io_by_tag});
       continue;
     }
 
@@ -310,6 +416,31 @@ int main(int argc, char** argv) {
                 probes ? 100.0 * r.cache_stats.hits / probes : 0.0,
                 100.0 * r.io.seq_fraction(),
                 static_cast<long long>(r.result_sum));
+    attribution.push_back(AttributionRow{StrategyKindName(kind), r.io_by_tag});
+  }
+
+  PrintAttributionTable(attribution);
+
+  if (!flags.metrics_json.empty()) {
+    std::ofstream out(flags.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_json.c_str());
+      return 1;
+    }
+    MetricsRegistry::Global().WriteJson(out);
+    out << "\n";
+  }
+  if (!flags.trace_out.empty()) {
+    if (uint64_t dropped = Trace::dropped_events(); dropped > 0) {
+      std::fprintf(stderr,
+                   "trace: %llu events dropped to ring overwrite\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+    Status ts = Trace::FlushToFile(flags.trace_out);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", ts.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

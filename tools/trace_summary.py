@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate and summarize a trace written by --trace-out (DESIGN.md §11).
+
+Structural checks (any failure exits nonzero):
+
+- the file parses as a JSON array of event objects
+- every event has name/cat/ph/pid/tid/ts; ph is 'X' (complete, with a
+  'dur') or 'i' (instant); ts/dur are non-negative numbers
+- per thread, 'X' spans are properly nested or disjoint ("balanced"):
+  sorted by start time, each span either contains the next or ends before
+  it starts. The writer records spans only at scope exit and drops whole
+  events on ring overwrite, so a violation means a writer bug, not an
+  unlucky flush.
+
+Then prints, per span name: count, total/mean/max wall time, and mean I/O
+per span for spans carrying an "io" arg (the runner attaches the page
+delta to each query span). Instants are tallied by name.
+
+Usage: trace_summary.py FILE [--quiet]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"trace_summary: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(events):
+    if not isinstance(events, list):
+        fail("top level is not a JSON array")
+    spans_by_tid = defaultdict(list)
+    for i, ev in enumerate(events):
+        ctx = f"event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{ctx}: not an object")
+        for field in ("name", "cat", "ph", "pid", "tid", "ts"):
+            if field not in ev:
+                fail(f"{ctx}: missing '{field}'")
+        if not isinstance(ev["name"], str) or not isinstance(ev["cat"], str):
+            fail(f"{ctx}: name/cat must be strings")
+        if ev["ph"] not in ("X", "i"):
+            fail(f"{ctx}: unknown phase '{ev['ph']}'")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"{ctx}: bad ts")
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                fail(f"{ctx}: 'X' event without dur")
+            if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                fail(f"{ctx}: bad dur")
+            spans_by_tid[ev["tid"]].append(ev)
+        if "args" in ev:
+            if not isinstance(ev["args"], dict):
+                fail(f"{ctx}: args is not an object")
+            for k, v in ev["args"].items():
+                if not isinstance(v, (int, float)):
+                    fail(f"{ctx}: arg '{k}' is not a number")
+
+    # Balanced-span check: per thread, sorted by (start, -dur), maintain a
+    # stack of open intervals; each span must fit inside the innermost open
+    # one or start after it closes.
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for ev in spans:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1]:
+                stack.pop()
+            if stack and end > stack[-1]:
+                fail(
+                    f"tid {tid}: span '{ev['name']}' [{start}, {end}) "
+                    f"overlaps an enclosing span ending at {stack[-1]} "
+                    "without nesting"
+                )
+            stack.append(end)
+
+
+def summarize(events):
+    spans = defaultdict(lambda: {"n": 0, "total": 0.0, "max": 0.0,
+                                 "io": 0, "io_n": 0})
+    instants = defaultdict(int)
+    tids = set()
+    for ev in events:
+        tids.add(ev["tid"])
+        if ev["ph"] == "i":
+            instants[ev["name"]] += 1
+            continue
+        s = spans[ev["name"]]
+        s["n"] += 1
+        s["total"] += ev["dur"]
+        s["max"] = max(s["max"], ev["dur"])
+        io = ev.get("args", {}).get("io")
+        if io is not None:
+            s["io"] += io
+            s["io_n"] += 1
+
+    print(f"{len(events)} events, {len(tids)} threads")
+    if spans:
+        print(f"\n{'span':<16} {'count':>8} {'total ms':>12} "
+              f"{'mean ms':>10} {'max ms':>10} {'mean io':>9}")
+        for name in sorted(spans, key=lambda n: -spans[n]["total"]):
+            s = spans[name]
+            mean_io = (f"{s['io'] / s['io_n']:9.1f}"
+                       if s["io_n"] else f"{'-':>9}")
+            print(f"{name:<16} {s['n']:>8} {s['total'] / 1000:>12.3f} "
+                  f"{s['total'] / s['n'] / 1000:>10.3f} "
+                  f"{s['max'] / 1000:>10.3f} {mean_io}")
+    if instants:
+        print(f"\n{'instant':<20} {'count':>8}")
+        for name in sorted(instants, key=lambda n: -instants[n]):
+            print(f"{name:<20} {instants[name]:>8}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="validate only, no summary")
+    args = parser.parse_args()
+
+    with open(args.file) as f:
+        try:
+            events = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{args.file} does not parse: {e}")
+    validate(events)
+    print(f"trace_summary: {args.file}: structure OK")
+    if not args.quiet:
+        summarize(events)
+
+
+if __name__ == "__main__":
+    main()
