@@ -1,0 +1,334 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/io_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "objstore/rows.h"
+#include "storage/fault_injector.h"
+
+namespace objrep {
+
+CostCalibrator::CostCalibrator(DeviceModel predicted, uint32_t window)
+    : device_(predicted),
+      window_(window == 0 ? 1 : window),
+      alpha_(2.0 / (static_cast<double>(window_) + 1.0)) {
+  for (double& f : factor_) f = 1.0;
+}
+
+double CostCalibrator::Predict(StrategyKind kind, const DbShape& shape,
+                               const DynamicStats& dyn, uint32_t num_top,
+                               uint32_t smart_threshold) const {
+  return device_.Cost(
+      EstimateRetrieveDetail(kind, shape, dyn, num_top, smart_threshold));
+}
+
+double CostCalibrator::PredictCalibrated(StrategyKind kind,
+                                         const DbShape& shape,
+                                         const DynamicStats& dyn,
+                                         uint32_t num_top,
+                                         uint32_t smart_threshold) const {
+  return Predict(kind, shape, dyn, num_top, smart_threshold) *
+         factor_[Index(kind)];
+}
+
+void CostCalibrator::Observe(StrategyKind kind, double predicted_raw,
+                             double observed, bool trial) {
+  size_t i = Index(kind);
+  // The ratio bound is deliberately wide: a mis-seeded device model can be
+  // off by orders of magnitude (the 10x-latency convergence test), and the
+  // factor must be able to cancel all of it. It only excludes degenerate
+  // zero/infinite observations.
+  double ratio =
+      std::clamp(observed / std::max(predicted_raw, 1e-9), 1e-4, 1e4);
+  double alpha = trial ? std::max(alpha_, kTrialAlpha) : alpha_;
+  factor_[i] = count_[i] < kSnapObservations
+                   ? ratio
+                   : (1.0 - alpha) * factor_[i] + alpha * ratio;
+  ++count_[i];
+}
+
+namespace {
+
+Counter* PlanCounterFor(StrategyKind kind) {
+  return MetricsRegistry::Global().GetCounter(
+      std::string("adaptive.plan.") + StrategyKindName(kind));
+}
+
+}  // namespace
+
+AdaptiveStrategy::AdaptiveStrategy(ComplexDatabase* db,
+                                   const StrategyOptions& options)
+    : AdaptiveStrategy(db, options,
+                       DeviceModel::ForDevice(db->disk->io_latency_us(),
+                                              db->disk->transfer_us())) {}
+
+AdaptiveStrategy::AdaptiveStrategy(ComplexDatabase* db,
+                                   const StrategyOptions& options,
+                                   DeviceModel predicted_device)
+    : Strategy(db),
+      options_(options),
+      shape_(DbShape::Of(*db)),
+      calibrator_(predicted_device, options.calibration_window),
+      observed_device_(DeviceModel::ForDevice(db->disk->io_latency_us(),
+                                              db->disk->transfer_us())) {
+  // Candidates are the modelled strategies the database's structures
+  // support. MakeStrategy cannot fail for these: the structure checks
+  // below mirror its preconditions.
+  candidates_.push_back(StrategyKind::kDfs);
+  candidates_.push_back(StrategyKind::kBfs);
+  if (db->cache != nullptr) {
+    candidates_.push_back(StrategyKind::kDfsCache);
+    candidates_.push_back(StrategyKind::kSmart);
+  }
+  if (db->cluster_rel != nullptr) {
+    candidates_.push_back(StrategyKind::kDfsClust);
+  }
+  for (StrategyKind k : candidates_) {
+    size_t i = static_cast<size_t>(k);
+    Status s = MakeStrategy(k, db, options, &execs_[i]);
+    (void)s;  // structure preconditions checked above
+    plan_metric_[i] = PlanCounterFor(k);
+  }
+}
+
+DynamicStats AdaptiveStrategy::CurrentDynamics() {
+  DynamicStats dyn;
+  if (db_->cache == nullptr) return dyn;
+  CacheManager::CacheStats s = db_->cache->stats();
+  // RunWorkload resets cache stats at the start of each measurement
+  // window; a snapshot going backwards means exactly that — re-baseline
+  // instead of wrapping the deltas around.
+  if (s.hits < last_cache_.hits || s.misses < last_cache_.misses ||
+      s.invalidated_units < last_cache_.invalidated_units) {
+    last_cache_ = CacheManager::CacheStats{};
+  }
+  const uint64_t dh = s.hits - last_cache_.hits;
+  const uint64_t dm = s.misses - last_cache_.misses;
+  const uint64_t dinv = s.invalidated_units - last_cache_.invalidated_units;
+  const double alpha = 2.0 / (calibrator_.window() + 1.0);
+  if (dh + dm > 0) {
+    double rate = static_cast<double>(dh) / static_cast<double>(dh + dm);
+    hit_ewma_ =
+        hit_ewma_ < 0 ? rate : (1.0 - alpha) * hit_ewma_ + alpha * rate;
+  }
+  if (queries_since_dyn_ > 0) {
+    double inv_per_q =
+        static_cast<double>(dinv) / static_cast<double>(queries_since_dyn_);
+    inval_ewma_ = (1.0 - alpha) * inval_ewma_ + alpha * inv_per_q;
+  }
+  touches_ewma_ = touches_ewma_ < 0
+                      ? touches_accum_
+                      : (1.0 - alpha) * touches_ewma_ + alpha * touches_accum_;
+  touches_accum_ = 0.0;
+  last_cache_ = s;
+  queries_since_dyn_ = 0;
+  dyn.update_unit_touches = std::max(0.0, touches_ewma_);
+  dyn.cache_hit_rate = hit_ewma_ < 0 ? 0.0 : hit_ewma_;
+  dyn.cache_occupancy =
+      db_->cache->capacity() == 0
+          ? 0.0
+          : static_cast<double>(db_->cache->size()) / db_->cache->capacity();
+  dyn.invalidations_per_query = inval_ewma_;
+  return dyn;
+}
+
+bool AdaptiveStrategy::PinPlan(StrategyKind kind) {
+  for (StrategyKind k : candidates_) {
+    if (k == kind) {
+      pinned_ = true;
+      pinned_kind_ = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+StrategyKind AdaptiveStrategy::ChoosePlan(const DynamicStats& dyn,
+                                          uint32_t num_top, bool* in_trial) {
+  if (pinned_) {
+    *in_trial = false;
+    return pinned_kind_;
+  }
+  // An active trial runs to completion: trial measurements are only
+  // meaningful once the candidate's structures have warmed over a few
+  // consecutive queries.
+  if (trial_remaining_ > 0) {
+    --trial_remaining_;
+    *in_trial = true;
+    return trial_kind_;
+  }
+  // Initial trial for any candidate never observed. Unbounded steady-state
+  // resampling would blow the regret budget — at the sweep extremes the
+  // worst candidate costs 10-30x the best — so after this only the
+  // ratio-gated staleness pass below ever diverts from the argmin.
+  for (StrategyKind k : candidates_) {
+    if (calibrator_.observations(k) == 0) {
+      StartTrial(k, num_top);
+      *in_trial = true;
+      return k;
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  StrategyKind pick = candidates_.front();
+  double incumbent = -1.0;
+  for (StrategyKind k : candidates_) {
+    double c = calibrator_.PredictCalibrated(k, shape_, dyn, num_top,
+                                             options_.smart_threshold);
+    if (c < best) {
+      best = c;
+      pick = k;
+    }
+    if (k == last_choice_) incumbent = c;
+  }
+  // Switch hysteresis: per-query observations are noisy (a handful of
+  // integer page counts), and near-tied candidates would otherwise trade
+  // the argmin back and forth on EWMA jitter, each flip paying the
+  // loser's cost. The incumbent keeps the plan unless a challenger is
+  // clearly (kSwitchMargin) cheaper.
+  if (incumbent >= 0 && pick != last_choice_ &&
+      best > (1.0 - kSwitchMargin) * incumbent) {
+    pick = last_choice_;
+  }
+  // Staleness pass (optimism gate): a candidate whose factor has gone
+  // stale is worth re-trialing only when the *uncalibrated* steady-state
+  // forecast says it would displace the current pick — i.e. the model
+  // sees upside a possibly cold-biased trial factor is hiding. A
+  // candidate whose very forecast loses to the pick's calibrated cost
+  // (BFS or DFSCLUST at a cache-friendly point, 3-6x over) can never win
+  // the argmin through re-measurement, so re-trialing it is pure regret;
+  // this gate is what lets the engine settle instead of cycling
+  // exploration forever among plans that mutually evict each other's hot
+  // pages. The executed argmin re-observes itself every query and never
+  // needs this. Only where multi-query trials exist at all (small
+  // NumTop): a large retrieve amortizes its own cold start, so its
+  // factors are not cold-biased — and a mispredicted re-trial there
+  // costs thousands of pages.
+  if (retrieve_seq_ > 0 && retrieve_seq_ % kTrialRefresh == 0) {
+    for (uint32_t& t : trials_started_) {
+      t = std::min(t, kMaxTrials - 1);
+    }
+  }
+  if (TrialLength(num_top) > 1) {
+    StrategyKind stale_pick = pick;
+    uint64_t stalest_age = 0;
+    const double pick_raw = calibrator_.Predict(pick, shape_, dyn, num_top,
+                                                options_.smart_threshold);
+    for (StrategyKind k : candidates_) {
+      const size_t i = static_cast<size_t>(k);
+      uint64_t age = retrieve_seq_ - last_run_[i];
+      double optimistic = calibrator_.Predict(k, shape_, dyn, num_top,
+                                              options_.smart_threshold);
+      // Absolute upside: the raw forecast undercuts the best calibrated
+      // cost — re-measurement can change the decision outright.
+      const bool upside = optimistic < (1.0 - kSwitchMargin) * best &&
+                          trials_started_[i] < kMaxTrials;
+      // Ordering dispute: the model's own uncalibrated ranking says this
+      // candidate beats the pick, yet calibration flips it. Either the
+      // factor gap is real (buffer-residency effects the model misses
+      // equally for both) or the candidate's factor was learned in one
+      // cold start-of-run trial while the incumbent calibrated itself
+      // warm on every query. Worth exactly one re-measurement — the
+      // kOrderingTrials cap is never refreshed, so a genuine factor gap
+      // costs one trial ever, not one per refresh window.
+      const bool dispute = optimistic < (1.0 - kSwitchMargin) * pick_raw &&
+                           trials_started_[i] < kOrderingTrials;
+      if (age >= kExploreInterval && (upside || dispute) &&
+          age > stalest_age) {
+        stalest_age = age;
+        stale_pick = k;
+      }
+    }
+    if (stale_pick != pick) {
+      StartTrial(stale_pick, num_top);
+      *in_trial = true;
+      return stale_pick;
+    }
+  }
+  *in_trial = false;
+  return pick;
+}
+
+void AdaptiveStrategy::StartTrial(StrategyKind kind, uint32_t num_top) {
+  trial_kind_ = kind;
+  trial_remaining_ = TrialLength(num_top) - 1;  // this query is the first
+  ++trials_started_[static_cast<size_t>(kind)];
+}
+
+Status AdaptiveStrategy::ExecuteRetrieve(const Query& q,
+                                         RetrieveResult* out) {
+  DynamicStats dyn = CurrentDynamics();
+  bool in_trial = false;
+  StrategyKind plan = ChoosePlan(dyn, q.num_top, &in_trial);
+  // The ranking above used the steady-state forecast (cache warmth is an
+  // investment the argmin must be allowed to believe in); the reference
+  // the observation is calibrated against uses the *observed* state, so
+  // the factor learns model residual, not transient coldness.
+  DynamicStats observed_state = dyn;
+  observed_state.steady_state = false;
+  double predicted_raw = calibrator_.Predict(
+      plan, shape_, observed_state, q.num_top, options_.smart_threshold);
+  last_choice_ = plan;
+  const size_t idx = static_cast<size_t>(plan);
+  ++retrieve_seq_;
+  last_run_[idx] = retrieve_seq_;
+  ++plan_counts_[idx];
+  if (plan_metric_[idx] != nullptr) plan_metric_[idx]->Add(1);
+  Trace::Instant("plan_choice", "adaptive", "kind",
+                 static_cast<uint64_t>(plan));
+
+  // Observe exactly this query's physical I/O via the calling thread's
+  // own counters — concurrent workers' traffic never pollutes the
+  // calibration signal (DESIGN.md §12).
+  ThreadIoSnapshot before = CurrentThreadIo();
+  OBJREP_RETURN_NOT_OK(execs_[idx]->ExecuteRetrieve(q, out));
+  ThreadIoSnapshot d = CurrentThreadIo() - before;
+  IoEstimate observed;
+  observed.seq_reads = static_cast<double>(d.seq_reads);
+  observed.rand_reads = static_cast<double>(d.rand_reads());
+  observed.writes = static_cast<double>(d.writes);
+  calibrator_.Observe(plan, predicted_raw, observed_device_.Cost(observed),
+                      in_trial);
+  ++queries_since_dyn_;
+  return Status::OK();
+}
+
+Status AdaptiveStrategy::ExecuteUpdate(const Query& q) {
+  // The next retrieve may run under any candidate plan, so the update
+  // must reach every representation: ChildRel in place (the base copy),
+  // the ClusterRel translation when clustering is built (see
+  // dfs_clust.cc), and cache invalidation when the cache is built. The
+  // ConcurrentRunner's X locks already cover the target relations plus
+  // ClusterRel.
+  ScopedIoTag tag(IoTag::kUpdate);  // invalidation re-tags kCacheMaint
+  touches_accum_ += static_cast<double>(q.update_targets.size());
+  for (const Oid& oid : q.update_targets) {
+    OBJREP_RETURN_NOT_OK(UpdateChildInPlace(oid, q.new_ret1));
+    if (db_->cluster_rel != nullptr) {
+      uint64_t cluster_key;
+      Status s = db_->cluster_oid_index.Lookup(oid.Packed(), &cluster_key);
+      if (!s.ok()) {
+        return Status::Corruption("update target missing from cluster index");
+      }
+      std::vector<Value> values;
+      OBJREP_RETURN_NOT_OK(db_->cluster_rel->Get(cluster_key, &values));
+      values[kClusterRet1] = Value(q.new_ret1);
+      std::string encoded;
+      OBJREP_RETURN_NOT_OK(
+          EncodeRecord(db_->cluster_rel->schema(), values, &encoded));
+      OBJREP_RETURN_NOT_OK(
+          db_->cluster_rel->tree().UpdateInPlace(cluster_key, encoded));
+      OBJREP_RETURN_NOT_OK(
+          db_->disk->fault_injector()->MaybeCrash("clust.update.mid"));
+    }
+    if (db_->cache != nullptr) {
+      OBJREP_RETURN_NOT_OK(db_->cache->InvalidateSubobject(oid));
+    }
+  }
+  ++queries_since_dyn_;
+  return Status::OK();
+}
+
+}  // namespace objrep

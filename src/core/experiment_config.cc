@@ -92,6 +92,8 @@ Status ParseStrategyName(std::string_view name, StrategyKind* out) {
     *out = StrategyKind::kBfsJoinIndex;
   else if (u == "BFS-HASH" || u == "BFSHASH")
     *out = StrategyKind::kBfsHash;
+  else if (u == "ADAPTIVE")
+    *out = StrategyKind::kAdaptive;
   else
     return Status::InvalidArgument("unknown strategy: " + std::string(name));
   return Status::OK();
@@ -169,6 +171,9 @@ Status ParseExperimentConfig(std::string_view text, ExperimentConfig* out) {
     } else if (key == "SMART_THRESHOLD") {
       OBJREP_RETURN_NOT_OK(
           ParseU32(value, line_no, &out->options.smart_threshold));
+    } else if (key == "CALIBRATION_WINDOW") {
+      OBJREP_RETURN_NOT_OK(
+          ParseU32(value, line_no, &out->options.calibration_window));
     } else if (key == "PREFETCH") {
       OBJREP_RETURN_NOT_OK(ParseOnOff(value, line_no, &out->db.prefetch));
     } else if (key == "READAHEAD_PAGES") {

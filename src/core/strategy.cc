@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/adaptive.h"
 #include "core/strategies_impl.h"
 #include "obs/io_context.h"
 #include "objstore/rows.h"
@@ -46,6 +47,7 @@ const char* StrategyKindName(StrategyKind kind) {
     case StrategyKind::kDfsClustCache: return "DFSCLUST+CACHE";
     case StrategyKind::kBfsJoinIndex: return "BFS-JI";
     case StrategyKind::kBfsHash: return "BFS-HASH";
+    case StrategyKind::kAdaptive: return "ADAPTIVE";
   }
   return "?";
 }
@@ -101,6 +103,11 @@ Status MakeStrategy(StrategyKind kind, ComplexDatabase* db,
       return Status::OK();
     case StrategyKind::kBfsHash:
       *out = std::make_unique<internal::BfsHashStrategy>(db);
+      return Status::OK();
+    case StrategyKind::kAdaptive:
+      // No structure requirements: the candidate set adapts to whatever
+      // the database has built (DFS/BFS at minimum).
+      *out = std::make_unique<AdaptiveStrategy>(db, options);
       return Status::OK();
   }
   return Status::InvalidArgument("unknown strategy kind");

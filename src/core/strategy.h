@@ -78,6 +78,11 @@ enum class StrategyKind {
   /// merge join, which §3.1's "optimal joining strategy depends on the
   /// sizes" reasoning extends to naturally.
   kBfsHash,
+  /// Re-plans every retrieve: estimates each supported strategy with the
+  /// analytic cost model fed by observed cache/cluster dynamics, corrects
+  /// the estimates with feedback calibration from measured per-query I/O,
+  /// and executes the argmin plan (core/adaptive.h, DESIGN.md §12).
+  kAdaptive,
 };
 
 struct StrategyOptions {
@@ -85,6 +90,12 @@ struct StrategyOptions {
   uint32_t smart_threshold = 300;
   /// Working memory for BFS-family external sorts (pages).
   uint32_t sort_work_mem_pages = 16;
+  /// ADAPTIVE's calibration horizon: queries over which an I/O
+  /// observation decays (EWMA alpha = 2 / (window + 1)). Long enough that
+  /// one noisy per-query measurement (a lucky buffer-hit streak, an
+  /// unlucky miss) cannot reorder the plans by itself; exploration trials
+  /// converge faster than this (CostCalibrator::kTrialAlpha).
+  uint32_t calibration_window = 32;
 };
 
 /// Factory. Fails if `db` lacks a structure the strategy requires

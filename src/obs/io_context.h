@@ -66,10 +66,22 @@ inline const char* IoTagName(IoTag tag) {
 /// device-arm position for sequential-read classification. The arm is keyed
 /// by a per-DiskManager serial so a thread touching two volumes does not
 /// splice their runs together (a stale serial reads as "arm unknown").
+///
+/// The reads/seq_reads/writes fields count this thread's own physical I/O,
+/// monotonic for the thread's life. DiskManager bumps them at the same
+/// sites as its global counters, so a strategy can delta-snapshot around a
+/// query and observe exactly its own I/O even while other workers run —
+/// the observation feed of the adaptive engine (DESIGN.md §12). Async
+/// prefetch workers bill their own thread, so with prefetch_workers > 0 a
+/// query's staged read-ahead is invisible to the issuing thread's counts
+/// (synchronous prefetch, the deterministic default, is fully visible).
 struct IoThreadState {
   IoTag tag = IoTag::kNone;
   uint64_t arm_serial = 0;            // DiskManager serial the arm belongs to
   uint64_t last_read = UINT64_MAX;    // page id of this thread's last read
+  uint64_t reads = 0;                 // this thread's physical reads
+  uint64_t seq_reads = 0;             // ... classified sequential
+  uint64_t writes = 0;                // this thread's physical writes
 };
 
 inline IoThreadState& CurrentIoThreadState() {
@@ -78,6 +90,28 @@ inline IoThreadState& CurrentIoThreadState() {
 }
 
 inline IoTag CurrentIoTag() { return CurrentIoThreadState().tag; }
+
+/// Snapshot of the calling thread's own physical I/O counts. Subtract two
+/// snapshots to measure the I/O a bracketed piece of work performed on
+/// this thread, immune to concurrent workers (unlike DiskManager::
+/// counters(), which is volume-global).
+struct ThreadIoSnapshot {
+  uint64_t reads = 0;
+  uint64_t seq_reads = 0;
+  uint64_t writes = 0;
+
+  uint64_t rand_reads() const { return reads - seq_reads; }
+  uint64_t total() const { return reads + writes; }
+  ThreadIoSnapshot operator-(const ThreadIoSnapshot& rhs) const {
+    return ThreadIoSnapshot{reads - rhs.reads, seq_reads - rhs.seq_reads,
+                            writes - rhs.writes};
+  }
+};
+
+inline ThreadIoSnapshot CurrentThreadIo() {
+  const IoThreadState& st = CurrentIoThreadState();
+  return ThreadIoSnapshot{st.reads, st.seq_reads, st.writes};
+}
 
 /// RAII tag scope. Nested scopes stack; the innermost wins.
 class ScopedIoTag {

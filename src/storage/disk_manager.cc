@@ -61,6 +61,7 @@ uint64_t DiskManager::AccountReadRun(PageId first, uint64_t n) {
   st.last_read = static_cast<uint64_t>(first) + n - 1;
   bool head_seq = prev != UINT64_MAX && static_cast<uint64_t>(first) == prev + 1;
   uint64_t seeks = head_seq ? 0 : 1;
+  st.seq_reads += n - seeks;
   seq_reads_.fetch_add(n - seeks, std::memory_order_relaxed);
   rand_reads_.fetch_add(seeks, std::memory_order_relaxed);
   Metrics().seq_reads->Add(n - seeks);

@@ -162,14 +162,21 @@ class DiskManager {
   /// against the calling thread's arm position and updates seq/rand
   /// counters; returns seeks (0/1).
   uint64_t AccountReadRun(PageId first, uint64_t n);
-  /// Bumps the calling thread's IoTag slot for `n` reads.
+  /// Bumps the calling thread's IoTag slot (and its thread-local read
+  /// count, the adaptive engine's per-query observation feed) for `n`
+  /// reads.
   void AttributeReads(uint64_t n) {
-    tag_reads_[static_cast<size_t>(CurrentIoTag())].fetch_add(
+    IoThreadState& st = CurrentIoThreadState();
+    st.reads += n;
+    tag_reads_[static_cast<size_t>(st.tag)].fetch_add(
         n, std::memory_order_relaxed);
   }
-  /// Bumps the calling thread's IoTag slot for one write.
+  /// Bumps the calling thread's IoTag slot and thread-local write count
+  /// for one write.
   void AttributeWrite() {
-    tag_writes_[static_cast<size_t>(CurrentIoTag())].fetch_add(
+    IoThreadState& st = CurrentIoThreadState();
+    st.writes += 1;
+    tag_writes_[static_cast<size_t>(st.tag)].fetch_add(
         1, std::memory_order_relaxed);
   }
 

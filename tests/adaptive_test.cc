@@ -1,0 +1,242 @@
+// Tests for the adaptive strategy engine (core/adaptive.h, DESIGN.md §12):
+// candidate enumeration from built structures, calibration convergence
+// under a deliberately mis-seeded device model, the PinPlan oracle seam,
+// plan bookkeeping, and race-free concurrent execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/runner.h"
+#include "exec/concurrent_runner.h"
+
+namespace objrep {
+namespace {
+
+std::unique_ptr<ComplexDatabase> BuildDb(bool cache, bool cluster) {
+  DatabaseSpec spec;
+  spec.build_cache = cache;
+  spec.build_cluster = cluster;
+  std::unique_ptr<ComplexDatabase> db;
+  Status s = BuildDatabase(spec, &db);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return db;
+}
+
+std::vector<Query> MakeQueries(const ComplexDatabase& db, uint32_t num_top,
+                               uint32_t n, double pr_update = 0.0) {
+  WorkloadSpec wl;
+  wl.num_top = num_top;
+  wl.pr_update = pr_update;
+  wl.num_queries = n;
+  wl.seed = 42;
+  std::vector<Query> queries;
+  Status s = GenerateWorkload(wl, db, &queries);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return queries;
+}
+
+StrategyKind DominantPlan(const AdaptiveStrategy& s) {
+  StrategyKind best = s.candidates().front();
+  uint64_t n = 0;
+  for (StrategyKind k : s.candidates()) {
+    if (s.plan_count(k) > n) {
+      n = s.plan_count(k);
+      best = k;
+    }
+  }
+  return best;
+}
+
+TEST(CostCalibratorTest, FactorConvergesToObservedRatio) {
+  CostCalibrator c(DeviceModel{}, 8);
+  EXPECT_DOUBLE_EQ(c.factor(StrategyKind::kDfs), 1.0);
+  // Constant 10x over-prediction: the factor must converge onto 0.1.
+  for (int i = 0; i < 50; ++i) c.Observe(StrategyKind::kDfs, 100.0, 10.0);
+  EXPECT_NEAR(c.factor(StrategyKind::kDfs), 0.1, 0.01);
+  EXPECT_EQ(c.observations(StrategyKind::kDfs), 50u);
+  // Other strategies' factors are untouched.
+  EXPECT_DOUBLE_EQ(c.factor(StrategyKind::kBfs), 1.0);
+}
+
+TEST(CostCalibratorTest, EarlyObservationsSnapLaterOnesDecay) {
+  CostCalibrator c(DeviceModel{}, 32);
+  // The first observations snap the factor outright (no EWMA inertia
+  // freezing in the cold-buffer bias of query one).
+  c.Observe(StrategyKind::kBfs, 10.0, 40.0);
+  EXPECT_DOUBLE_EQ(c.factor(StrategyKind::kBfs), 4.0);
+  c.Observe(StrategyKind::kBfs, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(c.factor(StrategyKind::kBfs), 2.0);
+  // Past the snap threshold one observation only nudges the factor.
+  for (uint32_t i = c.observations(StrategyKind::kBfs);
+       i < CostCalibrator::kSnapObservations; ++i) {
+    c.Observe(StrategyKind::kBfs, 10.0, 20.0);
+  }
+  c.Observe(StrategyKind::kBfs, 10.0, 80.0);
+  EXPECT_GT(c.factor(StrategyKind::kBfs), 2.0);
+  EXPECT_LT(c.factor(StrategyKind::kBfs), 4.0);
+}
+
+TEST(CostCalibratorTest, RatioClampSurvivesDegenerateObservations) {
+  CostCalibrator c(DeviceModel{}, 8);
+  c.Observe(StrategyKind::kDfs, 1e-12, 100.0);  // near-zero prediction
+  EXPECT_TRUE(std::isfinite(c.factor(StrategyKind::kDfs)));
+  c.Observe(StrategyKind::kBfs, 100.0, 0.0);  // zero observation
+  EXPECT_GT(c.factor(StrategyKind::kBfs), 0.0);
+}
+
+TEST(AdaptiveStrategyTest, CandidatesFollowBuiltStructures) {
+  {
+    auto db = BuildDb(false, false);
+    AdaptiveStrategy s(db.get(), StrategyOptions{});
+    EXPECT_EQ(s.candidates().size(), 2u);  // DFS + BFS always
+  }
+  {
+    auto db = BuildDb(true, false);
+    AdaptiveStrategy s(db.get(), StrategyOptions{});
+    EXPECT_EQ(s.candidates().size(), 4u);  // + DFSCACHE, SMART
+  }
+  {
+    auto db = BuildDb(true, true);
+    AdaptiveStrategy s(db.get(), StrategyOptions{});
+    EXPECT_EQ(s.candidates().size(), 5u);  // + DFSCLUST
+  }
+}
+
+TEST(AdaptiveStrategyTest, EveryRetrieveRunsSomeCandidateAndObserves) {
+  auto db = BuildDb(true, true);
+  auto queries = MakeQueries(*db, 10, 60);
+  AdaptiveStrategy s(db.get(), StrategyOptions{});
+  RunResult r;
+  ASSERT_TRUE(RunWorkload(&s, db.get(), queries, &r).ok());
+  uint64_t total = 0;
+  for (StrategyKind k : s.candidates()) total += s.plan_count(k);
+  EXPECT_EQ(total, r.num_retrieves);
+  // The initial exploration trials give every candidate observations.
+  for (StrategyKind k : s.candidates()) {
+    EXPECT_GT(s.calibrator().observations(k), 0u) << StrategyKindName(k);
+  }
+}
+
+TEST(AdaptiveStrategyTest, MatchesFixedStrategyResults) {
+  // Plan choice must never change query *answers*: result_count/sum are
+  // identical to any fixed strategy's on the same read-only stream.
+  auto db_fixed = BuildDb(true, true);
+  auto db_adaptive = BuildDb(true, true);
+  auto queries = MakeQueries(*db_fixed, 10, 60);
+  std::unique_ptr<Strategy> dfs;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kDfs, db_fixed.get(),
+                           StrategyOptions{}, &dfs)
+                  .ok());
+  RunResult fixed, adaptive;
+  ASSERT_TRUE(RunWorkload(dfs.get(), db_fixed.get(), queries, &fixed).ok());
+  AdaptiveStrategy s(db_adaptive.get(), StrategyOptions{});
+  ASSERT_TRUE(RunWorkload(&s, db_adaptive.get(), queries, &adaptive).ok());
+  EXPECT_EQ(adaptive.result_count, fixed.result_count);
+  EXPECT_EQ(adaptive.result_sum, fixed.result_sum);
+}
+
+TEST(AdaptiveStrategyTest, HandlesUpdateMix) {
+  auto db = BuildDb(true, true);
+  auto queries = MakeQueries(*db, 10, 80, 0.5);
+  AdaptiveStrategy s(db.get(), StrategyOptions{});
+  RunResult r;
+  ASSERT_TRUE(RunWorkload(&s, db.get(), queries, &r).ok());
+  EXPECT_GT(r.num_updates, 0u);
+  EXPECT_GT(r.num_retrieves, 0u);
+}
+
+TEST(AdaptiveStrategyTest, PinPlanForcesSinglePlan) {
+  auto db = BuildDb(true, true);
+  auto queries = MakeQueries(*db, 10, 40);
+  AdaptiveStrategy s(db.get(), StrategyOptions{});
+  // Non-candidates are rejected and leave the engine unpinned.
+  EXPECT_FALSE(s.PinPlan(StrategyKind::kBfsHash));
+  ASSERT_TRUE(s.PinPlan(StrategyKind::kBfs));
+  RunResult r;
+  ASSERT_TRUE(RunWorkload(&s, db.get(), queries, &r).ok());
+  EXPECT_EQ(s.plan_count(StrategyKind::kBfs), r.num_retrieves);
+  for (StrategyKind k : s.candidates()) {
+    if (k != StrategyKind::kBfs) {
+      EXPECT_EQ(s.plan_count(k), 0u);
+    }
+  }
+  // Pinned execution still feeds calibration (the oracle entrants in
+  // bench/adaptive_regret rely on this).
+  EXPECT_GT(s.calibrator().observations(StrategyKind::kBfs), 0u);
+}
+
+TEST(AdaptiveStrategyTest, WrongDeviceModelConvergesToSameChoice) {
+  // Satellite (d): seed the calibrator with a device model ~10x off per
+  // random read (truth is the pure 1/1/1 counter) and verify feedback
+  // calibration converges onto the same plan a correctly-seeded engine
+  // picks for the same workload.
+  auto db_right = BuildDb(true, true);
+  auto db_wrong = BuildDb(true, true);
+  auto queries = MakeQueries(*db_right, 20, 150);
+  StrategyOptions opt;
+  AdaptiveStrategy right(db_right.get(), opt);
+  AdaptiveStrategy wrong(db_wrong.get(), opt,
+                         DeviceModel::ForDevice(/*io_latency_us=*/9,
+                                                /*transfer_us=*/1));
+  RunResult r;
+  for (int run = 0; run < 2; ++run) {
+    ASSERT_TRUE(RunWorkload(&right, db_right.get(), queries, &r).ok());
+    ASSERT_TRUE(RunWorkload(&wrong, db_wrong.get(), queries, &r).ok());
+  }
+  EXPECT_EQ(right.last_choice(), wrong.last_choice());
+  EXPECT_EQ(DominantPlan(right), DominantPlan(wrong));
+  // The mis-seeded engine's factors absorbed the device error: the plan
+  // it settled on carries a factor well below the raw 10x skew.
+  double f = wrong.calibrator().factor(wrong.last_choice());
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);  // predictions were inflated, so observed/predicted < 1
+}
+
+TEST(AdaptiveConcurrencyTest, ResultsInvariantAcrossThreadCounts) {
+  // Read-only stream: the retrieved set is a pure function of the
+  // queries, so count and sum must match for every worker count even
+  // though each worker runs its own adaptive engine and may settle on a
+  // different plan mix.
+  uint64_t base_count = 0;
+  int64_t base_sum = 0;
+  for (uint32_t threads : {1u, 4u}) {
+    auto db = BuildDb(true, true);
+    auto queries = MakeQueries(*db, 10, 80);
+    ConcurrentRunOptions opt;
+    opt.num_threads = threads;
+    ConcurrentRunResult r;
+    ASSERT_TRUE(RunConcurrentWorkload(StrategyKind::kAdaptive,
+                                      StrategyOptions{}, db.get(), queries,
+                                      opt, &r)
+                    .ok());
+    EXPECT_EQ(r.combined.num_queries, 80u);
+    if (threads == 1) {
+      base_count = r.combined.result_count;
+      base_sum = r.combined.result_sum;
+      EXPECT_GT(base_count, 0u);
+    } else {
+      EXPECT_EQ(r.combined.result_count, base_count);
+      EXPECT_EQ(r.combined.result_sum, base_sum);
+    }
+  }
+}
+
+TEST(AdaptiveConcurrencyTest, UpdateMixUnderContention) {
+  auto db = BuildDb(true, true);
+  auto queries = MakeQueries(*db, 10, 120, 0.5);
+  ConcurrentRunOptions opt;
+  opt.num_threads = 4;
+  ConcurrentRunResult r;
+  ASSERT_TRUE(RunConcurrentWorkload(StrategyKind::kAdaptive,
+                                    StrategyOptions{}, db.get(), queries, opt,
+                                    &r)
+                  .ok());
+  EXPECT_EQ(r.combined.num_queries, 120u);
+  EXPECT_GT(r.combined.num_updates, 0u);
+}
+
+}  // namespace
+}  // namespace objrep

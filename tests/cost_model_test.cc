@@ -6,6 +6,7 @@
 
 #include "core/cost_model.h"
 #include "core/runner.h"
+#include "objstore/rows.h"
 
 namespace objrep {
 namespace {
@@ -94,13 +95,101 @@ TEST(CostModelTest, PredictedCrossoverNearMeasured) {
   EXPECT_LT(predicted, 250u);
 }
 
-TEST(CostModelTest, DynamicStrategiesNotModelled) {
+TEST(CostModelTest, CoverageMatchesModelledSet) {
+  // The dynamic-state strategies (DFSCACHE, DFSCLUST, SMART) are modelled
+  // since the adaptive engine landed; only the representation-matrix
+  // extras remain outside the model.
+  DatabaseSpec spec;
+  spec.build_cache = true;
+  spec.build_cluster = true;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  DbShape shape = DbShape::Of(*db);
+  for (StrategyKind k :
+       {StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kBfsNoDup,
+        StrategyKind::kDfsCache, StrategyKind::kDfsClust,
+        StrategyKind::kSmart}) {
+    EXPECT_TRUE(CostModelCovers(k)) << StrategyKindName(k);
+    EXPECT_GE(EstimateRetrieveIo(k, shape, 10), 0.0) << StrategyKindName(k);
+  }
+  for (StrategyKind k : {StrategyKind::kDfsClustCache,
+                         StrategyKind::kBfsJoinIndex, StrategyKind::kBfsHash,
+                         StrategyKind::kAdaptive}) {
+    EXPECT_FALSE(CostModelCovers(k)) << StrategyKindName(k);
+    EXPECT_LT(EstimateRetrieveIo(k, shape, 10), 0.0) << StrategyKindName(k);
+  }
+}
+
+TEST(CostModelTest, ChildlessShapeYieldsFiniteEstimates) {
+  // Regression: a value-representation shape (num_child_rels = 0) made
+  // the estimators divide the pick count by zero child relations, so
+  // every estimate came back NaN and the advisor's comparisons silently
+  // fell through.
+  DbShape shape;
+  shape.parent_entries = 10000;
+  shape.parent_leaf_pages = 500;
+  shape.num_child_rels = 0;
+  shape.size_unit = 5;
+  shape.buffer_pages = 100;
+  for (StrategyKind k :
+       {StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kBfsNoDup,
+        StrategyKind::kDfsCache, StrategyKind::kSmart}) {
+    double est = EstimateRetrieveIo(k, shape, 50);
+    EXPECT_TRUE(std::isfinite(est)) << StrategyKindName(k);
+    EXPECT_GE(est, 0.0) << StrategyKindName(k);
+  }
+  // With no child work both DFS and BFS cost exactly the parent probe —
+  // an engineered exact tie, which breaks to BFS (the crossover is the
+  // first NumTop at which BFS is *at least as* cheap).
+  EXPECT_DOUBLE_EQ(EstimateRetrieveIo(StrategyKind::kDfs, shape, 50),
+                   EstimateRetrieveIo(StrategyKind::kBfs, shape, 50));
+  EXPECT_EQ(ChooseStrategy(shape, 50), StrategyKind::kBfs);
+}
+
+TEST(CostModelTest, ShapeAveragesSkewedChildRels) {
+  // Regression: DbShape::Of read only the first child relation's B-tree
+  // stats; a skewed hierarchy (heterogeneous fanouts) biased every
+  // estimate toward whichever relation happened to be first.
+  DatabaseSpec spec;
+  spec.num_child_rels = 2;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  // Skew the second relation by appending rows beyond the generated key
+  // range so the two relations diverge.
+  Table* skewed = db->child_rels[1];
+  const uint64_t n0 = db->child_rels[0]->tree().stats().num_entries;
+  ChildRow row;
+  row.ret1 = 1;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(skewed
+                    ->Insert((1ull << 40) + i,
+                             ChildRowValues(row, db->child_dummy_width))
+                    .ok());
+  }
+  const uint64_t n1 = skewed->tree().stats().num_entries;
+  ASSERT_GT(n1, n0);
+  const uint64_t l0 = db->child_rels[0]->tree().stats().leaf_pages;
+  const uint64_t l1 = skewed->tree().stats().leaf_pages;
+
+  DbShape shape = DbShape::Of(*db);
+  EXPECT_EQ(shape.child_entries_per_rel,
+            static_cast<uint32_t>((n0 + n1 + 1) / 2));
+  EXPECT_EQ(shape.child_leaf_pages_per_rel,
+            static_cast<uint32_t>((l0 + l1 + 1) / 2));
+}
+
+TEST(CostModelTest, CrossoverBoundaryIsExact) {
+  // Pins the advisor's tie-break to the crossover definition: the
+  // predicted crossover is the *first* NumTop at which BFS is at least as
+  // cheap, so the advisor must flip exactly there and not one step later.
   DatabaseSpec spec;
   std::unique_ptr<ComplexDatabase> db;
   ASSERT_TRUE(BuildDatabase(spec, &db).ok());
   DbShape shape = DbShape::Of(*db);
-  EXPECT_LT(EstimateRetrieveIo(StrategyKind::kDfsCache, shape, 10), 0);
-  EXPECT_LT(EstimateRetrieveIo(StrategyKind::kDfsClust, shape, 10), 0);
+  uint32_t crossover = PredictDfsBfsCrossover(shape);
+  ASSERT_GT(crossover, 1u);
+  EXPECT_EQ(ChooseStrategy(shape, crossover - 1), StrategyKind::kDfs);
+  EXPECT_EQ(ChooseStrategy(shape, crossover), StrategyKind::kBfs);
 }
 
 TEST(CostModelTest, ShapeExtractionMatchesSpec) {

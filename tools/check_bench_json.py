@@ -7,11 +7,17 @@ JSON still parses. Stdlib only.
 
 Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
        check_bench_json.py --metrics FILE
+       check_bench_json.py --adaptive FILE [--max-regret FRAC]
 
 With --metrics, FILE is instead a metrics-registry dump (the driver's
 --metrics-json output) and only its schema is validated: the three
 top-level sections, counter/gauge value types, and per-histogram summary
 fields with ordered percentiles.
+
+With --adaptive, FILE is a bench/adaptive_regret dump: every sweep point
+must carry a finite regret >= 0 consistent with its oracle/adaptive I/O
+figures, and --max-regret (default 0.10, the acceptance bound) caps the
+worst point.
 
 With --baseline, also compares per-(strategy, prefetch, workers) run
 results against the baseline file. Two signals are checked:
@@ -172,6 +178,71 @@ def validate_metrics(doc):
     return len(counters) + len(gauges) + len(histograms)
 
 
+ADAPTIVE_POINT_FIELDS = {
+    "figure": str,
+    "share_factor": int,
+    "num_top": int,
+    "pr_update": (int, float),
+    "num_queries": int,
+    "oracle": str,
+    "oracle_io": (int, float),
+    "adaptive_io": (int, float),
+    "regret": (int, float),
+    "dominant_plan": str,
+}
+
+
+def validate_adaptive(doc, max_regret):
+    import math
+
+    if not isinstance(doc, dict):
+        fail("adaptive: top level is not an object")
+    if check_type(doc, "bench", str, "adaptive") != "adaptive_regret":
+        fail("adaptive: bench field is not 'adaptive_regret'")
+    candidates = check_type(doc, "candidates", list, "adaptive")
+    if not candidates or not all(isinstance(c, str) for c in candidates):
+        fail("adaptive: candidates must be a non-empty list of names")
+    points = check_type(doc, "points", list, "adaptive")
+    if not points:
+        fail("adaptive: points is empty")
+    worst = 0.0
+    for p in points:
+        ctx = (f"point ({p.get('figure', '?')}, sf={p.get('share_factor', '?')}, "
+               f"top={p.get('num_top', '?')}, pr={p.get('pr_update', '?')})")
+        for field, types in ADAPTIVE_POINT_FIELDS.items():
+            check_type(p, field, types, ctx)
+        if p["figure"] not in ("fig3", "fig4", "fig5"):
+            fail(f"{ctx}: unknown figure '{p['figure']}'")
+        if p["oracle"] not in candidates:
+            fail(f"{ctx}: oracle '{p['oracle']}' not in candidates")
+        if p["num_queries"] <= 0:
+            fail(f"{ctx}: non-positive num_queries")
+        if not 0 <= p["pr_update"] <= 1:
+            fail(f"{ctx}: pr_update out of [0, 1]")
+        if p["oracle_io"] <= 0 or p["adaptive_io"] < 0:
+            fail(f"{ctx}: nonsensical I/O figures")
+        regret = p["regret"]
+        if not math.isfinite(regret) or regret < 0:
+            fail(f"{ctx}: regret must be finite and >= 0, got {regret}")
+        expect = max(0.0, p["adaptive_io"] - p["oracle_io"]) / \
+            max(p["oracle_io"], 1.0)
+        if abs(regret - expect) > 1e-4:
+            fail(f"{ctx}: regret {regret:.6f} inconsistent with I/O figures "
+                 f"(expected {expect:.6f})")
+        worst = max(worst, regret)
+        if max_regret is not None and regret > max_regret:
+            fail(f"{ctx}: regret {100 * regret:.1f}% exceeds the "
+                 f"{100 * max_regret:.0f}% bound (oracle {p['oracle']} "
+                 f"{p['oracle_io']:.1f} vs adaptive {p['adaptive_io']:.1f})")
+    for field in ("max_regret", "mean_regret"):
+        v = check_type(doc, field, (int, float), "adaptive")
+        if not math.isfinite(v) or v < 0:
+            fail(f"adaptive: {field} must be finite and >= 0")
+    if abs(doc["max_regret"] - worst) > 1e-4:
+        fail("adaptive: max_regret does not match the worst point")
+    return len(points), worst
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("file")
@@ -179,7 +250,22 @@ def main():
     parser.add_argument("--tolerance", type=float, default=3.0)
     parser.add_argument("--metrics", action="store_true",
                         help="FILE is a metrics-registry dump, not bench JSON")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="FILE is a bench/adaptive_regret dump")
+    parser.add_argument("--max-regret", type=float, default=0.10,
+                        help="worst-point regret bound for --adaptive "
+                             "(fraction; negative disables the gate)")
     args = parser.parse_args()
+
+    if args.adaptive:
+        if args.baseline or args.metrics:
+            fail("--adaptive does not combine with --baseline/--metrics")
+        bound = None if args.max_regret < 0 else args.max_regret
+        with open(args.file) as f:
+            n, worst = validate_adaptive(json.load(f), bound)
+        print(f"check_bench_json: {args.file}: adaptive schema OK "
+              f"({n} points, max regret {100 * worst:.1f}%)")
+        return
 
     if args.metrics:
         if args.baseline:

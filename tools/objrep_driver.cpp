@@ -29,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -36,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/experiment_config.h"
 #include "core/runner.h"
 #include "exec/concurrent_runner.h"
@@ -66,8 +68,47 @@ struct DriverFlags {
   std::string metrics_json;     // --metrics-json=FILE (registry at exit)
   std::string trace_out;        // --trace-out=FILE (Chrome/Perfetto JSON)
   uint64_t metrics_interval_ms = 0;  // --metrics-interval=MS (to stderr)
+  // Adaptive engine (DESIGN.md §12).
+  std::string strategy;         // --strategy=NAME (override config list)
+  int64_t calibration_window = -1;  // --calibration-window=N
   std::string config_path;
 };
+
+/// The plans ADAPTIVE may pick. Plan choices are exposed through the
+/// metrics registry ("adaptive.plan.<NAME>" counters, the registry pattern
+/// the per-worker calibration state reports through), so the driver can
+/// delta-snapshot them around a run in both sequential and concurrent mode.
+constexpr StrategyKind kAdaptivePlans[] = {
+    StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kDfsCache,
+    StrategyKind::kSmart, StrategyKind::kDfsClust,
+};
+
+struct PlanCountSnapshot {
+  uint64_t counts[std::size(kAdaptivePlans)] = {};
+
+  static PlanCountSnapshot Take() {
+    PlanCountSnapshot s;
+    for (size_t i = 0; i < std::size(kAdaptivePlans); ++i) {
+      s.counts[i] = MetricsRegistry::Global()
+                        .GetCounter(std::string("adaptive.plan.") +
+                                    StrategyKindName(kAdaptivePlans[i]))
+                        ->value();
+    }
+    return s;
+  }
+};
+
+void PrintPlanChoices(const PlanCountSnapshot& before) {
+  PlanCountSnapshot after = PlanCountSnapshot::Take();
+  std::printf("%-16s", "  plan choices:");
+  for (size_t i = 0; i < std::size(kAdaptivePlans); ++i) {
+    uint64_t n = after.counts[i] - before.counts[i];
+    if (n == 0) continue;
+    std::printf(" %s=%llu", StrategyKindName(kAdaptivePlans[i]),
+                static_cast<unsigned long long>(n));
+  }
+  std::printf("\n");
+}
 
 /// Background snapshot streamer for --metrics-interval: one JSON line of
 /// the whole registry to stderr every interval until stopped.
@@ -155,7 +196,11 @@ int Usage(const char* prog) {
                "          [--wal=on|off] [--fault-seed=N] [--fault-rate=P]\n"
                "          [--fault-crash-point=NAME[:HIT]]\n"
                "          [--metrics-json=FILE] [--trace-out=FILE]\n"
-               "          [--metrics-interval=MS] <config-file | ->\n"
+               "          [--metrics-interval=MS] [--strategy=NAME]\n"
+               "          [--calibration-window=N] <config-file | ->\n"
+               "--strategy overrides the config's STRATEGIES list (e.g.\n"
+               "--strategy=adaptive); --calibration-window sets ADAPTIVE's\n"
+               "EWMA horizon\n"
                "see src/core/experiment_config.h for the config format;\n"
                "--fault-crash-point=list prints the registered points\n",
                prog);
@@ -202,6 +247,12 @@ int main(int argc, char** argv) {
       flags.trace_out = v;
     } else if (ParseFlag(argv[i], "--metrics-interval", &v)) {
       flags.metrics_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--strategy", &v)) {
+      flags.strategy = v;
+    } else if (ParseFlag(argv[i], "--calibration-window", &v)) {
+      flags.calibration_window =
+          static_cast<int64_t>(std::strtoul(v, nullptr, 10));
+      if (flags.calibration_window <= 0) return Usage(argv[0]);
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       return Usage(argv[0]);
     } else if (flags.config_path.empty()) {
@@ -233,6 +284,31 @@ int main(int argc, char** argv) {
   if (!s.ok()) {
     std::fprintf(stderr, "config error: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (!flags.strategy.empty()) {
+    StrategyKind kind;
+    s = ParseStrategyName(flags.strategy, &kind);
+    if (!s.ok()) {
+      std::fprintf(stderr, "config error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    config.strategies.assign(1, kind);
+    // Mirror the config parser's auto-provisioning for the override.
+    if (kind == StrategyKind::kDfsCache || kind == StrategyKind::kSmart ||
+        kind == StrategyKind::kDfsClustCache) {
+      config.db.build_cache = true;
+    }
+    if (kind == StrategyKind::kDfsClust ||
+        kind == StrategyKind::kDfsClustCache) {
+      config.db.build_cluster = true;
+    }
+    if (kind == StrategyKind::kBfsJoinIndex) {
+      config.db.build_join_index = true;
+    }
+  }
+  if (flags.calibration_window > 0) {
+    config.options.calibration_window =
+        static_cast<uint32_t>(flags.calibration_window);
   }
   if (flags.num_queries > 0) config.workload.num_queries = flags.num_queries;
   if (flags.prefetch >= 0) config.db.prefetch = flags.prefetch == 1;
@@ -330,6 +406,7 @@ int main(int argc, char** argv) {
       }
     }
 
+    PlanCountSnapshot plans_before = PlanCountSnapshot::Take();
     if (concurrent) {
       ConcurrentRunOptions opts;
       opts.num_threads = flags.threads;
@@ -371,6 +448,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.combined.result_sum));
       attribution.push_back(
           AttributionRow{StrategyKindName(kind), r.combined.io_by_tag});
+      if (kind == StrategyKind::kAdaptive) PrintPlanChoices(plans_before);
       continue;
     }
 
@@ -417,6 +495,7 @@ int main(int argc, char** argv) {
                 100.0 * r.io.seq_fraction(),
                 static_cast<long long>(r.result_sum));
     attribution.push_back(AttributionRow{StrategyKindName(kind), r.io_by_tag});
+    if (kind == StrategyKind::kAdaptive) PrintPlanChoices(plans_before);
   }
 
   PrintAttributionTable(attribution);
