@@ -134,7 +134,11 @@ Status DfsClustCacheStrategy::ExecuteRetrieve(const Query& q,
 
   auto finish_group = [&]() -> Status {
     if (!group.active) return Status::OK();
-    uint64_t hashkey = CacheManager::HashKeyOf(group.unit);
+    // ClusterRel-format blobs live in their own key space: DFSCACHE/SMART
+    // cache the same units as child-relation records under the unsalted
+    // key, and each side's decoder misreads the other's encoding.
+    uint64_t hashkey = CacheManager::HashKeyOf(
+        group.unit, CacheManager::BlobFormat::kClusterRecords);
     {
       // Atomic probe+fetch (see dfs_cache.cc): concurrent eviction must
       // read as a miss, not a NotFound error. On a hit the scan already

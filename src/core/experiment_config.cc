@@ -189,6 +189,24 @@ Status ParseExperimentConfig(std::string_view text, ExperimentConfig* out) {
       OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->db.io_latency_us));
     } else if (key == "IO_TRANSFER_US") {
       OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->db.io_transfer_us));
+    } else if (key == "NET_PORT") {
+      OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->net_port));
+      if (out->net_port > 65535) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": net_port exceeds 65535");
+      }
+    } else if (key == "NET_WORKERS") {
+      OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->net_workers));
+      if (out->net_workers == 0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": net_workers must be positive");
+      }
+    } else if (key == "NET_MAX_INFLIGHT") {
+      OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->net_max_inflight));
+      if (out->net_max_inflight == 0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": net_max_inflight must be positive");
+      }
     } else if (key == "WAL") {
       OBJREP_RETURN_NOT_OK(ParseOnOff(value, line_no, &out->db.enable_wal));
     } else if (key == "STRATEGIES") {

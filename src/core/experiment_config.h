@@ -33,6 +33,11 @@
 //     io_latency_us = 0
 //     io_transfer_us = 0
 //
+//     # network server (DESIGN.md §13; used by objrep_driver --serve)
+//     net_port = 0          # 0 = ephemeral, printed at startup
+//     net_workers = 4
+//     net_max_inflight = 256
+//
 // Unknown keys are an error (typos must not silently become defaults).
 #ifndef OBJREP_CORE_EXPERIMENT_CONFIG_H_
 #define OBJREP_CORE_EXPERIMENT_CONFIG_H_
@@ -52,6 +57,13 @@ struct ExperimentConfig {
   WorkloadSpec workload;
   std::vector<StrategyKind> strategies;
   StrategyOptions options;
+
+  // Network server (src/net/, DESIGN.md §13); used when the driver runs
+  // with --serve. The first strategy in `strategies` becomes the server's
+  // default (overridable per request by the wire strategy byte).
+  uint32_t net_port = 0;           ///< net_port = N (0: ephemeral)
+  uint32_t net_workers = 4;        ///< net_workers = K (pool threads)
+  uint32_t net_max_inflight = 256; ///< net_max_inflight = N (admission)
 };
 
 /// Parses the config text (file contents). On error the Status message

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "exec/lock_manager.h"
+#include "exec/query_locks.h"
 #include "exec/thread_pool.h"
 #include "obs/trace.h"
 #include "util/random.h"
@@ -36,34 +37,6 @@ struct WorkerResult {
   std::vector<double> latencies_us;
   std::vector<double> retrieve_latencies_us;
 };
-
-/// Lock requests for one query. Retrieves hold S on every relation their
-/// strategy may read subobjects from (all child relations, plus ClusterRel
-/// when built); updates hold X on the relations containing their targets
-/// (plus ClusterRel, where clustering strategies place the subobjects).
-/// ParentRel and the join index are never written, so they need no lock.
-std::vector<std::pair<LockId, LockMode>> LockRequestsFor(
-    const ComplexDatabase& db, const Query& q) {
-  std::vector<std::pair<LockId, LockMode>> reqs;
-  if (q.kind == Query::Kind::kRetrieve) {
-    reqs.reserve(db.child_rels.size() + 1);
-    for (const Table* t : db.child_rels) {
-      reqs.emplace_back(t->rel_id(), LockMode::kShared);
-    }
-    if (db.cluster_rel != nullptr) {
-      reqs.emplace_back(db.cluster_rel->rel_id(), LockMode::kShared);
-    }
-  } else {
-    reqs.reserve(q.update_targets.size() + 1);
-    for (const Oid& oid : q.update_targets) {
-      reqs.emplace_back(oid.rel, LockMode::kExclusive);
-    }
-    if (db.cluster_rel != nullptr) {
-      reqs.emplace_back(db.cluster_rel->rel_id(), LockMode::kExclusive);
-    }
-  }
-  return reqs;
-}
 
 Status ExecuteOne(Strategy* strategy, ComplexDatabase* db, const Query& q,
                   WorkerResult* wr) {

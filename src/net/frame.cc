@@ -1,0 +1,92 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace objrep {
+namespace net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kFrameMagic);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU64(&out, Fnv1a64(payload.data(), payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::Feed(const void* data, size_t n) {
+  if (n == 0 || poisoned()) return;
+  // Compact before growing: drop the consumed prefix once it dominates
+  // the buffer, so a long-lived connection's memory stays proportional to
+  // the unparsed tail, not the total bytes ever received.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+Status FrameDecoder::Next(std::string* payload, bool* ready) {
+  *ready = false;
+  if (poisoned()) return error_;
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return Status::OK();
+  const char* h = buf_.data() + consumed_;
+  const uint32_t magic = GetU32(h);
+  if (magic != kFrameMagic) {
+    error_ = Status::Corruption("frame: bad magic");
+    return error_;
+  }
+  const uint32_t len = GetU32(h + 4);
+  if (len > kMaxPayload) {
+    error_ = Status::Corruption("frame: oversized payload length");
+    return error_;
+  }
+  if (avail < kFrameHeaderBytes + len) return Status::OK();  // mid-payload
+  const uint64_t want = GetU64(h + 8);
+  const char* body = h + kFrameHeaderBytes;
+  if (Fnv1a64(body, len) != want) {
+    error_ = Status::Corruption("frame: payload checksum mismatch");
+    return error_;
+  }
+  payload->assign(body, len);
+  consumed_ += kFrameHeaderBytes + len;
+  *ready = true;
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace objrep

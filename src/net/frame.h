@@ -1,0 +1,70 @@
+// Frame codec: length-prefixed, checksummed message boundaries over a
+// byte stream (DESIGN.md §13).
+//
+// Wire layout of one frame (all little-endian):
+//
+//     offset  size  field
+//     0       4     magic 'OBJ1' (0x314A424F)
+//     4       4     payload length N (bytes; 0 <= N <= kMaxPayload)
+//     8       8     FNV-1a 64 checksum of the payload bytes
+//     16      N     payload (net/protocol.h message)
+//
+// The decoder is incremental: Feed() arbitrary chunks as the socket
+// produces them (a frame may arrive one byte at a time, or many frames in
+// one read), then drain complete frames with Next(). Corruption — wrong
+// magic, oversized length, checksum mismatch — is detected at the frame
+// boundary and poisons the decoder: once the stream has lost sync there
+// is no way to trust any later framing, so the connection must be torn
+// down after one final error response.
+#ifndef OBJREP_NET_FRAME_H_
+#define OBJREP_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace objrep {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x314A424Fu;  // "OBJ1"
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Largest accepted payload. Bounds per-connection memory against a
+/// hostile or corrupt length field; generous enough for a full-database
+/// RETRIEVE response (4 MiB = one million i32 values).
+inline constexpr uint32_t kMaxPayload = 4u << 20;
+
+/// Wraps `payload` in a frame (header + copy of the payload).
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame parser over a connection's inbound byte stream.
+class FrameDecoder {
+ public:
+  /// Appends raw socket bytes to the pending buffer.
+  void Feed(const void* data, size_t n);
+
+  /// Extracts the next complete frame's payload into `*payload`, setting
+  /// `*ready` = true. Sets `*ready` = false (payload untouched) when the
+  /// buffered bytes end mid-header or mid-payload — feed more and retry.
+  /// Returns Corruption on bad magic / oversized length / checksum
+  /// mismatch; every later call returns the same error (poisoned).
+  Status Next(std::string* payload, bool* ready);
+
+  /// Bytes buffered but not yet returned (mid-frame tail).
+  size_t pending_bytes() const { return buf_.size() - consumed_; }
+
+  /// True once a corrupt frame poisoned the stream.
+  bool poisoned() const { return !error_.ok(); }
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;  // prefix of buf_ already returned as frames
+  Status error_;
+};
+
+}  // namespace net
+}  // namespace objrep
+
+#endif  // OBJREP_NET_FRAME_H_

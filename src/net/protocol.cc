@@ -1,0 +1,276 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace objrep {
+namespace net {
+
+namespace {
+
+// Encoding helpers mirror net/frame.cc: explicit little-endian bytes, so
+// the wire format is identical across hosts.
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutBytes(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked cursor over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : p_(data.data()), n_(data.size()) {}
+
+  Status U8(uint8_t* out) {
+    if (off_ + 1 > n_) return Truncated();
+    *out = static_cast<uint8_t>(p_[off_++]);
+    return Status::OK();
+  }
+  Status U32(uint32_t* out) {
+    if (off_ + 4 > n_) return Truncated();
+    *out = static_cast<uint32_t>(static_cast<unsigned char>(p_[off_])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(p_[off_ + 1]))
+               << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(p_[off_ + 2]))
+               << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(p_[off_ + 3]))
+               << 24;
+    off_ += 4;
+    return Status::OK();
+  }
+  Status U64(uint64_t* out) {
+    uint32_t lo, hi;
+    OBJREP_RETURN_NOT_OK(U32(&lo));
+    OBJREP_RETURN_NOT_OK(U32(&hi));
+    *out = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+    return Status::OK();
+  }
+  Status I32(int32_t* out) {
+    uint32_t v;
+    OBJREP_RETURN_NOT_OK(U32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::OK();
+  }
+  Status Bytes(std::string* out) {
+    uint32_t len;
+    OBJREP_RETURN_NOT_OK(U32(&len));
+    if (off_ + len > n_) return Truncated();
+    out->assign(p_ + off_, len);
+    off_ += len;
+    return Status::OK();
+  }
+  Status Done() const {
+    if (off_ != n_) return Status::Corruption("message: trailing bytes");
+    return Status::OK();
+  }
+  size_t remaining() const { return n_ - off_; }
+
+ private:
+  static Status Truncated() {
+    return Status::Corruption("message: truncated payload");
+  }
+  const char* p_;
+  size_t n_;
+  size_t off_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeRequest(const Request& req) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(req.verb));
+  PutU8(&out, req.strategy);
+  PutU64(&out, req.id);
+  switch (req.verb) {
+    case Verb::kRetrieve:
+      PutU32(&out, req.lo_parent);
+      PutU32(&out, req.num_top);
+      PutU8(&out, req.attr_index);
+      break;
+    case Verb::kUpdate:
+      PutI32(&out, req.new_ret1);
+      PutU32(&out, static_cast<uint32_t>(req.update_targets.size()));
+      for (const Oid& oid : req.update_targets) PutU64(&out, oid.Packed());
+      break;
+    case Verb::kPing:
+    case Verb::kStats:
+    case Verb::kShutdown:
+      break;
+  }
+  return out;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(resp.status));
+  PutU8(&out, static_cast<uint8_t>(resp.verb));
+  PutU64(&out, resp.id);
+  if (resp.status != RespStatus::kOk) {
+    PutBytes(&out, resp.error);
+    return out;
+  }
+  switch (resp.verb) {
+    case Verb::kRetrieve:
+      PutU32(&out, static_cast<uint32_t>(resp.values.size()));
+      for (int32_t v : resp.values) PutI32(&out, v);
+      break;
+    case Verb::kUpdate:
+      PutU32(&out, resp.updated);
+      break;
+    case Verb::kStats:
+      PutBytes(&out, resp.stats_json);
+      break;
+    case Verb::kPing:
+    case Verb::kShutdown:
+      break;
+  }
+  return out;
+}
+
+Status DecodeRequest(std::string_view payload, Request* out) {
+  *out = Request{};
+  Reader r(payload);
+  uint8_t verb;
+  OBJREP_RETURN_NOT_OK(r.U8(&verb));
+  if (verb < static_cast<uint8_t>(Verb::kRetrieve) ||
+      verb > static_cast<uint8_t>(Verb::kShutdown)) {
+    return Status::Corruption("request: unknown verb");
+  }
+  out->verb = static_cast<Verb>(verb);
+  OBJREP_RETURN_NOT_OK(r.U8(&out->strategy));
+  OBJREP_RETURN_NOT_OK(r.U64(&out->id));
+  switch (out->verb) {
+    case Verb::kRetrieve: {
+      OBJREP_RETURN_NOT_OK(r.U32(&out->lo_parent));
+      OBJREP_RETURN_NOT_OK(r.U32(&out->num_top));
+      OBJREP_RETURN_NOT_OK(r.U8(&out->attr_index));
+      break;
+    }
+    case Verb::kUpdate: {
+      OBJREP_RETURN_NOT_OK(r.I32(&out->new_ret1));
+      uint32_t n;
+      OBJREP_RETURN_NOT_OK(r.U32(&n));
+      if (static_cast<size_t>(n) * 8 != r.remaining()) {
+        return Status::Corruption("request: OID list length mismatch");
+      }
+      out->update_targets.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t packed;
+        OBJREP_RETURN_NOT_OK(r.U64(&packed));
+        out->update_targets.push_back(Oid::FromPacked(packed));
+      }
+      break;
+    }
+    case Verb::kPing:
+    case Verb::kStats:
+    case Verb::kShutdown:
+      break;
+  }
+  return r.Done();
+}
+
+Status DecodeResponse(std::string_view payload, Response* out) {
+  *out = Response{};
+  Reader r(payload);
+  uint8_t status, verb;
+  OBJREP_RETURN_NOT_OK(r.U8(&status));
+  if (status > static_cast<uint8_t>(RespStatus::kError)) {
+    return Status::Corruption("response: unknown status");
+  }
+  OBJREP_RETURN_NOT_OK(r.U8(&verb));
+  if (verb < static_cast<uint8_t>(Verb::kRetrieve) ||
+      verb > static_cast<uint8_t>(Verb::kShutdown)) {
+    return Status::Corruption("response: unknown verb");
+  }
+  out->status = static_cast<RespStatus>(status);
+  out->verb = static_cast<Verb>(verb);
+  OBJREP_RETURN_NOT_OK(r.U64(&out->id));
+  if (out->status != RespStatus::kOk) {
+    OBJREP_RETURN_NOT_OK(r.Bytes(&out->error));
+    return r.Done();
+  }
+  switch (out->verb) {
+    case Verb::kRetrieve: {
+      uint32_t n;
+      OBJREP_RETURN_NOT_OK(r.U32(&n));
+      if (static_cast<size_t>(n) * 4 != r.remaining()) {
+        return Status::Corruption("response: value list length mismatch");
+      }
+      out->values.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        int32_t v;
+        OBJREP_RETURN_NOT_OK(r.I32(&v));
+        out->values.push_back(v);
+      }
+      break;
+    }
+    case Verb::kUpdate:
+      OBJREP_RETURN_NOT_OK(r.U32(&out->updated));
+      break;
+    case Verb::kStats:
+      OBJREP_RETURN_NOT_OK(r.Bytes(&out->stats_json));
+      break;
+    case Verb::kPing:
+    case Verb::kShutdown:
+      break;
+  }
+  return r.Done();
+}
+
+Status StrategyFromByte(uint8_t byte, StrategyKind fallback,
+                        StrategyKind* out) {
+  if (byte == kDefaultStrategyByte) {
+    *out = fallback;
+    return Status::OK();
+  }
+  if (byte > static_cast<uint8_t>(StrategyKind::kAdaptive)) {
+    return Status::InvalidArgument("unknown strategy byte");
+  }
+  *out = static_cast<StrategyKind>(byte);
+  return Status::OK();
+}
+
+const char* VerbName(Verb v) {
+  switch (v) {
+    case Verb::kRetrieve: return "RETRIEVE";
+    case Verb::kUpdate: return "UPDATE";
+    case Verb::kPing: return "PING";
+    case Verb::kStats: return "STATS";
+    case Verb::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+const char* RespStatusName(RespStatus s) {
+  switch (s) {
+    case RespStatus::kOk: return "OK";
+    case RespStatus::kServerBusy: return "SERVER_BUSY";
+    case RespStatus::kBadRequest: return "BAD_REQUEST";
+    case RespStatus::kShuttingDown: return "SHUTTING_DOWN";
+    case RespStatus::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace net
+}  // namespace objrep

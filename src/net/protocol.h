@@ -1,0 +1,116 @@
+// Binary request/response protocol for the object server (DESIGN.md §13).
+//
+// Messages travel inside checksummed frames (net/frame.h); this module
+// defines what the payload bytes mean. Five verbs:
+//
+//   RETRIEVE  — the paper's retrieve: parents [lo_parent, lo_parent +
+//               num_top) projected on ret<attr_index+1>; returns the
+//               subobject values.
+//   UPDATE    — in-place ret1 modification of an OID list (translated to
+//               ClusterRel / cache invalidation by structure-aware
+//               strategies, exactly like the embedded engine).
+//   PING      — liveness; answered from the event loop, bypassing
+//               admission control, so it stays responsive under overload.
+//   STATS     — server + metrics-registry snapshot as JSON.
+//   SHUTDOWN  — asks the server to drain and stop (responds OK first).
+//
+// Every request carries a per-request strategy override byte: 0xFF means
+// "server default", any other value is a StrategyKind (including
+// kAdaptive), so one connection can compare plans against one database.
+//
+// All integers are little-endian. Decoding is bounds-checked and returns
+// Status::Corruption on any malformed payload — a frame that passed the
+// codec's checksum can still carry a semantically truncated message (a
+// hand-rolled client, a version skew), and the server must reject it
+// cleanly rather than read past the buffer.
+#ifndef OBJREP_NET_PROTOCOL_H_
+#define OBJREP_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "objstore/oid.h"
+#include "util/status.h"
+
+namespace objrep {
+namespace net {
+
+enum class Verb : uint8_t {
+  kRetrieve = 1,
+  kUpdate = 2,
+  kPing = 3,
+  kStats = 4,
+  kShutdown = 5,
+};
+
+/// First response byte. Everything except kOk carries an error string.
+enum class RespStatus : uint8_t {
+  kOk = 0,
+  /// Admission control shed this request (DESIGN.md §13): the in-flight
+  /// budget was exhausted. The request was NOT executed; retry later.
+  kServerBusy = 1,
+  /// Malformed or out-of-range request (bad verb, bad strategy byte, OID
+  /// outside the database). Never retried.
+  kBadRequest = 2,
+  /// The server is draining; the request was not executed.
+  kShuttingDown = 3,
+  /// Execution failed server-side (I/O error, lock timeout, ...).
+  kError = 4,
+};
+
+/// Strategy-override byte meaning "use the server's default".
+inline constexpr uint8_t kDefaultStrategyByte = 0xFF;
+
+struct Request {
+  Verb verb = Verb::kPing;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  /// Responses on one connection may arrive out of submission order
+  /// (requests execute concurrently on the worker pool).
+  uint64_t id = 0;
+  uint8_t strategy = kDefaultStrategyByte;
+
+  // kRetrieve
+  uint32_t lo_parent = 0;
+  uint32_t num_top = 0;
+  uint8_t attr_index = 0;
+
+  // kUpdate
+  std::vector<Oid> update_targets;
+  int32_t new_ret1 = 0;
+};
+
+struct Response {
+  RespStatus status = RespStatus::kOk;
+  Verb verb = Verb::kPing;
+  uint64_t id = 0;
+
+  std::vector<int32_t> values;  ///< kRetrieve: projected attribute values
+  uint32_t updated = 0;         ///< kUpdate: targets applied
+  std::string stats_json;       ///< kStats: server + registry snapshot
+  std::string error;            ///< non-kOk: human-readable reason
+};
+
+/// Serializes a request/response into a frame payload (not yet framed —
+/// pass the result to EncodeFrame).
+std::string EncodeRequest(const Request& req);
+std::string EncodeResponse(const Response& resp);
+
+/// Parses a frame payload. Returns Corruption on malformed bytes; on
+/// error `*out` is unspecified.
+Status DecodeRequest(std::string_view payload, Request* out);
+Status DecodeResponse(std::string_view payload, Response* out);
+
+/// Maps the wire strategy byte to a StrategyKind. `fallback` substitutes
+/// for kDefaultStrategyByte. InvalidArgument on unknown values.
+Status StrategyFromByte(uint8_t byte, StrategyKind fallback,
+                        StrategyKind* out);
+
+const char* VerbName(Verb v);
+const char* RespStatusName(RespStatus s);
+
+}  // namespace net
+}  // namespace objrep
+
+#endif  // OBJREP_NET_PROTOCOL_H_

@@ -1,0 +1,161 @@
+#include "net/service.h"
+
+#include <string>
+#include <utility>
+
+#include "exec/query_locks.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+
+namespace objrep {
+namespace net {
+
+namespace {
+
+Response ErrorResponse(const Request& req, RespStatus status,
+                       std::string msg) {
+  Response resp;
+  resp.status = status;
+  resp.verb = req.verb;
+  resp.id = req.id;
+  resp.error = std::move(msg);
+  return resp;
+}
+
+}  // namespace
+
+ObjService::ObjService(ComplexDatabase* db, StrategyKind default_strategy,
+                       StrategyOptions options)
+    : db_(db), default_strategy_(default_strategy), options_(options) {}
+
+ObjService::SessionLease::~SessionLease() {
+  if (service == nullptr || strategy == nullptr) return;
+  std::lock_guard<std::mutex> l(service->sessions_mu_);
+  service->idle_[kind].push_back(std::move(strategy));
+}
+
+Status ObjService::Checkout(StrategyKind kind, SessionLease* lease) {
+  lease->kind = kind;
+  {
+    std::lock_guard<std::mutex> l(sessions_mu_);
+    auto it = idle_.find(kind);
+    if (it != idle_.end() && !it->second.empty()) {
+      lease->strategy = std::move(it->second.back());
+      it->second.pop_back();
+      lease->service = this;
+      return Status::OK();
+    }
+  }
+  // Built outside the pool mutex: MakeStrategy may read the database
+  // (shape probes), and holding sessions_mu_ across that would serialize
+  // unrelated checkouts.
+  OBJREP_RETURN_NOT_OK(MakeStrategy(kind, db_, options_, &lease->strategy));
+  lease->service = this;
+  return Status::OK();
+}
+
+Response ObjService::Execute(const Request& req) {
+  if (req.verb != Verb::kRetrieve && req.verb != Verb::kUpdate) {
+    return ErrorResponse(req, RespStatus::kBadRequest,
+                         "verb is not executable against the database");
+  }
+
+  StrategyKind kind;
+  if (Status s = StrategyFromByte(req.strategy, default_strategy_, &kind);
+      !s.ok()) {
+    return ErrorResponse(req, RespStatus::kBadRequest, s.ToString());
+  }
+  SessionLease lease;
+  if (Status s = Checkout(kind, &lease); !s.ok()) {
+    // The database lacks a structure this strategy needs (no Cache, no
+    // ClusterRel): a client error, not a server fault.
+    return ErrorResponse(req, RespStatus::kBadRequest,
+                         "strategy unavailable: " + s.ToString());
+  }
+
+  Response resp;
+  resp.verb = req.verb;
+  resp.id = req.id;
+  Status s = req.verb == Verb::kRetrieve
+                 ? DoRetrieve(req, lease.strategy.get(), &resp)
+                 : DoUpdate(req, lease.strategy.get(), &resp);
+  if (!s.ok()) {
+    RespStatus rs = s.IsInvalidArgument() ? RespStatus::kBadRequest
+                                          : RespStatus::kError;
+    return ErrorResponse(req, rs, s.ToString());
+  }
+  return resp;
+}
+
+Status ObjService::DoRetrieve(const Request& req, Strategy* session,
+                              Response* resp) {
+  if (req.num_top == 0) {
+    return Status::InvalidArgument("retrieve: num_top must be positive");
+  }
+  if (req.lo_parent >= db_->spec.num_parents ||
+      req.num_top > db_->spec.num_parents - req.lo_parent) {
+    return Status::InvalidArgument(
+        "retrieve: parent range exceeds |ParentRel|");
+  }
+  if (req.attr_index > 2) {
+    return Status::InvalidArgument("retrieve: attr_index out of [0, 2]");
+  }
+  Query q;
+  q.kind = Query::Kind::kRetrieve;
+  q.lo_parent = req.lo_parent;
+  q.num_top = req.num_top;
+  q.attr_index = req.attr_index;
+
+  TraceSpan span("retrieve", "query");
+  span.SetArg("num_top", q.num_top);
+  ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
+  RetrieveResult result;
+  OBJREP_RETURN_NOT_OK(session->ExecuteRetrieve(q, &result));
+  resp->values = std::move(result.values);
+  return Status::OK();
+}
+
+Status ObjService::DoUpdate(const Request& req, Strategy* session,
+                            Response* resp) {
+  if (req.update_targets.empty()) {
+    return Status::InvalidArgument("update: empty OID list");
+  }
+  const uint32_t children_per_rel =
+      db_->spec.num_children_total() / db_->spec.num_child_rels;
+  for (const Oid& oid : req.update_targets) {
+    if (db_->ChildRelById(oid.rel) == nullptr) {
+      return Status::InvalidArgument("update: OID names no child relation");
+    }
+    if (oid.key >= children_per_rel) {
+      return Status::InvalidArgument("update: OID key out of range");
+    }
+  }
+  Query q;
+  q.kind = Query::Kind::kUpdate;
+  q.update_targets = req.update_targets;
+  q.new_ret1 = req.new_ret1;
+
+  TraceSpan span("update", "query");
+  span.SetArg("targets", q.update_targets.size());
+  ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
+  // One WAL transaction per update, the ConcurrentRunner's idiom: the X
+  // table locks are already held, so wal_mu_ ranks below them (DESIGN.md
+  // §10 latch order).
+  if (db_->pool->wal() != nullptr) {
+    OBJREP_RETURN_NOT_OK(db_->pool->BeginTxn());
+    Status s = session->ExecuteUpdate(q);
+    if (s.ok()) {
+      s = db_->pool->CommitTxn();
+    } else {
+      db_->pool->AbortTxn();
+    }
+    OBJREP_RETURN_NOT_OK(s);
+  } else {
+    OBJREP_RETURN_NOT_OK(session->ExecuteUpdate(q));
+  }
+  resp->updated = static_cast<uint32_t>(q.update_targets.size());
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace objrep

@@ -1,0 +1,75 @@
+// Request execution behind the wire boundary (DESIGN.md §13).
+//
+// ObjService owns everything a request needs besides the socket: the
+// shared ComplexDatabase, the table-level LockManager (same 2PL
+// discipline as the in-process ConcurrentRunner), and a pool of reusable
+// strategy *sessions*. A session is one Strategy instance; strategies are
+// stateful (DFSCACHE holds I-locks, ADAPTIVE carries calibration state),
+// so sessions are checked out for exactly one request and returned —
+// never shared between concurrent requests. Pooling instead of
+// per-request construction matters for ADAPTIVE: its calibrator keeps
+// learning across the requests it serves, the same way a ConcurrentRunner
+// worker's session learns across its slice.
+//
+// Execute() is thread-safe and is called from the server's worker pool;
+// it is also usable without any server at all (tests drive it directly).
+#ifndef OBJREP_NET_SERVICE_H_
+#define OBJREP_NET_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/strategy.h"
+#include "exec/lock_manager.h"
+#include "net/protocol.h"
+#include "objstore/database.h"
+
+namespace objrep {
+namespace net {
+
+class ObjService {
+ public:
+  /// `db` must outlive the service. `default_strategy` serves requests
+  /// whose strategy byte is kDefaultStrategyByte.
+  ObjService(ComplexDatabase* db, StrategyKind default_strategy,
+             StrategyOptions options);
+
+  ObjService(const ObjService&) = delete;
+  ObjService& operator=(const ObjService&) = delete;
+
+  /// Executes one RETRIEVE or UPDATE (the verbs that touch the database;
+  /// PING/STATS/SHUTDOWN are answered by the server's event loop).
+  /// Returns a fully-populated response — execution failures become
+  /// kBadRequest/kError responses, never a crash.
+  Response Execute(const Request& req);
+
+  StrategyKind default_strategy() const { return default_strategy_; }
+
+ private:
+  /// A pooled session, returned to the free list on destruction.
+  struct SessionLease {
+    ObjService* service = nullptr;
+    StrategyKind kind{};
+    std::unique_ptr<Strategy> strategy;
+    ~SessionLease();
+  };
+
+  Status Checkout(StrategyKind kind, SessionLease* lease);
+  Status DoRetrieve(const Request& req, Strategy* session, Response* resp);
+  Status DoUpdate(const Request& req, Strategy* session, Response* resp);
+
+  ComplexDatabase* const db_;
+  const StrategyKind default_strategy_;
+  const StrategyOptions options_;
+  LockManager locks_;
+
+  std::mutex sessions_mu_;
+  std::map<StrategyKind, std::vector<std::unique_ptr<Strategy>>> idle_;
+};
+
+}  // namespace net
+}  // namespace objrep
+
+#endif  // OBJREP_NET_SERVICE_H_

@@ -43,10 +43,13 @@ Status CacheManager::Init() {
   return HashFile::Create(pool_, num_buckets_, &hash_);
 }
 
-uint64_t CacheManager::HashKeyOf(const std::vector<Oid>& unit_oids) {
+uint64_t CacheManager::HashKeyOf(const std::vector<Oid>& unit_oids,
+                                 BlobFormat format) {
   // Hash of the concatenation of the OIDs as stored in the object — the
   // paper's definition. (Not sorted: the stored order identifies the unit.)
-  uint64_t h = 0xcbf29ce484222325ULL;
+  // The format salt keeps incompatibly-encoded blobs of the same unit in
+  // disjoint key spaces (see BlobFormat in the header).
+  uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<uint64_t>(format);
   for (const Oid& oid : unit_oids) {
     h = HashCombine(h, oid.Packed());
   }

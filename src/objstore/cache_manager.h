@@ -60,8 +60,24 @@ class CacheManager {
   /// Creates the on-disk hash relation. Must be called once before use.
   Status Init();
 
-  /// Unit identity: hash of the packed, as-stored OID list.
-  static uint64_t HashKeyOf(const std::vector<Oid>& unit_oids);
+  /// Record encoding held in a cached unit's value blob. Strategies that
+  /// assemble units from the child relations (DFSCACHE, SMART) cache raw
+  /// child-relation records; DFSCLUST+CACHE caches ClusterRel records.
+  /// The two encodings are mutually unreadable — projecting one with the
+  /// other's schema yields garbage values, not an error — so the format
+  /// is part of the unit's cache identity: the same unit cached in both
+  /// formats occupies two entries, and a strategy can never fetch a blob
+  /// it cannot decode. Invalidation is unaffected (I-locks are per
+  /// inserted hashkey, so an update drops both formats' entries).
+  enum class BlobFormat : uint64_t {
+    kChildRecords = 0,
+    kClusterRecords = 0x9e3779b97f4a7c15ULL,  // odd salt, full avalanche
+  };
+
+  /// Unit identity: hash of the packed, as-stored OID list, salted by the
+  /// blob format the caller stores/expects.
+  static uint64_t HashKeyOf(const std::vector<Oid>& unit_oids,
+                            BlobFormat format = BlobFormat::kChildRecords);
 
   /// Free residency test against the in-memory directory (counts a miss
   /// when absent). Does not touch the LRU order.

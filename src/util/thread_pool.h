@@ -41,40 +41,65 @@ class ThreadPool {
     }
   }
 
-  /// Drains the queue (already-submitted tasks still run), then joins all
-  /// workers.
-  ~ThreadPool() {
-    {
-      std::lock_guard<std::mutex> l(mu_);
-      stopping_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& w : workers_) w.join();
-  }
+  /// Equivalent to Shutdown(): drains the queue (already-submitted tasks
+  /// still run), then joins all workers.
+  ~ThreadPool() { Shutdown(); }
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
 
-  /// Enqueues `fn` and returns a future for its result. An exception
-  /// thrown by `fn` is captured into the future (the library itself is
-  /// exception-free on data paths; this covers test code).
+  /// Graceful draining stop (DESIGN.md §13): stops accepting new tasks —
+  /// concurrent TrySubmit calls return false from this point on, they are
+  /// never silently dropped — runs every already-queued task to
+  /// completion, and joins the workers. Idempotent; safe to call while
+  /// other threads are still racing TrySubmit against it.
+  void Shutdown() {
+    // Serialized so a second caller blocks until the first finished
+    // joining, rather than returning while workers are still live.
+    std::lock_guard<std::mutex> sl(shutdown_mu_);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  /// Enqueues `fn` unless the pool is shutting down, in which case it
+  /// returns false and `fn` is not (and never will be) run — the caller
+  /// must reject the work itself (e.g. respond SHUTTING_DOWN). On success
+  /// `*out`, when non-null, receives the future for `fn`'s result.
   template <typename Fn, typename R = std::invoke_result_t<Fn>>
-  std::future<R> Submit(Fn fn) {
+  bool TrySubmit(Fn fn, std::future<R>* out = nullptr) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
-    std::future<R> fut = task->get_future();
     // Queue-wait latency: enqueue-to-dequeue, recorded by the worker. The
     // clock read costs one steady_clock call per task — tasks here are
     // whole query sessions or vectored read batches, never per-page work.
     uint64_t enqueued_us = Trace::NowMicros();
     {
       std::lock_guard<std::mutex> l(mu_);
-      OBJREP_CHECK(!stopping_);
+      if (stopping_) return false;
       queue_.emplace_back(QueuedTask{[task] { (*task)(); }, enqueued_us});
       QueueMetrics().depth->Set(static_cast<int64_t>(queue_.size()));
     }
     cv_.notify_one();
+    if (out != nullptr) *out = task->get_future();
+    return true;
+  }
+
+  /// Enqueues `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is captured into the future (the library itself is
+  /// exception-free on data paths; this covers test code). The pool must
+  /// not be shutting down — callers racing against Shutdown() use
+  /// TrySubmit and handle rejection.
+  template <typename Fn, typename R = std::invoke_result_t<Fn>>
+  std::future<R> Submit(Fn fn) {
+    std::future<R> fut;
+    OBJREP_CHECK(TrySubmit(std::move(fn), &fut));
     return fut;
   }
 
@@ -115,6 +140,7 @@ class ThreadPool {
     }
   }
 
+  std::mutex shutdown_mu_;  // serializes Shutdown callers
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<QueuedTask> queue_;  // guarded by mu_

@@ -1,0 +1,293 @@
+// Frame codec + wire protocol tests (DESIGN.md §13): round-trips of every
+// verb, incremental decoding across arbitrarily split buffers (a frame
+// may arrive one byte at a time), and seeded corruption — the
+// fault-injector idiom of deterministic randomness — rejected cleanly at
+// the frame boundary without ever crashing or over-reading.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace objrep {
+namespace net {
+namespace {
+
+std::vector<Request> OneRequestPerVerb() {
+  std::vector<Request> reqs;
+  Request retrieve;
+  retrieve.verb = Verb::kRetrieve;
+  retrieve.id = 7;
+  retrieve.strategy = static_cast<uint8_t>(StrategyKind::kAdaptive);
+  retrieve.lo_parent = 123;
+  retrieve.num_top = 45;
+  retrieve.attr_index = 2;
+  reqs.push_back(retrieve);
+
+  Request update;
+  update.verb = Verb::kUpdate;
+  update.id = 8;
+  update.update_targets = {Oid{3, 17}, Oid{4, 0}, Oid{3, 999}};
+  update.new_ret1 = -12345;
+  reqs.push_back(update);
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.id = 9;
+  reqs.push_back(ping);
+
+  Request stats;
+  stats.verb = Verb::kStats;
+  stats.id = 10;
+  reqs.push_back(stats);
+
+  Request shutdown;
+  shutdown.verb = Verb::kShutdown;
+  shutdown.id = 11;
+  reqs.push_back(shutdown);
+  return reqs;
+}
+
+void ExpectRequestEq(const Request& a, const Request& b) {
+  EXPECT_EQ(a.verb, b.verb);
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.lo_parent, b.lo_parent);
+  EXPECT_EQ(a.num_top, b.num_top);
+  EXPECT_EQ(a.attr_index, b.attr_index);
+  EXPECT_EQ(a.new_ret1, b.new_ret1);
+  ASSERT_EQ(a.update_targets.size(), b.update_targets.size());
+  for (size_t i = 0; i < a.update_targets.size(); ++i) {
+    EXPECT_EQ(a.update_targets[i].rel, b.update_targets[i].rel);
+    EXPECT_EQ(a.update_targets[i].key, b.update_targets[i].key);
+  }
+}
+
+TEST(ProtocolTest, EveryVerbRoundTripsThroughRequestCodec) {
+  for (const Request& req : OneRequestPerVerb()) {
+    SCOPED_TRACE(VerbName(req.verb));
+    Request back;
+    ASSERT_TRUE(DecodeRequest(EncodeRequest(req), &back).ok());
+    ExpectRequestEq(req, back);
+  }
+}
+
+TEST(ProtocolTest, EveryResponseShapeRoundTrips) {
+  Response retrieve;
+  retrieve.verb = Verb::kRetrieve;
+  retrieve.id = 1;
+  retrieve.values = {1, -2, 3, 0, 2147483647};
+  Response update;
+  update.verb = Verb::kUpdate;
+  update.id = 2;
+  update.updated = 5;
+  Response stats;
+  stats.verb = Verb::kStats;
+  stats.id = 3;
+  stats.stats_json = "{\"server\":{}}";
+  Response busy;
+  busy.verb = Verb::kRetrieve;
+  busy.id = 4;
+  busy.status = RespStatus::kServerBusy;
+  busy.error = "in-flight budget exhausted";
+
+  for (const Response& resp : {retrieve, update, stats, busy}) {
+    SCOPED_TRACE(RespStatusName(resp.status));
+    Response back;
+    ASSERT_TRUE(DecodeResponse(EncodeResponse(resp), &back).ok());
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.verb, resp.verb);
+    EXPECT_EQ(back.id, resp.id);
+    EXPECT_EQ(back.values, resp.values);
+    EXPECT_EQ(back.updated, resp.updated);
+    EXPECT_EQ(back.stats_json, resp.stats_json);
+    EXPECT_EQ(back.error, resp.error);
+  }
+}
+
+TEST(ProtocolTest, StrategyByteMapsEveryKindAndRejectsGarbage) {
+  for (StrategyKind kind :
+       {StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kBfsNoDup,
+        StrategyKind::kDfsCache, StrategyKind::kDfsClust,
+        StrategyKind::kSmart, StrategyKind::kDfsClustCache,
+        StrategyKind::kBfsJoinIndex, StrategyKind::kBfsHash,
+        StrategyKind::kAdaptive}) {
+    StrategyKind out;
+    ASSERT_TRUE(StrategyFromByte(static_cast<uint8_t>(kind),
+                                 StrategyKind::kDfs, &out)
+                    .ok());
+    EXPECT_EQ(out, kind);
+  }
+  StrategyKind out;
+  EXPECT_TRUE(
+      StrategyFromByte(kDefaultStrategyByte, StrategyKind::kSmart, &out)
+          .ok());
+  EXPECT_EQ(out, StrategyKind::kSmart);
+  EXPECT_FALSE(StrategyFromByte(200, StrategyKind::kDfs, &out).ok());
+}
+
+TEST(ProtocolTest, TruncatedPayloadsAreRejectedNotOverRead) {
+  for (const Request& req : OneRequestPerVerb()) {
+    SCOPED_TRACE(VerbName(req.verb));
+    std::string full = EncodeRequest(req);
+    // Every strict prefix must decode to an error, never a crash.
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+      Request back;
+      EXPECT_FALSE(DecodeRequest(full.substr(0, cut), &back).ok())
+          << "prefix of " << cut << " bytes decoded";
+    }
+  }
+}
+
+TEST(FrameTest, RoundTripsPayloadsOfManySizes) {
+  std::mt19937_64 rng(7);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{15}, size_t{16},
+                   size_t{1000}, size_t{70000}}) {
+    std::string payload(n, '\0');
+    for (char& ch : payload) ch = static_cast<char>(rng());
+    std::string frame = EncodeFrame(payload);
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + n);
+    FrameDecoder dec;
+    dec.Feed(frame.data(), frame.size());
+    std::string out;
+    bool ready = false;
+    ASSERT_TRUE(dec.Next(&out, &ready).ok());
+    ASSERT_TRUE(ready);
+    EXPECT_EQ(out, payload);
+    EXPECT_EQ(dec.pending_bytes(), 0u);
+  }
+}
+
+TEST(FrameTest, DecodesAcrossArbitrarySplitsOfTheByteStream) {
+  // Many frames concatenated, fed in seeded-random chunk sizes (including
+  // 1-byte drips): the decoder must yield exactly the original payload
+  // sequence regardless of how recv() happened to split the stream.
+  std::mt19937_64 rng(1234);
+  std::vector<std::string> payloads;
+  std::string stream;
+  for (int i = 0; i < 50; ++i) {
+    std::string p(static_cast<size_t>(rng() % 200), '\0');
+    for (char& ch : p) ch = static_cast<char>(rng());
+    payloads.push_back(p);
+    stream += EncodeFrame(p);
+  }
+  for (int round = 0; round < 10; ++round) {
+    FrameDecoder dec;
+    std::vector<std::string> got;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      size_t chunk = 1 + static_cast<size_t>(rng() % 97);
+      chunk = std::min(chunk, stream.size() - pos);
+      dec.Feed(stream.data() + pos, chunk);
+      pos += chunk;
+      for (;;) {
+        std::string payload;
+        bool ready = false;
+        ASSERT_TRUE(dec.Next(&payload, &ready).ok());
+        if (!ready) break;
+        got.push_back(std::move(payload));
+      }
+    }
+    ASSERT_EQ(got.size(), payloads.size());
+    for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], payloads[i]);
+  }
+}
+
+TEST(FrameTest, MidFrameBytesReportNotReady) {
+  std::string frame = EncodeFrame("hello");
+  FrameDecoder dec;
+  std::string payload;
+  bool ready = true;
+  // Mid-header.
+  dec.Feed(frame.data(), kFrameHeaderBytes - 1);
+  ASSERT_TRUE(dec.Next(&payload, &ready).ok());
+  EXPECT_FALSE(ready);
+  // Header complete, mid-payload.
+  dec.Feed(frame.data() + kFrameHeaderBytes - 1, 2);
+  ready = true;
+  ASSERT_TRUE(dec.Next(&payload, &ready).ok());
+  EXPECT_FALSE(ready);
+  EXPECT_FALSE(dec.poisoned());  // incomplete is not corrupt
+}
+
+TEST(FrameTest, BadMagicPoisonsTheDecoder) {
+  std::string frame = EncodeFrame("payload");
+  frame[0] ^= 0x5A;
+  FrameDecoder dec;
+  dec.Feed(frame.data(), frame.size());
+  std::string payload;
+  bool ready = false;
+  Status s = dec.Next(&payload, &ready);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_TRUE(dec.poisoned());
+  // Poisoned for good: even after feeding a pristine frame the decoder
+  // keeps failing — framing cannot be re-trusted after a desync.
+  std::string good = EncodeFrame("fine");
+  dec.Feed(good.data(), good.size());
+  EXPECT_TRUE(dec.Next(&payload, &ready).IsCorruption());
+}
+
+TEST(FrameTest, OversizedLengthFieldIsRejectedBeforeBuffering) {
+  std::string frame = EncodeFrame("x");
+  // Rewrite the length field (little-endian at offset 4) to > kMaxPayload.
+  uint32_t huge = kMaxPayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    frame[4 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  FrameDecoder dec;
+  dec.Feed(frame.data(), kFrameHeaderBytes);  // header alone suffices
+  std::string payload;
+  bool ready = false;
+  EXPECT_TRUE(dec.Next(&payload, &ready).IsCorruption());
+}
+
+TEST(FrameTest, SeededSingleByteCorruptionAlwaysDetected) {
+  // The fault-injector idiom: a seeded rng picks the corruption, so a
+  // failure reproduces exactly. Flip one byte anywhere in a frame; either
+  // the magic, the length, or the checksum check must catch it — a
+  // payload flip specifically must be caught by the FNV-1a checksum.
+  std::mt19937_64 rng(99);
+  std::string payload(64, '\0');
+  for (char& ch : payload) ch = static_cast<char>(rng());
+  const std::string frame = EncodeFrame(payload);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bad = frame;
+    size_t pos = static_cast<size_t>(rng() % bad.size());
+    uint8_t flip = static_cast<uint8_t>(1 + rng() % 255);
+    bad[pos] = static_cast<char>(static_cast<uint8_t>(bad[pos]) ^ flip);
+    FrameDecoder dec;
+    dec.Feed(bad.data(), bad.size());
+    std::string out;
+    bool ready = false;
+    Status s = dec.Next(&out, &ready);
+    if (pos >= 4 && pos < 8) {
+      // A length-field flip may just describe a longer frame than was
+      // sent: not yet decodable, never silently wrong.
+      EXPECT_TRUE(!s.ok() || !ready) << "trial " << trial;
+    } else {
+      EXPECT_TRUE(s.IsCorruption()) << "trial " << trial << " pos " << pos;
+    }
+  }
+}
+
+TEST(FrameTest, TruncatedFinalFrameNeverBecomesReady) {
+  std::string frame = EncodeFrame(std::string(100, 'q'));
+  for (size_t cut : {size_t{3}, kFrameHeaderBytes,
+                     kFrameHeaderBytes + 50, frame.size() - 1}) {
+    FrameDecoder dec;
+    dec.Feed(frame.data(), cut);
+    std::string payload;
+    bool ready = false;
+    ASSERT_TRUE(dec.Next(&payload, &ready).ok());
+    EXPECT_FALSE(ready) << "cut=" << cut;
+    EXPECT_EQ(dec.pending_bytes(), cut);  // what the server reports lost
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace objrep

@@ -286,6 +286,41 @@ TEST(RunnerTest, SameSeedSameIoCount) {
   EXPECT_EQ(results[0].result_sum, results[1].result_sum);
 }
 
+// Regression: DFSCACHE and SMART cache child-relation records while
+// DFSCLUST+CACHE caches ClusterRel records — in the one shared Cache
+// relation. Before the blob format salted the hashkey
+// (CacheManager::BlobFormat), whichever family ran second fetched the
+// other's blobs, decoded them with the wrong schema, and returned
+// garbage values with no error. Interleave the two families on the same
+// hot range, in both orders, and hold every pass to ground truth.
+TEST(SharedCacheTest, CacheAndClustCacheStrategiesDoNotPoisonEachOther) {
+  auto spec = FullSpec();
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  std::unique_ptr<Strategy> cached_dfs;
+  std::unique_ptr<Strategy> clust_cache;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kDfsCache, db.get(),
+                           StrategyOptions{}, &cached_dfs)
+                  .ok());
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kDfsClustCache, db.get(),
+                           StrategyOptions{}, &clust_cache)
+                  .ok());
+  const Query q = Retrieve(10, 30);
+  const std::multiset<int32_t> expect = ExpectedValues(*db, q);
+  for (Strategy* first : {cached_dfs.get(), clust_cache.get()}) {
+    Strategy* second =
+        first == cached_dfs.get() ? clust_cache.get() : cached_dfs.get();
+    // first populates the cache, second reads the same units through its
+    // own format, then first again hits whatever second installed.
+    for (Strategy* s : {first, second, first}) {
+      RetrieveResult r;
+      ASSERT_TRUE(s->ExecuteRetrieve(q, &r).ok());
+      EXPECT_EQ(std::multiset<int32_t>(r.values.begin(), r.values.end()),
+                expect);
+    }
+  }
+}
+
 TEST(CostBreakdownTest, ComponentsSumToTotal) {
   auto spec = FullSpec();
   std::unique_ptr<ComplexDatabase> db;

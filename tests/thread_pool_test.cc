@@ -89,5 +89,71 @@ TEST(ThreadPoolTest, ManyProducersOnePool) {
   EXPECT_EQ(sum.load(), expect);
 }
 
+// Regression (DESIGN.md §13): a draining stop racing live submitters must
+// either run a task to completion or reject it at submit time — never
+// accept it and then abandon it. Before TrySubmit/Shutdown existed, a
+// submit that raced the destructor could enqueue work no worker would
+// ever run (its future never became ready), which as a server means a
+// client waiting forever on a response that was silently dropped.
+TEST(ThreadPoolTest, ShutdownUnderLoadRunsEveryAcceptedTask) {
+  for (int round = 0; round < 20; ++round) {
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> ran{0};
+    std::atomic<bool> stop_submitting{false};
+    std::vector<std::thread> submitters;
+    for (int p = 0; p < 3; ++p) {
+      submitters.emplace_back([&] {
+        while (!stop_submitting.load()) {
+          if (pool->TrySubmit([&ran] { ran.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          } else {
+            // Pool is draining: rejection is the only acceptable
+            // alternative to execution.
+            break;
+          }
+        }
+      });
+    }
+    // Let the submitters build a backlog, then drain while they race.
+    while (accepted.load() < 100) std::this_thread::yield();
+    pool->Shutdown();
+    stop_submitting.store(true);
+    for (auto& t : submitters) t.join();
+    // Shutdown completed the drain and the submitters have recorded
+    // every acceptance: the counts must agree exactly — nothing accepted
+    // was abandoned, nothing rejected was run.
+    EXPECT_EQ(ran.load(), accepted.load());
+    // Post-drain submits are cleanly rejected, not dropped.
+    EXPECT_FALSE(pool->TrySubmit([] {}));
+    pool.reset();
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentShutdownCallsAreSafe) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  // All callers must block until the drain truly finished — a second
+  // caller returning while workers are still live would let its owner
+  // destroy state the workers still touch.
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&pool] { pool.Shutdown(); });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_EQ(ran.load(), 200u);
+}
+
+TEST(ThreadPoolTest, TrySubmitReturnsFutureForResult) {
+  ThreadPool pool(1);
+  std::future<int> fut;
+  ASSERT_TRUE(pool.TrySubmit([] { return 41 + 1; }, &fut));
+  EXPECT_EQ(fut.get(), 42);
+}
+
 }  // namespace
 }  // namespace objrep

@@ -8,6 +8,8 @@ JSON still parses. Stdlib only.
 Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
        check_bench_json.py --metrics FILE
        check_bench_json.py --adaptive FILE [--max-regret FRAC]
+       check_bench_json.py --net FILE [--min-connections N]
+                          [--baseline FILE --tolerance PCT]
 
 With --metrics, FILE is instead a metrics-registry dump (the driver's
 --metrics-json output) and only its schema is validated: the three
@@ -19,8 +21,19 @@ must carry a finite regret >= 0 consistent with its oracle/adaptive I/O
 figures, and --max-regret (default 0.10, the acceptance bound) caps the
 worst point.
 
-With --baseline, also compares per-(strategy, prefetch, workers) run
-results against the baseline file. Two signals are checked:
+With --net, FILE is a bench/net_loopback dump (BENCH_net.json): the
+steady phase must have shed nothing and carry ordered per-verb
+percentiles, the overload phase must show SERVER_BUSY shedding with the
+admitted requests' p99 bounded (no worse than twice the steady RETRIEVE
+p99 — shedding keeps admitted latency at least as good as the unshedded
+closed loop), and --min-connections (default 10000) enforces the
+capacity floor. With --baseline, per-verb steady p99 and throughput are
+also held to the baseline within --tolerance percent (default 25 for
+--net: latency is host-sensitive, so this gate only means something
+against a baseline from the same machine).
+
+With --baseline (default mode), also compares per-(strategy, prefetch,
+workers) run results against the baseline file. Two signals are checked:
 
 - avg_io_per_query must match the baseline within 1% (the pipeline is
   deterministic; drift here is a real behavior change, machine-independent)
@@ -243,11 +256,130 @@ def validate_adaptive(doc, max_regret):
     return len(points), worst
 
 
+NET_VERBS = ("RETRIEVE", "UPDATE", "PING")
+
+
+def check_percentiles(obj, ctx):
+    """Validates an ordered count/p50/p99/p999/max summary block."""
+    for field in ("count", "p50_us", "p99_us", "p999_us", "max_us"):
+        v = check_type(obj, field, int, ctx)
+        if v < 0:
+            fail(f"{ctx}: negative {field}")
+    if not obj["p50_us"] <= obj["p99_us"] <= obj["p999_us"] <= obj["max_us"]:
+        fail(f"{ctx}: percentiles not ordered")
+    if obj["count"] == 0 and obj["max_us"]:
+        fail(f"{ctx}: empty summary with nonzero max")
+
+
+def validate_net(doc, min_connections):
+    if not isinstance(doc, dict):
+        fail("net: top level is not an object")
+    if check_type(doc, "bench", str, "net") != "net_loopback":
+        fail("net: bench field is not 'net_loopback'")
+    connections = check_type(doc, "connections", int, "net")
+    if connections < min_connections:
+        fail(f"net: only {connections} connections — the capacity floor "
+             f"is {min_connections} (pass --min-connections for quick runs)")
+    for field in ("client_procs", "server_workers"):
+        if check_type(doc, field, int, "net") <= 0:
+            fail(f"net: non-positive {field}")
+
+    steady = check_type(doc, "steady", dict, "net")
+    if check_type(steady, "seconds", (int, float), "net steady") <= 0:
+        fail("net steady: non-positive seconds")
+    if check_type(steady, "throughput_rps", (int, float), "net steady") <= 0:
+        fail("net steady: non-positive throughput")
+    if check_type(steady, "requests_ok", int, "net steady") <= 0:
+        fail("net steady: no successful requests")
+    if check_type(steady, "busy", int, "net steady") != 0:
+        fail("net steady: shed load despite a provisioned budget")
+    if check_type(steady, "max_inflight", int, "net steady") < connections:
+        fail("net steady: budget below the connection count — the phase "
+             "was not actually unshedded")
+    verbs = check_type(steady, "verbs", dict, "net steady")
+    for name in NET_VERBS:
+        if name not in verbs:
+            fail(f"net steady: verb '{name}' missing")
+        check_percentiles(verbs[name], f"net steady verb {name}")
+        if verbs[name]["count"] == 0:
+            fail(f"net steady: verb '{name}' has no samples")
+    for name in verbs:
+        if name not in NET_VERBS:
+            fail(f"net steady: unknown verb '{name}'")
+
+    overload = check_type(doc, "overload", dict, "net")
+    if check_type(overload, "seconds", (int, float), "net overload") <= 0:
+        fail("net overload: non-positive seconds")
+    budget = check_type(overload, "max_inflight", int, "net overload")
+    if not 0 < budget < connections:
+        fail("net overload: budget was not an overload "
+             f"({budget} vs {connections} connections)")
+    if check_type(overload, "busy_rejections", int, "net overload") <= 0:
+        fail("net overload: no SERVER_BUSY rejections — admission control "
+             "never engaged")
+    admitted = check_type(overload, "admitted", dict, "net overload")
+    check_percentiles(admitted, "net overload admitted")
+    if admitted["count"] <= 0:
+        fail("net overload: nothing was admitted — that is collapse, "
+             "not shedding")
+    # The shedding contract: the few admitted requests must be served at
+    # least as fast as the unshedded steady closed loop (2x slack for
+    # measurement noise; 20ms floor so near-idle quick runs don't flap).
+    bound = max(2 * verbs["RETRIEVE"]["p99_us"], 20000)
+    if admitted["p99_us"] > bound:
+        fail(f"net overload: admitted p99 {admitted['p99_us']}us exceeds "
+             f"the {bound}us bound — shedding is not keeping admitted "
+             "latency bounded")
+
+    server = check_type(doc, "server", dict, "net")
+    for field in ("accepted", "requests_admitted", "responses",
+                  "busy_rejected", "bad_frames"):
+        if check_type(server, field, int, "net server") < 0:
+            fail(f"net server: negative {field}")
+    if server["accepted"] < connections:
+        fail("net server: accepted fewer connections than the bench claims")
+    if server["bad_frames"] != 0:
+        fail("net server: bad frames on a clean loopback run")
+    return doc
+
+
+def compare_net(current, baseline, tolerance):
+    """Holds steady per-verb p99 and throughput to the baseline."""
+    checked = 0
+    worst = 0.0
+    for name in NET_VERBS:
+        base_p99 = baseline["steady"]["verbs"][name]["p99_us"]
+        cur_p99 = current["steady"]["verbs"][name]["p99_us"]
+        if base_p99 > 0:
+            growth = 100.0 * (cur_p99 - base_p99) / base_p99
+            worst = max(worst, growth)
+            checked += 1
+            if growth > tolerance:
+                fail(f"net: steady {name} p99 {cur_p99}us vs baseline "
+                     f"{base_p99}us (+{growth:.1f}%, tolerance {tolerance}%)")
+    base_rps = baseline["steady"]["throughput_rps"]
+    cur_rps = current["steady"]["throughput_rps"]
+    drop = 100.0 * (base_rps - cur_rps) / base_rps
+    worst = max(worst, drop)
+    if drop > tolerance:
+        fail(f"net: throughput {cur_rps:.0f} rps vs baseline "
+             f"{base_rps:.0f} rps (-{drop:.1f}%, tolerance {tolerance}%)")
+    print(f"check_bench_json: net within {tolerance}% of baseline "
+          f"({checked} verbs + throughput, worst +{worst:.1f}%)")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("file")
     parser.add_argument("--baseline")
-    parser.add_argument("--tolerance", type=float, default=3.0)
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="regression tolerance PCT (default 3, "
+                             "or 25 with --net)")
+    parser.add_argument("--net", action="store_true",
+                        help="FILE is a bench/net_loopback dump")
+    parser.add_argument("--min-connections", type=int, default=10000,
+                        help="capacity floor for --net (lower it for "
+                             "--quick bench runs)")
     parser.add_argument("--metrics", action="store_true",
                         help="FILE is a metrics-registry dump, not bench JSON")
     parser.add_argument("--adaptive", action="store_true",
@@ -256,6 +388,23 @@ def main():
                         help="worst-point regret bound for --adaptive "
                              "(fraction; negative disables the gate)")
     args = parser.parse_args()
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = 25.0 if args.net else 3.0
+
+    if args.net:
+        if args.metrics or args.adaptive:
+            fail("--net does not combine with --metrics/--adaptive")
+        with open(args.file) as f:
+            current = validate_net(json.load(f), args.min_connections)
+        print(f"check_bench_json: {args.file}: net schema OK "
+              f"({current['connections']} connections, "
+              f"{current['overload']['busy_rejections']} shed)")
+        if args.baseline:
+            with open(args.baseline) as f:
+                baseline = validate_net(json.load(f), args.min_connections)
+            compare_net(current, baseline, tolerance)
+        return
 
     if args.adaptive:
         if args.baseline or args.metrics:
@@ -283,7 +432,7 @@ def main():
     if args.baseline:
         with open(args.baseline) as f:
             baseline = validate(json.load(f))
-        compare(current, baseline, args.tolerance)
+        compare(current, baseline, tolerance)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,295 @@
+// net_load — closed-loop load driver for the object server (DESIGN.md
+// §13), the wire-level analog of objrep_driver's --threads mode.
+//
+//   $ ./build/tools/net_load --port=4700 --clients=64 --duration=5
+//   $ ./build/tools/net_load --port=4700 --clients=16 --pr-update=0.1
+//         --strategy=adaptive --shutdown   (one command line)
+//
+// Each client thread owns one connection and issues a RETRIEVE/UPDATE mix
+// (PINGs when --pr-ping is set), recording per-request latency. The
+// workload shape is bootstrapped from the server's STATS response — the
+// "db" section carries |ParentRel|, the child relation ids, and the keys
+// per relation — so the driver needs no copy of the server's config. The
+// exit code is 0 only if every client connected and at least one request
+// succeeded, which is what the CI smoke job asserts.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment_config.h"
+#include "net/client.h"
+#include "net/protocol.h"
+
+using namespace objrep;
+
+namespace {
+
+struct LoadFlags {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t clients = 8;
+  double duration_seconds = 5.0;
+  double pr_update = 0.0;
+  double pr_ping = 0.0;
+  uint32_t num_top = 5;
+  uint32_t update_batch = 5;
+  uint8_t attr_index = 0;
+  uint8_t strategy = net::kDefaultStrategyByte;
+  uint64_t seed = 42;
+  bool shutdown = false;  // send SHUTDOWN when done
+};
+
+/// Schema facts parsed from the server's STATS "db" section.
+struct DbShape {
+  uint32_t num_parents = 0;
+  uint32_t children_per_rel = 0;
+  std::vector<uint32_t> child_rels;
+};
+
+/// Minimal extraction from the server's well-formed JSON: the value after
+/// `"key":`. Good enough for a tool talking to one known producer.
+bool FindU64(const std::string& json, const char* key, uint64_t* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+bool ParseDbShape(const std::string& json, DbShape* out) {
+  uint64_t v = 0;
+  if (!FindU64(json, "num_parents", &v)) return false;
+  out->num_parents = static_cast<uint32_t>(v);
+  if (!FindU64(json, "children_per_rel", &v)) return false;
+  out->children_per_rel = static_cast<uint32_t>(v);
+  size_t pos = json.find("\"child_rels\":[");
+  if (pos == std::string::npos) return false;
+  const char* p = json.c_str() + pos + std::strlen("\"child_rels\":[");
+  while (*p != ']' && *p != '\0') {
+    char* end = nullptr;
+    out->child_rels.push_back(
+        static_cast<uint32_t>(std::strtoul(p, &end, 10)));
+    if (end == p) return false;
+    p = end;
+    if (*p == ',') ++p;
+  }
+  return !out->child_rels.empty() && out->num_parents > 0 &&
+         out->children_per_rel > 0;
+}
+
+struct ClientResult {
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t rejected = 0;  // SHUTTING_DOWN / BAD_REQUEST / ERROR
+  uint64_t transport_errors = 0;
+  std::vector<uint64_t> latencies_us;  // OK responses only
+  bool connected = false;
+};
+
+uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void ClientLoop(const LoadFlags& flags, const DbShape& shape,
+                uint64_t seed, std::atomic<bool>* stop, ClientResult* out) {
+  net::ObjClient client;
+  if (!client.Connect(flags.host, flags.port).ok()) return;
+  out->connected = true;
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const uint32_t max_lo =
+      shape.num_parents > flags.num_top ? shape.num_parents - flags.num_top
+                                        : 0;
+  std::uniform_int_distribution<uint32_t> lo_dist(0, max_lo);
+  std::uniform_int_distribution<uint32_t> key_dist(
+      0, shape.children_per_rel - 1);
+  std::uniform_int_distribution<size_t> rel_dist(0,
+                                                 shape.child_rels.size() - 1);
+
+  while (!stop->load(std::memory_order_relaxed)) {
+    net::Request req;
+    req.strategy = flags.strategy;
+    double c = coin(rng);
+    if (c < flags.pr_ping) {
+      req.verb = net::Verb::kPing;
+    } else if (c < flags.pr_ping + flags.pr_update) {
+      req.verb = net::Verb::kUpdate;
+      req.new_ret1 = static_cast<int32_t>(rng() & 0x7FFF);
+      for (uint32_t i = 0; i < flags.update_batch; ++i) {
+        req.update_targets.push_back(
+            Oid{shape.child_rels[rel_dist(rng)], key_dist(rng)});
+      }
+    } else {
+      req.verb = net::Verb::kRetrieve;
+      req.lo_parent = lo_dist(rng);
+      req.num_top = std::min(flags.num_top, shape.num_parents);
+      req.attr_index = flags.attr_index;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    net::Response resp;
+    Status s = client.Call(std::move(req), &resp);
+    if (!s.ok()) {
+      out->transport_errors++;
+      return;  // Call() closed the connection; this client is done
+    }
+    if (resp.status == net::RespStatus::kOk) {
+      out->ok++;
+      out->latencies_us.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else if (resp.status == net::RespStatus::kServerBusy) {
+      out->busy++;
+    } else {
+      out->rejected++;
+    }
+  }
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --port=N [--host=ADDR] [--clients=N]\n"
+               "          [--duration=S] [--pr-update=P] [--pr-ping=P]\n"
+               "          [--num-top=K] [--update-batch=B] [--attr=I]\n"
+               "          [--strategy=NAME] [--seed=N] [--shutdown]\n"
+               "--shutdown sends the SHUTDOWN verb after the run (the\n"
+               "server drains and exits)\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--host", &v)) {
+      flags.host = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      flags.port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--clients", &v)) {
+      flags.clients = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--duration", &v)) {
+      flags.duration_seconds = std::strtod(v, nullptr);
+    } else if (ParseFlag(argv[i], "--pr-update", &v)) {
+      flags.pr_update = std::strtod(v, nullptr);
+    } else if (ParseFlag(argv[i], "--pr-ping", &v)) {
+      flags.pr_ping = std::strtod(v, nullptr);
+    } else if (ParseFlag(argv[i], "--num-top", &v)) {
+      flags.num_top = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--update-batch", &v)) {
+      flags.update_batch =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--attr", &v)) {
+      flags.attr_index = static_cast<uint8_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--strategy", &v)) {
+      StrategyKind kind;
+      if (!ParseStrategyName(v, &kind).ok()) return Usage(argv[0]);
+      flags.strategy = static_cast<uint8_t>(kind);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      flags.shutdown = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (flags.port == 0 || flags.clients == 0 ||
+      flags.num_top == 0 || flags.update_batch == 0 ||
+      flags.attr_index > 2 || flags.pr_update < 0 || flags.pr_ping < 0 ||
+      flags.pr_update + flags.pr_ping > 1.0) {
+    return Usage(argv[0]);
+  }
+
+  // Bootstrap the workload shape from the server itself.
+  DbShape shape;
+  {
+    net::ObjClient probe;
+    Status s = probe.Connect(flags.host, flags.port);
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::string stats;
+    s = probe.Stats(&stats);
+    if (!s.ok() || !ParseDbShape(stats, &shape)) {
+      std::fprintf(stderr, "STATS bootstrap failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (flags.num_top > shape.num_parents) flags.num_top = shape.num_parents;
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(flags.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(flags.clients);
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint32_t i = 0; i < flags.clients; ++i) {
+    threads.emplace_back(ClientLoop, std::cref(flags), std::cref(shape),
+                         flags.seed + i, &stop, &results[i]);
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(flags.duration_seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ClientResult total;
+  total.connected = true;
+  std::vector<uint64_t> lat;
+  for (ClientResult& r : results) {
+    total.ok += r.ok;
+    total.busy += r.busy;
+    total.rejected += r.rejected;
+    total.transport_errors += r.transport_errors;
+    if (!r.connected) total.connected = false;
+    lat.insert(lat.end(), r.latencies_us.begin(), r.latencies_us.end());
+  }
+  std::sort(lat.begin(), lat.end());
+
+  std::printf(
+      "clients=%u duration=%.1fs ok=%llu busy=%llu rejected=%llu "
+      "transport_errors=%llu\n",
+      flags.clients, elapsed, static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.busy),
+      static_cast<unsigned long long>(total.rejected),
+      static_cast<unsigned long long>(total.transport_errors));
+  std::printf(
+      "throughput=%.0f req/s  p50=%lluus p99=%lluus p999=%lluus max=%lluus\n",
+      elapsed > 0 ? static_cast<double>(total.ok) / elapsed : 0.0,
+      static_cast<unsigned long long>(Percentile(lat, 0.50)),
+      static_cast<unsigned long long>(Percentile(lat, 0.99)),
+      static_cast<unsigned long long>(Percentile(lat, 0.999)),
+      static_cast<unsigned long long>(lat.empty() ? 0 : lat.back()));
+
+  if (flags.shutdown) {
+    net::ObjClient c;
+    if (c.Connect(flags.host, flags.port).ok()) {
+      Status s = c.Shutdown();
+      std::printf("shutdown: %s\n", s.ok() ? "ok" : s.ToString().c_str());
+    }
+  }
+  return total.connected && total.ok > 0 ? 0 : 1;
+}

@@ -37,10 +37,13 @@
 #include <utility>
 #include <vector>
 
+#include <csignal>
+
 #include "core/adaptive.h"
 #include "core/experiment_config.h"
 #include "core/runner.h"
 #include "exec/concurrent_runner.h"
+#include "net/server.h"
 #include "obs/io_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -71,8 +74,68 @@ struct DriverFlags {
   // Adaptive engine (DESIGN.md §12).
   std::string strategy;         // --strategy=NAME (override config list)
   int64_t calibration_window = -1;  // --calibration-window=N
+  // Network server (DESIGN.md §13).
+  bool serve = false;           // --serve: run the server, not the report
+  int64_t port = -1;            // --port=N (overrides net_port)
+  int64_t max_inflight = -1;    // --max-inflight=N (overrides config)
   std::string config_path;
 };
+
+net::ObjServer* g_server = nullptr;  // SIGINT/SIGTERM -> graceful drain
+
+void HandleStopSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();  // async-signal-safe
+}
+
+/// --serve: build the database once, serve it until SIGINT/SIGTERM or a
+/// SHUTDOWN verb, then drain and report.
+int RunServer(const DriverFlags& flags, const ExperimentConfig& config) {
+  std::unique_ptr<ComplexDatabase> db;
+  Status s = BuildDatabase(config.db, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  net::ServerConfig sc;
+  sc.port = static_cast<uint16_t>(
+      flags.port >= 0 ? flags.port : config.net_port);
+  sc.num_workers = config.net_workers;
+  sc.max_inflight = flags.max_inflight > 0
+                        ? static_cast<uint32_t>(flags.max_inflight)
+                        : config.net_max_inflight;
+  sc.default_strategy = config.strategies.front();
+  sc.strategy_options = config.options;
+
+  net::ObjServer server(db.get(), sc);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  std::printf("serving on %s:%u (workers=%u max_inflight=%u default=%s)\n",
+              sc.host.c_str(), server.port(), sc.num_workers,
+              sc.max_inflight, StrategyKindName(sc.default_strategy));
+  std::fflush(stdout);
+
+  server.Wait();
+  net::ObjServer::Stats st = server.stats();
+  server.Stop();
+  g_server = nullptr;
+  std::printf(
+      "server drained: %llu conns, %llu admitted, %llu responses, "
+      "%llu busy-rejected, %llu bad frames\n",
+      static_cast<unsigned long long>(st.accepted),
+      static_cast<unsigned long long>(st.requests_admitted),
+      static_cast<unsigned long long>(st.responses),
+      static_cast<unsigned long long>(st.busy_rejected),
+      static_cast<unsigned long long>(st.bad_frames));
+  return 0;
+}
 
 /// The plans ADAPTIVE may pick. Plan choices are exposed through the
 /// metrics registry ("adaptive.plan.<NAME>" counters, the registry pattern
@@ -197,7 +260,12 @@ int Usage(const char* prog) {
                "          [--fault-crash-point=NAME[:HIT]]\n"
                "          [--metrics-json=FILE] [--trace-out=FILE]\n"
                "          [--metrics-interval=MS] [--strategy=NAME]\n"
-               "          [--calibration-window=N] <config-file | ->\n"
+               "          [--calibration-window=N]\n"
+               "          [--serve] [--port=N] [--max-inflight=N]\n"
+               "          <config-file | ->\n"
+               "--serve runs the network server (DESIGN.md §13) over the\n"
+               "config's database until SIGINT/SIGTERM or a SHUTDOWN verb;\n"
+               "the first configured strategy is the server default\n"
                "--strategy overrides the config's STRATEGIES list (e.g.\n"
                "--strategy=adaptive); --calibration-window sets ADAPTIVE's\n"
                "EWMA horizon\n"
@@ -253,6 +321,15 @@ int main(int argc, char** argv) {
       flags.calibration_window =
           static_cast<int64_t>(std::strtoul(v, nullptr, 10));
       if (flags.calibration_window <= 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      flags.serve = true;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      flags.port = static_cast<int64_t>(std::strtoul(v, nullptr, 10));
+      if (flags.port > 65535) return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--max-inflight", &v)) {
+      flags.max_inflight =
+          static_cast<int64_t>(std::strtoul(v, nullptr, 10));
+      if (flags.max_inflight <= 0) return Usage(argv[0]);
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       return Usage(argv[0]);
     } else if (flags.config_path.empty()) {
@@ -320,6 +397,8 @@ int main(int argc, char** argv) {
     config.db.io_latency_us = static_cast<uint32_t>(flags.io_latency_us);
   }
   if (flags.wal >= 0) config.db.enable_wal = flags.wal == 1;
+
+  if (flags.serve) return RunServer(flags, config);
 
   if (flags.fault_crash_point == "list") {
     for (const std::string& name : FaultInjector::RegisteredCrashPoints()) {
