@@ -1,0 +1,256 @@
+// Scale-out of the horizontally sharded engine (src/shard/, DESIGN.md
+// §14): fixed offered concurrency, swept shard count.
+//
+// K closed-loop client threads drive one ShardedEngine with a mixed
+// RETRIEVE/UPDATE stream (the Figure-3 shape plus updates) for a timed
+// window, at 1, 2, 4, and 8 shards. The single-shard point is the
+// baseline: same engine code path, one lock manager, one WAL, one buffer
+// pool — so every update X-locks the only ChildRel instance and stalls
+// the whole stream for its I/O. With N shards an update only X-locks the
+// holder shards and each shard commits on its own WAL, so independent
+// clients overlap; with --io-latency-us > 0 the stalls are real device
+// waits and the aggregate retrieve throughput should scale out (>= 1.6x
+// at 2 shards, >= 2.5x at 4 — the floors tools/check_bench_json.py
+// --shard enforces).
+//
+// Each shard gets the full buffer/cache budget, the scale-out semantics
+// of a cluster where every node brings its own memory; the sweep measures
+// the whole proposition (partitioned locks + WALs + pools + memory), not
+// lock splitting alone.
+//
+//   $ ./build/bench/shard_scaling
+//   $ ./build/bench/shard_scaling --quick          (CI smoke: 1 and 2)
+//   $ ./build/bench/shard_scaling --json=BENCH_shard_scaling.json
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment_config.h"
+#include "shard/engine.h"
+#include "shard/sharded_db.h"
+
+namespace objrep {
+namespace bench {
+namespace {
+
+DatabaseSpec ShardBenchSpec() {
+  DatabaseSpec spec;
+  // Large enough that even an 8-shard split leaves each shard's slice
+  // well beyond its buffer: every point stays I/O-bound and the sweep
+  // measures parallelism (per-shard locks, WALs, overlapping device
+  // waits), not the aggregate-memory windfall of N pools.
+  spec.num_parents = 20000;
+  spec.size_unit = 5;
+  // ShareFactor 1: private subobjects, the partitionable workload a
+  // horizontal deployment exists for. Shared subobjects are replicated to
+  // every holder shard and their updates fan out (the oracle tests cover
+  // that path); here each update routes to exactly one shard, so the
+  // sweep isolates what sharding buys on shardable data.
+  spec.use_factor = 1;
+  spec.overlap_factor = 1;
+  spec.num_child_rels = 1;
+  // Below the working set: the single-shard baseline keeps paying
+  // physical I/O, and each added shard brings both another lock/WAL
+  // domain and another pool.
+  spec.buffer_pages = 128;
+  spec.seed = 71;
+  spec.enable_wal = true;
+  return spec;
+}
+
+WorkloadSpec MixedSpec() {
+  WorkloadSpec wl;
+  wl.num_queries = 600;
+  wl.num_top = 8;
+  wl.pr_update = 0.25;
+  wl.update_batch = 4;
+  wl.seed = 83;
+  return wl;
+}
+
+struct WorkerStats {
+  uint64_t retrieves = 0;
+  uint64_t updates = 0;
+};
+
+void ClientLoop(shard::ShardedEngine* engine, StrategyKind kind,
+                const std::vector<Query>* queries, size_t start,
+                std::atomic<bool>* stop, WorkerStats* out) {
+  size_t i = start;
+  while (!stop->load(std::memory_order_relaxed)) {
+    const Query& q = (*queries)[i++ % queries->size()];
+    if (q.kind == Query::Kind::kRetrieve) {
+      RetrieveResult result;
+      Status s = engine->ExecuteRetrieve(kind, q, &result);
+      OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+      ++out->retrieves;
+    } else {
+      Status s = engine->ExecuteUpdate(kind, q);
+      OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+      ++out->updates;
+    }
+  }
+}
+
+struct SweepPoint {
+  uint32_t shards;
+  double retrieves_per_sec;
+  double queries_per_sec;
+  double scaleout;  // retrieves_per_sec / 1-shard retrieves_per_sec
+};
+
+void WriteJson(const char* path, StrategyKind kind, uint32_t clients,
+               double duration_seconds, uint32_t io_latency_us,
+               const std::vector<SweepPoint>& pts) {
+  std::FILE* f = std::fopen(path, "w");
+  OBJREP_CHECK_MSG(f != nullptr, "cannot open JSON output path");
+  std::fprintf(f,
+               "{\n  \"bench\": \"shard_scaling\",\n"
+               "  \"strategy\": \"%s\",\n  \"clients\": %u,\n"
+               "  \"duration_seconds\": %.3f,\n  \"io_latency_us\": %u,\n"
+               "  \"points\": [",
+               StrategyKindName(kind), clients, duration_seconds,
+               io_latency_us);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    std::fprintf(f,
+                 "%s\n    {\"shards\": %u, \"retrieves_per_sec\": %.2f, "
+                 "\"queries_per_sec\": %.2f, \"scaleout\": %.3f}",
+                 i == 0 ? "" : ",", p.shards, p.retrieves_per_sec,
+                 p.queries_per_sec, p.scaleout);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+void RunSweep(StrategyKind kind, uint32_t clients, double duration_seconds,
+              uint32_t io_latency_us, bool quick, const char* json_path) {
+  const std::vector<uint32_t> shard_counts =
+      quick ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4, 8};
+
+  std::printf("%-8s %10s %14s %12s %10s\n", "shards", "clients",
+              "retrieves/s", "queries/s", "scaleout");
+  std::vector<SweepPoint> points;
+  double base_rps = 0;
+  for (uint32_t n : shard_counts) {
+    std::unique_ptr<shard::ShardedDatabase> sdb;
+    Status s = shard::BuildShardedDatabase(ShardBenchSpec(), n, &sdb);
+    OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+    for (const auto& sh : sdb->shards) {
+      sh->disk->set_io_latency_us(io_latency_us);
+    }
+    // The retained reference database gives every shard count the same
+    // query stream.
+    std::vector<Query> queries;
+    s = GenerateWorkload(MixedSpec(), *sdb->reference, &queries);
+    OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+    shard::ShardedEngine engine(sdb.get(), {});
+
+    // Warmup: one sequential pass over the stream settles the pools
+    // before the timed window.
+    for (const Query& q : queries) {
+      if (q.kind == Query::Kind::kRetrieve) {
+        RetrieveResult result;
+        s = engine.ExecuteRetrieve(kind, q, &result);
+      } else {
+        s = engine.ExecuteUpdate(kind, q);
+      }
+      OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<WorkerStats> stats(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back(ClientLoop, &engine, kind, &queries,
+                           static_cast<size_t>(c) * 17, &stop, &stats[c]);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(duration_seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : threads) t.join();
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    uint64_t retrieves = 0, total = 0;
+    for (const WorkerStats& w : stats) {
+      retrieves += w.retrieves;
+      total += w.retrieves + w.updates;
+    }
+    SweepPoint p;
+    p.shards = n;
+    p.retrieves_per_sec =
+        elapsed > 0 ? static_cast<double>(retrieves) / elapsed : 0.0;
+    p.queries_per_sec =
+        elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0;
+    if (n == 1) base_rps = p.retrieves_per_sec;
+    p.scaleout = base_rps > 0 ? p.retrieves_per_sec / base_rps : 0.0;
+    points.push_back(p);
+    std::printf("%-8u %10u %14.0f %12.0f %9.2fx\n", n, clients,
+                p.retrieves_per_sec, p.queries_per_sec, p.scaleout);
+  }
+  if (json_path != nullptr) {
+    WriteJson(json_path, kind, clients, duration_seconds, io_latency_us,
+              points);
+    std::printf("\nwrote %s\n", json_path);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace objrep
+
+int main(int argc, char** argv) {
+  using objrep::StrategyKind;
+  StrategyKind kind = StrategyKind::kDfs;
+  uint32_t clients = 16;
+  double duration = 2.0;
+  uint32_t io_latency_us = 150;
+  bool quick = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--duration=", 11) == 0) {
+      duration = std::strtod(argv[i] + 11, nullptr);
+    } else if (std::strncmp(argv[i], "--io-latency-us=", 16) == 0) {
+      io_latency_us =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 16, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--strategy=", 11) == 0) {
+      if (!objrep::ParseStrategyName(argv[i] + 11, &kind).ok()) {
+        std::fprintf(stderr, "unknown strategy: %s\n", argv[i] + 11);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      duration = 0.5;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_shard_scaling.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--clients=K] [--duration=S] "
+                   "[--io-latency-us=N] [--strategy=NAME] [--quick] "
+                   "[--json[=PATH]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (clients == 0) return 2;
+  objrep::bench::PrintTitle(
+      "Shard scale-out: fixed offered concurrency, swept shard count",
+      "closed-loop mixed stream; per-shard locks, WALs, and pools");
+  objrep::bench::RunSweep(kind, clients, duration, io_latency_us, quick,
+                          json_path);
+  return 0;
+}

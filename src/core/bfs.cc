@@ -74,11 +74,12 @@ Status BfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
     ScopedIoTag heap_tag(IoTag::kHeapFetch);
     OBJREP_RETURN_NOT_OK(MergeJoinSortedKeys(
         sorted.Read(), table->tree(),
-        [&](uint64_t /*packed*/, std::string_view raw) -> Status {
+        [&](uint64_t key, std::string_view raw) -> Status {
           int32_t v;
           OBJREP_RETURN_NOT_OK(
               DecodeChildRet(table->schema(), raw, q.attr_index, &v));
           out->values.push_back(v);
+          out->oids.push_back(Oid{rel_id, static_cast<uint32_t>(key)});
           return Status::OK();
         }));
     if (db_->spec.reclaim_temp_pages) {

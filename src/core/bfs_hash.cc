@@ -75,6 +75,7 @@ Status BfsHashStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
             DecodeChildRet(table->schema(), it.value(), q.attr_index, &v));
         for (uint32_t i = 0; i < hit->second; ++i) {
           out->values.push_back(v);
+          out->oids.push_back(Oid{rel_id, static_cast<uint32_t>(it.key())});
         }
       }
       OBJREP_RETURN_NOT_OK(it.Next());

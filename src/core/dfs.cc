@@ -16,8 +16,10 @@ Status DfsStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
       db_, q,
       [&](uint32_t /*parent_key*/, const std::vector<Oid>& unit) -> Status {
         IoBracket child_bracket(db_->disk.get(), &cost.child_io);
-        return MaterializeUnit(db_, unit, q.attr_index,
-                               /*raw_records=*/nullptr, &out->values);
+        OBJREP_RETURN_NOT_OK(MaterializeUnit(
+            db_, unit, q.attr_index, /*raw_records=*/nullptr, &out->values));
+        out->oids.insert(out->oids.end(), unit.begin(), unit.end());
+        return Status::OK();
       }));
   uint64_t total = (db_->disk->counters() - start).total();
   cost.par_io = total - cost.child_io;

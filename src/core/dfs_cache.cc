@@ -31,7 +31,10 @@ Status CachedDepthFirstRetrieve(ComplexDatabase* db, const Query& q,
           OBJREP_RETURN_NOT_OK(db->cache->TryFetchUnit(hashkey, &blob,
                                                        &found));
           if (found) {
-            return ProjectUnitBlob(db, blob, q.attr_index, &out->values);
+            OBJREP_RETURN_NOT_OK(
+                ProjectUnitBlob(db, blob, q.attr_index, &out->values));
+            out->oids.insert(out->oids.end(), unit.begin(), unit.end());
+            return Status::OK();
           }
         }
         // Miss: materialize the unit, then maintain the cache.
@@ -40,6 +43,7 @@ Status CachedDepthFirstRetrieve(ComplexDatabase* db, const Query& q,
           IoBracket child_bracket(db->disk.get(), &cost.child_io);
           OBJREP_RETURN_NOT_OK(MaterializeUnit(db, unit, q.attr_index, &raws,
                                                &out->values));
+          out->oids.insert(out->oids.end(), unit.begin(), unit.end());
         }
         IoBracket cache_bracket(db->disk.get(), &cost.cache_io);
         return db->cache->InsertUnit(hashkey, unit, EncodeUnitBlob(raws));

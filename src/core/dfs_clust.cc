@@ -53,6 +53,7 @@ Status DfsClustStrategy::ExecuteRetrieve(const Query& q,
       auto it = group.local.find(oid.Packed());
       if (it != group.local.end()) {
         out->values.push_back(it->second);
+        out->oids.push_back(oid);
         continue;
       }
       // Clustered elsewhere: ISAM probe, then random ClusterRel access.
@@ -68,6 +69,7 @@ Status DfsClustStrategy::ExecuteRetrieve(const Query& q,
       int32_t v;
       OBJREP_RETURN_NOT_OK(ClusterRet(schema, raw, q.attr_index, &v));
       out->values.push_back(v);
+      out->oids.push_back(oid);
     }
     group = Group{};
     return Status::OK();
@@ -155,6 +157,8 @@ Status DfsClustCacheStrategy::ExecuteRetrieve(const Query& q,
         for (std::string_view raw : records) {
           OBJREP_RETURN_NOT_OK(project(raw));
         }
+        out->oids.insert(out->oids.end(), group.unit.begin(),
+                         group.unit.end());
         group = Group{};
         return Status::OK();
       }
@@ -183,6 +187,7 @@ Status DfsClustCacheStrategy::ExecuteRetrieve(const Query& q,
     for (const std::string& raw : raws) {
       OBJREP_RETURN_NOT_OK(project(raw));
     }
+    out->oids.insert(out->oids.end(), group.unit.begin(), group.unit.end());
     IoBracket cache_bracket(db_->disk.get(), &cost.cache_io);
     OBJREP_RETURN_NOT_OK(
         db_->cache->InsertUnit(hashkey, group.unit, EncodeUnitBlob(raws)));

@@ -207,6 +207,12 @@ Status ParseExperimentConfig(std::string_view text, ExperimentConfig* out) {
         return Status::InvalidArgument("line " + std::to_string(line_no) +
                                        ": net_max_inflight must be positive");
       }
+    } else if (key == "SHARDS") {
+      OBJREP_RETURN_NOT_OK(ParseU32(value, line_no, &out->shards));
+      if (out->shards == 0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": shards must be positive");
+      }
     } else if (key == "WAL") {
       OBJREP_RETURN_NOT_OK(ParseOnOff(value, line_no, &out->db.enable_wal));
     } else if (key == "STRATEGIES") {

@@ -38,6 +38,9 @@
 //     net_workers = 4
 //     net_max_inflight = 256
 //
+//     # horizontal sharding (DESIGN.md §14)
+//     shards = 1            # >1 = scatter-gather over N engine instances
+//
 // Unknown keys are an error (typos must not silently become defaults).
 #ifndef OBJREP_CORE_EXPERIMENT_CONFIG_H_
 #define OBJREP_CORE_EXPERIMENT_CONFIG_H_
@@ -64,6 +67,11 @@ struct ExperimentConfig {
   uint32_t net_port = 0;           ///< net_port = N (0: ephemeral)
   uint32_t net_workers = 4;        ///< net_workers = K (pool threads)
   uint32_t net_max_inflight = 256; ///< net_max_inflight = N (admission)
+
+  /// shards = N (src/shard/, DESIGN.md §14): hash-partition the store
+  /// across N independent engine instances with scatter-gather execution.
+  /// 1 (the default) is the ordinary single-engine path.
+  uint32_t shards = 1;
 };
 
 /// Parses the config text (file contents). On error the Status message

@@ -38,7 +38,10 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
           OBJREP_RETURN_NOT_OK(db_->cache->TryFetchUnit(hashkey, &blob,
                                                         &found));
           if (found) {
-            return ProjectUnitBlob(db_, blob, q.attr_index, &out->values);
+            OBJREP_RETURN_NOT_OK(
+                ProjectUnitBlob(db_, blob, q.attr_index, &out->values));
+            out->oids.insert(out->oids.end(), unit.begin(), unit.end());
+            return Status::OK();
           }
         }
         IoBracket temp_bracket(db_->disk.get(), &cost.temp_io);
@@ -78,11 +81,12 @@ Status SmartStrategy::ExecuteRetrieve(const Query& q, RetrieveResult* out) {
     ScopedIoTag heap_tag(IoTag::kHeapFetch);
     OBJREP_RETURN_NOT_OK(MergeJoinSortedKeys(
         sorted.Read(), table->tree(),
-        [&](uint64_t /*key*/, std::string_view raw) -> Status {
+        [&](uint64_t key, std::string_view raw) -> Status {
           int32_t v;
           OBJREP_RETURN_NOT_OK(
               DecodeChildRet(table->schema(), raw, q.attr_index, &v));
           out->values.push_back(v);
+          out->oids.push_back(Oid{rel_id, static_cast<uint32_t>(key)});
           return Status::OK();
         }));
     if (db_->spec.reclaim_temp_pages) {

@@ -27,9 +27,13 @@
 
 namespace objrep {
 
-/// Output of one retrieve.
+/// Output of one retrieve. `oids[i]` names the subobject that produced
+/// `values[i]` — the two vectors are always parallel. The scatter-gather
+/// layer (src/shard/) depends on this: BFS-family per-shard streams are
+/// merged by packed OID, and BFSNODUP dedups across shards by OID.
 struct RetrieveResult {
   std::vector<int32_t> values;
+  std::vector<Oid> oids;
   CostBreakdown cost;
 };
 

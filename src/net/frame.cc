@@ -23,6 +23,19 @@ void PutU64(std::string* out, uint64_t v) {
   PutU32(out, static_cast<uint32_t>(v >> 32));
 }
 
+void PutU16(std::string* out, uint16_t v) {
+  char b[2];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  out->append(b, 2);
+}
+
+uint16_t GetU16(const char* p) {
+  return static_cast<uint16_t>(
+      static_cast<uint16_t>(static_cast<unsigned char>(p[0])) |
+      static_cast<uint16_t>(static_cast<unsigned char>(p[1])) << 8);
+}
+
 uint32_t GetU32(const char* p) {
   return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
          static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
@@ -41,6 +54,8 @@ std::string EncodeFrame(std::string_view payload) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
   PutU32(&out, kFrameMagic);
+  PutU16(&out, kProtocolVersion);
+  PutU16(&out, 0);  // reserved
   PutU32(&out, static_cast<uint32_t>(payload.size()));
   PutU64(&out, Fnv1a64(payload.data(), payload.size()));
   out.append(payload.data(), payload.size());
@@ -70,13 +85,24 @@ Status FrameDecoder::Next(std::string* payload, bool* ready) {
     error_ = Status::Corruption("frame: bad magic");
     return error_;
   }
-  const uint32_t len = GetU32(h + 4);
+  const uint16_t version = GetU16(h + 4);
+  if (version != kProtocolVersion) {
+    error_ = Status::Corruption("frame: protocol version mismatch");
+    return error_;
+  }
+  // Reserved bytes must be zero so a future dialect cannot smuggle state
+  // past an old decoder — and so every corrupted header byte is detected.
+  if (GetU16(h + 6) != 0) {
+    error_ = Status::Corruption("frame: nonzero reserved header bytes");
+    return error_;
+  }
+  const uint32_t len = GetU32(h + 8);
   if (len > kMaxPayload) {
     error_ = Status::Corruption("frame: oversized payload length");
     return error_;
   }
   if (avail < kFrameHeaderBytes + len) return Status::OK();  // mid-payload
-  const uint64_t want = GetU64(h + 8);
+  const uint64_t want = GetU64(h + 12);
   const char* body = h + kFrameHeaderBytes;
   if (Fnv1a64(body, len) != want) {
     error_ = Status::Corruption("frame: payload checksum mismatch");

@@ -5,17 +5,27 @@
 //
 //     offset  size  field
 //     0       4     magic 'OBJ1' (0x314A424F)
-//     4       4     payload length N (bytes; 0 <= N <= kMaxPayload)
-//     8       8     FNV-1a 64 checksum of the payload bytes
-//     16      N     payload (net/protocol.h message)
+//     4       2     protocol version (kProtocolVersion)
+//     6       2     reserved, must be zero
+//     8       4     payload length N (bytes; 0 <= N <= kMaxPayload)
+//     12      8     FNV-1a 64 checksum of the payload bytes
+//     20      N     payload (net/protocol.h message)
+//
+// The version field exists because every request — including PING and
+// STATS, which the server answers in-loop without ever reaching the
+// protocol layer — must fail fast against a peer speaking a different
+// frame dialect, instead of being misparsed. Version 1 had no version
+// field; its 16-byte header is rejected by construction (the bytes at
+// offset 4 read back as a version mismatch).
 //
 // The decoder is incremental: Feed() arbitrary chunks as the socket
 // produces them (a frame may arrive one byte at a time, or many frames in
 // one read), then drain complete frames with Next(). Corruption — wrong
-// magic, oversized length, checksum mismatch — is detected at the frame
-// boundary and poisons the decoder: once the stream has lost sync there
-// is no way to trust any later framing, so the connection must be torn
-// down after one final error response.
+// magic, version mismatch, nonzero reserved bytes, oversized length,
+// checksum mismatch — is detected at the frame boundary and poisons the
+// decoder: once the stream has lost sync there is no way to trust any
+// later framing, so the connection must be torn down after one final
+// error response.
 #ifndef OBJREP_NET_FRAME_H_
 #define OBJREP_NET_FRAME_H_
 
@@ -30,7 +40,10 @@ namespace objrep {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x314A424Fu;  // "OBJ1"
-inline constexpr size_t kFrameHeaderBytes = 16;
+/// Bumped on any incompatible frame or protocol change. 2 = this header
+/// (version + reserved fields); 1 = the historical 16-byte header.
+inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr size_t kFrameHeaderBytes = 20;
 /// Largest accepted payload. Bounds per-connection memory against a
 /// hostile or corrupt length field; generous enough for a full-database
 /// RETRIEVE response (4 MiB = one million i32 values).
@@ -48,8 +61,9 @@ class FrameDecoder {
   /// Extracts the next complete frame's payload into `*payload`, setting
   /// `*ready` = true. Sets `*ready` = false (payload untouched) when the
   /// buffered bytes end mid-header or mid-payload — feed more and retry.
-  /// Returns Corruption on bad magic / oversized length / checksum
-  /// mismatch; every later call returns the same error (poisoned).
+  /// Returns Corruption on bad magic / protocol version mismatch /
+  /// nonzero reserved bytes / oversized length / checksum mismatch; every
+  /// later call returns the same error (poisoned).
   Status Next(std::string* payload, bool* ready);
 
   /// Bytes buffered but not yet returned (mid-frame tail).

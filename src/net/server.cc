@@ -89,7 +89,8 @@ struct ObjServer::Impl {
     std::string frame;  // encoded response frame
   };
 
-  ComplexDatabase* db;
+  ComplexDatabase* db;  // null when fronting a sharded engine
+  shard::ShardedEngine* engine;  // null for the single-db backend
   ServerConfig config;
   ObjService service;
   std::atomic<uint32_t> max_inflight;
@@ -127,8 +128,16 @@ struct ObjServer::Impl {
 
   Impl(ComplexDatabase* database, ServerConfig cfg)
       : db(database),
+        engine(nullptr),
         config(std::move(cfg)),
         service(database, cfg.default_strategy, cfg.strategy_options),
+        max_inflight(cfg.max_inflight == 0 ? 1 : cfg.max_inflight) {}
+
+  Impl(shard::ShardedEngine* eng, ServerConfig cfg)
+      : db(nullptr),
+        engine(eng),
+        config(std::move(cfg)),
+        service(eng, cfg.default_strategy, cfg.strategy_options),
         max_inflight(cfg.max_inflight == 0 ? 1 : cfg.max_inflight) {}
 
   // --- Event-loop helpers (loop thread only, unless noted). ---
@@ -229,16 +238,41 @@ struct ObjServer::Impl {
     // The "db" section is the client's schema bootstrap: a load generator
     // needs |ParentRel| and the child relation ids to form valid
     // RETRIEVE ranges and UPDATE OIDs without sharing the server's config.
+    // The sharded backend reports the logical (global) shape — clients
+    // address the whole store; the router is the server's business.
+    const DatabaseSpec& spec = db != nullptr ? db->spec : engine->spec();
+    const ComplexDatabase* catalog_db =
+        db != nullptr ? db : engine->db()->shards[0].get();
     os << "{\"db\":{"
-       << "\"num_parents\":" << db->spec.num_parents
+       << "\"num_parents\":" << spec.num_parents
        << ",\"children_per_rel\":"
-       << db->spec.num_children_total() / db->spec.num_child_rels
+       << spec.num_children_total() / spec.num_child_rels
        << ",\"child_rels\":[";
-    for (size_t r = 0; r < db->child_rels.size(); ++r) {
+    for (size_t r = 0; r < catalog_db->child_rels.size(); ++r) {
       if (r > 0) os << ",";
-      os << db->child_rels[r]->rel_id();
+      os << catalog_db->child_rels[r]->rel_id();
     }
-    os << "]},\"server\":{"
+    os << "]}";
+    if (engine != nullptr) {
+      os << ",\"shards\":[";
+      for (uint32_t k = 0; k < engine->num_shards(); ++k) {
+        const ComplexDatabase& sdb = *engine->db()->shards[k];
+        IoCounters io = sdb.disk->counters();
+        if (k > 0) os << ",";
+        os << "{\"parents\":" << engine->db()->local_parents[k].size()
+           << ",\"pages\":" << sdb.TotalPages()
+           << ",\"disk_reads\":" << io.reads
+           << ",\"disk_writes\":" << io.writes;
+        if (sdb.cache != nullptr) {
+          CacheManager::CacheStats cs = sdb.cache->stats();
+          os << ",\"cache_hits\":" << cs.hits
+             << ",\"cache_invalidated_units\":" << cs.invalidated_units;
+        }
+        os << "}";
+      }
+      os << "]";
+    }
+    os << ",\"server\":{"
        << "\"accepted\":" << accepted.load(std::memory_order_relaxed)
        << ",\"closed\":" << closed_count.load(std::memory_order_relaxed)
        << ",\"connections\":" << conns.size()
@@ -543,6 +577,9 @@ struct ObjServer::Impl {
 
 ObjServer::ObjServer(ComplexDatabase* db, ServerConfig config)
     : impl_(std::make_unique<Impl>(db, std::move(config))) {}
+
+ObjServer::ObjServer(shard::ShardedEngine* engine, ServerConfig config)
+    : impl_(std::make_unique<Impl>(engine, std::move(config))) {}
 
 ObjServer::~ObjServer() { Stop(); }
 

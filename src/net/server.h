@@ -66,6 +66,10 @@ class ObjServer {
  public:
   /// `db` must outlive the server.
   ObjServer(ComplexDatabase* db, ServerConfig config);
+
+  /// Sharded backend: the server fronts an N-shard scatter-gather engine;
+  /// STATS gains a per-shard section. `engine` must outlive the server.
+  ObjServer(shard::ShardedEngine* engine, ServerConfig config);
   ~ObjServer();  ///< Stop()s if still running.
 
   ObjServer(const ObjServer&) = delete;

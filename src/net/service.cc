@@ -26,7 +26,17 @@ Response ErrorResponse(const Request& req, RespStatus status,
 
 ObjService::ObjService(ComplexDatabase* db, StrategyKind default_strategy,
                        StrategyOptions options)
-    : db_(db), default_strategy_(default_strategy), options_(options) {}
+    : db_(db),
+      engine_(nullptr),
+      default_strategy_(default_strategy),
+      options_(options) {}
+
+ObjService::ObjService(shard::ShardedEngine* engine,
+                       StrategyKind default_strategy, StrategyOptions options)
+    : db_(nullptr),
+      engine_(engine),
+      default_strategy_(default_strategy),
+      options_(options) {}
 
 ObjService::SessionLease::~SessionLease() {
   if (service == nullptr || strategy == nullptr) return;
@@ -66,19 +76,23 @@ Response ObjService::Execute(const Request& req) {
     return ErrorResponse(req, RespStatus::kBadRequest, s.ToString());
   }
   SessionLease lease;
-  if (Status s = Checkout(kind, &lease); !s.ok()) {
-    // The database lacks a structure this strategy needs (no Cache, no
-    // ClusterRel): a client error, not a server fault.
-    return ErrorResponse(req, RespStatus::kBadRequest,
-                         "strategy unavailable: " + s.ToString());
+  if (db_ != nullptr) {
+    // The sharded engine pools its own sessions; only the single-db
+    // backend checks one out here.
+    if (Status s = Checkout(kind, &lease); !s.ok()) {
+      // The database lacks a structure this strategy needs (no Cache, no
+      // ClusterRel): a client error, not a server fault.
+      return ErrorResponse(req, RespStatus::kBadRequest,
+                           "strategy unavailable: " + s.ToString());
+    }
   }
 
   Response resp;
   resp.verb = req.verb;
   resp.id = req.id;
   Status s = req.verb == Verb::kRetrieve
-                 ? DoRetrieve(req, lease.strategy.get(), &resp)
-                 : DoUpdate(req, lease.strategy.get(), &resp);
+                 ? DoRetrieve(req, kind, lease.strategy.get(), &resp)
+                 : DoUpdate(req, kind, lease.strategy.get(), &resp);
   if (!s.ok()) {
     RespStatus rs = s.IsInvalidArgument() ? RespStatus::kBadRequest
                                           : RespStatus::kError;
@@ -87,13 +101,13 @@ Response ObjService::Execute(const Request& req) {
   return resp;
 }
 
-Status ObjService::DoRetrieve(const Request& req, Strategy* session,
-                              Response* resp) {
+Status ObjService::DoRetrieve(const Request& req, StrategyKind kind,
+                              Strategy* session, Response* resp) {
   if (req.num_top == 0) {
     return Status::InvalidArgument("retrieve: num_top must be positive");
   }
-  if (req.lo_parent >= db_->spec.num_parents ||
-      req.num_top > db_->spec.num_parents - req.lo_parent) {
+  if (req.lo_parent >= spec().num_parents ||
+      req.num_top > spec().num_parents - req.lo_parent) {
     return Status::InvalidArgument(
         "retrieve: parent range exceeds |ParentRel|");
   }
@@ -108,22 +122,32 @@ Status ObjService::DoRetrieve(const Request& req, Strategy* session,
 
   TraceSpan span("retrieve", "query");
   span.SetArg("num_top", q.num_top);
-  ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
   RetrieveResult result;
-  OBJREP_RETURN_NOT_OK(session->ExecuteRetrieve(q, &result));
+  if (engine_ != nullptr) {
+    // Per-shard locks are taken inside the engine, one sub-query at a
+    // time — the whole point of sharding the lock manager.
+    OBJREP_RETURN_NOT_OK(engine_->ExecuteRetrieve(kind, q, &result));
+  } else {
+    ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
+    OBJREP_RETURN_NOT_OK(session->ExecuteRetrieve(q, &result));
+  }
   resp->values = std::move(result.values);
   return Status::OK();
 }
 
-Status ObjService::DoUpdate(const Request& req, Strategy* session,
-                            Response* resp) {
+Status ObjService::DoUpdate(const Request& req, StrategyKind kind,
+                            Strategy* session, Response* resp) {
   if (req.update_targets.empty()) {
     return Status::InvalidArgument("update: empty OID list");
   }
   const uint32_t children_per_rel =
-      db_->spec.num_children_total() / db_->spec.num_child_rels;
+      spec().num_children_total() / spec().num_child_rels;
+  // Relation ids are identical on every shard (same registration order),
+  // so shard 0's catalog answers for the whole sharded store.
+  const ComplexDatabase* catalog_db =
+      db_ != nullptr ? db_ : engine_->db()->shards[0].get();
   for (const Oid& oid : req.update_targets) {
-    if (db_->ChildRelById(oid.rel) == nullptr) {
+    if (catalog_db->ChildRelById(oid.rel) == nullptr) {
       return Status::InvalidArgument("update: OID names no child relation");
     }
     if (oid.key >= children_per_rel) {
@@ -137,6 +161,13 @@ Status ObjService::DoUpdate(const Request& req, Strategy* session,
 
   TraceSpan span("update", "query");
   span.SetArg("targets", q.update_targets.size());
+  if (engine_ != nullptr) {
+    // The engine fans out to every holder shard, each under its own X
+    // locks and WAL transaction.
+    OBJREP_RETURN_NOT_OK(engine_->ExecuteUpdate(kind, q));
+    resp->updated = static_cast<uint32_t>(q.update_targets.size());
+    return Status::OK();
+  }
   ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
   // One WAL transaction per update, the ConcurrentRunner's idiom: the X
   // table locks are already held, so wal_mu_ ranks below them (DESIGN.md

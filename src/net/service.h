@@ -25,6 +25,7 @@
 #include "exec/lock_manager.h"
 #include "net/protocol.h"
 #include "objstore/database.h"
+#include "shard/engine.h"
 
 namespace objrep {
 namespace net {
@@ -34,6 +35,14 @@ class ObjService {
   /// `db` must outlive the service. `default_strategy` serves requests
   /// whose strategy byte is kDefaultStrategyByte.
   ObjService(ComplexDatabase* db, StrategyKind default_strategy,
+             StrategyOptions options);
+
+  /// Sharded backend: requests execute through the scatter-gather engine
+  /// instead of a single database. The engine owns per-shard locks, WAL
+  /// transactions, and strategy sessions, so this service keeps no lock
+  /// manager or session pool of its own. `engine` must outlive the
+  /// service.
+  ObjService(shard::ShardedEngine* engine, StrategyKind default_strategy,
              StrategyOptions options);
 
   ObjService(const ObjService&) = delete;
@@ -57,10 +66,16 @@ class ObjService {
   };
 
   Status Checkout(StrategyKind kind, SessionLease* lease);
-  Status DoRetrieve(const Request& req, Strategy* session, Response* resp);
-  Status DoUpdate(const Request& req, Strategy* session, Response* resp);
+  Status DoRetrieve(const Request& req, StrategyKind kind, Strategy* session,
+                    Response* resp);
+  Status DoUpdate(const Request& req, StrategyKind kind, Strategy* session,
+                  Response* resp);
+  const DatabaseSpec& spec() const {
+    return db_ != nullptr ? db_->spec : engine_->spec();
+  }
 
-  ComplexDatabase* const db_;
+  ComplexDatabase* const db_;  // null when fronting a sharded engine
+  shard::ShardedEngine* const engine_;  // null for the single-db backend
   const StrategyKind default_strategy_;
   const StrategyOptions options_;
   LockManager locks_;

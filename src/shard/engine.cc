@@ -1,0 +1,234 @@
+#include "shard/engine.h"
+
+#include <string>
+#include <utility>
+
+#include "exec/query_locks.h"
+#include "obs/metrics.h"
+
+namespace objrep {
+namespace shard {
+
+ShardedEngine::ShardedEngine(ShardedDatabase* db, StrategyOptions options)
+    : db_(db), options_(options) {
+  const uint32_t n = db_->num_shards();
+  locks_.reserve(n);
+  retrieve_subqueries_.reserve(n);
+  update_subqueries_.reserve(n);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (uint32_t k = 0; k < n; ++k) {
+    locks_.push_back(std::make_unique<LockManager>());
+    std::string prefix = "shard." + std::to_string(k) + ".";
+    retrieve_subqueries_.push_back(
+        reg.GetCounter(prefix + "retrieve_subqueries"));
+    update_subqueries_.push_back(reg.GetCounter(prefix + "update_subqueries"));
+  }
+}
+
+ShardedEngine::Lease::~Lease() {
+  if (engine_ != nullptr && session_ != nullptr) {
+    engine_->Return(kind_, std::move(session_));
+  }
+}
+
+Status ShardedEngine::Checkout(StrategyKind kind, Lease* out) {
+  std::unique_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> guard(sessions_mu_);
+    std::vector<std::unique_ptr<Session>>& pool = idle_[kind];
+    if (!pool.empty()) {
+      session = std::move(pool.back());
+      pool.pop_back();
+    }
+  }
+  if (session == nullptr) {
+    // Built outside the mutex: MakeStrategy may allocate per-strategy
+    // state (temp budgets, adaptive stats) and must not serialize peers.
+    session = std::make_unique<Session>();
+    session->per_shard.resize(db_->num_shards());
+    for (uint32_t k = 0; k < db_->num_shards(); ++k) {
+      OBJREP_RETURN_NOT_OK(MakeStrategy(kind, db_->shards[k].get(), options_,
+                                        &session->per_shard[k]));
+    }
+  }
+  *out = Lease(this, kind, std::move(session));
+  return Status::OK();
+}
+
+void ShardedEngine::Return(StrategyKind kind,
+                           std::unique_ptr<Session> session) {
+  std::lock_guard<std::mutex> guard(sessions_mu_);
+  idle_[kind].push_back(std::move(session));
+}
+
+bool ShardedEngine::IsPointwise(StrategyKind kind, const Query& q) const {
+  switch (kind) {
+    case StrategyKind::kDfs:
+    case StrategyKind::kDfsCache:
+    case StrategyKind::kDfsClust:
+    case StrategyKind::kDfsClustCache:
+      return true;
+    case StrategyKind::kSmart:
+      // At or below the threshold SMART is DFSCACHE; above it the
+      // breadth-first pass fans out instead.
+      return q.num_top <= options_.smart_threshold;
+    default:
+      return false;
+  }
+}
+
+bool ShardedEngine::IsSortedMerge(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBfs:
+    case StrategyKind::kBfsNoDup:
+    case StrategyKind::kBfsJoinIndex:
+    case StrategyKind::kBfsHash:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ShardedEngine::RunShardRetrieve(Session* session, uint32_t k,
+                                       const Query& q, RetrieveResult* out) {
+  ComplexDatabase* sdb = db_->shards[k].get();
+  ScopedLockSet locks(locks_[k].get(), LockRequestsFor(*sdb, q));
+  retrieve_subqueries_[k]->Add(1);
+  OBJREP_RETURN_NOT_OK(session->per_shard[k]->ExecuteRetrieve(q, out));
+  if (out->values.size() != out->oids.size()) {
+    return Status::Corruption("shard result values/oids out of step");
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RetrievePointwise(Session* session, const Query& q,
+                                        RetrieveResult* out) {
+  const uint64_t end = static_cast<uint64_t>(q.lo_parent) + q.num_top;
+  uint64_t p = q.lo_parent;
+  while (p < end) {
+    const uint32_t k = db_->router.ShardOfParent(static_cast<uint32_t>(p));
+    uint64_t run_end = p + 1;
+    while (run_end < end &&
+           db_->router.ShardOfParent(static_cast<uint32_t>(run_end)) == k) {
+      ++run_end;
+    }
+    Query sub = q;
+    sub.lo_parent = static_cast<uint32_t>(p);
+    sub.num_top = static_cast<uint32_t>(run_end - p);
+    RetrieveResult part;
+    OBJREP_RETURN_NOT_OK(RunShardRetrieve(session, k, sub, &part));
+    out->values.insert(out->values.end(), part.values.begin(),
+                       part.values.end());
+    out->oids.insert(out->oids.end(), part.oids.begin(), part.oids.end());
+    out->cost += part.cost;
+    p = run_end;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RetrieveMerge(Session* session, const Query& q,
+                                    bool dedup, RetrieveResult* out) {
+  const uint32_t n = db_->num_shards();
+  std::vector<RetrieveResult> parts(n);
+  for (uint32_t k = 0; k < n; ++k) {
+    OBJREP_RETURN_NOT_OK(RunShardRetrieve(session, k, q, &parts[k]));
+    out->cost += parts[k].cost;
+  }
+  // K-way merge by packed OID. Every per-shard BFS-family stream is
+  // (relation, key)-sorted, so the merged stream reproduces the single
+  // engine's order; equal OIDs carry equal values, so ties need no
+  // tie-break. With dedup (BFSNODUP) each shard already deduplicated
+  // locally and duplicates across shards emerge adjacent here.
+  std::vector<size_t> idx(n, 0);
+  for (;;) {
+    int best = -1;
+    uint64_t best_key = 0;
+    for (uint32_t k = 0; k < n; ++k) {
+      if (idx[k] >= parts[k].oids.size()) continue;
+      uint64_t packed = parts[k].oids[idx[k]].Packed();
+      if (best < 0 || packed < best_key) {
+        best = static_cast<int>(k);
+        best_key = packed;
+      }
+    }
+    if (best < 0) break;
+    if (dedup && !out->oids.empty() &&
+        out->oids.back().Packed() == best_key) {
+      ++idx[best];
+      continue;
+    }
+    out->values.push_back(parts[best].values[idx[best]]);
+    out->oids.push_back(parts[best].oids[idx[best]]);
+    ++idx[best];
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RetrieveConcat(Session* session, const Query& q,
+                                     RetrieveResult* out) {
+  for (uint32_t k = 0; k < db_->num_shards(); ++k) {
+    RetrieveResult part;
+    OBJREP_RETURN_NOT_OK(RunShardRetrieve(session, k, q, &part));
+    out->values.insert(out->values.end(), part.values.begin(),
+                       part.values.end());
+    out->oids.insert(out->oids.end(), part.oids.begin(), part.oids.end());
+    out->cost += part.cost;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::ExecuteRetrieve(StrategyKind kind, const Query& q,
+                                      RetrieveResult* out) {
+  Lease lease;
+  OBJREP_RETURN_NOT_OK(Checkout(kind, &lease));
+  if (IsPointwise(kind, q)) {
+    return RetrievePointwise(lease.session(), q, out);
+  }
+  if (IsSortedMerge(kind)) {
+    return RetrieveMerge(lease.session(), q,
+                         /*dedup=*/kind == StrategyKind::kBfsNoDup, out);
+  }
+  return RetrieveConcat(lease.session(), q, out);
+}
+
+Status ShardedEngine::ExecuteUpdate(StrategyKind kind, const Query& q) {
+  Lease lease;
+  OBJREP_RETURN_NOT_OK(Checkout(kind, &lease));
+  const uint32_t n = db_->num_shards();
+  std::vector<std::vector<Oid>> targets_of(n);
+  for (const Oid& oid : q.update_targets) {
+    const std::vector<uint32_t>& holders =
+        db_->router.HoldersOf(oid.Packed());
+    if (holders.empty()) {
+      return Status::InvalidArgument("update target unknown to shard router");
+    }
+    for (uint32_t k : holders) {
+      targets_of[k].push_back(oid);
+    }
+  }
+  for (uint32_t k = 0; k < n; ++k) {
+    if (targets_of[k].empty()) continue;
+    Query sub = q;
+    sub.update_targets = std::move(targets_of[k]);
+    ComplexDatabase* sdb = db_->shards[k].get();
+    ScopedLockSet locks(locks_[k].get(), LockRequestsFor(*sdb, sub));
+    update_subqueries_[k]->Add(1);
+    const bool txn = sdb->pool->wal() != nullptr;
+    if (txn) {
+      OBJREP_RETURN_NOT_OK(sdb->pool->BeginTxn());
+    }
+    Status st = lease.session()->per_shard[k]->ExecuteUpdate(sub);
+    if (txn) {
+      if (st.ok()) {
+        st = sdb->pool->CommitTxn();
+      } else {
+        sdb->pool->AbortTxn();
+      }
+    }
+    OBJREP_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace shard
+}  // namespace objrep

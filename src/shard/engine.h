@@ -1,0 +1,132 @@
+// Scatter-gather execution over a ShardedDatabase (DESIGN.md §14).
+//
+// One ShardedEngine fronts N independent engine instances with the same
+// Query interface the single-engine strategies expose. Routing by family:
+//
+//   * DFS family (DFS, DFSCACHE, DFSCLUST, DFSCLUST+CACHE, and SMART at or
+//     below its threshold) — point-wise: the parent range is split into
+//     runs of consecutive keys owned by the same shard and each run
+//     executes on its owner. Output order is parent-ascending, identical
+//     to the single engine.
+//   * BFS family (BFS, BFSNODUP, BFS-JI, BFS-HASH) — scatter-gather: the
+//     query fans out to every shard (each scans only its local parents in
+//     range) and the per-shard OID-sorted streams are K-way merged by
+//     packed OID, reproducing the single engine's sorted output. BFSNODUP
+//     additionally drops cross-shard duplicates during the merge.
+//   * SMART above threshold and ADAPTIVE — fan out and concatenate; their
+//     output order is cache-state-dependent even on one engine, so only
+//     the result multiset is defined.
+//
+// Each shard has its own LockManager (the scale-out lever: an update
+// X-locks only its holder shards, not the whole store), its own adaptive
+// planner state (per-session, per-shard AdaptiveStrategy instances with
+// independent DynamicStats and calibration residuals), and its own cache.
+// Updates fan out to every holder shard of each target; each holder's
+// update path runs its local I-lock invalidation, which is what keeps all
+// shard caches coherent — the cross-shard invalidation protocol is
+// "replicas apply the same update", with no extra message type.
+//
+// Crash scope: per-shard WAL transactions, no two-phase commit. A crash
+// mid-fanout leaves some holders updated and others not; because updates
+// write absolute values, recovering the crashed shard and replaying the
+// failed query converges every replica (tests/shard_oracle_test.cc).
+#ifndef OBJREP_SHARD_ENGINE_H_
+#define OBJREP_SHARD_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/strategy.h"
+#include "exec/lock_manager.h"
+#include "objstore/workload.h"
+#include "shard/sharded_db.h"
+
+namespace objrep {
+
+class Counter;
+
+namespace shard {
+
+class ShardedEngine {
+ public:
+  /// `db` must outlive the engine. Strategy sessions are created lazily
+  /// per kind and pooled, like ObjService's session leases.
+  ShardedEngine(ShardedDatabase* db, StrategyOptions options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Appends values/oids to `out` (parallel vectors) and accumulates the
+  /// summed per-shard cost, exactly like Strategy::ExecuteRetrieve.
+  Status ExecuteRetrieve(StrategyKind kind, const Query& q,
+                         RetrieveResult* out);
+
+  /// Fans the update out to every holder shard of each target, each under
+  /// its shard's X locks and WAL transaction.
+  Status ExecuteUpdate(StrategyKind kind, const Query& q);
+
+  ShardedDatabase* db() { return db_; }
+  const DatabaseSpec& spec() const { return db_->spec; }
+  const StrategyOptions& options() const { return options_; }
+  uint32_t num_shards() const { return db_->num_shards(); }
+  LockManager* lock_manager(uint32_t k) { return locks_[k].get(); }
+
+ private:
+  /// One checked-out execution context: a strategy instance per shard.
+  struct Session {
+    std::vector<std::unique_ptr<Strategy>> per_shard;
+  };
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ShardedEngine* engine, StrategyKind kind,
+          std::unique_ptr<Session> session)
+        : engine_(engine), kind_(kind), session_(std::move(session)) {}
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+    ~Lease();
+    Session* session() { return session_.get(); }
+
+   private:
+    ShardedEngine* engine_ = nullptr;
+    StrategyKind kind_ = StrategyKind::kDfs;
+    std::unique_ptr<Session> session_;
+  };
+
+  Status Checkout(StrategyKind kind, Lease* out);
+  void Return(StrategyKind kind, std::unique_ptr<Session> session);
+
+  bool IsPointwise(StrategyKind kind, const Query& q) const;
+  static bool IsSortedMerge(StrategyKind kind);
+
+  /// Runs the sub-query on shard `k` under its lock set.
+  Status RunShardRetrieve(Session* session, uint32_t k, const Query& q,
+                          RetrieveResult* out);
+
+  Status RetrievePointwise(Session* session, const Query& q,
+                           RetrieveResult* out);
+  Status RetrieveMerge(Session* session, const Query& q, bool dedup,
+                       RetrieveResult* out);
+  Status RetrieveConcat(Session* session, const Query& q,
+                        RetrieveResult* out);
+
+  ShardedDatabase* db_;
+  StrategyOptions options_;
+  std::vector<std::unique_ptr<LockManager>> locks_;  // one per shard
+
+  std::mutex sessions_mu_;
+  std::map<StrategyKind, std::vector<std::unique_ptr<Session>>>
+      idle_;  // guarded by sessions_mu_
+
+  // Per-shard work attribution ("shard.<k>.*" in the metrics registry).
+  std::vector<Counter*> retrieve_subqueries_;
+  std::vector<Counter*> update_subqueries_;
+};
+
+}  // namespace shard
+}  // namespace objrep
+
+#endif  // OBJREP_SHARD_ENGINE_H_

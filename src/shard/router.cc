@@ -1,0 +1,23 @@
+#include "shard/router.h"
+
+#include <algorithm>
+
+namespace objrep {
+namespace shard {
+
+void ShardRouter::AddHolder(uint64_t packed_oid, uint32_t shard) {
+  std::vector<uint32_t>& holders = holders_[packed_oid];
+  auto it = std::lower_bound(holders.begin(), holders.end(), shard);
+  if (it == holders.end() || *it != shard) {
+    holders.insert(it, shard);
+  }
+}
+
+const std::vector<uint32_t>& ShardRouter::HoldersOf(
+    uint64_t packed_oid) const {
+  auto it = holders_.find(packed_oid);
+  return it == holders_.end() ? no_holders_ : it->second;
+}
+
+}  // namespace shard
+}  // namespace objrep

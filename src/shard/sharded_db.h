@@ -1,0 +1,58 @@
+// Horizontal sharding of one logical ComplexDatabase (DESIGN.md §14).
+//
+// A ShardedDatabase carves the logical database of `spec` into N fully
+// independent engine instances. Each shard owns its own simulated disk,
+// buffer pool, cache, WAL, and relations; no page, frame, or latch is
+// shared between shards. Partitioning:
+//
+//   * ParentRel rows are hash-partitioned by parent key (ShardRouter).
+//   * A shard replicates every child row referenced by a unit one of its
+//     local parents uses, so retrieves never cross shards. Children in no
+//     unit park on a hash-chosen shard.
+//   * ClusterRel, the ISAM index, the join index, and the cache are built
+//     per shard over the local rows only, in the same catalog registration
+//     order as the reference build — relation ids (and therefore packed
+//     OIDs) are identical on every shard and in the single-engine build.
+//
+// The build first runs the ordinary single-engine BuildDatabase and then
+// distributes its actual rows. It never re-runs row generation, so the
+// logical content is bit-identical to the unsharded database for the same
+// spec — the property the differential oracle in tests/ checks.
+#ifndef OBJREP_SHARD_SHARDED_DB_H_
+#define OBJREP_SHARD_SHARDED_DB_H_
+
+#include <memory>
+#include <vector>
+
+#include "objstore/database.h"
+#include "shard/router.h"
+
+namespace objrep {
+namespace shard {
+
+struct ShardedDatabase {
+  DatabaseSpec spec;  ///< the logical (global) spec
+  ShardRouter router{1};
+  std::vector<std::unique_ptr<ComplexDatabase>> shards;
+  /// Parent keys local to each shard, ascending.
+  std::vector<std::vector<uint32_t>> local_parents;
+  /// The single-engine build the shards were carved from. Kept for its
+  /// generation ground truth (tests); the engine never touches it.
+  /// Callers may reset() it to reclaim memory.
+  std::unique_ptr<ComplexDatabase> reference;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards.size());
+  }
+};
+
+/// Builds the reference database for `spec`, then distributes its rows
+/// across `num_shards` independent engines. Deterministic in `spec.seed`.
+/// Each shard returns flushed with zeroed I/O counters, like BuildDatabase.
+Status BuildShardedDatabase(const DatabaseSpec& spec, uint32_t num_shards,
+                            std::unique_ptr<ShardedDatabase>* out);
+
+}  // namespace shard
+}  // namespace objrep
+
+#endif  // OBJREP_SHARD_SHARDED_DB_H_

@@ -1,0 +1,212 @@
+// Cross-shard cache invalidation (DESIGN.md §14): a subobject shared by
+// parents on different shards is replicated to every holder shard, each
+// with its own CacheManager. An update must fan out to all holders —
+// each holder's update path runs the local I-lock invalidation — or a
+// remote shard keeps serving the stale cached blob. The regression test
+// warms both shards' caches through DFSCACHE, updates the shared child
+// once through the engine, and requires both shards to answer with the
+// new value.
+//
+// The concurrency test hammers one ShardedEngine from many threads with
+// a mixed stream (disjoint absolute updates, so the final state is
+// deterministic regardless of interleaving); it exists for TSan as much
+// as for its final assertion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/strategy.h"
+#include "objstore/cache_manager.h"
+#include "objstore/database.h"
+#include "shard/engine.h"
+#include "shard/sharded_db.h"
+
+namespace objrep {
+namespace {
+
+/// Shared subobjects (ShareFactor 5) so units routinely have users on
+/// both shards; cache on for the DFSCACHE blob path.
+DatabaseSpec SharedSpec() {
+  DatabaseSpec spec;
+  spec.num_parents = 80;
+  spec.size_unit = 4;
+  spec.use_factor = 5;
+  spec.overlap_factor = 1;
+  spec.num_child_rels = 1;
+  spec.buffer_pages = 64;
+  spec.build_cache = true;
+  spec.size_cache = 40;
+  spec.cache_buckets = 16;
+  spec.seed = 91;
+  return spec;
+}
+
+TEST(ShardInvalidationTest, UpdateInvalidatesEveryHolderShardsCache) {
+  std::unique_ptr<shard::ShardedDatabase> sdb;
+  ASSERT_TRUE(shard::BuildShardedDatabase(SharedSpec(), 2, &sdb).ok());
+  const ComplexDatabase& ref = *sdb->reference;
+
+  // A unit whose users live on both shards, and one user parent per side.
+  uint32_t parent_on[2] = {0, 0};
+  bool found_on[2] = {false, false};
+  const std::vector<Oid>* unit = nullptr;
+  for (uint32_t u = 0; u < ref.units.size() && unit == nullptr; ++u) {
+    bool on[2] = {false, false};
+    uint32_t first[2] = {0, 0};
+    for (uint32_t p = 0; p < ref.spec.num_parents; ++p) {
+      if (ref.unit_of_parent[p] != u) continue;
+      uint32_t s = sdb->router.ShardOfParent(p);
+      if (!on[s]) first[s] = p;
+      on[s] = true;
+    }
+    if (on[0] && on[1]) {
+      unit = &ref.units[u];
+      parent_on[0] = first[0];
+      parent_on[1] = first[1];
+      found_on[0] = found_on[1] = true;
+    }
+  }
+  ASSERT_NE(unit, nullptr) << "no unit spans both shards";
+  ASSERT_TRUE(found_on[0] && found_on[1]);
+  const Oid shared_child = (*unit)[0];
+  {
+    const auto& holders = sdb->router.HoldersOf(shared_child.Packed());
+    ASSERT_EQ(holders.size(), 2u) << "child is not replicated to both shards";
+  }
+
+  shard::ShardedEngine engine(sdb.get(), StrategyOptions{});
+  auto retrieve_value = [&](uint32_t parent, int32_t* out) {
+    Query q;
+    q.kind = Query::Kind::kRetrieve;
+    q.lo_parent = parent;
+    q.num_top = 1;
+    q.attr_index = 0;
+    RetrieveResult r;
+    Status s = engine.ExecuteRetrieve(StrategyKind::kDfsCache, q, &r);
+    if (!s.ok()) return s;
+    for (size_t i = 0; i < r.oids.size(); ++i) {
+      if (r.oids[i].Packed() == shared_child.Packed()) {
+        *out = r.values[i];
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("shared child not in parent's answer");
+  };
+
+  // Warm both shards' caches through their local parent.
+  int32_t before[2];
+  ASSERT_TRUE(retrieve_value(parent_on[0], &before[0]).ok());
+  ASSERT_TRUE(retrieve_value(parent_on[1], &before[1]).ok());
+  EXPECT_EQ(before[0], before[1]);
+
+  constexpr int32_t kNewValue = 777777;
+  Query update;
+  update.kind = Query::Kind::kUpdate;
+  update.update_targets.push_back(shared_child);
+  update.new_ret1 = kNewValue;
+  ASSERT_TRUE(engine.ExecuteUpdate(StrategyKind::kDfsCache, update).ok());
+
+  // Both holder shards must have invalidated the cached unit…
+  for (uint32_t s = 0; s < 2; ++s) {
+    EXPECT_GE(sdb->shards[s]->cache->stats().invalidated_units, 1u)
+        << "shard " << s << " never ran the I-lock invalidation";
+  }
+  // …and must serve the new value on the next probe.
+  int32_t after[2];
+  ASSERT_TRUE(retrieve_value(parent_on[0], &after[0]).ok());
+  ASSERT_TRUE(retrieve_value(parent_on[1], &after[1]).ok());
+  EXPECT_EQ(after[0], kNewValue) << "shard 0 served a stale cached blob";
+  EXPECT_EQ(after[1], kNewValue) << "shard 1 served a stale cached blob";
+}
+
+TEST(ShardInvalidationTest, ConcurrentMixedStreamIsRaceFreeAndConverges) {
+  DatabaseSpec spec = SharedSpec();
+  spec.enable_wal = true;
+  std::unique_ptr<shard::ShardedDatabase> sdb;
+  ASSERT_TRUE(shard::BuildShardedDatabase(spec, 4, &sdb).ok());
+  shard::ShardedEngine engine(sdb.get(), StrategyOptions{});
+
+  constexpr StrategyKind kKinds[] = {
+      StrategyKind::kDfs, StrategyKind::kBfs, StrategyKind::kDfsCache,
+      StrategyKind::kBfsNoDup,
+  };
+  const uint32_t children_per_rel =
+      spec.num_children_total() / spec.num_child_rels;
+  const uint32_t rel_id = sdb->reference->child_rels[0]->rel_id();
+  constexpr uint32_t kThreads = 8;
+  const uint32_t ops = 40;
+  const uint32_t per_thread = children_per_rel / kThreads;
+  ASSERT_GT(per_thread, 0u);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Thread t updates only keys in [t * per_thread, (t+1) * per_thread)
+  // with values encoding the key: disjoint absolute updates make the
+  // final state independent of interleaving.
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      StrategyKind kind = kKinds[t % std::size(kKinds)];
+      for (uint32_t i = 0; i < ops; ++i) {
+        Status s;
+        if (i % 2 == 0) {
+          Query q;
+          q.kind = Query::Kind::kUpdate;
+          uint32_t key = t * per_thread + (i / 2) % per_thread;
+          q.update_targets.push_back(Oid{rel_id, key});
+          q.new_ret1 = static_cast<int32_t>(5000000 + key);
+          s = engine.ExecuteUpdate(kind, q);
+        } else {
+          Query q;
+          q.kind = Query::Kind::kRetrieve;
+          q.lo_parent = (t * 7 + i) % (spec.num_parents - 4);
+          q.num_top = 4;
+          q.attr_index = 0;
+          RetrieveResult r;
+          s = engine.ExecuteRetrieve(kind, q, &r);
+        }
+        if (!s.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Every key each thread reached carries its encoded value; the scan
+  // must see it on every occurrence (shared children appear once per
+  // using parent).
+  Query scan;
+  scan.kind = Query::Kind::kRetrieve;
+  scan.lo_parent = 0;
+  scan.num_top = spec.num_parents;
+  scan.attr_index = 0;
+  RetrieveResult r;
+  ASSERT_TRUE(engine.ExecuteRetrieve(StrategyKind::kBfs, scan, &r).ok());
+  std::map<uint64_t, int32_t> expect;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    uint32_t reached = std::min(per_thread, (ops + 1) / 2);
+    for (uint32_t j = 0; j < reached; ++j) {
+      uint32_t key = t * per_thread + j;
+      expect[Oid{rel_id, key}.Packed()] =
+          static_cast<int32_t>(5000000 + key);
+    }
+  }
+  size_t checked = 0;
+  for (size_t i = 0; i < r.oids.size(); ++i) {
+    auto it = expect.find(r.oids[i].Packed());
+    if (it == expect.end()) continue;
+    EXPECT_EQ(r.values[i], it->second) << "oid " << r.oids[i].Packed();
+    ++checked;
+    if (HasFailure()) return;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace objrep

@@ -1,0 +1,295 @@
+// Sharded-vs-single differential oracle (DESIGN.md §14): for randomized
+// database specs and randomized retrieve/update sequences, a ShardedEngine
+// over 2..4 shards must return exactly what one engine over one database
+// returns — the partitioning, replication, scatter-gather routing, and
+// cross-shard update fan-out must be invisible in the answers.
+//
+// The point-wise and sorted-merge strategy families promise the single
+// engine's *sequence* (values and OIDs in order); SMART and ADAPTIVE
+// concatenate per-shard runs in shard order, which is cache-state
+// dependent, so they promise the same (OID, value) multiset.
+//
+// A second test crashes one shard mid-update, recovers just that shard,
+// replays the failed query (updates are absolute, hence idempotent across
+// the holder fan-out), and requires the sharded store to converge to the
+// single engine's final state.
+//
+// Seeds default to 10; the nightly sweep sets OBJREP_SHARD_SEEDS higher.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+#include "shard/engine.h"
+#include "shard/sharded_db.h"
+#include "storage/fault_injector.h"
+#include "util/random.h"
+
+namespace objrep {
+namespace {
+
+constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::kDfs,          StrategyKind::kBfs,
+    StrategyKind::kBfsNoDup,     StrategyKind::kDfsCache,
+    StrategyKind::kDfsClust,     StrategyKind::kSmart,
+    StrategyKind::kDfsClustCache, StrategyKind::kBfsJoinIndex,
+    StrategyKind::kBfsHash,
+};
+
+/// Strategies whose sharded execution reproduces the single engine's
+/// output order: point-wise routing preserves the parent order, and the
+/// sorted K-way merge reproduces the OID-sorted stream.
+bool SequenceExact(StrategyKind kind) {
+  return kind != StrategyKind::kSmart && kind != StrategyKind::kAdaptive;
+}
+
+int NumSeeds() {
+  const char* env = std::getenv("OBJREP_SHARD_SEEDS");
+  if (env != nullptr) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 10;
+}
+
+/// Random spec satisfying every Validate() divisibility constraint, with
+/// every optional structure on so all nine strategies (and ADAPTIVE's
+/// plans) are buildable on every shard.
+DatabaseSpec RandomSpec(uint64_t seed) {
+  Rng rng(seed * 2654435761u + 29);
+  DatabaseSpec spec;
+  const uint32_t uses[] = {1, 2, 5};
+  spec.use_factor = uses[rng.Uniform(3)];
+  spec.overlap_factor = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  spec.size_unit = 2 + static_cast<uint32_t>(rng.Uniform(6));
+  spec.num_child_rels = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  uint32_t m = 8 + static_cast<uint32_t>(rng.Uniform(25));
+  spec.num_parents =
+      spec.use_factor * spec.overlap_factor * spec.num_child_rels * m;
+  spec.buffer_pages = 40 + static_cast<uint32_t>(rng.Uniform(60));
+  spec.build_cache = true;
+  spec.size_cache = 8 + static_cast<uint32_t>(rng.Uniform(24));
+  spec.cache_buckets = 16;
+  spec.build_cluster = true;
+  spec.build_join_index = true;
+  spec.enable_wal = true;
+  spec.seed = seed + 4000;
+  return spec;
+}
+
+/// Random query mix. Update targets are globally distinct with distinct
+/// markers so any committed prefix is identifiable from content.
+std::vector<Query> RandomQueries(uint64_t seed, const ComplexDatabase& db) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 11);
+  const uint32_t num_parents = db.spec.num_parents;
+  const uint32_t children_per_rel =
+      db.spec.num_children_total() / db.spec.num_child_rels;
+  std::set<uint64_t> used;
+  std::vector<Query> qs;
+  uint32_t updates = 0;
+  const uint32_t n = 8 + static_cast<uint32_t>(rng.Uniform(5));
+  for (uint32_t i = 0; i < n; ++i) {
+    Query q;
+    if (rng.Bernoulli(0.4)) {
+      q.kind = Query::Kind::kUpdate;
+      uint32_t batch = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      for (uint32_t b = 0; b < batch; ++b) {
+        for (int tries = 0; tries < 64; ++tries) {
+          uint32_t r =
+              static_cast<uint32_t>(rng.Uniform(db.spec.num_child_rels));
+          uint32_t k = static_cast<uint32_t>(rng.Uniform(children_per_rel));
+          Oid oid{db.child_rels[r]->rel_id(), k};
+          if (used.insert(oid.Packed()).second) {
+            q.update_targets.push_back(oid);
+            break;
+          }
+        }
+      }
+      if (q.update_targets.empty()) continue;
+      q.new_ret1 = static_cast<int32_t>(3000000 + updates);
+      ++updates;
+    } else {
+      q.kind = Query::Kind::kRetrieve;
+      q.num_top = 1 + static_cast<uint32_t>(
+                          rng.Uniform(std::min(num_parents, 20u)));
+      q.lo_parent =
+          static_cast<uint32_t>(rng.Uniform(num_parents - q.num_top + 1));
+      q.attr_index = static_cast<int>(rng.Uniform(3));
+    }
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+/// Runs one query on the single engine with the runner's transaction
+/// protocol (the ShardedEngine brackets its own per-shard transactions).
+Status RunSingle(Strategy* strategy, ComplexDatabase* db, const Query& q,
+                 RetrieveResult* result) {
+  if (q.kind == Query::Kind::kRetrieve) {
+    return strategy->ExecuteRetrieve(q, result);
+  }
+  OBJREP_RETURN_NOT_OK(db->pool->BeginTxn());
+  Status s = strategy->ExecuteUpdate(q);
+  if (s.ok()) return db->pool->CommitTxn();
+  db->pool->AbortTxn();
+  return s;
+}
+
+std::multiset<std::pair<uint64_t, int32_t>> Pairs(
+    const RetrieveResult& r) {
+  std::multiset<std::pair<uint64_t, int32_t>> out;
+  for (size_t i = 0; i < r.values.size(); ++i) {
+    out.insert({r.oids[i].Packed(), r.values[i]});
+  }
+  return out;
+}
+
+void ExpectSameAnswer(StrategyKind kind, const RetrieveResult& single,
+                      const RetrieveResult& sharded) {
+  ASSERT_EQ(single.values.size(), single.oids.size());
+  ASSERT_EQ(sharded.values.size(), sharded.oids.size());
+  if (SequenceExact(kind)) {
+    EXPECT_EQ(single.values, sharded.values) << StrategyKindName(kind);
+    ASSERT_EQ(single.oids.size(), sharded.oids.size())
+        << StrategyKindName(kind);
+    for (size_t i = 0; i < single.oids.size(); ++i) {
+      EXPECT_EQ(single.oids[i].Packed(), sharded.oids[i].Packed())
+          << StrategyKindName(kind) << " position " << i;
+      if (::testing::Test::HasFailure()) return;
+    }
+  } else {
+    EXPECT_EQ(Pairs(single), Pairs(sharded)) << StrategyKindName(kind);
+  }
+}
+
+TEST(ShardOracleTest, ShardedMatchesSingleEngineOnRandomizedWorkloads) {
+  const int seeds = NumSeeds();
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed));
+    ASSERT_TRUE(spec.Validate().ok());
+    const uint32_t num_shards = 2 + static_cast<uint32_t>(seed % 3);
+
+    std::vector<Query> queries;
+    {
+      std::unique_ptr<ComplexDatabase> proto;
+      ASSERT_TRUE(BuildDatabase(spec, &proto).ok());
+      queries = RandomQueries(static_cast<uint64_t>(seed), *proto);
+    }
+
+    for (StrategyKind kind : kAllStrategies) {
+      SCOPED_TRACE(StrategyKindName(kind));
+      // Fresh stores per strategy on both sides: updates are translated
+      // into each strategy's own representation.
+      std::unique_ptr<ComplexDatabase> db;
+      ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+      std::unique_ptr<Strategy> strategy;
+      ASSERT_TRUE(
+          MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+
+      std::unique_ptr<shard::ShardedDatabase> sdb;
+      ASSERT_TRUE(
+          shard::BuildShardedDatabase(spec, num_shards, &sdb).ok());
+      shard::ShardedEngine engine(sdb.get(), StrategyOptions{});
+
+      for (const Query& q : queries) {
+        if (q.kind == Query::Kind::kRetrieve) {
+          RetrieveResult single, sharded;
+          ASSERT_TRUE(RunSingle(strategy.get(), db.get(), q, &single).ok());
+          ASSERT_TRUE(engine.ExecuteRetrieve(kind, q, &sharded).ok());
+          ExpectSameAnswer(kind, single, sharded);
+        } else {
+          RetrieveResult ignored;
+          ASSERT_TRUE(RunSingle(strategy.get(), db.get(), q, &ignored).ok());
+          ASSERT_TRUE(engine.ExecuteUpdate(kind, q).ok());
+        }
+        if (HasFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ShardOracleTest, OneShardCrashRecoveryConvergesToSingleEngine) {
+  const int seeds = NumSeeds();
+  int crashed_runs = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed));
+    const uint32_t num_shards = 2 + static_cast<uint32_t>(seed % 3);
+    StrategyKind kind =
+        kAllStrategies[static_cast<size_t>(seed) % std::size(kAllStrategies)];
+    SCOPED_TRACE(StrategyKindName(kind));
+
+    // The single engine runs the whole sequence cleanly: the final state
+    // the recovered sharded store must converge to.
+    std::unique_ptr<ComplexDatabase> db;
+    ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+    std::vector<Query> queries =
+        RandomQueries(static_cast<uint64_t>(seed), *db);
+    std::unique_ptr<Strategy> strategy;
+    ASSERT_TRUE(
+        MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+    for (const Query& q : queries) {
+      RetrieveResult ignored;
+      ASSERT_TRUE(RunSingle(strategy.get(), db.get(), q, &ignored).ok());
+    }
+
+    std::unique_ptr<shard::ShardedDatabase> sdb;
+    ASSERT_TRUE(shard::BuildShardedDatabase(spec, num_shards, &sdb).ok());
+    shard::ShardedEngine engine(sdb.get(), StrategyOptions{});
+    const uint32_t victim = static_cast<uint32_t>(seed) % num_shards;
+    sdb->shards[victim]->disk->fault_injector()->ArmCrash(
+        "update.child", 1 + static_cast<uint32_t>(seed % 2));
+
+    for (const Query& q : queries) {
+      Status s;
+      if (q.kind == Query::Kind::kRetrieve) {
+        RetrieveResult ignored;
+        s = engine.ExecuteRetrieve(kind, q, &ignored);
+      } else {
+        s = engine.ExecuteUpdate(kind, q);
+      }
+      if (s.ok()) continue;
+      // Only the armed shard may fail, and only by crashing.
+      ASSERT_TRUE(sdb->shards[victim]->disk->fault_injector()->crashed())
+          << "non-crash failure: " << s.ToString();
+      ++crashed_runs;
+      RecoveryReport rep;
+      ASSERT_TRUE(RecoverDatabase(sdb->shards[victim].get(), &rep).ok());
+      // Replay the failed query: updates write absolute values, so the
+      // holder shards that committed before the crash absorb the replay
+      // idempotently and the recovered shard catches up.
+      if (q.kind == Query::Kind::kRetrieve) {
+        RetrieveResult ignored;
+        ASSERT_TRUE(engine.ExecuteRetrieve(kind, q, &ignored).ok());
+      } else {
+        ASSERT_TRUE(engine.ExecuteUpdate(kind, q).ok());
+      }
+    }
+
+    // Full-scan convergence check against the single engine.
+    Query scan;
+    scan.kind = Query::Kind::kRetrieve;
+    scan.lo_parent = 0;
+    scan.num_top = spec.num_parents;
+    scan.attr_index = 0;
+    RetrieveResult single, sharded;
+    ASSERT_TRUE(strategy->ExecuteRetrieve(scan, &single).ok());
+    ASSERT_TRUE(engine.ExecuteRetrieve(kind, scan, &sharded).ok());
+    ExpectSameAnswer(kind, single, sharded);
+    if (HasFailure()) return;
+  }
+  // The sweep is vacuous if no seed actually crashed a shard.
+  EXPECT_GE(crashed_runs, 1) << "no run crashed the armed shard";
+}
+
+}  // namespace
+}  // namespace objrep

@@ -10,6 +10,7 @@ Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
        check_bench_json.py --adaptive FILE [--max-regret FRAC]
        check_bench_json.py --net FILE [--min-connections N]
                           [--baseline FILE --tolerance PCT]
+       check_bench_json.py --shard FILE
 
 With --metrics, FILE is instead a metrics-registry dump (the driver's
 --metrics-json output) and only its schema is validated: the three
@@ -31,6 +32,14 @@ capacity floor. With --baseline, per-verb steady p99 and throughput are
 also held to the baseline within --tolerance percent (default 25 for
 --net: latency is host-sensitive, so this gate only means something
 against a baseline from the same machine).
+
+With --shard, FILE is a bench/shard_scaling dump (BENCH_shard_scaling
+.json): shard counts must be unique and increasing starting at the
+1-shard baseline (scaleout exactly 1), every point's scaleout must be
+consistent with its retrieve throughput, and the scale-out-efficiency
+floors are enforced for whichever points are present: >= 1.6x at 2
+shards and >= 2.5x at 4 (a --quick run sweeps only 1 and 2, so the
+4-shard floor binds only on the committed full sweep).
 
 With --baseline (default mode), also compares per-(strategy, prefetch,
 workers) run results against the baseline file. Two signals are checked:
@@ -256,6 +265,56 @@ def validate_adaptive(doc, max_regret):
     return len(points), worst
 
 
+# Scale-out-efficiency floors by shard count (the acceptance bounds for
+# bench/shard_scaling). Only points actually present are held to them.
+SHARD_SCALEOUT_FLOORS = {2: 1.6, 4: 2.5}
+
+
+def validate_shard(doc):
+    if not isinstance(doc, dict):
+        fail("shard: top level is not an object")
+    if check_type(doc, "bench", str, "shard") != "shard_scaling":
+        fail("shard: bench field is not 'shard_scaling'")
+    check_type(doc, "strategy", str, "shard")
+    if check_type(doc, "clients", int, "shard") <= 0:
+        fail("shard: non-positive clients")
+    if check_type(doc, "duration_seconds", (int, float), "shard") <= 0:
+        fail("shard: non-positive duration")
+    if check_type(doc, "io_latency_us", int, "shard") < 0:
+        fail("shard: negative io_latency_us")
+    points = check_type(doc, "points", list, "shard")
+    if not points:
+        fail("shard: points is empty")
+    base_rps = None
+    prev_shards = 0
+    for p in points:
+        ctx = f"shard point {p.get('shards', '?')}"
+        shards = check_type(p, "shards", int, ctx)
+        rps = check_type(p, "retrieves_per_sec", (int, float), ctx)
+        qps = check_type(p, "queries_per_sec", (int, float), ctx)
+        scaleout = check_type(p, "scaleout", (int, float), ctx)
+        if shards <= prev_shards:
+            fail(f"{ctx}: shard counts must be unique and increasing")
+        prev_shards = shards
+        if rps <= 0 or qps < rps:
+            fail(f"{ctx}: nonsensical throughput figures")
+        if base_rps is None:
+            if shards != 1:
+                fail("shard: first point is not the 1-shard baseline")
+            if abs(scaleout - 1.0) > 1e-6:
+                fail("shard: baseline scaleout is not 1")
+            base_rps = rps
+        expect = rps / base_rps
+        if abs(scaleout - expect) > max(1e-3, 1e-3 * expect):
+            fail(f"{ctx}: scaleout {scaleout:.3f} inconsistent with "
+                 f"throughput (expected {expect:.3f})")
+        floor = SHARD_SCALEOUT_FLOORS.get(shards)
+        if floor is not None and scaleout < floor:
+            fail(f"{ctx}: scaleout {scaleout:.2f}x is below the {floor}x "
+                 f"floor ({rps:.0f} vs baseline {base_rps:.0f} retrieves/s)")
+    return points
+
+
 NET_VERBS = ("RETRIEVE", "UPDATE", "PING")
 
 
@@ -384,6 +443,8 @@ def main():
                         help="FILE is a metrics-registry dump, not bench JSON")
     parser.add_argument("--adaptive", action="store_true",
                         help="FILE is a bench/adaptive_regret dump")
+    parser.add_argument("--shard", action="store_true",
+                        help="FILE is a bench/shard_scaling dump")
     parser.add_argument("--max-regret", type=float, default=0.10,
                         help="worst-point regret bound for --adaptive "
                              "(fraction; negative disables the gate)")
@@ -404,6 +465,16 @@ def main():
             with open(args.baseline) as f:
                 baseline = validate_net(json.load(f), args.min_connections)
             compare_net(current, baseline, tolerance)
+        return
+
+    if args.shard:
+        if args.baseline or args.metrics or args.adaptive or args.net:
+            fail("--shard does not combine with other modes")
+        with open(args.file) as f:
+            points = validate_shard(json.load(f))
+        peak = max(p["scaleout"] for p in points)
+        print(f"check_bench_json: {args.file}: shard schema OK "
+              f"({len(points)} points, peak scaleout {peak:.2f}x)")
         return
 
     if args.adaptive:

@@ -4,6 +4,8 @@
 //   $ ./build/tools/net_load --port=4700 --clients=64 --duration=5
 //   $ ./build/tools/net_load --port=4700 --clients=16 --pr-update=0.1
 //         --strategy=adaptive --shutdown   (one command line)
+//   $ ./build/tools/net_load --endpoints=127.0.0.1:4700,127.0.0.1:4701
+//         --clients=32        (round-robin across several servers)
 //
 // Each client thread owns one connection and issues a RETRIEVE/UPDATE mix
 // (PINGs when --pr-ping is set), recording per-request latency. The
@@ -12,6 +14,13 @@
 // per relation — so the driver needs no copy of the server's config. The
 // exit code is 0 only if every client connected and at least one request
 // succeeded, which is what the CI smoke job asserts.
+//
+// --endpoints takes a comma-separated list; clients are assigned
+// round-robin and the summary adds a per-endpoint accounting line
+// (clients, connected, ok/busy/rejected/transport splits), so an
+// unreachable or sick member of a server group is visible at a glance
+// rather than averaged away. All endpoints must serve the same database
+// shape (the bootstrap probes the first one).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -31,9 +40,16 @@ using namespace objrep;
 
 namespace {
 
+/// One server address; clients are assigned endpoints round-robin.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
 struct LoadFlags {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  std::vector<Endpoint> endpoints;  // --endpoints=h:p,h:p (overrides host/port)
   uint32_t clients = 8;
   double duration_seconds = 5.0;
   double pr_update = 0.0;
@@ -99,10 +115,11 @@ uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
   return sorted[idx];
 }
 
-void ClientLoop(const LoadFlags& flags, const DbShape& shape,
-                uint64_t seed, std::atomic<bool>* stop, ClientResult* out) {
+void ClientLoop(const LoadFlags& flags, const Endpoint& ep,
+                const DbShape& shape, uint64_t seed, std::atomic<bool>* stop,
+                ClientResult* out) {
   net::ObjClient client;
-  if (!client.Connect(flags.host, flags.port).ok()) return;
+  if (!client.Connect(ep.host, ep.port).ok()) return;
   out->connected = true;
 
   std::mt19937_64 rng(seed);
@@ -164,13 +181,42 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
   return true;
 }
 
+/// "host:port,host:port,..." — every element needs both parts and a
+/// nonzero port.
+bool ParseEndpoints(const char* v, std::vector<Endpoint>* out) {
+  std::string s(v);
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    std::string item = s.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? s.size() + 1 : comma + 1;
+    size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    Endpoint ep;
+    ep.host = item.substr(0, colon);
+    char* end = nullptr;
+    unsigned long p = std::strtoul(item.c_str() + colon + 1, &end, 10);
+    if (end != item.c_str() + item.size() || p == 0 || p > 65535) {
+      return false;
+    }
+    ep.port = static_cast<uint16_t>(p);
+    out->push_back(std::move(ep));
+  }
+  return !out->empty();
+}
+
 int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --port=N [--host=ADDR] [--clients=N]\n"
+               "          [--endpoints=HOST:PORT,HOST:PORT,...]\n"
                "          [--duration=S] [--pr-update=P] [--pr-ping=P]\n"
                "          [--num-top=K] [--update-batch=B] [--attr=I]\n"
                "          [--strategy=NAME] [--seed=N] [--shutdown]\n"
-               "--shutdown sends the SHUTDOWN verb after the run (the\n"
+               "--endpoints spreads clients round-robin over several\n"
+               "servers (overrides --host/--port) and reports per-endpoint\n"
+               "connection accounting\n"
+               "--shutdown sends the SHUTDOWN verb after the run (every\n"
                "server drains and exits)\n",
                prog);
   return 2;
@@ -207,24 +253,32 @@ int main(int argc, char** argv) {
       flags.strategy = static_cast<uint8_t>(kind);
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--endpoints", &v)) {
+      flags.endpoints.clear();
+      if (!ParseEndpoints(v, &flags.endpoints)) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--shutdown") == 0) {
       flags.shutdown = true;
     } else {
       return Usage(argv[0]);
     }
   }
-  if (flags.port == 0 || flags.clients == 0 ||
+  if (flags.endpoints.empty() && flags.port != 0) {
+    flags.endpoints.push_back(Endpoint{flags.host, flags.port});
+  }
+  if (flags.endpoints.empty() || flags.clients == 0 ||
       flags.num_top == 0 || flags.update_batch == 0 ||
       flags.attr_index > 2 || flags.pr_update < 0 || flags.pr_ping < 0 ||
       flags.pr_update + flags.pr_ping > 1.0) {
     return Usage(argv[0]);
   }
 
-  // Bootstrap the workload shape from the server itself.
+  // Bootstrap the workload shape from the first server; the group is
+  // assumed homogeneous (same config on every endpoint).
   DbShape shape;
   {
     net::ObjClient probe;
-    Status s = probe.Connect(flags.host, flags.port);
+    Status s = probe.Connect(flags.endpoints[0].host,
+                             flags.endpoints[0].port);
     if (!s.ok()) {
       std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
       return 1;
@@ -245,8 +299,10 @@ int main(int argc, char** argv) {
   threads.reserve(flags.clients);
   auto t0 = std::chrono::steady_clock::now();
   for (uint32_t i = 0; i < flags.clients; ++i) {
-    threads.emplace_back(ClientLoop, std::cref(flags), std::cref(shape),
-                         flags.seed + i, &stop, &results[i]);
+    const Endpoint& ep = flags.endpoints[i % flags.endpoints.size()];
+    threads.emplace_back(ClientLoop, std::cref(flags), std::cref(ep),
+                         std::cref(shape), flags.seed + i, &stop,
+                         &results[i]);
   }
   std::this_thread::sleep_for(
       std::chrono::duration<double>(flags.duration_seconds));
@@ -284,11 +340,39 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(Percentile(lat, 0.999)),
       static_cast<unsigned long long>(lat.empty() ? 0 : lat.back()));
 
+  // Per-endpoint accounting: with several servers, an unreachable or sick
+  // member must not hide inside the aggregate.
+  if (flags.endpoints.size() > 1) {
+    for (size_t e = 0; e < flags.endpoints.size(); ++e) {
+      uint32_t clients = 0, connected = 0;
+      uint64_t ok = 0, busy = 0, rejected = 0, transport = 0;
+      for (size_t i = e; i < results.size(); i += flags.endpoints.size()) {
+        ++clients;
+        if (results[i].connected) ++connected;
+        ok += results[i].ok;
+        busy += results[i].busy;
+        rejected += results[i].rejected;
+        transport += results[i].transport_errors;
+      }
+      std::printf(
+          "endpoint %s:%u clients=%u connected=%u ok=%llu busy=%llu "
+          "rejected=%llu transport_errors=%llu\n",
+          flags.endpoints[e].host.c_str(), flags.endpoints[e].port, clients,
+          connected, static_cast<unsigned long long>(ok),
+          static_cast<unsigned long long>(busy),
+          static_cast<unsigned long long>(rejected),
+          static_cast<unsigned long long>(transport));
+    }
+  }
+
   if (flags.shutdown) {
-    net::ObjClient c;
-    if (c.Connect(flags.host, flags.port).ok()) {
-      Status s = c.Shutdown();
-      std::printf("shutdown: %s\n", s.ok() ? "ok" : s.ToString().c_str());
+    for (const Endpoint& ep : flags.endpoints) {
+      net::ObjClient c;
+      if (c.Connect(ep.host, ep.port).ok()) {
+        Status s = c.Shutdown();
+        std::printf("shutdown %s:%u: %s\n", ep.host.c_str(), ep.port,
+                    s.ok() ? "ok" : s.ToString().c_str());
+      }
     }
   }
   return total.connected && total.ok > 0 ? 0 : 1;

@@ -45,6 +45,8 @@
 #include "exec/concurrent_runner.h"
 #include "net/server.h"
 #include "obs/io_context.h"
+#include "shard/engine.h"
+#include "shard/sharded_db.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "objstore/database.h"
@@ -78,6 +80,8 @@ struct DriverFlags {
   bool serve = false;           // --serve: run the server, not the report
   int64_t port = -1;            // --port=N (overrides net_port)
   int64_t max_inflight = -1;    // --max-inflight=N (overrides config)
+  // Horizontal sharding (DESIGN.md §14).
+  int64_t shards = -1;          // --shards=N (overrides the shards key)
   std::string config_path;
 };
 
@@ -88,10 +92,22 @@ void HandleStopSignal(int) {
 }
 
 /// --serve: build the database once, serve it until SIGINT/SIGTERM or a
-/// SHUTDOWN verb, then drain and report.
+/// SHUTDOWN verb, then drain and report. With shards > 1 the server fronts
+/// a scatter-gather ShardedEngine instead of a single database.
 int RunServer(const DriverFlags& flags, const ExperimentConfig& config) {
   std::unique_ptr<ComplexDatabase> db;
-  Status s = BuildDatabase(config.db, &db);
+  std::unique_ptr<shard::ShardedDatabase> sdb;
+  std::unique_ptr<shard::ShardedEngine> engine;
+  Status s;
+  if (config.shards > 1) {
+    s = shard::BuildShardedDatabase(config.db, config.shards, &sdb);
+    if (s.ok()) {
+      engine =
+          std::make_unique<shard::ShardedEngine>(sdb.get(), config.options);
+    }
+  } else {
+    s = BuildDatabase(config.db, &db);
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
     return 1;
@@ -107,24 +123,28 @@ int RunServer(const DriverFlags& flags, const ExperimentConfig& config) {
   sc.default_strategy = config.strategies.front();
   sc.strategy_options = config.options;
 
-  net::ObjServer server(db.get(), sc);
-  s = server.Start();
+  std::unique_ptr<net::ObjServer> server =
+      engine != nullptr ? std::make_unique<net::ObjServer>(engine.get(), sc)
+                        : std::make_unique<net::ObjServer>(db.get(), sc);
+  s = server->Start();
   if (!s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  g_server = &server;
+  g_server = server.get();
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
-  std::printf("serving on %s:%u (workers=%u max_inflight=%u default=%s)\n",
-              sc.host.c_str(), server.port(), sc.num_workers,
-              sc.max_inflight, StrategyKindName(sc.default_strategy));
+  std::printf(
+      "serving on %s:%u (workers=%u max_inflight=%u default=%s shards=%u)\n",
+      sc.host.c_str(), server->port(), sc.num_workers, sc.max_inflight,
+      StrategyKindName(sc.default_strategy),
+      engine != nullptr ? engine->num_shards() : 1);
   std::fflush(stdout);
 
-  server.Wait();
-  net::ObjServer::Stats st = server.stats();
-  server.Stop();
+  server->Wait();
+  net::ObjServer::Stats st = server->stats();
+  server->Stop();
   g_server = nullptr;
   std::printf(
       "server drained: %llu conns, %llu admitted, %llu responses, "
@@ -134,6 +154,86 @@ int RunServer(const DriverFlags& flags, const ExperimentConfig& config) {
       static_cast<unsigned long long>(st.responses),
       static_cast<unsigned long long>(st.busy_rejected),
       static_cast<unsigned long long>(st.bad_frames));
+  return 0;
+}
+
+/// Physical I/O summed across every shard's disk (the sharded analog of
+/// db->disk->counters()).
+IoCounters SumShardCounters(const shard::ShardedDatabase& sdb) {
+  IoCounters total;
+  for (const auto& sh : sdb.shards) total += sh->disk->counters();
+  return total;
+}
+
+/// shards > 1 without --serve: the sequential report over a scatter-gather
+/// engine. Same table shape as the single-engine report; avg I/O is the
+/// aggregate over all shards (each sub-query runs on its owning shard, so
+/// the sum is the cross-cluster bill for the same logical workload).
+int RunShardedReport(const ExperimentConfig& config) {
+  std::printf("\n%-16s %12s %12s %12s %12s\n", "strategy", "avg I/O",
+              "retrieve", "update", "result-sum");
+  for (StrategyKind kind : config.strategies) {
+    // Fresh sharded store per strategy, mirroring the single-engine loop:
+    // identical contents (same seed), no inherited buffer or cache state.
+    std::unique_ptr<shard::ShardedDatabase> sdb;
+    Status s = shard::BuildShardedDatabase(config.db, config.shards, &sdb);
+    if (!s.ok()) {
+      std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // The retained reference database gives the generator the same shape —
+    // and therefore the same query stream — as an unsharded run.
+    std::vector<Query> queries;
+    s = GenerateWorkload(config.workload, *sdb->reference, &queries);
+    if (!s.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    shard::ShardedEngine engine(sdb.get(), config.options);
+
+    uint64_t retrieve_io = 0, update_io = 0;
+    uint32_t num_retrieves = 0, num_updates = 0;
+    int64_t result_sum = 0;
+    IoCounters run_start = SumShardCounters(*sdb);
+    for (const Query& q : queries) {
+      IoCounters before = SumShardCounters(*sdb);
+      if (q.kind == Query::Kind::kRetrieve) {
+        RetrieveResult result;
+        s = engine.ExecuteRetrieve(kind, q, &result);
+        if (!s.ok()) break;
+        retrieve_io += (SumShardCounters(*sdb) - before).total();
+        for (int32_t v : result.values) result_sum += v;
+        ++num_retrieves;
+      } else {
+        s = engine.ExecuteUpdate(kind, q);
+        if (!s.ok()) break;
+        update_io += (SumShardCounters(*sdb) - before).total();
+        ++num_updates;
+      }
+    }
+    if (s.ok()) {
+      // Deferred dirty pages are part of the bill, as in RunWorkload.
+      for (const auto& sh : sdb->shards) {
+        s = sh->pool->FlushAll();
+        if (!s.ok()) break;
+      }
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", StrategyKindName(kind),
+                   s.ToString().c_str());
+      return 1;
+    }
+    uint64_t total_io = (SumShardCounters(*sdb) - run_start).total();
+    uint32_t num_queries = num_retrieves + num_updates;
+    std::printf("%-16s %12.1f %12.1f %12.1f %12lld\n", StrategyKindName(kind),
+                num_queries ? static_cast<double>(total_io) / num_queries : 0.0,
+                num_retrieves
+                    ? static_cast<double>(retrieve_io) / num_retrieves
+                    : 0.0,
+                num_updates ? static_cast<double>(update_io) / num_updates
+                            : 0.0,
+                static_cast<long long>(result_sum));
+  }
   return 0;
 }
 
@@ -262,10 +362,13 @@ int Usage(const char* prog) {
                "          [--metrics-interval=MS] [--strategy=NAME]\n"
                "          [--calibration-window=N]\n"
                "          [--serve] [--port=N] [--max-inflight=N]\n"
+               "          [--shards=N]\n"
                "          <config-file | ->\n"
                "--serve runs the network server (DESIGN.md §13) over the\n"
                "config's database until SIGINT/SIGTERM or a SHUTDOWN verb;\n"
                "the first configured strategy is the server default\n"
+               "--shards=N hash-partitions the store across N engine\n"
+               "instances with scatter-gather execution (DESIGN.md §14)\n"
                "--strategy overrides the config's STRATEGIES list (e.g.\n"
                "--strategy=adaptive); --calibration-window sets ADAPTIVE's\n"
                "EWMA horizon\n"
@@ -330,6 +433,9 @@ int main(int argc, char** argv) {
       flags.max_inflight =
           static_cast<int64_t>(std::strtoul(v, nullptr, 10));
       if (flags.max_inflight <= 0) return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--shards", &v)) {
+      flags.shards = static_cast<int64_t>(std::strtoul(v, nullptr, 10));
+      if (flags.shards <= 0) return Usage(argv[0]);
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       return Usage(argv[0]);
     } else if (flags.config_path.empty()) {
@@ -397,6 +503,7 @@ int main(int argc, char** argv) {
     config.db.io_latency_us = static_cast<uint32_t>(flags.io_latency_us);
   }
   if (flags.wal >= 0) config.db.enable_wal = flags.wal == 1;
+  if (flags.shards > 0) config.shards = static_cast<uint32_t>(flags.shards);
 
   if (flags.serve) return RunServer(flags, config);
 
@@ -444,6 +551,18 @@ int main(int argc, char** argv) {
       config.workload.num_queries, config.workload.num_top,
       config.workload.pr_update, config.workload.update_batch,
       static_cast<unsigned long long>(config.workload.seed));
+
+  if (config.shards > 1) {
+    if (flags.threads > 0 || faults) {
+      std::fprintf(stderr,
+                   "--shards report mode supports neither --threads nor "
+                   "fault injection; use --serve for a concurrent sharded "
+                   "server\n");
+      return 2;
+    }
+    std::printf("engine: %u shards (scatter-gather)\n", config.shards);
+    return RunShardedReport(config);
+  }
 
   if (!flags.trace_out.empty()) Trace::SetEnabled(true);
   MetricsStreamer streamer(flags.metrics_interval_ms);
