@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cache"
+  "../bench/ablation_cache.pdb"
+  "CMakeFiles/ablation_cache.dir/ablation_cache.cc.o"
+  "CMakeFiles/ablation_cache.dir/ablation_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_clustcache"
+  "../bench/ablation_clustcache.pdb"
+  "CMakeFiles/ablation_clustcache.dir/ablation_clustcache.cc.o"
+  "CMakeFiles/ablation_clustcache.dir/ablation_clustcache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clustcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/adaptive_regret"
+  "../bench/adaptive_regret.pdb"
+  "CMakeFiles/adaptive_regret.dir/adaptive_regret.cc.o"
+  "CMakeFiles/adaptive_regret.dir/adaptive_regret.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

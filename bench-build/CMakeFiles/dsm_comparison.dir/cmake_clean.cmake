@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dsm_comparison"
+  "../bench/dsm_comparison.pdb"
+  "CMakeFiles/dsm_comparison.dir/dsm_comparison.cc.o"
+  "CMakeFiles/dsm_comparison.dir/dsm_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_primary_strategies"
+  "../bench/fig3_primary_strategies.pdb"
+  "CMakeFiles/fig3_primary_strategies.dir/fig3_primary_strategies.cc.o"
+  "CMakeFiles/fig3_primary_strategies.dir/fig3_primary_strategies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_primary_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_regions"
+  "../bench/fig4_regions.pdb"
+  "CMakeFiles/fig4_regions.dir/fig4_regions.cc.o"
+  "CMakeFiles/fig4_regions.dir/fig4_regions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

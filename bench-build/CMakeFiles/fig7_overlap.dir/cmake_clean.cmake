@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_overlap"
+  "../bench/fig7_overlap.pdb"
+  "CMakeFiles/fig7_overlap.dir/fig7_overlap.cc.o"
+  "CMakeFiles/fig7_overlap.dir/fig7_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_overlap.
+# This may be replaced when dependencies are built.

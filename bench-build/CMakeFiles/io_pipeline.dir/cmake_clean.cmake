@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/io_pipeline"
+  "../bench/io_pipeline.pdb"
+  "CMakeFiles/io_pipeline.dir/io_pipeline.cc.o"
+  "CMakeFiles/io_pipeline.dir/io_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/join_index"
+  "../bench/join_index.pdb"
+  "CMakeFiles/join_index.dir/join_index.cc.o"
+  "CMakeFiles/join_index.dir/join_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

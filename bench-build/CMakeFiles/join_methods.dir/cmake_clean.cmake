@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/join_methods"
+  "../bench/join_methods.pdb"
+  "CMakeFiles/join_methods.dir/join_methods.cc.o"
+  "CMakeFiles/join_methods.dir/join_methods.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

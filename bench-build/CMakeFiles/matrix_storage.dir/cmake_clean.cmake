@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/matrix_storage"
+  "../bench/matrix_storage.pdb"
+  "CMakeFiles/matrix_storage.dir/matrix_storage.cc.o"
+  "CMakeFiles/matrix_storage.dir/matrix_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multilevel_nodup"
+  "../bench/multilevel_nodup.pdb"
+  "CMakeFiles/multilevel_nodup.dir/multilevel_nodup.cc.o"
+  "CMakeFiles/multilevel_nodup.dir/multilevel_nodup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_nodup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multilevel_nodup.
+# This may be replaced when dependencies are built.

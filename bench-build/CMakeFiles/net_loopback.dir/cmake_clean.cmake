@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/net_loopback"
+  "../bench/net_loopback.pdb"
+  "CMakeFiles/net_loopback.dir/net_loopback.cc.o"
+  "CMakeFiles/net_loopback.dir/net_loopback.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/optimizer_pick"
+  "../bench/optimizer_pick.pdb"
+  "CMakeFiles/optimizer_pick.dir/optimizer_pick.cc.o"
+  "CMakeFiles/optimizer_pick.dir/optimizer_pick.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_pick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

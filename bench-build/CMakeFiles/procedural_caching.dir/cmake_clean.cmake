@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/procedural_caching"
+  "../bench/procedural_caching.pdb"
+  "CMakeFiles/procedural_caching.dir/procedural_caching.cc.o"
+  "CMakeFiles/procedural_caching.dir/procedural_caching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedural_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

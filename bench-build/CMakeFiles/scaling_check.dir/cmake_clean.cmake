@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_check"
+  "../bench/scaling_check.pdb"
+  "CMakeFiles/scaling_check.dir/scaling_check.cc.o"
+  "CMakeFiles/scaling_check.dir/scaling_check.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec62_numchildrel"
+  "../bench/sec62_numchildrel.pdb"
+  "CMakeFiles/sec62_numchildrel.dir/sec62_numchildrel.cc.o"
+  "CMakeFiles/sec62_numchildrel.dir/sec62_numchildrel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_numchildrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shard_scaling"
+  "../bench/shard_scaling.pdb"
+  "CMakeFiles/shard_scaling.dir/shard_scaling.cc.o"
+  "CMakeFiles/shard_scaling.dir/shard_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/smart_hybrid"
+  "../bench/smart_hybrid.pdb"
+  "CMakeFiles/smart_hybrid.dir/smart_hybrid.cc.o"
+  "CMakeFiles/smart_hybrid.dir/smart_hybrid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/throughput_scaling"
+  "../bench/throughput_scaling.pdb"
+  "CMakeFiles/throughput_scaling.dir/throughput_scaling.cc.o"
+  "CMakeFiles/throughput_scaling.dir/throughput_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

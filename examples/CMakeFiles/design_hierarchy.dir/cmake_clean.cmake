@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_hierarchy.dir/design_hierarchy.cpp.o"
+  "CMakeFiles/design_hierarchy.dir/design_hierarchy.cpp.o.d"
+  "design_hierarchy"
+  "design_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_groups.dir/research_groups.cpp.o"
+  "CMakeFiles/research_groups.dir/research_groups.cpp.o.d"
+  "research_groups"
+  "research_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_cad.dir/vlsi_cad.cpp.o"
+  "CMakeFiles/vlsi_cad.dir/vlsi_cad.cpp.o.d"
+  "vlsi_cad"
+  "vlsi_cad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("storage")
+subdirs("record")
+subdirs("access")
+subdirs("relational")
+subdirs("objstore")
+subdirs("core")
+subdirs("exec")
+subdirs("shard")
+subdirs("net")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/btree.cc" "src/access/CMakeFiles/objrep_access.dir/btree.cc.o" "gcc" "src/access/CMakeFiles/objrep_access.dir/btree.cc.o.d"
+  "/root/repo/src/access/hash_file.cc" "src/access/CMakeFiles/objrep_access.dir/hash_file.cc.o" "gcc" "src/access/CMakeFiles/objrep_access.dir/hash_file.cc.o.d"
+  "/root/repo/src/access/heap_file.cc" "src/access/CMakeFiles/objrep_access.dir/heap_file.cc.o" "gcc" "src/access/CMakeFiles/objrep_access.dir/heap_file.cc.o.d"
+  "/root/repo/src/access/isam.cc" "src/access/CMakeFiles/objrep_access.dir/isam.cc.o" "gcc" "src/access/CMakeFiles/objrep_access.dir/isam.cc.o.d"
+  "/root/repo/src/access/secondary_index.cc" "src/access/CMakeFiles/objrep_access.dir/secondary_index.cc.o" "gcc" "src/access/CMakeFiles/objrep_access.dir/secondary_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/storage/CMakeFiles/objrep_storage.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/objrep_record.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/objrep_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_access.dir/btree.cc.o"
+  "CMakeFiles/objrep_access.dir/btree.cc.o.d"
+  "CMakeFiles/objrep_access.dir/hash_file.cc.o"
+  "CMakeFiles/objrep_access.dir/hash_file.cc.o.d"
+  "CMakeFiles/objrep_access.dir/heap_file.cc.o"
+  "CMakeFiles/objrep_access.dir/heap_file.cc.o.d"
+  "CMakeFiles/objrep_access.dir/isam.cc.o"
+  "CMakeFiles/objrep_access.dir/isam.cc.o.d"
+  "CMakeFiles/objrep_access.dir/secondary_index.cc.o"
+  "CMakeFiles/objrep_access.dir/secondary_index.cc.o.d"
+  "libobjrep_access.a"
+  "libobjrep_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

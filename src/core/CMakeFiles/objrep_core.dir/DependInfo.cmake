@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/objrep_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/bfs.cc" "src/core/CMakeFiles/objrep_core.dir/bfs.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/bfs.cc.o.d"
+  "/root/repo/src/core/bfs_hash.cc" "src/core/CMakeFiles/objrep_core.dir/bfs_hash.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/bfs_hash.cc.o.d"
+  "/root/repo/src/core/bfs_join_index.cc" "src/core/CMakeFiles/objrep_core.dir/bfs_join_index.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/bfs_join_index.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/objrep_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/dfs.cc" "src/core/CMakeFiles/objrep_core.dir/dfs.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/dfs.cc.o.d"
+  "/root/repo/src/core/dfs_cache.cc" "src/core/CMakeFiles/objrep_core.dir/dfs_cache.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/dfs_cache.cc.o.d"
+  "/root/repo/src/core/dfs_clust.cc" "src/core/CMakeFiles/objrep_core.dir/dfs_clust.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/dfs_clust.cc.o.d"
+  "/root/repo/src/core/dsm.cc" "src/core/CMakeFiles/objrep_core.dir/dsm.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/dsm.cc.o.d"
+  "/root/repo/src/core/experiment_config.cc" "src/core/CMakeFiles/objrep_core.dir/experiment_config.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/experiment_config.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/core/CMakeFiles/objrep_core.dir/hierarchy.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/hierarchy.cc.o.d"
+  "/root/repo/src/core/procedural.cc" "src/core/CMakeFiles/objrep_core.dir/procedural.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/procedural.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/objrep_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/smart.cc" "src/core/CMakeFiles/objrep_core.dir/smart.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/smart.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/core/CMakeFiles/objrep_core.dir/strategy.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/strategy.cc.o.d"
+  "/root/repo/src/core/value_rep.cc" "src/core/CMakeFiles/objrep_core.dir/value_rep.cc.o" "gcc" "src/core/CMakeFiles/objrep_core.dir/value_rep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/objstore/CMakeFiles/objrep_objstore.dir/DependInfo.cmake"
+  "/root/repo/src/relational/CMakeFiles/objrep_relational.dir/DependInfo.cmake"
+  "/root/repo/src/access/CMakeFiles/objrep_access.dir/DependInfo.cmake"
+  "/root/repo/src/storage/CMakeFiles/objrep_storage.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/objrep_obs.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/objrep_record.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

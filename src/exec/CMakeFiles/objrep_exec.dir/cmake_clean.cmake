@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_exec.dir/concurrent_runner.cc.o"
+  "CMakeFiles/objrep_exec.dir/concurrent_runner.cc.o.d"
+  "CMakeFiles/objrep_exec.dir/lock_manager.cc.o"
+  "CMakeFiles/objrep_exec.dir/lock_manager.cc.o.d"
+  "libobjrep_exec.a"
+  "libobjrep_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_net.dir/client.cc.o"
+  "CMakeFiles/objrep_net.dir/client.cc.o.d"
+  "CMakeFiles/objrep_net.dir/frame.cc.o"
+  "CMakeFiles/objrep_net.dir/frame.cc.o.d"
+  "CMakeFiles/objrep_net.dir/protocol.cc.o"
+  "CMakeFiles/objrep_net.dir/protocol.cc.o.d"
+  "CMakeFiles/objrep_net.dir/server.cc.o"
+  "CMakeFiles/objrep_net.dir/server.cc.o.d"
+  "CMakeFiles/objrep_net.dir/service.cc.o"
+  "CMakeFiles/objrep_net.dir/service.cc.o.d"
+  "libobjrep_net.a"
+  "libobjrep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

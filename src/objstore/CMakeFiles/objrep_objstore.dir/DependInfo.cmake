@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objstore/builder.cc" "src/objstore/CMakeFiles/objrep_objstore.dir/builder.cc.o" "gcc" "src/objstore/CMakeFiles/objrep_objstore.dir/builder.cc.o.d"
+  "/root/repo/src/objstore/cache_manager.cc" "src/objstore/CMakeFiles/objrep_objstore.dir/cache_manager.cc.o" "gcc" "src/objstore/CMakeFiles/objrep_objstore.dir/cache_manager.cc.o.d"
+  "/root/repo/src/objstore/recovery.cc" "src/objstore/CMakeFiles/objrep_objstore.dir/recovery.cc.o" "gcc" "src/objstore/CMakeFiles/objrep_objstore.dir/recovery.cc.o.d"
+  "/root/repo/src/objstore/rows.cc" "src/objstore/CMakeFiles/objrep_objstore.dir/rows.cc.o" "gcc" "src/objstore/CMakeFiles/objrep_objstore.dir/rows.cc.o.d"
+  "/root/repo/src/objstore/workload.cc" "src/objstore/CMakeFiles/objrep_objstore.dir/workload.cc.o" "gcc" "src/objstore/CMakeFiles/objrep_objstore.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/relational/CMakeFiles/objrep_relational.dir/DependInfo.cmake"
+  "/root/repo/src/access/CMakeFiles/objrep_access.dir/DependInfo.cmake"
+  "/root/repo/src/storage/CMakeFiles/objrep_storage.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/objrep_obs.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/objrep_record.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

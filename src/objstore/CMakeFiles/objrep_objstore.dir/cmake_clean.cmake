@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_objstore.dir/builder.cc.o"
+  "CMakeFiles/objrep_objstore.dir/builder.cc.o.d"
+  "CMakeFiles/objrep_objstore.dir/cache_manager.cc.o"
+  "CMakeFiles/objrep_objstore.dir/cache_manager.cc.o.d"
+  "CMakeFiles/objrep_objstore.dir/recovery.cc.o"
+  "CMakeFiles/objrep_objstore.dir/recovery.cc.o.d"
+  "CMakeFiles/objrep_objstore.dir/rows.cc.o"
+  "CMakeFiles/objrep_objstore.dir/rows.cc.o.d"
+  "CMakeFiles/objrep_objstore.dir/workload.cc.o"
+  "CMakeFiles/objrep_objstore.dir/workload.cc.o.d"
+  "libobjrep_objstore.a"
+  "libobjrep_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

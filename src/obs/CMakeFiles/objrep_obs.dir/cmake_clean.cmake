@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_obs.dir/metrics.cc.o"
+  "CMakeFiles/objrep_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/objrep_obs.dir/trace.cc.o"
+  "CMakeFiles/objrep_obs.dir/trace.cc.o.d"
+  "libobjrep_obs.a"
+  "libobjrep_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_record.dir/record.cc.o"
+  "CMakeFiles/objrep_record.dir/record.cc.o.d"
+  "libobjrep_record.a"
+  "libobjrep_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/external_sort.cc" "src/relational/CMakeFiles/objrep_relational.dir/external_sort.cc.o" "gcc" "src/relational/CMakeFiles/objrep_relational.dir/external_sort.cc.o.d"
+  "/root/repo/src/relational/merge_join.cc" "src/relational/CMakeFiles/objrep_relational.dir/merge_join.cc.o" "gcc" "src/relational/CMakeFiles/objrep_relational.dir/merge_join.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/objrep_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/objrep_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/temp_file.cc" "src/relational/CMakeFiles/objrep_relational.dir/temp_file.cc.o" "gcc" "src/relational/CMakeFiles/objrep_relational.dir/temp_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/access/CMakeFiles/objrep_access.dir/DependInfo.cmake"
+  "/root/repo/src/storage/CMakeFiles/objrep_storage.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/objrep_obs.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/objrep_record.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

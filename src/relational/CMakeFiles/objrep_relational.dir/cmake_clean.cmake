@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_relational.dir/external_sort.cc.o"
+  "CMakeFiles/objrep_relational.dir/external_sort.cc.o.d"
+  "CMakeFiles/objrep_relational.dir/merge_join.cc.o"
+  "CMakeFiles/objrep_relational.dir/merge_join.cc.o.d"
+  "CMakeFiles/objrep_relational.dir/table.cc.o"
+  "CMakeFiles/objrep_relational.dir/table.cc.o.d"
+  "CMakeFiles/objrep_relational.dir/temp_file.cc.o"
+  "CMakeFiles/objrep_relational.dir/temp_file.cc.o.d"
+  "libobjrep_relational.a"
+  "libobjrep_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

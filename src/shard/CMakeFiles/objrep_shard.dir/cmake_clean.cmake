@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_shard.dir/engine.cc.o"
+  "CMakeFiles/objrep_shard.dir/engine.cc.o.d"
+  "CMakeFiles/objrep_shard.dir/router.cc.o"
+  "CMakeFiles/objrep_shard.dir/router.cc.o.d"
+  "CMakeFiles/objrep_shard.dir/sharded_db.cc.o"
+  "CMakeFiles/objrep_shard.dir/sharded_db.cc.o.d"
+  "libobjrep_shard.a"
+  "libobjrep_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

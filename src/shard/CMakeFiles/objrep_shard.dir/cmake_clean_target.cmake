@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libobjrep_shard.a"
+)

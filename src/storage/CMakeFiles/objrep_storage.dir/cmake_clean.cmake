@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/objrep_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/objrep_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/objrep_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/objrep_storage.dir/fault_injector.cc.o"
+  "CMakeFiles/objrep_storage.dir/fault_injector.cc.o.d"
+  "CMakeFiles/objrep_storage.dir/wal.cc.o"
+  "CMakeFiles/objrep_storage.dir/wal.cc.o.d"
+  "libobjrep_storage.a"
+  "libobjrep_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

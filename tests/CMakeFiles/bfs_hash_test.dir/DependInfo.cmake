@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bfs_hash_test.cc" "tests/CMakeFiles/bfs_hash_test.dir/bfs_hash_test.cc.o" "gcc" "tests/CMakeFiles/bfs_hash_test.dir/bfs_hash_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/objrep_core.dir/DependInfo.cmake"
+  "/root/repo/src/objstore/CMakeFiles/objrep_objstore.dir/DependInfo.cmake"
+  "/root/repo/src/relational/CMakeFiles/objrep_relational.dir/DependInfo.cmake"
+  "/root/repo/src/access/CMakeFiles/objrep_access.dir/DependInfo.cmake"
+  "/root/repo/src/storage/CMakeFiles/objrep_storage.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/objrep_obs.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/objrep_record.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

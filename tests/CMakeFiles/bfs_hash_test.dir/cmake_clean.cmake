@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_hash_test.dir/bfs_hash_test.cc.o"
+  "CMakeFiles/bfs_hash_test.dir/bfs_hash_test.cc.o.d"
+  "bfs_hash_test"
+  "bfs_hash_test.pdb"
+  "bfs_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_iterator_test.dir/btree_iterator_test.cc.o"
+  "CMakeFiles/btree_iterator_test.dir/btree_iterator_test.cc.o.d"
+  "btree_iterator_test"
+  "btree_iterator_test.pdb"
+  "btree_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

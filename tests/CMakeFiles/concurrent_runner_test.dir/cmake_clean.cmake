@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_runner_test.dir/concurrent_runner_test.cc.o"
+  "CMakeFiles/concurrent_runner_test.dir/concurrent_runner_test.cc.o.d"
+  "concurrent_runner_test"
+  "concurrent_runner_test.pdb"
+  "concurrent_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_config_test.dir/experiment_config_test.cc.o"
+  "CMakeFiles/experiment_config_test.dir/experiment_config_test.cc.o.d"
+  "experiment_config_test"
+  "experiment_config_test.pdb"
+  "experiment_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

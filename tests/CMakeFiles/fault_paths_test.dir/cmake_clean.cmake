@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_paths_test.dir/fault_paths_test.cc.o"
+  "CMakeFiles/fault_paths_test.dir/fault_paths_test.cc.o.d"
+  "fault_paths_test"
+  "fault_paths_test.pdb"
+  "fault_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

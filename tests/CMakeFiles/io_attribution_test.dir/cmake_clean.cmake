@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_attribution_test.dir/io_attribution_test.cc.o"
+  "CMakeFiles/io_attribution_test.dir/io_attribution_test.cc.o.d"
+  "io_attribution_test"
+  "io_attribution_test.pdb"
+  "io_attribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_attribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_server_test.dir/net_server_test.cc.o"
+  "CMakeFiles/net_server_test.dir/net_server_test.cc.o.d"
+  "net_server_test"
+  "net_server_test.pdb"
+  "net_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

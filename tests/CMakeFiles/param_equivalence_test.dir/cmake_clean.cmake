@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_equivalence_test.dir/param_equivalence_test.cc.o"
+  "CMakeFiles/param_equivalence_test.dir/param_equivalence_test.cc.o.d"
+  "param_equivalence_test"
+  "param_equivalence_test.pdb"
+  "param_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procedural_test.dir/procedural_test.cc.o"
+  "CMakeFiles/procedural_test.dir/procedural_test.cc.o.d"
+  "procedural_test"
+  "procedural_test.pdb"
+  "procedural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

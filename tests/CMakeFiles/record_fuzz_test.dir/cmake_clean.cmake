@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_fuzz_test.dir/record_fuzz_test.cc.o"
+  "CMakeFiles/record_fuzz_test.dir/record_fuzz_test.cc.o.d"
+  "record_fuzz_test"
+  "record_fuzz_test.pdb"
+  "record_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondary_index_test.dir/secondary_index_test.cc.o"
+  "CMakeFiles/secondary_index_test.dir/secondary_index_test.cc.o.d"
+  "secondary_index_test"
+  "secondary_index_test.pdb"
+  "secondary_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondary_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

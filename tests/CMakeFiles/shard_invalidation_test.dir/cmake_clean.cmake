@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_invalidation_test.dir/shard_invalidation_test.cc.o"
+  "CMakeFiles/shard_invalidation_test.dir/shard_invalidation_test.cc.o.d"
+  "shard_invalidation_test"
+  "shard_invalidation_test.pdb"
+  "shard_invalidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_invalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_oracle_test.dir/shard_oracle_test.cc.o"
+  "CMakeFiles/shard_oracle_test.dir/shard_oracle_test.cc.o.d"
+  "shard_oracle_test"
+  "shard_oracle_test.pdb"
+  "shard_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_rep_test.dir/value_rep_test.cc.o"
+  "CMakeFiles/value_rep_test.dir/value_rep_test.cc.o.d"
+  "value_rep_test"
+  "value_rep_test.pdb"
+  "value_rep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_rep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

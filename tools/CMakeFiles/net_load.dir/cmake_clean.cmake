@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_load.dir/net_load.cpp.o"
+  "CMakeFiles/net_load.dir/net_load.cpp.o.d"
+  "net_load"
+  "net_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrep_driver.dir/objrep_driver.cpp.o"
+  "CMakeFiles/objrep_driver.dir/objrep_driver.cpp.o.d"
+  "objrep_driver"
+  "objrep_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrep_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
