@@ -215,6 +215,8 @@ Status ParseExperimentConfig(std::string_view text, ExperimentConfig* out) {
       }
     } else if (key == "WAL") {
       OBJREP_RETURN_NOT_OK(ParseOnOff(value, line_no, &out->db.enable_wal));
+    } else if (key == "MVCC") {
+      OBJREP_RETURN_NOT_OK(ParseOnOff(value, line_no, &out->db.enable_mvcc));
     } else if (key == "STRATEGIES") {
       out->strategies.clear();
       std::string_view rest = value;

@@ -8,6 +8,8 @@
 #include "exec/lock_manager.h"
 #include "exec/query_locks.h"
 #include "exec/thread_pool.h"
+#include "mvcc/apply.h"
+#include "mvcc/engine.h"
 #include "obs/trace.h"
 #include "util/random.h"
 
@@ -44,7 +46,11 @@ Status ExecuteOne(Strategy* strategy, ComplexDatabase* db, const Query& q,
     TraceSpan span("retrieve", "query");
     span.SetArg("num_top", q.num_top);
     RetrieveResult result;
-    OBJREP_RETURN_NOT_OK(strategy->ExecuteRetrieve(q, &result));
+    if (db->mvcc != nullptr) {
+      OBJREP_RETURN_NOT_OK(mvcc::SnapshotRetrieve(strategy, db, q, &result));
+    } else {
+      OBJREP_RETURN_NOT_OK(strategy->ExecuteRetrieve(q, &result));
+    }
     wr->result_count += result.values.size();
     for (int32_t v : result.values) wr->result_sum += v;
     ++wr->num_retrieves;
@@ -54,7 +60,11 @@ Status ExecuteOne(Strategy* strategy, ComplexDatabase* db, const Query& q,
     // One WAL transaction per update query; the worker already holds X
     // table locks, so wal_mu_ ranks below them (DESIGN.md §10 latch
     // order) and cannot deadlock against another worker's query.
-    if (db->pool->wal() != nullptr) {
+    if (db->mvcc != nullptr) {
+      // MVCC commit: version install + logical WAL record; base pages
+      // stay frozen until the post-run fold.
+      OBJREP_RETURN_NOT_OK(mvcc::MvccUpdate(db, q));
+    } else if (db->pool->wal() != nullptr) {
       OBJREP_RETURN_NOT_OK(db->pool->BeginTxn());
       Status s = strategy->ExecuteUpdate(q);
       if (s.ok()) {
@@ -96,7 +106,12 @@ void RunWorker(Strategy* strategy, ComplexDatabase* db, LockManager* locks,
       q = slice[next++];
     }
     Clock::time_point t0 = Clock::now();
-    {
+    if (db->mvcc != nullptr) {
+      // Snapshot isolation replaces table locking entirely: retrieves
+      // read the frozen base + version overlay, updates conflict only on
+      // overlapping targets inside the version store.
+      wr->status = ExecuteOne(strategy, db, *q, wr);
+    } else {
       ScopedLockSet held(locks, LockRequestsFor(*db, *q));
       wr->status = ExecuteOne(strategy, db, *q, wr);
     }
@@ -188,6 +203,15 @@ Status RunConcurrentWorkload(StrategyKind kind,
                    wr.latencies_us.end());
     ret_lat.insert(ret_lat.end(), wr.retrieve_latencies_us.begin(),
                    wr.retrieve_latencies_us.end());
+  }
+
+  // Quiescent point: every worker has joined, so fold the committed
+  // versions onto base pages. After this a plain scan (and the flush
+  // below) observes every committed update. Skipped on worker error —
+  // the aggregation loop above already returned, and after a crash the
+  // pool needs recovery before it can run the fold's transaction.
+  if (db->mvcc != nullptr) {
+    OBJREP_RETURN_NOT_OK(mvcc::FoldMvcc(db));
   }
 
   // Deferred dirty pages are part of the run's I/O bill, as in the

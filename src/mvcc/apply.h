@@ -1,0 +1,48 @@
+// Folding MVCC versions onto base pages (DESIGN.md §15).
+//
+// During concurrent execution base pages are frozen; the version store is
+// the only home of committed updates. At a quiescent point — the end of a
+// ConcurrentRunWorkload, a server drain, or recovery — FoldMvcc applies
+// the newest committed version of every chain to the base relations in
+// one redo-logged pool transaction, then appends the deferred kApplied
+// for each MVCC commit so the WAL can truncate. After a fold, a plain
+// sequential scan (no overlay) observes every committed update, which is
+// what the differential oracles check.
+//
+// A fold writes each value everywhere a strategy might read it:
+//   * the ChildRel copy (DFS/BFS-family base reads),
+//   * the ClusterRel copy through the ISAM index when clustering is built
+//     (DFSCLUST reads only ClusterRel),
+//   * and invalidates the cache entry so DFSCACHE/SMART re-derive the
+//     unit from the folded base.
+//
+// Idempotence: values are absolute, so re-folding (or recovery replaying
+// kMvccUpdate records over an already-folded base) converges.
+#ifndef OBJREP_MVCC_APPLY_H_
+#define OBJREP_MVCC_APPLY_H_
+
+#include <cstdint>
+
+#include "objstore/database.h"
+#include "objstore/oid.h"
+#include "util/status.h"
+
+namespace objrep {
+namespace mvcc {
+
+/// Writes one committed value onto every base copy of `oid` (ChildRel,
+/// ClusterRel when clustered, cache invalidation when cached). No
+/// transaction management — the caller brackets a pool transaction.
+Status ApplyCommittedValue(ComplexDatabase* db, const Oid& oid,
+                           int32_t value);
+
+/// Quiescent checkpoint: takes the newest committed versions out of the
+/// version store, applies them to base inside one pool WAL transaction,
+/// and appends the deferred kApplied records. No-op without db->mvcc.
+/// Caller must guarantee no concurrent snapshots or commits.
+Status FoldMvcc(ComplexDatabase* db);
+
+}  // namespace mvcc
+}  // namespace objrep
+
+#endif  // OBJREP_MVCC_APPLY_H_

@@ -1,0 +1,47 @@
+// Lock-free execution entry points for MVCC mode (DESIGN.md §15).
+//
+// SnapshotRetrieve wraps any strategy's ExecuteRetrieve: it registers a
+// snapshot at the current clock, runs the strategy against the frozen
+// base (no table S lock — base pages are immutable while MVCC is active,
+// so there is nothing to isolate from), and overlays the newest version
+// visible at the snapshot onto the ret1 results. RetrieveResult's
+// parallel oids[]/values[] vectors make the overlay strategy-agnostic:
+// none of the nine strategies (or the adaptive planner) needs to know
+// MVCC exists. Only attr_index 0 is overlaid — updates only ever modify
+// ret1 (paper §4 [1]), so ret2/ret3 base reads are always current.
+//
+// MvccUpdate commits an update query's absolute values through the
+// version store, retrying first-committer-wins aborts from a fresh begin
+// timestamp. Update queries are blind writes, so a retry is always
+// semantically safe; the retry cap only bounds pathological contention.
+#ifndef OBJREP_MVCC_ENGINE_H_
+#define OBJREP_MVCC_ENGINE_H_
+
+#include <cstdint>
+
+#include "core/strategy.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+#include "util/status.h"
+
+namespace objrep {
+namespace mvcc {
+
+/// Executes `q` through `strategy` under a registered snapshot and
+/// overlays the versions visible at the snapshot timestamp. Requires
+/// db->mvcc. `read_ts` (optional) reports the snapshot timestamp — the
+/// SI checker records it to verify snapshot consistency.
+Status SnapshotRetrieve(Strategy* strategy, ComplexDatabase* db,
+                        const Query& q, RetrieveResult* out,
+                        uint64_t* read_ts = nullptr);
+
+/// Commits `q`'s targets at one commit timestamp, retrying FCW aborts up
+/// to `max_retries` times. Requires db->mvcc. `commit_ts` (optional)
+/// reports the winning timestamp.
+Status MvccUpdate(ComplexDatabase* db, const Query& q,
+                  uint64_t* commit_ts = nullptr, int max_retries = 16);
+
+}  // namespace mvcc
+}  // namespace objrep
+
+#endif  // OBJREP_MVCC_ENGINE_H_

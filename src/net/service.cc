@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exec/query_locks.h"
+#include "mvcc/engine.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
 
@@ -127,6 +128,10 @@ Status ObjService::DoRetrieve(const Request& req, StrategyKind kind,
     // Per-shard locks are taken inside the engine, one sub-query at a
     // time — the whole point of sharding the lock manager.
     OBJREP_RETURN_NOT_OK(engine_->ExecuteRetrieve(kind, q, &result));
+  } else if (db_->mvcc != nullptr) {
+    // Snapshot read — no table S lock; the wire protocol is unchanged,
+    // MVCC is purely a server-side execution mode.
+    OBJREP_RETURN_NOT_OK(mvcc::SnapshotRetrieve(session, db_, q, &result));
   } else {
     ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
     OBJREP_RETURN_NOT_OK(session->ExecuteRetrieve(q, &result));
@@ -165,6 +170,13 @@ Status ObjService::DoUpdate(const Request& req, StrategyKind kind,
     // The engine fans out to every holder shard, each under its own X
     // locks and WAL transaction.
     OBJREP_RETURN_NOT_OK(engine_->ExecuteUpdate(kind, q));
+    resp->updated = static_cast<uint32_t>(q.update_targets.size());
+    return Status::OK();
+  }
+  if (db_->mvcc != nullptr) {
+    // Version-store commit: no table X lock, conflicts only on
+    // overlapping targets (first-committer-wins, retried internally).
+    OBJREP_RETURN_NOT_OK(mvcc::MvccUpdate(db_, q));
     resp->updated = static_cast<uint32_t>(q.update_targets.size());
     return Status::OK();
   }

@@ -301,6 +301,9 @@ Status BuildDatabase(const DatabaseSpec& spec,
     db->wal = std::make_unique<Wal>(db->disk.get());
     db->pool->AttachWal(db->wal.get());
   }
+  if (spec.enable_mvcc) {
+    db->mvcc = std::make_unique<MvccManager>(db->wal.get());
+  }
 
   // Apply the I/O scheduling policy only now: the build itself always runs
   // with the seed's plain demand paging, so on-disk layout and build-time

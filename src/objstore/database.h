@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "access/isam.h"
+#include "mvcc/version_store.h"
 #include "objstore/cache_manager.h"
 #include "objstore/oid.h"
 #include "objstore/rows.h"
@@ -34,6 +35,10 @@ struct ComplexDatabase {
   std::unique_ptr<DiskManager> disk;
   std::unique_ptr<BufferPool> pool;
   std::unique_ptr<Wal> wal;  // null unless spec.enable_wal
+  /// Version store for snapshot reads (DESIGN.md §15); null unless
+  /// spec.enable_mvcc. When set, executors bypass table locking: retrieves
+  /// run under mvcc::SnapshotRetrieve and updates under mvcc::MvccUpdate.
+  std::unique_ptr<MvccManager> mvcc;
   Catalog catalog;
 
   Table* parent_rel = nullptr;
@@ -88,6 +93,7 @@ struct RecoveryReport {
   WalRecoveryStats wal;
   uint64_t frames_dropped = 0;  ///< pool frames discarded (soft state)
   bool cache_reset = false;     ///< Cache relation rebuilt empty
+  uint64_t mvcc_txns_redone = 0;///< kMvccUpdate commits replayed to base
 };
 
 /// Crash recovery (DESIGN.md §10). Clears the injector's crashed state,

@@ -18,8 +18,19 @@
 //      I-lock table. A cached unit whose install raced the crash may or
 //      may not have committed; starting cold is always correct because the
 //      cache only ever re-derives data from the base relations.
+//   5. Under MVCC (DESIGN.md §15): replay the committed-but-unapplied
+//      kMvccUpdate records through the table layer, in log order (== commit
+//      order; commits are serialized), each as its own redo-logged pool
+//      transaction. Values are absolute, so the replay is idempotent even
+//      over a base some earlier fold already updated. Then reset the
+//      version store — chains are soft state once folded to base — with
+//      the clock restored past the newest replayed commit so timestamps
+//      stay monotonic across the crash.
+#include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "mvcc/apply.h"
 #include "objstore/database.h"
 #include "storage/fault_injector.h"
 #include "util/macros.h"
@@ -36,11 +47,30 @@ Status RecoverDatabase(ComplexDatabase* db, RecoveryReport* report) {
 
   db->disk->fault_injector()->ClearCrash();
   rep->frames_dropped = db->pool->DropAllFrames();
-  OBJREP_RETURN_NOT_OK(db->wal->Recover(&rep->wal));
+  std::vector<WalMvccRedo> mvcc_redo;
+  OBJREP_RETURN_NOT_OK(db->wal->Recover(&rep->wal, &mvcc_redo));
   db->wal->Reset();
   if (db->cache != nullptr) {
     OBJREP_RETURN_NOT_OK(db->cache->ResetForRecovery());
     rep->cache_reset = true;
+  }
+  if (db->mvcc != nullptr) {
+    uint64_t restored_clock = db->mvcc->clock();
+    for (const WalMvccRedo& rec : mvcc_redo) {
+      OBJREP_RETURN_NOT_OK(db->pool->BeginTxn());
+      for (const auto& [packed, value] : rec.updates) {
+        Status s =
+            mvcc::ApplyCommittedValue(db, Oid::FromPacked(packed), value);
+        if (!s.ok()) {
+          db->pool->AbortTxn();
+          return s;
+        }
+      }
+      OBJREP_RETURN_NOT_OK(db->pool->CommitTxn());
+      restored_clock = std::max(restored_clock, rec.commit_ts);
+      ++rep->mvcc_txns_redone;
+    }
+    db->mvcc->ResetForRecovery(restored_clock);
   }
   return Status::OK();
 }

@@ -92,6 +92,16 @@ struct DatabaseSpec {
   /// serialize mutators, which is not part of the paper's cost model.
   bool enable_wal = false;
 
+  // --- MVCC snapshot isolation (DESIGN.md §15). ---
+  /// Attach a version store so concurrent retrieves read a consistent
+  /// snapshot at their begin timestamp without table S locks, and updates
+  /// install versions (first-committer-wins on overlapping targets)
+  /// instead of writing base pages in place. Base pages stay frozen until
+  /// a quiescent fold applies the newest versions. With enable_wal the
+  /// commit point is a logical kMvccUpdate WAL record; without it MVCC is
+  /// memory-only. Off for the paper experiments.
+  bool enable_mvcc = false;
+
   uint64_t seed = 42;
 
   // --- Derived quantities (paper eqn. (1) and following). ---

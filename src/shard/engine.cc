@@ -1,9 +1,12 @@
 #include "shard/engine.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "exec/query_locks.h"
+#include "mvcc/apply.h"
+#include "mvcc/engine.h"
 #include "obs/metrics.h"
 
 namespace objrep {
@@ -92,9 +95,16 @@ bool ShardedEngine::IsSortedMerge(StrategyKind kind) {
 Status ShardedEngine::RunShardRetrieve(Session* session, uint32_t k,
                                        const Query& q, RetrieveResult* out) {
   ComplexDatabase* sdb = db_->shards[k].get();
-  ScopedLockSet locks(locks_[k].get(), LockRequestsFor(*sdb, q));
   retrieve_subqueries_[k]->Add(1);
-  OBJREP_RETURN_NOT_OK(session->per_shard[k]->ExecuteRetrieve(q, out));
+  if (sdb->mvcc != nullptr) {
+    // Snapshot per shard sub-query: the shard's base pages are frozen
+    // while MVCC is active, so no lock manager interaction is needed.
+    OBJREP_RETURN_NOT_OK(
+        mvcc::SnapshotRetrieve(session->per_shard[k].get(), sdb, q, out));
+  } else {
+    ScopedLockSet locks(locks_[k].get(), LockRequestsFor(*sdb, q));
+    OBJREP_RETURN_NOT_OK(session->per_shard[k]->ExecuteRetrieve(q, out));
+  }
   if (out->values.size() != out->oids.size()) {
     return Status::Corruption("shard result values/oids out of step");
   }
@@ -206,6 +216,34 @@ Status ShardedEngine::ExecuteUpdate(StrategyKind kind, const Query& q) {
       targets_of[k].push_back(oid);
     }
   }
+  if (db_->shards[0]->mvcc != nullptr) {
+    // Hold the stripes of every target across the whole fan-out, acquired
+    // in ascending stripe index so concurrent updates cannot deadlock.
+    // This serializes conflicting updates engine-wide, which makes every
+    // holder shard install their versions in the same relative order —
+    // the replica-convergence guarantee FCW alone cannot give across
+    // independent per-shard clocks.
+    std::vector<size_t> stripes;
+    stripes.reserve(q.update_targets.size());
+    for (const Oid& oid : q.update_targets) {
+      stripes.push_back(oid.Packed() % oid_stripes_.size());
+    }
+    std::sort(stripes.begin(), stripes.end());
+    stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(stripes.size());
+    for (size_t s : stripes) {
+      held.emplace_back(oid_stripes_[s]);
+    }
+    for (uint32_t k = 0; k < n; ++k) {
+      if (targets_of[k].empty()) continue;
+      Query sub = q;
+      sub.update_targets = std::move(targets_of[k]);
+      update_subqueries_[k]->Add(1);
+      OBJREP_RETURN_NOT_OK(mvcc::MvccUpdate(db_->shards[k].get(), sub));
+    }
+    return Status::OK();
+  }
   for (uint32_t k = 0; k < n; ++k) {
     if (targets_of[k].empty()) continue;
     Query sub = q;
@@ -226,6 +264,16 @@ Status ShardedEngine::ExecuteUpdate(StrategyKind kind, const Query& q) {
       }
     }
     OBJREP_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::FoldAll() {
+  for (uint32_t k = 0; k < db_->num_shards(); ++k) {
+    ComplexDatabase* sdb = db_->shards[k].get();
+    if (sdb->mvcc != nullptr) {
+      OBJREP_RETURN_NOT_OK(mvcc::FoldMvcc(sdb));
+    }
   }
   return Status::OK();
 }

@@ -30,9 +30,19 @@
 // mid-fanout leaves some holders updated and others not; because updates
 // write absolute values, recovering the crashed shard and replaying the
 // failed query converges every replica (tests/shard_oracle_test.cc).
+//
+// MVCC mode (spec.enable_mvcc, DESIGN.md §15): each shard owns its own
+// version store and clock. Retrieves take a snapshot per shard sub-query
+// and skip the shard lock manager entirely — a cross-shard retrieve is
+// per-shard consistent, not globally consistent, matching the crash scope
+// above (per-shard transactions, no 2PC). Updates hold striped per-OID
+// mutexes across the whole holder fan-out so two conflicting updates
+// commit in the same relative order on every replica shard; within a
+// shard first-committer-wins still applies.
 #ifndef OBJREP_SHARD_ENGINE_H_
 #define OBJREP_SHARD_ENGINE_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,8 +74,13 @@ class ShardedEngine {
                          RetrieveResult* out);
 
   /// Fans the update out to every holder shard of each target, each under
-  /// its shard's X locks and WAL transaction.
+  /// its shard's X locks and WAL transaction (2PL mode) or through the
+  /// shard's version store under engine-level per-OID stripes (MVCC mode).
   Status ExecuteUpdate(StrategyKind kind, const Query& q);
+
+  /// MVCC quiescent-point fold on every shard (no-op without MVCC).
+  /// Callers must ensure no retrieve/update is in flight.
+  Status FoldAll();
 
   ShardedDatabase* db() { return db_; }
   const DatabaseSpec& spec() const { return db_->spec; }
@@ -116,6 +131,14 @@ class ShardedEngine {
   ShardedDatabase* db_;
   StrategyOptions options_;
   std::vector<std::unique_ptr<LockManager>> locks_;  // one per shard
+
+  /// MVCC update ordering across replicas: an update locks the stripe of
+  /// every target OID (ascending stripe index, so no deadlock) before the
+  /// holder fan-out and releases after the last holder commits. Two
+  /// updates touching a common OID therefore install their versions in
+  /// the same order on every holder shard, keeping replicas convergent
+  /// without a cross-shard commit protocol.
+  std::array<std::mutex, 64> oid_stripes_;
 
   std::mutex sessions_mu_;
   std::map<StrategyKind, std::vector<std::unique_ptr<Session>>>

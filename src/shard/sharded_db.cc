@@ -224,6 +224,11 @@ Status BuildOneShard(const ComplexDatabase& ref,
     db->wal = std::make_unique<Wal>(db->disk.get());
     db->pool->AttachWal(db->wal.get());
   }
+  if (spec.enable_mvcc) {
+    // Per-shard version store and clock — snapshots are per-shard, like
+    // the WAL transactions above (no cross-shard 2PC; see engine.h).
+    db->mvcc = std::make_unique<MvccManager>(db->wal.get());
+  }
 
   db->disk->set_io_latency_us(spec.io_latency_us);
   db->disk->set_transfer_us(spec.io_transfer_us);

@@ -54,7 +54,10 @@ void StoreLE(std::vector<uint8_t>* buf, T v) {
 
 }  // namespace
 
-uint64_t Wal::Begin() { return next_txn_++; }
+uint64_t Wal::Begin() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_txn_++;
+}
 
 void Wal::AppendRecord(RecordType type, uint64_t txn, const uint8_t* payload,
                        uint32_t payload_len) {
@@ -75,13 +78,32 @@ void Wal::AppendPageImage(uint64_t txn, PageId pid, const Page& image) {
   uint8_t payload[4 + kPageSize];
   std::memcpy(payload, &pid, 4);
   std::memcpy(payload + 4, image.data, kPageSize);
+  std::lock_guard<std::mutex> guard(mu_);
   AppendRecord(kPageImage, txn, payload, sizeof(payload));
 }
 
 void Wal::AppendFreePage(uint64_t txn, PageId pid) {
   uint8_t payload[4];
   std::memcpy(payload, &pid, 4);
+  std::lock_guard<std::mutex> guard(mu_);
   AppendRecord(kFreePage, txn, payload, sizeof(payload));
+}
+
+void Wal::AppendMvccUpdate(uint64_t txn, uint64_t commit_ts,
+                           const std::vector<std::pair<uint64_t, int32_t>>&
+                               updates) {
+  // Payload: [u64 commit_ts][u32 count] + count x [u64 packed_oid][i32 v].
+  std::vector<uint8_t> payload;
+  payload.reserve(12 + updates.size() * 12);
+  StoreLE<uint64_t>(&payload, commit_ts);
+  StoreLE<uint32_t>(&payload, static_cast<uint32_t>(updates.size()));
+  for (const auto& [oid, value] : updates) {
+    StoreLE<uint64_t>(&payload, oid);
+    StoreLE<int32_t>(&payload, value);
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  AppendRecord(kMvccUpdate, txn, payload.data(),
+               static_cast<uint32_t>(payload.size()));
 }
 
 Status Wal::Sync() {
@@ -100,6 +122,7 @@ Status Wal::Sync() {
 }
 
 Status Wal::Commit(uint64_t txn) {
+  std::lock_guard<std::mutex> guard(mu_);
   FaultInjector* fi = disk_->fault_injector();
   AppendRecord(kCommit, txn, nullptr, 0);
   OBJREP_RETURN_NOT_OK(fi->MaybeCrash("wal.commit.before_sync"));
@@ -111,6 +134,7 @@ Status Wal::Commit(uint64_t txn) {
 }
 
 Status Wal::AppendApplied(uint64_t txn) {
+  std::lock_guard<std::mutex> guard(mu_);
   FaultInjector* fi = disk_->fault_injector();
   AppendRecord(kApplied, txn, nullptr, 0);
   OBJREP_RETURN_NOT_OK(fi->MaybeCrash("wal.applied.before_sync"));
@@ -125,14 +149,18 @@ Status Wal::AppendApplied(uint64_t txn) {
   return Status::OK();
 }
 
-Status Wal::Recover(WalRecoveryStats* stats) {
+Status Wal::Recover(WalRecoveryStats* stats,
+                    std::vector<WalMvccRedo>* mvcc_redo) {
+  std::lock_guard<std::mutex> guard(mu_);
   WalRecoveryStats local;
   WalRecoveryStats* st = stats != nullptr ? stats : &local;
   *st = WalRecoveryStats{};
+  if (mvcc_redo != nullptr) mvcc_redo->clear();
 
   struct TxnRecords {
     std::vector<std::pair<PageId, size_t>> images;  // pid, payload offset
     std::vector<PageId> frees;
+    std::vector<size_t> mvcc;  // payload offsets of kMvccUpdate records
     bool committed = false;
     bool applied = false;
   };
@@ -156,7 +184,7 @@ Status Wal::Recover(WalRecoveryStats* stats) {
     uint8_t type = log_[pos];
     uint64_t txn = LoadLE<uint64_t>(log_.data() + pos + 1);
     uint32_t len = LoadLE<uint32_t>(log_.data() + pos + 9);
-    if (type < kPageImage || type > kApplied) break;
+    if (type < kPageImage || type > kMvccUpdate) break;
     size_t rec_end = pos + kHeaderBytes + len + kTrailerBytes;
     if (rec_end > durable_) break;  // framing runs past the watermark: torn
     uint64_t crc = LoadLE<uint64_t>(log_.data() + pos + kHeaderBytes + len);
@@ -180,6 +208,13 @@ Status Wal::Recover(WalRecoveryStats* stats) {
       case kApplied:
         txn_of(txn).applied = true;
         break;
+      case kMvccUpdate: {
+        OBJREP_CHECK_MSG(len >= 12, "bad mvcc-update record");
+        uint32_t count = LoadLE<uint32_t>(payload + 8);
+        OBJREP_CHECK_MSG(len == 12 + count * 12ull, "bad mvcc-update record");
+        txn_of(txn).mvcc.push_back(pos + kHeaderBytes);
+        break;
+      }
     }
     pos = rec_end;
   }
@@ -203,6 +238,23 @@ Status Wal::Recover(WalRecoveryStats* stats) {
     for (PageId pid : recs.frees) {
       if (disk_->TryFreePage(pid)) ++st->frees_redone;
     }
+    // Logical MVCC records are not page images; hand them back for the
+    // objstore layer to replay through the table layer (absolute values,
+    // so the replay is idempotent).
+    for (size_t off : recs.mvcc) {
+      if (mvcc_redo == nullptr) break;
+      WalMvccRedo redo;
+      redo.txn = id;
+      redo.commit_ts = LoadLE<uint64_t>(log_.data() + off);
+      uint32_t count = LoadLE<uint32_t>(log_.data() + off + 8);
+      redo.updates.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint8_t* p = log_.data() + off + 12 + i * 12ull;
+        redo.updates.emplace_back(LoadLE<uint64_t>(p),
+                                  LoadLE<int32_t>(p + 8));
+      }
+      mvcc_redo->push_back(std::move(redo));
+    }
   }
   Metrics().recoveries->Add(1);
   Metrics().txns_redone->Add(st->txns_redone);
@@ -211,6 +263,7 @@ Status Wal::Recover(WalRecoveryStats* stats) {
 }
 
 void Wal::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
   log_.clear();
   durable_ = 0;
   committed_txns_ = 0;

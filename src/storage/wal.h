@@ -27,12 +27,28 @@
 // dead weight, so AppendApplied truncates it — the checkpoint is free
 // because apply is write-through.
 //
-// Thread safety: none needed here. The BufferPool serializes transactions
-// on wal_mu_ and recovery is single-threaded by contract.
+// MVCC commits (DESIGN.md §15) ride the same framing with a *logical*
+// record, kMvccUpdate: absolute (oid, ret1) pairs plus the commit
+// timestamp. Unlike page transactions, an MVCC commit does not write base
+// pages through — the version only lands on base pages at the next fold —
+// so its kApplied is deferred until FoldMvcc. Recover() hands the
+// committed-but-unapplied MVCC records back to the caller in log order
+// (== commit-timestamp order; commits are serialized) and the objstore
+// layer replays them through the table layer, which is idempotent because
+// the values are absolute.
+//
+// Thread safety: all public methods lock an internal mutex. The BufferPool
+// still serializes *page* transactions on wal_mu_, but MVCC commits (and
+// the cache-install pool transactions that run during lock-free snapshot
+// retrieves) interleave with them on this log. Records of different
+// transactions may interleave; framing is per-record and recovery groups
+// by transaction id, so interleaving is harmless.
 #ifndef OBJREP_STORAGE_WAL_H_
 #define OBJREP_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "storage/page.h"
@@ -52,6 +68,14 @@ struct WalRecoveryStats {
   uint64_t torn_bytes = 0;     ///< durable bytes discarded as torn tail
 };
 
+/// One committed-but-unapplied MVCC commit found by Recover, in log order.
+struct WalMvccRedo {
+  uint64_t txn = 0;
+  uint64_t commit_ts = 0;
+  /// Absolute new ret1 per packed child OID.
+  std::vector<std::pair<uint64_t, int32_t>> updates;
+};
+
 /// In-memory write-ahead commit log with an explicit durable watermark.
 class Wal {
  public:
@@ -68,6 +92,14 @@ class Wal {
   /// Appends a deferred free of `pid` for `txn`. Not yet durable.
   void AppendFreePage(uint64_t txn, PageId pid);
 
+  /// Appends the logical MVCC-commit record for `txn`: the commit
+  /// timestamp and the absolute (packed OID, new ret1) pairs. Not yet
+  /// durable — follow with Commit(txn). The matching AppendApplied is
+  /// deferred to the fold that writes the versions onto base pages.
+  void AppendMvccUpdate(uint64_t txn, uint64_t commit_ts,
+                        const std::vector<std::pair<uint64_t, int32_t>>&
+                            updates);
+
   /// Appends the commit record and makes the log durable — the commit
   /// point. Crash points: wal.commit.before_sync / wal.sync.torn /
   /// wal.commit.after_sync.
@@ -81,16 +113,29 @@ class Wal {
   /// Redo pass over the durable prefix: validates record framing +
   /// checksums (stopping at the first torn/corrupt record), then replays
   /// committed-but-unapplied transactions in log order onto the volume.
-  /// Call with the injector's crash state already cleared.
-  Status Recover(WalRecoveryStats* stats);
+  /// Call with the injector's crash state already cleared. MVCC records of
+  /// committed-but-unapplied transactions are not replayed here (they are
+  /// logical, not page images); they are appended to `mvcc_redo` in log
+  /// order for the objstore layer to re-apply through the table layer.
+  Status Recover(WalRecoveryStats* stats,
+                 std::vector<WalMvccRedo>* mvcc_redo = nullptr);
 
   /// Drops all log state (post-recovery, or tests). Txn ids keep rising.
   void Reset();
 
   /// Bytes currently held by the log (durable or not).
-  uint64_t size_bytes() const { return log_.size(); }
-  uint64_t durable_bytes() const { return durable_; }
-  uint64_t committed_txns() const { return committed_txns_; }
+  uint64_t size_bytes() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return log_.size();
+  }
+  uint64_t durable_bytes() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return durable_;
+  }
+  uint64_t committed_txns() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return committed_txns_;
+  }
 
  private:
   enum RecordType : uint8_t {
@@ -98,6 +143,7 @@ class Wal {
     kFreePage = 2,
     kCommit = 3,
     kApplied = 4,
+    kMvccUpdate = 5,
   };
 
   void AppendRecord(RecordType type, uint64_t txn, const uint8_t* payload,
@@ -105,6 +151,7 @@ class Wal {
   /// Advances the durable watermark to the log end (crash points apply).
   Status Sync();
 
+  mutable std::mutex mu_;
   DiskManager* disk_;
   std::vector<uint8_t> log_;
   uint64_t durable_ = 0;  ///< log_[0, durable_) survives a crash

@@ -23,6 +23,7 @@ class Status {
     kNoSpace,
     kNotSupported,
     kInternal,
+    kAborted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -49,6 +50,11 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// A transaction lost a first-committer-wins conflict and should retry
+  /// from a fresh timestamp (src/mvcc/).
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -56,6 +62,7 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -73,6 +80,7 @@ class Status {
       case Code::kNoSpace: name = "NoSpace"; break;
       case Code::kNotSupported: name = "NotSupported"; break;
       case Code::kInternal: name = "Internal"; break;
+      case Code::kAborted: name = "Aborted"; break;
     }
     if (msg_.empty()) return name;
     return name + ": " + msg_;

@@ -1,0 +1,443 @@
+// Randomized snapshot-isolation checker (DESIGN.md §15).
+//
+// Workers run a seeded concurrent retrieve/update mix against one MVCC
+// database while recording a history: every retrieve keeps its snapshot
+// timestamp and the exact (OID, value) pairs it returned; every update
+// keeps its commit timestamp, targets, and its globally unique marker
+// value. After the workers join, the checker replays the recorded commit
+// history into per-OID version chains and verifies:
+//
+//   * Snapshot consistency — each retrieve saw, for every OID, exactly
+//     the newest commit at or before its snapshot timestamp (the
+//     generation ground truth supplies the pre-history base value). A
+//     torn read — observing a commit on one OID but missing an earlier
+//     commit on another — cannot pass this check.
+//   * No lost updates — all commit timestamps are distinct, and after a
+//     quiescent fold a plain (non-snapshot) scan shows the newest commit
+//     for every updated OID: first-committer-wins never silently dropped
+//     a committed write.
+//
+// The strategy under the snapshot reads rotates with the seed across all
+// nine paper strategies plus the adaptive planner, and the same harness
+// runs against a 4-shard store (per-shard snapshots, so the sharded pass
+// checks per-OID membership plus post-fold replica convergence rather
+// than one global timestamp order).
+//
+// Seeds default to 50; the nightly sweep sets OBJREP_SI_SEEDS=200.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/strategy.h"
+#include "mvcc/apply.h"
+#include "mvcc/engine.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+#include "shard/engine.h"
+#include "shard/sharded_db.h"
+#include "util/random.h"
+
+namespace objrep {
+namespace {
+
+constexpr StrategyKind kAllKinds[] = {
+    StrategyKind::kDfs,           StrategyKind::kBfs,
+    StrategyKind::kBfsNoDup,      StrategyKind::kDfsCache,
+    StrategyKind::kDfsClust,      StrategyKind::kSmart,
+    StrategyKind::kDfsClustCache, StrategyKind::kBfsJoinIndex,
+    StrategyKind::kBfsHash,       StrategyKind::kAdaptive,
+};
+
+constexpr uint32_t kWorkers = 4;
+constexpr uint32_t kOpsPerWorker = 24;
+constexpr double kPrUpdate = 0.35;
+
+int NumSeeds() {
+  const char* env = std::getenv("OBJREP_SI_SEEDS");
+  if (env != nullptr) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 50;
+}
+
+/// Random spec with every structure built so any strategy (and the
+/// adaptive planner) can run; mirrors strategy_oracle_test's constraints.
+DatabaseSpec RandomSpec(uint64_t seed) {
+  Rng rng(seed * 2654435761u + 71);
+  DatabaseSpec spec;
+  const uint32_t uses[] = {1, 2, 5};
+  spec.use_factor = uses[rng.Uniform(3)];
+  spec.overlap_factor = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  spec.size_unit = 2 + static_cast<uint32_t>(rng.Uniform(6));
+  spec.num_child_rels = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  uint32_t m = 8 + static_cast<uint32_t>(rng.Uniform(17));
+  spec.num_parents =
+      spec.use_factor * spec.overlap_factor * spec.num_child_rels * m;
+  spec.buffer_pages = 40 + static_cast<uint32_t>(rng.Uniform(60));
+  spec.build_cache = true;
+  spec.size_cache = 8 + static_cast<uint32_t>(rng.Uniform(24));
+  spec.cache_buckets = 16;
+  spec.build_cluster = true;
+  spec.build_join_index = true;
+  spec.enable_wal = true;
+  spec.enable_mvcc = true;
+  spec.seed = seed + 9000;
+  return spec;
+}
+
+/// One observed snapshot read: the timestamp and the exact pairs.
+struct RecordedRetrieve {
+  uint64_t read_ts = 0;
+  std::vector<uint64_t> oids;  // packed
+  std::vector<int32_t> values;
+};
+
+/// One committed update: its timestamp, targets, and unique marker.
+struct RecordedUpdate {
+  uint64_t commit_ts = 0;
+  std::vector<uint64_t> targets;  // packed
+  int32_t value = 0;
+};
+
+struct WorkerHistory {
+  Status status;
+  std::vector<RecordedRetrieve> retrieves;
+  std::vector<RecordedUpdate> updates;
+};
+
+/// Globally unique marker for worker `w`'s `i`-th update; disjoint from
+/// every generated base ret1 and from other tests' markers.
+int32_t Marker(uint32_t w, uint32_t i) {
+  return static_cast<int32_t>(5000000 + w * 100000 + i);
+}
+
+Query RandomRetrieveQuery(Rng* rng, uint32_t num_parents) {
+  Query q;
+  q.kind = Query::Kind::kRetrieve;
+  q.num_top =
+      1 + static_cast<uint32_t>(rng->Uniform(std::min(num_parents, 16u)));
+  q.lo_parent =
+      static_cast<uint32_t>(rng->Uniform(num_parents - q.num_top + 1));
+  q.attr_index = 0;  // the updated attribute — the one worth checking
+  return q;
+}
+
+Query RandomUpdateQuery(Rng* rng, const ComplexDatabase& db, uint32_t w,
+                        uint32_t i) {
+  const uint32_t children_per_rel =
+      db.spec.num_children_total() / db.spec.num_child_rels;
+  Query q;
+  q.kind = Query::Kind::kUpdate;
+  const uint32_t batch = 1 + static_cast<uint32_t>(rng->Uniform(3));
+  std::set<uint64_t> in_query;
+  for (uint32_t b = 0; b < batch; ++b) {
+    uint32_t r = static_cast<uint32_t>(rng->Uniform(db.spec.num_child_rels));
+    uint32_t k = static_cast<uint32_t>(rng->Uniform(children_per_rel));
+    Oid oid{db.child_rels[r]->rel_id(), k};
+    // Distinct targets within one query; overlap across workers is the
+    // point (it exercises first-committer-wins).
+    if (in_query.insert(oid.Packed()).second) q.update_targets.push_back(oid);
+  }
+  q.new_ret1 = Marker(w, i);
+  return q;
+}
+
+/// Base (pre-history) ret1 of every child OID, from generation ground
+/// truth. The checker's "version zero".
+std::map<uint64_t, int32_t> BaseValues(const ComplexDatabase& db) {
+  std::map<uint64_t, int32_t> base;
+  for (size_t r = 0; r < db.child_rels.size(); ++r) {
+    for (uint32_t k = 0; k < db.child_rows[r].size(); ++k) {
+      Oid oid{db.child_rels[r]->rel_id(), k};
+      base[oid.Packed()] = db.child_rows[r][k].ret1;
+    }
+  }
+  return base;
+}
+
+/// Per-OID commit history (commit_ts ascending), rebuilt from what the
+/// workers recorded — the checker's independent model of the run.
+std::map<uint64_t, std::vector<std::pair<uint64_t, int32_t>>> VersionModel(
+    const std::vector<WorkerHistory>& histories) {
+  std::map<uint64_t, std::vector<std::pair<uint64_t, int32_t>>> model;
+  for (const WorkerHistory& h : histories) {
+    for (const RecordedUpdate& u : h.updates) {
+      for (uint64_t packed : u.targets) {
+        model[packed].push_back({u.commit_ts, u.value});
+      }
+    }
+  }
+  for (auto& [packed, chain] : model) {
+    std::sort(chain.begin(), chain.end());
+  }
+  return model;
+}
+
+/// The value a snapshot at `ts` must see for `packed`: the newest commit
+/// at or before ts, else the base value.
+int32_t ExpectedAt(
+    const std::map<uint64_t, std::vector<std::pair<uint64_t, int32_t>>>&
+        model,
+    const std::map<uint64_t, int32_t>& base, uint64_t packed, uint64_t ts) {
+  auto it = model.find(packed);
+  if (it != model.end()) {
+    const auto& chain = it->second;
+    auto pos = std::upper_bound(
+        chain.begin(), chain.end(),
+        std::pair<uint64_t, int32_t>{ts, INT32_MAX});
+    if (pos != chain.begin()) return std::prev(pos)->second;
+  }
+  return base.at(packed);
+}
+
+TEST(MvccSiCheckerTest, ConcurrentHistoriesAreSnapshotConsistent) {
+  const int seeds = NumSeeds();
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed));
+    ASSERT_TRUE(spec.Validate().ok());
+    StrategyKind kind =
+        kAllKinds[static_cast<size_t>(seed) % std::size(kAllKinds)];
+    SCOPED_TRACE(StrategyKindName(kind));
+
+    std::unique_ptr<ComplexDatabase> db;
+    ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+    ASSERT_NE(db->mvcc, nullptr);
+
+    std::vector<std::unique_ptr<Strategy>> sessions(kWorkers);
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      ASSERT_TRUE(
+          MakeStrategy(kind, db.get(), StrategyOptions{}, &sessions[w]).ok());
+    }
+
+    std::vector<WorkerHistory> histories(kWorkers);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kWorkers);
+      for (uint32_t w = 0; w < kWorkers; ++w) {
+        threads.emplace_back([&, w] {
+          Rng rng = Rng(static_cast<uint64_t>(seed) * 7919 + 13).ForStream(w);
+          WorkerHistory& h = histories[w];
+          uint32_t updates = 0;
+          for (uint32_t i = 0; i < kOpsPerWorker; ++i) {
+            if (rng.Bernoulli(kPrUpdate)) {
+              Query q = RandomUpdateQuery(&rng, *db, w, updates++);
+              RecordedUpdate rec;
+              rec.value = q.new_ret1;
+              for (const Oid& oid : q.update_targets) {
+                rec.targets.push_back(oid.Packed());
+              }
+              h.status = mvcc::MvccUpdate(db.get(), q, &rec.commit_ts);
+              if (!h.status.ok()) return;
+              h.updates.push_back(std::move(rec));
+            } else {
+              Query q = RandomRetrieveQuery(&rng, spec.num_parents);
+              RetrieveResult result;
+              RecordedRetrieve rec;
+              h.status = mvcc::SnapshotRetrieve(sessions[w].get(), db.get(),
+                                                q, &result, &rec.read_ts);
+              if (!h.status.ok()) return;
+              for (const Oid& oid : result.oids) {
+                rec.oids.push_back(oid.Packed());
+              }
+              rec.values = std::move(result.values);
+              h.retrieves.push_back(std::move(rec));
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      ASSERT_TRUE(histories[w].status.ok())
+          << "worker " << w << ": " << histories[w].status.ToString();
+    }
+
+    // --- Check 1: all commit timestamps are distinct (every committed
+    // update owns one version; nothing was overwritten in place).
+    std::set<uint64_t> commit_ts;
+    uint64_t total_updates = 0;
+    for (const WorkerHistory& h : histories) {
+      for (const RecordedUpdate& u : h.updates) {
+        EXPECT_TRUE(commit_ts.insert(u.commit_ts).second)
+            << "duplicate commit_ts " << u.commit_ts;
+        ++total_updates;
+      }
+    }
+    EXPECT_EQ(db->mvcc->stats().commits, total_updates);
+
+    // --- Check 2: snapshot consistency. Every retrieve must have seen
+    // exactly the committed prefix at its snapshot timestamp.
+    std::map<uint64_t, int32_t> base = BaseValues(*db);
+    auto model = VersionModel(histories);
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      for (size_t r = 0; r < histories[w].retrieves.size(); ++r) {
+        const RecordedRetrieve& rec = histories[w].retrieves[r];
+        ASSERT_EQ(rec.oids.size(), rec.values.size());
+        for (size_t i = 0; i < rec.oids.size(); ++i) {
+          EXPECT_EQ(rec.values[i],
+                    ExpectedAt(model, base, rec.oids[i], rec.read_ts))
+              << "worker " << w << " retrieve " << r << " oid "
+              << rec.oids[i] << " @ ts " << rec.read_ts;
+          if (HasFailure()) return;
+        }
+      }
+    }
+
+    // --- Check 3: no lost updates. After the quiescent fold, a plain
+    // (lock- and snapshot-free) scan shows the newest commit per OID.
+    Status fold = mvcc::FoldMvcc(db.get());
+    ASSERT_TRUE(fold.ok()) << fold.ToString();
+    Query scan;
+    scan.kind = Query::Kind::kRetrieve;
+    scan.lo_parent = 0;
+    scan.num_top = spec.num_parents;
+    scan.attr_index = 0;
+    RetrieveResult result;
+    ASSERT_TRUE(sessions[0]->ExecuteRetrieve(scan, &result).ok());
+    ASSERT_EQ(result.oids.size(), result.values.size());
+    const uint64_t final_ts = db->mvcc->clock();
+    for (size_t i = 0; i < result.oids.size(); ++i) {
+      EXPECT_EQ(result.values[i],
+                ExpectedAt(model, base, result.oids[i].Packed(), final_ts))
+          << "post-fold oid " << result.oids[i].Packed();
+      if (HasFailure()) return;
+    }
+  }
+}
+
+/// Sharded pass: per-shard snapshots mean a cross-shard retrieve has no
+/// single global timestamp, so the checker verifies (a) membership —
+/// every observed value is the base value or some committed marker for
+/// that OID — and (b) post-fold convergence: every replica of every
+/// updated OID folded to the same value, and that value is one of the
+/// recorded markers.
+TEST(MvccSiCheckerTest, ShardedRunConvergesAndReadsAreWellFormed) {
+  const int seeds = std::max(1, NumSeeds() / 2);
+  constexpr uint32_t kNumShards = 4;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed) + 500);
+    ASSERT_TRUE(spec.Validate().ok());
+    StrategyKind kind =
+        kAllKinds[static_cast<size_t>(seed) % std::size(kAllKinds)];
+    SCOPED_TRACE(StrategyKindName(kind));
+
+    std::unique_ptr<shard::ShardedDatabase> sdb;
+    ASSERT_TRUE(shard::BuildShardedDatabase(spec, kNumShards, &sdb).ok());
+    shard::ShardedEngine engine(sdb.get(), StrategyOptions{});
+
+    std::vector<WorkerHistory> histories(kWorkers);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kWorkers);
+      for (uint32_t w = 0; w < kWorkers; ++w) {
+        threads.emplace_back([&, w] {
+          Rng rng =
+              Rng(static_cast<uint64_t>(seed) * 6007 + 29).ForStream(w);
+          WorkerHistory& h = histories[w];
+          uint32_t updates = 0;
+          for (uint32_t i = 0; i < kOpsPerWorker; ++i) {
+            if (rng.Bernoulli(kPrUpdate)) {
+              Query q =
+                  RandomUpdateQuery(&rng, *sdb->reference, w, updates++);
+              RecordedUpdate rec;
+              rec.value = q.new_ret1;
+              for (const Oid& oid : q.update_targets) {
+                rec.targets.push_back(oid.Packed());
+              }
+              h.status = engine.ExecuteUpdate(kind, q);
+              if (!h.status.ok()) return;
+              h.updates.push_back(std::move(rec));
+            } else {
+              Query q = RandomRetrieveQuery(&rng, spec.num_parents);
+              RetrieveResult result;
+              h.status = engine.ExecuteRetrieve(kind, q, &result);
+              if (!h.status.ok()) return;
+              RecordedRetrieve rec;
+              for (const Oid& oid : result.oids) {
+                rec.oids.push_back(oid.Packed());
+              }
+              rec.values = std::move(result.values);
+              h.retrieves.push_back(std::move(rec));
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      ASSERT_TRUE(histories[w].status.ok())
+          << "worker " << w << ": " << histories[w].status.ToString();
+    }
+
+    // Candidate values per OID: base plus every committed marker.
+    std::map<uint64_t, int32_t> base = BaseValues(*sdb->reference);
+    std::map<uint64_t, std::set<int32_t>> candidates;
+    for (const WorkerHistory& h : histories) {
+      for (const RecordedUpdate& u : h.updates) {
+        for (uint64_t packed : u.targets) candidates[packed].insert(u.value);
+      }
+    }
+
+    // --- Check 1: membership. A value outside the candidate set would
+    // mean a torn or phantom read on some shard.
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      for (const RecordedRetrieve& rec : histories[w].retrieves) {
+        ASSERT_EQ(rec.oids.size(), rec.values.size());
+        for (size_t i = 0; i < rec.oids.size(); ++i) {
+          const int32_t v = rec.values[i];
+          bool ok = v == base.at(rec.oids[i]);
+          if (!ok) {
+            auto it = candidates.find(rec.oids[i]);
+            ok = it != candidates.end() && it->second.count(v) > 0;
+          }
+          EXPECT_TRUE(ok) << "worker " << w << " oid " << rec.oids[i]
+                          << " observed foreign value " << v;
+          if (HasFailure()) return;
+        }
+      }
+    }
+
+    // --- Check 2: post-fold replica convergence. The engine-level OID
+    // stripes order conflicting updates identically on every holder, so
+    // after folding all shards every replica must carry the same marker.
+    ASSERT_TRUE(engine.FoldAll().ok());
+    for (const auto& [packed, markers] : candidates) {
+      const std::vector<uint32_t>& holders =
+          sdb->router.HoldersOf(packed);
+      ASSERT_FALSE(holders.empty());
+      bool have = false;
+      int32_t converged = 0;
+      for (uint32_t k : holders) {
+        Table* rel =
+            sdb->shards[k]->ChildRelById(Oid::FromPacked(packed).rel);
+        ASSERT_NE(rel, nullptr);
+        std::vector<Value> row;
+        ASSERT_TRUE(rel->Get(Oid::FromPacked(packed).key, &row).ok());
+        const int32_t v = row[kChildRet1].as_int32();
+        if (!have) {
+          converged = v;
+          have = true;
+        } else {
+          EXPECT_EQ(converged, v)
+              << "oid " << packed << " diverged on shard " << k;
+        }
+      }
+      EXPECT_TRUE(markers.count(converged) > 0)
+          << "oid " << packed << " folded to non-marker " << converged;
+      if (HasFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace objrep

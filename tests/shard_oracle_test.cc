@@ -28,6 +28,8 @@
 #include "core/strategy.h"
 #include "objstore/database.h"
 #include "objstore/workload.h"
+#include "mvcc/apply.h"
+#include "mvcc/engine.h"
 #include "shard/engine.h"
 #include "shard/sharded_db.h"
 #include "storage/fault_injector.h"
@@ -288,6 +290,146 @@ TEST(ShardOracleTest, OneShardCrashRecoveryConvergesToSingleEngine) {
     if (HasFailure()) return;
   }
   // The sweep is vacuous if no seed actually crashed a shard.
+  EXPECT_GE(crashed_runs, 1) << "no run crashed the armed shard";
+}
+
+// --- MVCC differential with crash + recovery (DESIGN.md §15) ------------
+//
+// The same sharded-vs-single contract under MVCC execution at a swept
+// update probability: snapshot retrieves and version-store commits on a
+// 4-shard store must answer exactly like the single MVCC engine, one
+// shard crashes on its WAL commit path mid-run and is recovered + the
+// failed query replayed, and after quiescent folds on both sides the full
+// scans must agree — recovery and the replica fan-out may not lose or
+// reorder any committed update.
+
+constexpr double kMvccUpdateMix[] = {0.0, 0.1, 0.3};
+
+/// RandomQueries with a parameterized update probability (the Figure-5
+/// update-mix axis), same global-uniqueness discipline.
+std::vector<Query> MvccMixQueries(uint64_t seed, const ComplexDatabase& db,
+                                  double pr_update) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 47);
+  const uint32_t num_parents = db.spec.num_parents;
+  const uint32_t children_per_rel =
+      db.spec.num_children_total() / db.spec.num_child_rels;
+  std::set<uint64_t> used;
+  std::vector<Query> qs;
+  uint32_t updates = 0;
+  const uint32_t n = 10 + static_cast<uint32_t>(rng.Uniform(5));
+  for (uint32_t i = 0; i < n; ++i) {
+    Query q;
+    if (rng.Bernoulli(pr_update)) {
+      q.kind = Query::Kind::kUpdate;
+      uint32_t batch = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      for (uint32_t b = 0; b < batch; ++b) {
+        for (int tries = 0; tries < 64; ++tries) {
+          uint32_t r =
+              static_cast<uint32_t>(rng.Uniform(db.spec.num_child_rels));
+          uint32_t k = static_cast<uint32_t>(rng.Uniform(children_per_rel));
+          Oid oid{db.child_rels[r]->rel_id(), k};
+          if (used.insert(oid.Packed()).second) {
+            q.update_targets.push_back(oid);
+            break;
+          }
+        }
+      }
+      if (q.update_targets.empty()) continue;
+      q.new_ret1 = static_cast<int32_t>(8000000 + updates);
+      ++updates;
+    } else {
+      q.kind = Query::Kind::kRetrieve;
+      q.num_top = 1 + static_cast<uint32_t>(
+                          rng.Uniform(std::min(num_parents, 20u)));
+      q.lo_parent =
+          static_cast<uint32_t>(rng.Uniform(num_parents - q.num_top + 1));
+      q.attr_index = static_cast<int>(rng.Uniform(3));
+    }
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+TEST(ShardOracleTest, MvccCrashRecoveryConvergesToSingleEngine) {
+  const int seeds = NumSeeds();
+  constexpr uint32_t kNumShards = 4;
+  int crashed_runs = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed));
+    spec.enable_mvcc = true;
+    const double pr_update = kMvccUpdateMix[static_cast<size_t>(seed) % 3];
+    StrategyKind kind =
+        kAllStrategies[static_cast<size_t>(seed) % std::size(kAllStrategies)];
+    SCOPED_TRACE(std::string(StrategyKindName(kind)) + " pr_update " +
+                 std::to_string(pr_update));
+
+    std::unique_ptr<ComplexDatabase> db;
+    ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+    std::vector<Query> queries =
+        MvccMixQueries(static_cast<uint64_t>(seed), *db, pr_update);
+    std::unique_ptr<Strategy> strategy;
+    ASSERT_TRUE(
+        MakeStrategy(kind, db.get(), StrategyOptions{}, &strategy).ok());
+
+    std::unique_ptr<shard::ShardedDatabase> sdb;
+    ASSERT_TRUE(shard::BuildShardedDatabase(spec, kNumShards, &sdb).ok());
+    shard::ShardedEngine engine(sdb.get(), StrategyOptions{});
+    const uint32_t victim = static_cast<uint32_t>(seed) % kNumShards;
+    // The WAL commit path fires on MVCC commits and on cache installs, so
+    // both read- and write-heavy mixes can crash the victim.
+    sdb->shards[victim]->disk->fault_injector()->ArmCrash(
+        "wal.commit.after_sync", 1 + static_cast<uint32_t>(seed % 3));
+
+    for (const Query& q : queries) {
+      if (q.kind == Query::Kind::kRetrieve) {
+        RetrieveResult single;
+        ASSERT_TRUE(mvcc::SnapshotRetrieve(strategy.get(), db.get(), q,
+                                           &single).ok());
+        RetrieveResult sharded;
+        Status s = engine.ExecuteRetrieve(kind, q, &sharded);
+        if (!s.ok()) {
+          ASSERT_TRUE(sdb->shards[victim]->disk->fault_injector()->crashed())
+              << "non-crash failure: " << s.ToString();
+          ++crashed_runs;
+          RecoveryReport rep;
+          ASSERT_TRUE(RecoverDatabase(sdb->shards[victim].get(), &rep).ok());
+          sharded = RetrieveResult{};
+          ASSERT_TRUE(engine.ExecuteRetrieve(kind, q, &sharded).ok());
+        }
+        ExpectSameAnswer(kind, single, sharded);
+      } else {
+        ASSERT_TRUE(mvcc::MvccUpdate(db.get(), q).ok());
+        Status s = engine.ExecuteUpdate(kind, q);
+        if (!s.ok()) {
+          ASSERT_TRUE(sdb->shards[victim]->disk->fault_injector()->crashed())
+              << "non-crash failure: " << s.ToString();
+          ++crashed_runs;
+          RecoveryReport rep;
+          ASSERT_TRUE(RecoverDatabase(sdb->shards[victim].get(), &rep).ok());
+          // Replay: absolute values absorb idempotently on the holders
+          // that committed before the crash.
+          ASSERT_TRUE(engine.ExecuteUpdate(kind, q).ok());
+        }
+      }
+      if (HasFailure()) return;
+    }
+
+    // Quiescent folds on both sides, then the scans must agree exactly.
+    sdb->shards[victim]->disk->fault_injector()->ClearCrash();
+    ASSERT_TRUE(mvcc::FoldMvcc(db.get()).ok());
+    ASSERT_TRUE(engine.FoldAll().ok());
+    Query scan;
+    scan.kind = Query::Kind::kRetrieve;
+    scan.lo_parent = 0;
+    scan.num_top = spec.num_parents;
+    scan.attr_index = 0;
+    RetrieveResult single, sharded;
+    ASSERT_TRUE(strategy->ExecuteRetrieve(scan, &single).ok());
+    ASSERT_TRUE(engine.ExecuteRetrieve(kind, scan, &sharded).ok());
+    ExpectSameAnswer(kind, single, sharded);
+    if (HasFailure()) return;
+  }
   EXPECT_GE(crashed_runs, 1) << "no run crashed the armed shard";
 }
 

@@ -16,9 +16,12 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/strategy.h"
+#include "mvcc/apply.h"
+#include "mvcc/engine.h"
 #include "objstore/database.h"
 #include "objstore/workload.h"
 #include "storage/fault_injector.h"
@@ -310,6 +313,206 @@ TEST(StrategyOracleTest, RecoveryAfterCrashReproducesOracleAnswer) {
   }
   // The sweep is vacuous if the random (strategy, point, workload) triples
   // rarely crash; require a real share of the seeds to exercise recovery.
+  EXPECT_GE(crashed_runs, seeds / 4)
+      << "only " << crashed_runs << "/" << seeds << " runs crashed";
+}
+
+// --- MVCC concurrent crash + recovery (DESIGN.md §15) -------------------
+//
+// Workers run a concurrent snapshot-read/version-write mix at a swept
+// update probability while a WAL crash point is armed. After the crash,
+// recovery must leave the base holding, per OID, the newest committed
+// marker — with the single in-flight commit (commits are serialized) as
+// the only permitted ambiguity. Seeds with Pr(UPDATE) = 0 double as a
+// read-only control: crashes can then only come from cache installs, and
+// recovery must reproduce the untouched base.
+
+constexpr double kMvccUpdateMix[] = {0.0, 0.1, 0.3};
+
+/// A committed MVCC update as its worker observed it.
+struct CommittedUpdate {
+  uint64_t commit_ts = 0;
+  std::vector<uint64_t> targets;  // packed
+  int32_t value = 0;
+};
+
+/// An update whose MvccUpdate call failed at the crash: it may or may not
+/// have reached the durable log (commit sync is the commit point).
+struct AmbiguousUpdate {
+  std::vector<uint64_t> targets;  // packed
+  int32_t value = 0;
+};
+
+struct MvccWorkerLog {
+  Status status;
+  bool crashed = false;  // status failed because the volume went down
+  std::vector<CommittedUpdate> committed;
+  std::vector<AmbiguousUpdate> ambiguous;
+};
+
+TEST(StrategyOracleTest, MvccConcurrentCrashRecoveryKeepsCommittedUpdates) {
+  const int seeds = NumSeeds();
+  constexpr uint32_t kThreads = 4;
+  constexpr uint32_t kOps = 24;
+  // WAL commit-path points: they fire on every MVCC commit (and on cache
+  // installs), so armed seeds with updates reliably crash.
+  const char* const wal_points[] = {"wal.commit.begin",
+                                    "wal.commit.before_sync", "wal.sync.torn",
+                                    "wal.commit.after_sync"};
+  int crashed_runs = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DatabaseSpec spec = RandomSpec(static_cast<uint64_t>(seed));
+    spec.enable_mvcc = true;
+    const double pr_update = kMvccUpdateMix[static_cast<size_t>(seed) % 3];
+    StrategyKind kind =
+        kAllStrategies[static_cast<size_t>(seed) % std::size(kAllStrategies)];
+    SCOPED_TRACE(std::string(StrategyKindName(kind)) + " pr_update " +
+                 std::to_string(pr_update));
+
+    std::unique_ptr<ComplexDatabase> db;
+    ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+    std::vector<std::unique_ptr<Strategy>> sessions(kThreads);
+    for (uint32_t w = 0; w < kThreads; ++w) {
+      ASSERT_TRUE(
+          MakeStrategy(kind, db.get(), StrategyOptions{}, &sessions[w]).ok());
+    }
+    // A mid-run hit so some commits land before the crash.
+    db->disk->fault_injector()->ArmCrash(
+        wal_points[static_cast<size_t>(seed) % std::size(wal_points)],
+        2 + static_cast<uint64_t>(seed % 5));
+
+    const uint32_t children_per_rel =
+        spec.num_children_total() / spec.num_child_rels;
+    std::vector<MvccWorkerLog> logs(kThreads);
+    {
+      std::vector<std::thread> threads;
+      for (uint32_t w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&, w] {
+          Rng rng =
+              Rng(static_cast<uint64_t>(seed) * 104729 + 7).ForStream(w);
+          MvccWorkerLog& log = logs[w];
+          for (uint32_t i = 0; i < kOps; ++i) {
+            if (db->disk->fault_injector()->crashed()) break;
+            if (rng.Bernoulli(pr_update)) {
+              Query q;
+              q.kind = Query::Kind::kUpdate;
+              uint32_t r = static_cast<uint32_t>(
+                  rng.Uniform(spec.num_child_rels));
+              uint32_t k =
+                  static_cast<uint32_t>(rng.Uniform(children_per_rel));
+              q.update_targets.push_back(Oid{db->child_rels[r]->rel_id(), k});
+              q.new_ret1 = static_cast<int32_t>(7000000 + w * 100000 + i);
+              CommittedUpdate rec;
+              rec.value = q.new_ret1;
+              rec.targets.push_back(q.update_targets[0].Packed());
+              Status s = mvcc::MvccUpdate(db.get(), q, &rec.commit_ts);
+              if (s.ok()) {
+                log.committed.push_back(std::move(rec));
+              } else {
+                log.status = s;
+                log.crashed = db->disk->fault_injector()->crashed();
+                log.ambiguous.push_back(
+                    AmbiguousUpdate{std::move(rec.targets), rec.value});
+                return;
+              }
+            } else {
+              Query q;
+              q.kind = Query::Kind::kRetrieve;
+              q.num_top = 1 + static_cast<uint32_t>(
+                                  rng.Uniform(std::min(spec.num_parents, 8u)));
+              q.lo_parent = static_cast<uint32_t>(
+                  rng.Uniform(spec.num_parents - q.num_top + 1));
+              q.attr_index = 0;
+              RetrieveResult result;
+              Status s = mvcc::SnapshotRetrieve(sessions[w].get(), db.get(),
+                                                q, &result);
+              if (!s.ok()) {
+                log.status = s;
+                log.crashed = db->disk->fault_injector()->crashed();
+                return;
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+
+    bool crashed = false;
+    for (const MvccWorkerLog& log : logs) {
+      if (log.status.ok()) continue;
+      ASSERT_TRUE(log.crashed)
+          << "non-crash failure: " << log.status.ToString();
+      crashed = true;
+    }
+
+    if (crashed) {
+      ++crashed_runs;
+      RecoveryReport rep;
+      ASSERT_TRUE(RecoverDatabase(db.get(), &rep).ok());
+    } else {
+      // The workload never reached the armed hit count; disarm so the
+      // fold's own WAL commits don't trip it mid-verification.
+      db->disk->fault_injector()->ClearCrash();
+      ASSERT_TRUE(mvcc::FoldMvcc(db.get()).ok());
+    }
+
+    // Newest committed marker per OID, from the recorded histories.
+    std::map<uint64_t, std::pair<uint64_t, int32_t>> newest;  // ts, value
+    for (const MvccWorkerLog& log : logs) {
+      for (const CommittedUpdate& u : log.committed) {
+        for (uint64_t packed : u.targets) {
+          auto [it, inserted] =
+              newest.insert({packed, {u.commit_ts, u.value}});
+          if (!inserted && u.commit_ts > it->second.first) {
+            it->second = {u.commit_ts, u.value};
+          }
+        }
+      }
+    }
+    std::map<uint64_t, std::set<int32_t>> ambiguous_of;
+    for (const MvccWorkerLog& log : logs) {
+      for (const AmbiguousUpdate& u : log.ambiguous) {
+        for (uint64_t packed : u.targets) {
+          ambiguous_of[packed].insert(u.value);
+        }
+      }
+    }
+
+    // Fresh session over the recovered store: the base must answer with
+    // the committed history.
+    std::unique_ptr<Strategy> scanner;
+    ASSERT_TRUE(
+        MakeStrategy(kind, db.get(), StrategyOptions{}, &scanner).ok());
+    Oracle base(*db);
+    Query scan;
+    scan.kind = Query::Kind::kRetrieve;
+    scan.lo_parent = 0;
+    scan.num_top = spec.num_parents;
+    scan.attr_index = 0;
+    RetrieveResult result;
+    ASSERT_TRUE(scanner->ExecuteRetrieve(scan, &result).ok());
+    ASSERT_EQ(result.oids.size(), result.values.size());
+    for (size_t i = 0; i < result.oids.size(); ++i) {
+      const uint64_t packed = result.oids[i].Packed();
+      const int32_t got = result.values[i];
+      int32_t expected = base.ValueOf(result.oids[i], 0);
+      if (auto it = newest.find(packed); it != newest.end()) {
+        expected = it->second.second;
+      }
+      bool ok = got == expected;
+      if (!ok && crashed) {
+        // The in-flight commit at the crash is the one permitted
+        // ambiguity: its sync may or may not have made it durable.
+        auto it = ambiguous_of.find(packed);
+        ok = it != ambiguous_of.end() && it->second.count(got) > 0;
+      }
+      EXPECT_TRUE(ok) << "oid " << packed << " holds " << got
+                      << ", expected " << expected;
+      if (HasFailure()) return;
+    }
+  }
   EXPECT_GE(crashed_runs, seeds / 4)
       << "only " << crashed_runs << "/" << seeds << " runs crashed";
 }

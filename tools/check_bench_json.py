@@ -11,6 +11,7 @@ Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
        check_bench_json.py --net FILE [--min-connections N]
                           [--baseline FILE --tolerance PCT]
        check_bench_json.py --shard FILE
+       check_bench_json.py --mvcc FILE
 
 With --metrics, FILE is instead a metrics-registry dump (the driver's
 --metrics-json output) and only its schema is validated: the three
@@ -40,6 +41,13 @@ consistent with its retrieve throughput, and the scale-out-efficiency
 floors are enforced for whichever points are present: >= 1.6x at 2
 shards and >= 2.5x at 4 (a --quick run sweeps only 1 and 2, so the
 4-shard floor binds only on the committed full sweep).
+
+With --mvcc, FILE is a bench/mvcc_contention dump (BENCH_mvcc.json):
+sweep points must be unique with self-consistent throughput and speedup
+figures, and every point at >= 8 threads with Pr(UPDATE) = 0.3 must show
+MVCC retrieving at >= 2x the 2PL rate (the acceptance floor; a --quick
+run sweeps below that point, so the floor binds only on the committed
+full sweep).
 
 With --baseline (default mode), also compares per-(strategy, prefetch,
 workers) run results against the baseline file. Two signals are checked:
@@ -315,6 +323,74 @@ def validate_shard(doc):
     return points
 
 
+# The MVCC acceptance floor (bench/mvcc_contention): at >= 8 threads and
+# Pr(UPDATE) = 0.3, snapshot execution must retrieve at >= 2x the 2PL
+# rate. A --quick run sweeps below that point, so the floor binds only on
+# the committed full-sweep JSON.
+MVCC_SPEEDUP_FLOOR = 2.0
+MVCC_FLOOR_THREADS = 8
+MVCC_FLOOR_PR_UPDATE = 0.3
+
+MVCC_POINT_FIELDS = {
+    "threads": int,
+    "pr_update": (int, float),
+    "twopl_retrieves_per_sec": (int, float),
+    "twopl_queries_per_sec": (int, float),
+    "mvcc_retrieves_per_sec": (int, float),
+    "mvcc_queries_per_sec": (int, float),
+    "retrieve_speedup": (int, float),
+}
+
+
+def validate_mvcc(doc):
+    if not isinstance(doc, dict):
+        fail("mvcc: top level is not an object")
+    if check_type(doc, "bench", str, "mvcc") != "mvcc_contention":
+        fail("mvcc: bench field is not 'mvcc_contention'")
+    check_type(doc, "strategy", str, "mvcc")
+    if check_type(doc, "duration_seconds", (int, float), "mvcc") <= 0:
+        fail("mvcc: non-positive duration")
+    if check_type(doc, "io_latency_us", int, "mvcc") < 0:
+        fail("mvcc: negative io_latency_us")
+    points = check_type(doc, "points", list, "mvcc")
+    if not points:
+        fail("mvcc: points is empty")
+    seen = set()
+    floor_points = 0
+    for p in points:
+        ctx = (f"mvcc point ({p.get('threads', '?')} threads, "
+               f"pr={p.get('pr_update', '?')})")
+        for field, types in MVCC_POINT_FIELDS.items():
+            check_type(p, field, types, ctx)
+        if p["threads"] <= 0:
+            fail(f"{ctx}: non-positive threads")
+        if not 0 <= p["pr_update"] <= 1:
+            fail(f"{ctx}: pr_update out of [0, 1]")
+        key = (p["threads"], round(p["pr_update"], 6))
+        if key in seen:
+            fail(f"{ctx}: duplicate sweep point")
+        seen.add(key)
+        for field in ("twopl_retrieves_per_sec", "mvcc_retrieves_per_sec"):
+            if p[field] <= 0:
+                fail(f"{ctx}: non-positive {field}")
+        for mode in ("twopl", "mvcc"):
+            if p[f"{mode}_queries_per_sec"] < p[f"{mode}_retrieves_per_sec"]:
+                fail(f"{ctx}: {mode} retrieves exceed total queries")
+        expect = p["mvcc_retrieves_per_sec"] / p["twopl_retrieves_per_sec"]
+        if abs(p["retrieve_speedup"] - expect) > max(1e-3, 1e-3 * expect):
+            fail(f"{ctx}: retrieve_speedup {p['retrieve_speedup']:.3f} "
+                 f"inconsistent with throughput (expected {expect:.3f})")
+        if (p["threads"] >= MVCC_FLOOR_THREADS and
+                abs(p["pr_update"] - MVCC_FLOOR_PR_UPDATE) < 1e-6):
+            floor_points += 1
+            if p["retrieve_speedup"] < MVCC_SPEEDUP_FLOOR:
+                fail(f"{ctx}: retrieve speedup {p['retrieve_speedup']:.2f}x "
+                     f"is below the {MVCC_SPEEDUP_FLOOR}x floor "
+                     f"({p['mvcc_retrieves_per_sec']:.0f} vs "
+                     f"{p['twopl_retrieves_per_sec']:.0f} retrieves/s)")
+    return points, floor_points
+
+
 NET_VERBS = ("RETRIEVE", "UPDATE", "PING")
 
 
@@ -445,6 +521,8 @@ def main():
                         help="FILE is a bench/adaptive_regret dump")
     parser.add_argument("--shard", action="store_true",
                         help="FILE is a bench/shard_scaling dump")
+    parser.add_argument("--mvcc", action="store_true",
+                        help="FILE is a bench/mvcc_contention dump")
     parser.add_argument("--max-regret", type=float, default=0.10,
                         help="worst-point regret bound for --adaptive "
                              "(fraction; negative disables the gate)")
@@ -468,13 +546,26 @@ def main():
         return
 
     if args.shard:
-        if args.baseline or args.metrics or args.adaptive or args.net:
+        if args.baseline or args.metrics or args.adaptive or args.net or \
+                args.mvcc:
             fail("--shard does not combine with other modes")
         with open(args.file) as f:
             points = validate_shard(json.load(f))
         peak = max(p["scaleout"] for p in points)
         print(f"check_bench_json: {args.file}: shard schema OK "
               f"({len(points)} points, peak scaleout {peak:.2f}x)")
+        return
+
+    if args.mvcc:
+        if args.baseline or args.metrics or args.adaptive or args.net or \
+                args.shard:
+            fail("--mvcc does not combine with other modes")
+        with open(args.file) as f:
+            points, floor_points = validate_mvcc(json.load(f))
+        peak = max(p["retrieve_speedup"] for p in points)
+        print(f"check_bench_json: {args.file}: mvcc schema OK "
+              f"({len(points)} points, {floor_points} at the floor, "
+              f"peak speedup {peak:.2f}x)")
         return
 
     if args.adaptive:

@@ -66,6 +66,7 @@ struct DriverFlags {
   int64_t io_latency_us = -1;     // --io-latency-us=U (seek per segment)
   // Durability / fault injection (DESIGN.md §10).
   int wal = -1;                 // --wal=on/off (overrides the WAL key)
+  int mvcc = -1;                // --mvcc=on/off (overrides the MVCC key)
   uint64_t fault_seed = 0;      // --fault-seed=N (injector rng)
   double fault_rate = 0;        // --fault-rate=P (per-I/O failure prob.)
   std::string fault_crash_point;  // --fault-crash-point=NAME[:HIT]
@@ -356,7 +357,8 @@ int Usage(const char* prog) {
                "usage: %s [--threads=K] [--num-queries=N] [--duration=S]\n"
                "          [--prefetch=on|off] [--readahead-pages=N] "
                "[--io-latency-us=U]\n"
-               "          [--wal=on|off] [--fault-seed=N] [--fault-rate=P]\n"
+               "          [--wal=on|off] [--mvcc=on|off] [--fault-seed=N] "
+               "[--fault-rate=P]\n"
                "          [--fault-crash-point=NAME[:HIT]]\n"
                "          [--metrics-json=FILE] [--trace-out=FILE]\n"
                "          [--metrics-interval=MS] [--strategy=NAME]\n"
@@ -404,6 +406,10 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--wal", &v)) {
       if (std::strcmp(v, "on") == 0) flags.wal = 1;
       else if (std::strcmp(v, "off") == 0) flags.wal = 0;
+      else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--mvcc", &v)) {
+      if (std::strcmp(v, "on") == 0) flags.mvcc = 1;
+      else if (std::strcmp(v, "off") == 0) flags.mvcc = 0;
       else return Usage(argv[0]);
     } else if (ParseFlag(argv[i], "--fault-seed", &v)) {
       flags.fault_seed = std::strtoull(v, nullptr, 10);
@@ -503,6 +509,7 @@ int main(int argc, char** argv) {
     config.db.io_latency_us = static_cast<uint32_t>(flags.io_latency_us);
   }
   if (flags.wal >= 0) config.db.enable_wal = flags.wal == 1;
+  if (flags.mvcc >= 0) config.db.enable_mvcc = flags.mvcc == 1;
   if (flags.shards > 0) config.shards = static_cast<uint32_t>(flags.shards);
 
   if (flags.serve) return RunServer(flags, config);
