@@ -5,6 +5,7 @@
 
 #include "obs/io_context.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "objstore/rows.h"
 #include "storage/fault_injector.h"
@@ -278,6 +279,9 @@ Status AdaptiveStrategy::ExecuteRetrieve(const Query& q,
   if (plan_metric_[idx] != nullptr) plan_metric_[idx]->Add(1);
   Trace::Instant("plan_choice", "adaptive", "kind",
                  static_cast<uint64_t>(plan));
+  if (ProfileCollector* c = ProfileCollector::Current()) {
+    c->SetPlan(static_cast<int64_t>(plan));
+  }
 
   // Observe exactly this query's physical I/O via the calling thread's
   // own counters — concurrent workers' traffic never pollutes the

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/io_context.h"
+#include "obs/trace.h"
 #include "objstore/rows.h"
 #include "record/record.h"
 #include "storage/buffer_pool.h"
@@ -58,7 +59,13 @@ Status FoldMvcc(ComplexDatabase* db) {
   // over the partially folded base, and absolute values make that
   // idempotent.
   constexpr size_t kFoldBatch = 4;
-  ScopedIoTag tag(IoTag::kUpdate);
+  // Fold I/O is background maintenance, not any query's fault: its own
+  // tag keeps it out of the retrieve/update columns. Writes inside
+  // CommitTxn still re-tag as kWal (innermost wins), exactly like the
+  // foreground update path.
+  ScopedIoTag tag(IoTag::kMvccFold);
+  TraceSpan span("mvcc_fold", "mvcc");
+  span.SetArg("chains", folded.newest.size());
   const bool txn = db->pool->wal() != nullptr;
   for (size_t lo = 0; lo < folded.newest.size(); lo += kFoldBatch) {
     const size_t hi = std::min(lo + kFoldBatch, folded.newest.size());

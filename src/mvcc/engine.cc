@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/io_context.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 
 namespace objrep {
@@ -39,6 +41,13 @@ Status MvccUpdate(ComplexDatabase* db, const Query& q, uint64_t* commit_ts,
     }
     targets.push_back(oid.Packed());
   }
+  // The commit path is logically I/O-free (in-memory version chains +
+  // in-memory WAL), so kMvccCommit usually attributes zero — the tag is
+  // here so any I/O that does leak in (a pool probe, a future spill)
+  // shows up under its own name instead of polluting "untagged".
+  ScopedIoTag tag(IoTag::kMvccCommit);
+  TraceSpan span("mvcc_commit", "mvcc");
+  span.SetArg("targets", targets.size());
   for (int attempt = 0;; ++attempt) {
     const uint64_t begin_ts = db->mvcc->clock();
     Status s = db->mvcc->CommitUpdate(begin_ts, targets, q.new_ret1,

@@ -10,6 +10,9 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+
 namespace objrep {
 namespace net {
 
@@ -24,6 +27,7 @@ Status Errno(const char* what) {
 ObjClient::ObjClient(ObjClient&& other) noexcept
     : fd_(other.fd_),
       next_id_(other.next_id_),
+      last_trace_id_(other.last_trace_id_),
       decoder_(std::move(other.decoder_)) {
   other.fd_ = -1;
 }
@@ -33,6 +37,7 @@ ObjClient& ObjClient::operator=(ObjClient&& other) noexcept {
     Close();
     fd_ = other.fd_;
     next_id_ = other.next_id_;
+    last_trace_id_ = other.last_trace_id_;
     decoder_ = std::move(other.decoder_);
     other.fd_ = -1;
   }
@@ -105,7 +110,18 @@ Status ObjClient::Call(Request req, Response* out) {
   if (req.id == 0) req.id = next_id_++;
   const uint64_t want_id = req.id;
 
-  std::string frame = EncodeFrame(EncodeRequest(req));
+  // The client owns trace identity: adopt the ambient id when the caller
+  // already opened one (a driver loop tracing several calls as one
+  // request), otherwise mint a fresh one. The id rides the frame header,
+  // so the server-side spans stitch to this client_call span by id.
+  uint64_t trace_id = CurrentTraceId();
+  if (trace_id == 0) trace_id = TraceIdGen::Next();
+  last_trace_id_ = trace_id;
+  ScopedTraceId trace_scope(trace_id);
+  TraceSpan span("client_call", "client");
+  span.SetArg("verb", static_cast<uint64_t>(req.verb));
+
+  std::string frame = EncodeFrame(EncodeRequest(req), trace_id);
   Status s = WriteAll(frame.data(), frame.size());
   if (s.ok()) s = ReadResponse(out);
   if (s.ok() && out->id != want_id) {
@@ -148,6 +164,26 @@ Status ObjClient::Retrieve(uint32_t lo_parent, uint32_t num_top,
   OBJREP_RETURN_NOT_OK(Call(std::move(req), r));
   OBJREP_RETURN_NOT_OK(AsStatus(*r));
   if (values != nullptr) *values = std::move(r->values);
+  return Status::OK();
+}
+
+Status ObjClient::RetrieveProfiled(uint32_t lo_parent, uint32_t num_top,
+                                   uint8_t attr_index,
+                                   std::vector<int32_t>* values,
+                                   std::string* profile_json,
+                                   uint8_t strategy) {
+  Request req;
+  req.verb = Verb::kRetrieve;
+  req.strategy = strategy;
+  req.flags = kReqFlagProfile;
+  req.lo_parent = lo_parent;
+  req.num_top = num_top;
+  req.attr_index = attr_index;
+  Response resp;
+  OBJREP_RETURN_NOT_OK(Call(std::move(req), &resp));
+  OBJREP_RETURN_NOT_OK(AsStatus(resp));
+  if (values != nullptr) *values = std::move(resp.values);
+  if (profile_json != nullptr) *profile_json = std::move(resp.profile_json);
   return Status::OK();
 }
 

@@ -48,7 +48,15 @@ class ObjClient {
   /// A transport or framing failure closes the connection; a server-side
   /// rejection (SERVER_BUSY, BAD_REQUEST, ...) is a *successful* call —
   /// inspect `out->status`.
+  ///
+  /// Tracing: each call mints a trace id (or adopts the ambient one when
+  /// the caller already established a ScopedTraceId) and carries it in
+  /// the v3 frame header, so the client_call span and every server-side
+  /// span for this request share one id. Read it back via last_trace_id().
   Status Call(Request req, Response* out);
+
+  /// Trace id carried by the most recent Call() (0 before the first).
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
   // Convenience wrappers. Each returns non-OK either on transport failure
   // or when the server answered with a non-OK RespStatus (the response is
@@ -60,6 +68,12 @@ class ObjClient {
                   std::vector<int32_t>* values,
                   uint8_t strategy = kDefaultStrategyByte,
                   Response* resp = nullptr);
+  /// RETRIEVE with the PROFILE flag: on success `*profile_json` holds the
+  /// server's RetrieveProfile (EXPLAIN ANALYZE) for this one request.
+  Status RetrieveProfiled(uint32_t lo_parent, uint32_t num_top,
+                          uint8_t attr_index, std::vector<int32_t>* values,
+                          std::string* profile_json,
+                          uint8_t strategy = kDefaultStrategyByte);
   /// UPDATE: set ret1 of every OID in `targets` to `new_ret1`.
   Status Update(const std::vector<Oid>& targets, int32_t new_ret1,
                 uint8_t strategy = kDefaultStrategyByte,
@@ -75,6 +89,7 @@ class ObjClient {
 
   int fd_ = -1;
   uint64_t next_id_ = 1;
+  uint64_t last_trace_id_ = 0;
   FrameDecoder decoder_;
 };
 

@@ -48,16 +48,34 @@ uint64_t GetU64(const char* p) {
          static_cast<uint64_t>(GetU32(p + 4)) << 32;
 }
 
+/// FNV-1a continued from a prior state — the frame checksum chains the
+/// trace-id bytes and the payload without concatenating them.
+uint64_t Fnv1a64Continue(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t FrameChecksum(const char* trace_bytes, const char* payload,
+                       size_t len) {
+  return Fnv1a64Continue(Fnv1a64(trace_bytes, 8), payload, len);
+}
+
 }  // namespace
 
-std::string EncodeFrame(std::string_view payload) {
+std::string EncodeFrame(std::string_view payload, uint64_t trace_id) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
   PutU32(&out, kFrameMagic);
   PutU16(&out, kProtocolVersion);
   PutU16(&out, 0);  // reserved
   PutU32(&out, static_cast<uint32_t>(payload.size()));
-  PutU64(&out, Fnv1a64(payload.data(), payload.size()));
+  PutU64(&out, trace_id);
+  PutU64(&out, FrameChecksum(out.data() + 12, payload.data(),
+                             payload.size()));
   out.append(payload.data(), payload.size());
   return out;
 }
@@ -74,7 +92,8 @@ void FrameDecoder::Feed(const void* data, size_t n) {
   buf_.append(static_cast<const char*>(data), n);
 }
 
-Status FrameDecoder::Next(std::string* payload, bool* ready) {
+Status FrameDecoder::Next(std::string* payload, bool* ready,
+                          uint64_t* trace_id) {
   *ready = false;
   if (poisoned()) return error_;
   const size_t avail = buf_.size() - consumed_;
@@ -102,12 +121,15 @@ Status FrameDecoder::Next(std::string* payload, bool* ready) {
     return error_;
   }
   if (avail < kFrameHeaderBytes + len) return Status::OK();  // mid-payload
-  const uint64_t want = GetU64(h + 12);
+  const uint64_t want = GetU64(h + 20);
   const char* body = h + kFrameHeaderBytes;
-  if (Fnv1a64(body, len) != want) {
+  // The checksum covers the trace-id bytes too: a corrupted request
+  // identity must poison the frame, not mis-stitch another request.
+  if (FrameChecksum(h + 12, body, len) != want) {
     error_ = Status::Corruption("frame: payload checksum mismatch");
     return error_;
   }
+  if (trace_id != nullptr) *trace_id = GetU64(h + 12);
   payload->assign(body, len);
   consumed_ += kFrameHeaderBytes + len;
   *ready = true;

@@ -8,15 +8,24 @@
 //     4       2     protocol version (kProtocolVersion)
 //     6       2     reserved, must be zero
 //     8       4     payload length N (bytes; 0 <= N <= kMaxPayload)
-//     12      8     FNV-1a 64 checksum of the payload bytes
-//     20      N     payload (net/protocol.h message)
+//     12      8     trace id (request identity; 0 = untraced)
+//     20      8     FNV-1a 64 checksum of trace-id bytes + payload bytes
+//     28      N     payload (net/protocol.h message)
 //
 // The version field exists because every request — including PING and
 // STATS, which the server answers in-loop without ever reaching the
 // protocol layer — must fail fast against a peer speaking a different
 // frame dialect, instead of being misparsed. Version 1 had no version
 // field; its 16-byte header is rejected by construction (the bytes at
-// offset 4 read back as a version mismatch).
+// offset 4 read back as a version mismatch). Version 2 was this header
+// without the trace-id field.
+//
+// The trace id lives in the frame header, not the protocol payload, so
+// the identity of a request is known the moment the frame is parsed —
+// before admission control, before protocol decode, and even for verbs
+// the server answers in-loop. The checksum covers the trace-id bytes as
+// well as the payload, so corruption of the id poisons the frame instead
+// of silently mis-stitching two requests' spans.
 //
 // The decoder is incremental: Feed() arbitrary chunks as the socket
 // produces them (a frame may arrive one byte at a time, or many frames in
@@ -40,17 +49,19 @@ namespace objrep {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x314A424Fu;  // "OBJ1"
-/// Bumped on any incompatible frame or protocol change. 2 = this header
-/// (version + reserved fields); 1 = the historical 16-byte header.
-inline constexpr uint16_t kProtocolVersion = 2;
-inline constexpr size_t kFrameHeaderBytes = 20;
+/// Bumped on any incompatible frame or protocol change. 3 = this header
+/// (trace-id field) + the flags/profile protocol additions; 2 = the
+/// 20-byte header without a trace id; 1 = the historical 16-byte header.
+inline constexpr uint16_t kProtocolVersion = 3;
+inline constexpr size_t kFrameHeaderBytes = 28;
 /// Largest accepted payload. Bounds per-connection memory against a
 /// hostile or corrupt length field; generous enough for a full-database
 /// RETRIEVE response (4 MiB = one million i32 values).
 inline constexpr uint32_t kMaxPayload = 4u << 20;
 
-/// Wraps `payload` in a frame (header + copy of the payload).
-std::string EncodeFrame(std::string_view payload);
+/// Wraps `payload` in a frame (header + copy of the payload), carrying
+/// `trace_id` as the request identity (0 = untraced).
+std::string EncodeFrame(std::string_view payload, uint64_t trace_id = 0);
 
 /// Incremental frame parser over a connection's inbound byte stream.
 class FrameDecoder {
@@ -59,12 +70,13 @@ class FrameDecoder {
   void Feed(const void* data, size_t n);
 
   /// Extracts the next complete frame's payload into `*payload`, setting
-  /// `*ready` = true. Sets `*ready` = false (payload untouched) when the
-  /// buffered bytes end mid-header or mid-payload — feed more and retry.
-  /// Returns Corruption on bad magic / protocol version mismatch /
-  /// nonzero reserved bytes / oversized length / checksum mismatch; every
-  /// later call returns the same error (poisoned).
-  Status Next(std::string* payload, bool* ready);
+  /// `*ready` = true and (when `trace_id` is non-null) the frame's trace
+  /// id. Sets `*ready` = false (payload untouched) when the buffered
+  /// bytes end mid-header or mid-payload — feed more and retry. Returns
+  /// Corruption on bad magic / protocol version mismatch / nonzero
+  /// reserved bytes / oversized length / checksum mismatch; every later
+  /// call returns the same error (poisoned).
+  Status Next(std::string* payload, bool* ready, uint64_t* trace_id = nullptr);
 
   /// Bytes buffered but not yet returned (mid-frame tail).
   size_t pending_bytes() const { return buf_.size() - consumed_; }

@@ -100,6 +100,7 @@ std::string EncodeRequest(const Request& req) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(req.verb));
   PutU8(&out, req.strategy);
+  PutU8(&out, req.flags);
   PutU64(&out, req.id);
   switch (req.verb) {
     case Verb::kRetrieve:
@@ -133,6 +134,9 @@ std::string EncodeResponse(const Response& resp) {
     case Verb::kRetrieve:
       PutU32(&out, static_cast<uint32_t>(resp.values.size()));
       for (int32_t v : resp.values) PutI32(&out, v);
+      // Empty unless the request asked for a profile; always framed so
+      // the decoder needs no out-of-band flag knowledge.
+      PutBytes(&out, resp.profile_json);
       break;
     case Verb::kUpdate:
       PutU32(&out, resp.updated);
@@ -158,6 +162,10 @@ Status DecodeRequest(std::string_view payload, Request* out) {
   }
   out->verb = static_cast<Verb>(verb);
   OBJREP_RETURN_NOT_OK(r.U8(&out->strategy));
+  OBJREP_RETURN_NOT_OK(r.U8(&out->flags));
+  if ((out->flags & ~kReqFlagProfile) != 0) {
+    return Status::Corruption("request: unknown flag bits");
+  }
   OBJREP_RETURN_NOT_OK(r.U64(&out->id));
   switch (out->verb) {
     case Verb::kRetrieve: {
@@ -213,7 +221,9 @@ Status DecodeResponse(std::string_view payload, Response* out) {
     case Verb::kRetrieve: {
       uint32_t n;
       OBJREP_RETURN_NOT_OK(r.U32(&n));
-      if (static_cast<size_t>(n) * 4 != r.remaining()) {
+      // Values are followed by the (possibly empty) length-prefixed
+      // profile JSON, so the list must leave at least that prefix.
+      if (static_cast<size_t>(n) * 4 + 4 > r.remaining()) {
         return Status::Corruption("response: value list length mismatch");
       }
       out->values.reserve(n);
@@ -222,6 +232,7 @@ Status DecodeResponse(std::string_view payload, Response* out) {
         OBJREP_RETURN_NOT_OK(r.I32(&v));
         out->values.push_back(v);
       }
+      OBJREP_RETURN_NOT_OK(r.Bytes(&out->profile_json));
       break;
     }
     case Verb::kUpdate:

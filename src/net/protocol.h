@@ -63,6 +63,11 @@ enum class RespStatus : uint8_t {
 /// Strategy-override byte meaning "use the server's default".
 inline constexpr uint8_t kDefaultStrategyByte = 0xFF;
 
+/// Request.flags bit: return a RetrieveProfile (EXPLAIN ANALYZE) with the
+/// response — per-tag I/O, cache hits, waits, plan choice, per-shard
+/// timing for this one request (DESIGN.md §16).
+inline constexpr uint8_t kReqFlagProfile = 0x1;
+
 struct Request {
   Verb verb = Verb::kPing;
   /// Client-chosen correlation id, echoed verbatim in the response.
@@ -70,6 +75,7 @@ struct Request {
   /// (requests execute concurrently on the worker pool).
   uint64_t id = 0;
   uint8_t strategy = kDefaultStrategyByte;
+  uint8_t flags = 0;  ///< kReqFlag* bits; unknown bits are rejected
 
   // kRetrieve
   uint32_t lo_parent = 0;
@@ -89,6 +95,8 @@ struct Response {
   std::vector<int32_t> values;  ///< kRetrieve: projected attribute values
   uint32_t updated = 0;         ///< kUpdate: targets applied
   std::string stats_json;       ///< kStats: server + registry snapshot
+  std::string profile_json;     ///< kRetrieve: RetrieveProfile JSON when
+                                ///< the request set kReqFlagProfile
   std::string error;            ///< non-kOk: human-readable reason
 };
 

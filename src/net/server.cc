@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -21,8 +22,11 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "obs/heat_map.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/thread_pool.h"
 
 namespace objrep {
@@ -170,8 +174,11 @@ struct ObjServer::Impl {
     Metrics().connections->Sub();
   }
 
-  void EnqueueResponse(const ConnPtr& c, const Response& resp) {
-    EnqueueFrame(c, EncodeFrame(EncodeResponse(resp)));
+  void EnqueueResponse(const ConnPtr& c, const Response& resp,
+                       uint64_t trace_id = 0) {
+    // Responses echo the request's trace id so the client can pair its
+    // own spans with the server's without protocol-level plumbing.
+    EnqueueFrame(c, EncodeFrame(EncodeResponse(resp), trace_id));
   }
 
   void EnqueueFrame(const ConnPtr& c, std::string frame) {
@@ -234,6 +241,9 @@ struct ObjServer::Impl {
   }
 
   std::string BuildStatsJson() {
+    // STATS doubles as the heat map's decay clock: self-limited to one
+    // decay per HeatMap::kDecayIntervalUs however often clients poll.
+    HeatMap::Global().MaybeDecay();
     std::ostringstream os;
     // The "db" section is the client's schema bootstrap: a load generator
     // needs |ParentRel| and the child relation ids to form valid
@@ -254,6 +264,11 @@ struct ObjServer::Impl {
     }
     os << "]}";
     if (engine != nullptr) {
+      // Each shard's slice of the heat ranking: the global top parents
+      // routed back to their owning shard, so a reclusterer (or operator)
+      // can see which shards carry the skew.
+      std::vector<HeatMap::ParentHeat> hot =
+          HeatMap::Global().TopParents(64);
       os << ",\"shards\":[";
       for (uint32_t k = 0; k < engine->num_shards(); ++k) {
         const ComplexDatabase& sdb = *engine->db()->shards[k];
@@ -268,7 +283,22 @@ struct ObjServer::Impl {
           os << ",\"cache_hits\":" << cs.hits
              << ",\"cache_invalidated_units\":" << cs.invalidated_units;
         }
-        os << "}";
+        os << ",\"hot_parents\":[";
+        size_t listed = 0;
+        for (const HeatMap::ParentHeat& p : hot) {
+          if (engine->db()->router.ShardOfParent(
+                  static_cast<uint32_t>(p.parent)) != k) {
+            continue;
+          }
+          if (listed++ > 0) os << ",";
+          char buf[64];
+          std::snprintf(buf, sizeof(buf),
+                        "{\"parent\":%llu,\"heat\":%.3f}",
+                        static_cast<unsigned long long>(p.parent), p.heat);
+          os << buf;
+          if (listed >= 8) break;
+        }
+        os << "]}";
       }
       os << "]";
     }
@@ -289,6 +319,11 @@ struct ObjServer::Impl {
        << ",\"max_inflight\":" << max_inflight.load(std::memory_order_relaxed)
        << ",\"default_strategy\":\""
        << StrategyKindName(service.default_strategy()) << "\""
+       << "},\"heat\":" << HeatMap::Global().ToJson(16)
+       << ",\"slow_queries\":{\"threshold_us\":"
+       << SlowQueryRing::Global().threshold_us()
+       << ",\"captured\":" << SlowQueryRing::Global().captured()
+       << ",\"entries\":" << SlowQueryRing::Global().ToJson()
        << "},\"metrics\":" << MetricsRegistry::Global().ToJson() << "}";
     return os.str();
   }
@@ -308,8 +343,11 @@ struct ObjServer::Impl {
     Trace::Instant("net_drain_begin", "net");
   }
 
-  /// Dispatches one parsed request. Loop thread.
-  void HandleRequest(const ConnPtr& c, Request req) {
+  /// Dispatches one parsed request. Loop thread. `trace_id` is the frame
+  /// header's request identity; bare clients that sent 0 get one minted
+  /// here (admission is the earliest point that owns the request).
+  void HandleRequest(const ConnPtr& c, Request req, uint64_t trace_id) {
+    if (trace_id == 0) trace_id = TraceIdGen::Next();
     switch (req.verb) {
       case Verb::kPing: {
         pings.fetch_add(1, std::memory_order_relaxed);
@@ -317,7 +355,7 @@ struct ObjServer::Impl {
         Response resp;
         resp.verb = Verb::kPing;
         resp.id = req.id;
-        EnqueueResponse(c, resp);
+        EnqueueResponse(c, resp, trace_id);
         return;
       }
       case Verb::kStats: {
@@ -325,14 +363,14 @@ struct ObjServer::Impl {
         resp.verb = Verb::kStats;
         resp.id = req.id;
         resp.stats_json = BuildStatsJson();
-        EnqueueResponse(c, resp);
+        EnqueueResponse(c, resp, trace_id);
         return;
       }
       case Verb::kShutdown: {
         Response resp;
         resp.verb = Verb::kShutdown;
         resp.id = req.id;
-        EnqueueResponse(c, resp);
+        EnqueueResponse(c, resp, trace_id);
         BeginDrain();
         return;
       }
@@ -350,7 +388,7 @@ struct ObjServer::Impl {
       resp.verb = req.verb;
       resp.id = req.id;
       resp.error = "server is draining";
-      EnqueueResponse(c, resp);
+      EnqueueResponse(c, resp, trace_id);
       return;
     }
     if (inflight_total.load(std::memory_order_relaxed) >=
@@ -363,7 +401,7 @@ struct ObjServer::Impl {
       resp.verb = req.verb;
       resp.id = req.id;
       resp.error = "in-flight budget exhausted";
-      EnqueueResponse(c, resp);
+      EnqueueResponse(c, resp, trace_id);
       return;
     }
 
@@ -372,7 +410,11 @@ struct ObjServer::Impl {
     c->inflight++;
     const Verb verb = req.verb;
     bool submitted = pool->TrySubmit(
-        [this, c, verb, req = std::move(req)]() mutable {
+        [this, c, verb, trace_id, req = std::move(req)]() mutable {
+          // Establish the request context before the first span so every
+          // event this request records — here, in the service, in the
+          // shard engines, in MVCC/WAL — carries the same trace id.
+          ScopedTraceId trace_scope(trace_id);
           TraceSpan span("net_request", "net");
           span.SetArg("verb", static_cast<uint64_t>(verb));
           uint64_t t0 = Trace::NowMicros();
@@ -381,7 +423,7 @@ struct ObjServer::Impl {
           (verb == Verb::kRetrieve ? Metrics().retrieve_us
                                    : Metrics().update_us)
               ->Record(us);
-          Completion done{c, EncodeFrame(EncodeResponse(resp))};
+          Completion done{c, EncodeFrame(EncodeResponse(resp), trace_id)};
           {
             std::lock_guard<std::mutex> l(comp_mu);
             completions.push_back(std::move(done));
@@ -401,7 +443,7 @@ struct ObjServer::Impl {
       resp.verb = verb;
       resp.id = req.id;
       resp.error = "server is draining";
-      EnqueueResponse(c, resp);
+      EnqueueResponse(c, resp, trace_id);
       return;
     }
     admitted.fetch_add(1, std::memory_order_relaxed);
@@ -413,7 +455,8 @@ struct ObjServer::Impl {
     while (!c->closed && !c->throttled) {
       std::string payload;
       bool ready = false;
-      Status s = c->decoder.Next(&payload, &ready);
+      uint64_t trace_id = 0;
+      Status s = c->decoder.Next(&payload, &ready, &trace_id);
       if (!s.ok()) {
         // Desynced stream: one final error response, then close. The
         // response still frames correctly — it is the inbound direction
@@ -445,7 +488,7 @@ struct ObjServer::Impl {
         EnqueueResponse(c, resp);
         return;
       }
-      HandleRequest(c, std::move(req));
+      HandleRequest(c, std::move(req), trace_id);
       if (c->inflight >= config.max_conn_inflight && !c->throttled) {
         c->throttled = true;
         UpdateEvents(c);
@@ -590,6 +633,11 @@ Status ObjServer::Start() {
     if (im.started) return Status::InvalidArgument("server already started");
     im.started = true;
   }
+
+  // Observability knobs are process-global (the trackers are shared with
+  // the embedded engine); the serving config is their natural owner.
+  SlowQueryRing::Global().set_threshold_us(im.config.slow_query_us);
+  HeatMap::Global().SetEnabled(im.config.enable_heat);
 
   im.listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (im.listen_fd < 0) return Errno("socket");

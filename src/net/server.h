@@ -60,6 +60,12 @@ struct ServerConfig {
   /// Graceful-drain bound: after Stop()/SHUTDOWN, connections that still
   /// cannot flush after this long are force-closed.
   double drain_timeout_s = 10.0;
+  /// Arms the slow-query ring: requests at or above this latency get their
+  /// full RetrieveProfile captured and exposed through STATS. 0 = off.
+  uint64_t slow_query_us = 0;
+  /// Keeps the traffic heat map recording while serving (the tracker is
+  /// cheap enough to leave on — see bench/obs_overhead).
+  bool enable_heat = true;
 };
 
 class ObjServer {

@@ -5,6 +5,9 @@
 
 #include "exec/query_locks.h"
 #include "mvcc/engine.h"
+#include "obs/heat_map.h"
+#include "obs/io_context.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
 
@@ -91,9 +94,49 @@ Response ObjService::Execute(const Request& req) {
   Response resp;
   resp.verb = req.verb;
   resp.id = req.id;
+
+  // Profile collection: installed when the client asked (PROFILE flag) or
+  // whenever the slow-query ring is armed — the layers below report into
+  // the thread-local collector only while one is installed, so the
+  // un-profiled path costs one thread-local load per hook.
+  const bool want_profile = req.verb == Verb::kRetrieve &&
+                            (req.flags & kReqFlagProfile) != 0;
+  const bool collect = want_profile || SlowQueryRing::Global().armed();
+  ProfileCollector collector;
+  std::unique_ptr<ProfileCollector::Scope> scope;
+  uint64_t start_us = 0;
+  IoTagBreakdown tags_before;
+  uint64_t hits_before = 0, misses_before = 0;
+  if (collect) {
+    collector.profile.trace_id = CurrentTraceId();
+    collector.profile.verb =
+        req.verb == Verb::kRetrieve ? "retrieve" : "update";
+    scope = std::make_unique<ProfileCollector::Scope>(&collector);
+    start_us = Trace::NowMicros();
+    tags_before = CurrentThreadIoTags();
+    const IoThreadState& st = CurrentIoThreadState();
+    hits_before = st.cache_hits;
+    misses_before = st.cache_misses;
+  }
+
   Status s = req.verb == Verb::kRetrieve
                  ? DoRetrieve(req, kind, lease.strategy.get(), &resp)
                  : DoUpdate(req, kind, lease.strategy.get(), &resp);
+
+  if (collect) {
+    collector.profile.total_us = Trace::NowMicros() - start_us;
+    collector.profile.io = CurrentThreadIoTags() - tags_before;
+    const IoThreadState& st = CurrentIoThreadState();
+    collector.profile.cache_hits = st.cache_hits - hits_before;
+    collector.profile.cache_misses = st.cache_misses - misses_before;
+    collector.profile.rows = resp.values.size();
+    scope.reset();
+    SlowQueryRing::Global().MaybeRecord(collector.profile);
+    if (want_profile && s.ok()) {
+      resp.profile_json = collector.profile.ToJson();
+    }
+  }
+
   if (!s.ok()) {
     RespStatus rs = s.IsInvalidArgument() ? RespStatus::kBadRequest
                                           : RespStatus::kError;
@@ -126,15 +169,37 @@ Status ObjService::DoRetrieve(const Request& req, StrategyKind kind,
   RetrieveResult result;
   if (engine_ != nullptr) {
     // Per-shard locks are taken inside the engine, one sub-query at a
-    // time — the whole point of sharding the lock manager.
+    // time — the whole point of sharding the lock manager. The engine
+    // also reports per-shard timing/IO slices into any installed
+    // profile collector.
     OBJREP_RETURN_NOT_OK(engine_->ExecuteRetrieve(kind, q, &result));
   } else if (db_->mvcc != nullptr) {
     // Snapshot read — no table S lock; the wire protocol is unchanged,
     // MVCC is purely a server-side execution mode.
     OBJREP_RETURN_NOT_OK(mvcc::SnapshotRetrieve(session, db_, q, &result));
   } else {
+    const uint64_t lock_t0 = Trace::NowMicros();
     ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
+    if (ProfileCollector* c = ProfileCollector::Current()) {
+      c->AddLockWait(Trace::NowMicros() - lock_t0);
+    }
     OBJREP_RETURN_NOT_OK(session->ExecuteRetrieve(q, &result));
+  }
+
+  // Traffic heat: the parent range this request walked, and the child
+  // relations its subobjects came from (one relaxed add per relation).
+  HeatMap& heat = HeatMap::Global();
+  if (heat.enabled()) {
+    heat.TouchParents(q.lo_parent, q.num_top);
+    uint64_t rel_counts[HeatMap::kRelSlots] = {};
+    for (const Oid& oid : result.oids) {
+      ++rel_counts[oid.rel % HeatMap::kRelSlots];
+    }
+    for (size_t r = 0; r < HeatMap::kRelSlots; ++r) {
+      if (rel_counts[r] != 0) {
+        heat.TouchRel(static_cast<uint32_t>(r), rel_counts[r]);
+      }
+    }
   }
   resp->values = std::move(result.values);
   return Status::OK();
@@ -166,6 +231,10 @@ Status ObjService::DoUpdate(const Request& req, StrategyKind kind,
 
   TraceSpan span("update", "query");
   span.SetArg("targets", q.update_targets.size());
+  HeatMap& heat = HeatMap::Global();
+  if (heat.enabled()) {
+    for (const Oid& oid : req.update_targets) heat.TouchRel(oid.rel);
+  }
   if (engine_ != nullptr) {
     // The engine fans out to every holder shard, each under its own X
     // locks and WAL transaction.
@@ -176,11 +245,19 @@ Status ObjService::DoUpdate(const Request& req, StrategyKind kind,
   if (db_->mvcc != nullptr) {
     // Version-store commit: no table X lock, conflicts only on
     // overlapping targets (first-committer-wins, retried internally).
+    const uint64_t commit_t0 = Trace::NowMicros();
     OBJREP_RETURN_NOT_OK(mvcc::MvccUpdate(db_, q));
+    if (ProfileCollector* c = ProfileCollector::Current()) {
+      c->AddCommitWait(Trace::NowMicros() - commit_t0);
+    }
     resp->updated = static_cast<uint32_t>(q.update_targets.size());
     return Status::OK();
   }
+  const uint64_t lock_t0 = Trace::NowMicros();
   ScopedLockSet held(&locks_, LockRequestsFor(*db_, q));
+  if (ProfileCollector* c = ProfileCollector::Current()) {
+    c->AddLockWait(Trace::NowMicros() - lock_t0);
+  }
   // One WAL transaction per update, the ConcurrentRunner's idiom: the X
   // table locks are already held, so wal_mu_ ranks below them (DESIGN.md
   // §10 latch order).

@@ -61,6 +61,7 @@ bool CacheManager::IsCached(uint64_t hashkey) {
   bool cached = dir_.find(hashkey) != dir_.end();
   if (!cached) {
     ++stats_.misses;
+    ++CurrentIoThreadState().cache_misses;
     Metrics().misses->Add(1);
   }
   return cached;
@@ -73,6 +74,7 @@ Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
   auto it = dir_.find(hashkey);
   if (it == dir_.end()) {
     ++stats_.misses;
+    ++CurrentIoThreadState().cache_misses;
     Metrics().misses->Add(1);
     return Status::NotFound("unit not cached");
   }
@@ -82,6 +84,7 @@ Status CacheManager::FetchUnit(uint64_t hashkey, std::string* blob) {
   lru_.push_back(hashkey);
   it->second = std::prev(lru_.end());
   ++stats_.hits;
+  ++CurrentIoThreadState().cache_hits;
   Metrics().hits->Add(1);
   return Status::OK();
 }
@@ -94,6 +97,7 @@ Status CacheManager::TryFetchUnit(uint64_t hashkey, std::string* blob,
   if (it == dir_.end()) {
     *found = false;
     ++stats_.misses;
+    ++CurrentIoThreadState().cache_misses;
     Metrics().misses->Add(1);
     return Status::OK();
   }
@@ -103,6 +107,7 @@ Status CacheManager::TryFetchUnit(uint64_t hashkey, std::string* blob,
   it->second = std::prev(lru_.end());
   *found = true;
   ++stats_.hits;
+  ++CurrentIoThreadState().cache_hits;
   Metrics().hits->Add(1);
   return Status::OK();
 }

@@ -38,6 +38,8 @@ enum class IoTag : uint8_t {
   kUpdate,       // in-place child update
   kPrefetch,     // staging-frame read-ahead (sync or async worker)
   kWal,          // commit write-through of logged pages
+  kMvccCommit,   // MVCC commit path (FCW validation + version install)
+  kMvccFold,     // MVCC fold of committed versions onto base pages
   kCount,
 };
 
@@ -57,6 +59,8 @@ inline const char* IoTagName(IoTag tag) {
     case IoTag::kUpdate: return "update";
     case IoTag::kPrefetch: return "prefetch";
     case IoTag::kWal: return "wal";
+    case IoTag::kMvccCommit: return "mvcc_commit";
+    case IoTag::kMvccFold: return "mvcc_fold";
     case IoTag::kCount: break;
   }
   return "?";
@@ -82,6 +86,10 @@ struct IoThreadState {
   uint64_t reads = 0;                 // this thread's physical reads
   uint64_t seq_reads = 0;             // ... classified sequential
   uint64_t writes = 0;                // this thread's physical writes
+  uint64_t tag_reads[kNumIoTags] = {};   // reads, split by active tag
+  uint64_t tag_writes[kNumIoTags] = {};  // writes, split by active tag
+  uint64_t cache_hits = 0;            // object-cache lookup hits
+  uint64_t cache_misses = 0;          // object-cache lookup misses
 };
 
 inline IoThreadState& CurrentIoThreadState() {
@@ -172,6 +180,22 @@ struct IoTagBreakdown {
     return *this;
   }
 };
+
+/// Snapshot of the calling thread's own per-tag physical I/O counts
+/// (monotonic for the thread's life; DiskManager bumps them at the same
+/// sites as its global per-tag slots). Delta two snapshots to get the
+/// exact per-tag I/O a bracketed piece of single-threaded work performed —
+/// the per-shard attribution feed of RetrieveProfile. Async prefetch
+/// workers bill their own thread, exactly as with the flat thread counts.
+inline IoTagBreakdown CurrentThreadIoTags() {
+  const IoThreadState& st = CurrentIoThreadState();
+  IoTagBreakdown b;
+  for (size_t i = 0; i < kNumIoTags; ++i) {
+    b.reads[i] = st.tag_reads[i];
+    b.writes[i] = st.tag_writes[i];
+  }
+  return b;
+}
 
 }  // namespace objrep
 

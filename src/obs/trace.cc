@@ -66,6 +66,9 @@ void WriteOneEvent(std::ostream& os, const TraceEvent& ev) {
      << ",\"ts\":" << ev.ts_us;
   if (ev.ph == 'X') os << ",\"dur\":" << ev.dur_us;
   if (ev.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+  // Top-level request identity; Chrome/Perfetto ignore unknown fields,
+  // tools/trace_summary.py groups spans across processes by it.
+  if (ev.trace_id != 0) os << ",\"trace\":" << ev.trace_id;
   if (ev.arg_names[0] != nullptr) {
     os << ",\"args\":{";
     for (size_t i = 0; i < 2 && ev.arg_names[i] != nullptr; ++i) {
@@ -92,6 +95,9 @@ void Trace::Record(const TraceEvent& ev) {
   ThreadBuffer& buf = LocalBuffer();
   TraceEvent stamped = ev;
   stamped.tid = buf.tid;
+  // Spans capture their request id at construction; anything else picks
+  // up the thread's current request context here.
+  if (stamped.trace_id == 0) stamped.trace_id = CurrentTraceId();
   AppendEvent(buf, stamped);
 }
 

@@ -20,6 +20,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/trace_context.h"
 #include "util/status.h"
 
 namespace objrep {
@@ -32,6 +33,7 @@ struct TraceEvent {
   uint32_t tid = 0;
   uint64_t ts_us = 0;
   uint64_t dur_us = 0;  // 'X' only
+  uint64_t trace_id = 0;  // request identity (0 = outside any request)
   const char* arg_names[2] = {nullptr, nullptr};
   uint64_t arg_vals[2] = {0, 0};
 };
@@ -90,6 +92,7 @@ class TraceSpan {
       ev_.name = name;
       ev_.cat = cat;
       ev_.ts_us = Trace::NowMicros();
+      ev_.trace_id = CurrentTraceId();
     }
   }
   ~TraceSpan() { End(); }

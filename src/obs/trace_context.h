@@ -1,0 +1,79 @@
+// Request-scoped trace identity (DESIGN.md §16).
+//
+// A trace id is a 64-bit value minted once per request — by ObjClient when
+// the request leaves the application, or by the server at admission for
+// bare clients — and carried (a) on the wire in the v3 frame header and
+// (b) across threads inside one process via this thread-local. Every trace
+// event recorded while a ScopedTraceId is active is stamped with the id,
+// so tools/trace_summary.py can stitch the spans of one request across
+// client and server processes into a single critical path.
+//
+// Cost model: reading the current id is one thread-local load; there is no
+// atomic, no lock, and nothing happens at all unless tracing or profiling
+// actually consumes the id. Id 0 means "no request context" and is never
+// minted.
+#ifndef OBJREP_OBS_TRACE_CONTEXT_H_
+#define OBJREP_OBS_TRACE_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace objrep {
+
+inline uint64_t& CurrentTraceIdRef() {
+  thread_local uint64_t id = 0;
+  return id;
+}
+
+/// The trace id of the request this thread is currently executing, or 0.
+inline uint64_t CurrentTraceId() { return CurrentTraceIdRef(); }
+
+/// RAII request-context scope. Nested scopes stack (the exec ThreadPool
+/// re-establishes the submitter's id around each task, so a worker that
+/// interleaves tasks of different requests never bleeds ids).
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t id) : prev_(CurrentTraceIdRef()) {
+    CurrentTraceIdRef() = id;
+  }
+  ~ScopedTraceId() { CurrentTraceIdRef() = prev_; }
+
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+/// Mints process-unique, never-zero trace ids. The per-process seed folds
+/// in the startup clock so ids from a client and a server started seconds
+/// apart cannot collide; the SplitMix64 finalizer spreads the sequence so
+/// ids are useful hash keys.
+class TraceIdGen {
+ public:
+  static uint64_t Next() {
+    static std::atomic<uint64_t> counter{Seed()};
+    uint64_t x = counter.fetch_add(0x9E3779B97F4A7C15ull,
+                                   std::memory_order_relaxed);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x != 0 ? x : 1;
+  }
+
+ private:
+  static uint64_t Seed() {
+    return static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count()) ^
+           (static_cast<uint64_t>(
+                std::chrono::system_clock::now().time_since_epoch().count())
+            << 1);
+  }
+};
+
+}  // namespace objrep
+
+#endif  // OBJREP_OBS_TRACE_CONTEXT_H_

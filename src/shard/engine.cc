@@ -7,7 +7,10 @@
 #include "exec/query_locks.h"
 #include "mvcc/apply.h"
 #include "mvcc/engine.h"
+#include "obs/io_context.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace objrep {
 namespace shard {
@@ -96,6 +99,19 @@ Status ShardedEngine::RunShardRetrieve(Session* session, uint32_t k,
                                        const Query& q, RetrieveResult* out) {
   ComplexDatabase* sdb = db_->shards[k].get();
   retrieve_subqueries_[k]->Add(1);
+  // Sub-queries run sequentially on the calling thread, so the
+  // thread-local per-tag I/O delta across this bracket is exactly this
+  // shard's slice of the request — the profile's per-shard sums add up
+  // to the flat counters by construction.
+  ProfileCollector* collector = ProfileCollector::Current();
+  uint64_t t0 = 0;
+  IoTagBreakdown io_before;
+  if (collector != nullptr) {
+    t0 = Trace::NowMicros();
+    io_before = CurrentThreadIoTags();
+  }
+  TraceSpan span("shard_retrieve", "shard");
+  span.SetArg("shard", k);
   if (sdb->mvcc != nullptr) {
     // Snapshot per shard sub-query: the shard's base pages are frozen
     // while MVCC is active, so no lock manager interaction is needed.
@@ -104,6 +120,10 @@ Status ShardedEngine::RunShardRetrieve(Session* session, uint32_t k,
   } else {
     ScopedLockSet locks(locks_[k].get(), LockRequestsFor(*sdb, q));
     OBJREP_RETURN_NOT_OK(session->per_shard[k]->ExecuteRetrieve(q, out));
+  }
+  if (collector != nullptr) {
+    collector->AddShard(k, Trace::NowMicros() - t0,
+                        CurrentThreadIoTags() - io_before);
   }
   if (out->values.size() != out->oids.size()) {
     return Status::Corruption("shard result values/oids out of step");

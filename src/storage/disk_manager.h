@@ -168,6 +168,7 @@ class DiskManager {
   void AttributeReads(uint64_t n) {
     IoThreadState& st = CurrentIoThreadState();
     st.reads += n;
+    st.tag_reads[static_cast<size_t>(st.tag)] += n;
     tag_reads_[static_cast<size_t>(st.tag)].fetch_add(
         n, std::memory_order_relaxed);
   }
@@ -176,6 +177,7 @@ class DiskManager {
   void AttributeWrite() {
     IoThreadState& st = CurrentIoThreadState();
     st.writes += 1;
+    st.tag_writes[static_cast<size_t>(st.tag)] += 1;
     tag_writes_[static_cast<size_t>(st.tag)].fetch_add(
         1, std::memory_order_relaxed);
   }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/disk_manager.h"
 #include "storage/fault_injector.h"
 #include "util/hash.h"
@@ -122,6 +123,11 @@ Status Wal::Sync() {
 }
 
 Status Wal::Commit(uint64_t txn) {
+  // The span opens before the mutex, so wal_mu_ queueing is charged to
+  // the request that paid it — under the trace id it inherited from the
+  // worker's ScopedTraceId.
+  TraceSpan span("wal_commit", "wal");
+  span.SetArg("txn", txn);
   std::lock_guard<std::mutex> guard(mu_);
   FaultInjector* fi = disk_->fault_injector();
   AppendRecord(kCommit, txn, nullptr, 0);
@@ -134,6 +140,8 @@ Status Wal::Commit(uint64_t txn) {
 }
 
 Status Wal::AppendApplied(uint64_t txn) {
+  TraceSpan span("wal_applied", "wal");
+  span.SetArg("txn", txn);
   std::lock_guard<std::mutex> guard(mu_);
   FaultInjector* fi = disk_->fault_injector();
   AppendRecord(kApplied, txn, nullptr, 0);

@@ -26,6 +26,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/macros.h"
 
 namespace objrep {
@@ -80,10 +81,14 @@ class ThreadPool {
     // clock read costs one steady_clock call per task — tasks here are
     // whole query sessions or vectored read batches, never per-page work.
     uint64_t enqueued_us = Trace::NowMicros();
+    // The submitter's trace id crosses the pool boundary with the task,
+    // so spans recorded by the worker stitch to the submitting request.
+    uint64_t trace_id = CurrentTraceId();
     {
       std::lock_guard<std::mutex> l(mu_);
       if (stopping_) return false;
-      queue_.emplace_back(QueuedTask{[task] { (*task)(); }, enqueued_us});
+      queue_.emplace_back(
+          QueuedTask{[task] { (*task)(); }, enqueued_us, trace_id});
       QueueMetrics().depth->Set(static_cast<int64_t>(queue_.size()));
     }
     cv_.notify_one();
@@ -107,6 +112,8 @@ class ThreadPool {
   struct QueuedTask {
     std::function<void()> fn;
     uint64_t enqueued_us = 0;
+    uint64_t trace_id = 0;  ///< submitter's request context, re-established
+                            ///< around the task's run
   };
 
   // Registry mirrors (DESIGN.md §11), shared by all pools in the process.
@@ -135,7 +142,10 @@ class ThreadPool {
       }
       uint64_t start_us = Trace::NowMicros();
       QueueMetrics().queue_wait_us->Record(start_us - task.enqueued_us);
-      task.fn();
+      {
+        ScopedTraceId trace_scope(task.trace_id);
+        task.fn();
+      }
       QueueMetrics().task_run_us->Record(Trace::NowMicros() - start_us);
     }
   }

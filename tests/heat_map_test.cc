@@ -1,0 +1,175 @@
+// Traffic heat map (DESIGN.md §16): disabled-path inertness, touch
+// accounting, skew ranking, EWMA decay/fade, stride sampling of huge
+// ranges, and the JSON export the metrics endpoint embeds. The tracker is
+// process-global, so every test starts from Reset() and restores the
+// disabled state.
+#include "obs/heat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace objrep {
+namespace {
+
+class HeatMapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HeatMap::Global().Reset();
+    HeatMap::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    HeatMap::Global().SetEnabled(false);
+    HeatMap::Global().Reset();
+  }
+};
+
+TEST_F(HeatMapTest, DisabledRecordsNothing) {
+  HeatMap::Global().SetEnabled(false);
+  HeatMap::Global().TouchParents(0, 100);
+  HeatMap::Global().TouchRel(3, 7);
+  EXPECT_EQ(HeatMap::Global().touches(), 0u);
+  EXPECT_TRUE(HeatMap::Global().TopParents(10).empty());
+  EXPECT_TRUE(HeatMap::Global().RelHeats().empty());
+}
+
+TEST_F(HeatMapTest, SkewedTouchesRankTheHotSetFirst) {
+  // Zipf-ish skew over 1000 parents: low ids drawn far more often. The
+  // top of the ranking must be the actual hot set, heat-descending —
+  // the property the PR-10 reclusterer consumes.
+  HeatMap& hm = HeatMap::Global();
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (int i = 0; i < 20000; ++i) {
+    double u = uni(rng);
+    hm.TouchParents(static_cast<uint64_t>(u * u * u * 1000), 1);
+  }
+  EXPECT_EQ(hm.touches(), 20000u);
+
+  std::vector<HeatMap::ParentHeat> top = hm.TopParents(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].heat, top[i - 1].heat) << "rank " << i;
+  }
+  // Every member of the reported top-10 comes from the hot head: with
+  // u^3 skew the first decile absorbs ~46% of all draws over 1000 slots.
+  for (const auto& p : top) {
+    EXPECT_LT(p.parent, 100u) << "cold parent ranked hot";
+  }
+}
+
+TEST_F(HeatMapTest, TouchWeightIsChargedNotJustCounted) {
+  HeatMap& hm = HeatMap::Global();
+  hm.TouchParents(5, 1);
+  hm.TouchParents(7, 1);
+  hm.TouchParents(7, 1);
+  hm.TouchParents(9, 30);  // a 30-parent range retrieve
+  std::vector<HeatMap::ParentHeat> top = hm.TopParents(3);
+  ASSERT_EQ(top.size(), 3u);
+  // Range weight spreads over the range's slots, so parent 7 (two
+  // touches) outranks every member of the 30-wide range; ties resolve
+  // parent-ascending (5 before 9).
+  EXPECT_EQ(top[0].parent, 7u);
+  EXPECT_EQ(top[1].parent, 5u);
+  EXPECT_EQ(top[2].parent, 9u);
+  EXPECT_EQ(hm.touches(), 33u);
+}
+
+TEST_F(HeatMapTest, HugeRangesAreStrideSampledAtFullWeight) {
+  HeatMap& hm = HeatMap::Global();
+  const uint64_t n = 10 * HeatMap::kMaxTouchesPerCall;
+  hm.TouchParents(0, n);  // a full-database scan
+  // Total charged weight is exact even though only kMaxTouchesPerCall
+  // slots were written.
+  EXPECT_EQ(hm.touches(), n);
+}
+
+TEST_F(HeatMapTest, RelHeatsTrackPerRelationTraffic) {
+  HeatMap& hm = HeatMap::Global();
+  hm.TouchRel(0, 10);
+  hm.TouchRel(2, 90);
+  std::vector<HeatMap::RelHeat> rels = hm.RelHeats();
+  ASSERT_EQ(rels.size(), 2u);
+  EXPECT_EQ(rels[0].rel, 2u);
+  EXPECT_GT(rels[0].heat, rels[1].heat);
+  EXPECT_EQ(rels[1].rel, 0u);
+}
+
+TEST_F(HeatMapTest, DecayFadesAnIdleParentBelowAnActiveOne) {
+  HeatMap& hm = HeatMap::Global();
+  hm.TouchParents(1, 100);  // hot yesterday
+  hm.Decay(0.5);
+  // Parent 1 goes idle; parent 2 keeps getting touched.
+  hm.TouchParents(2, 60);
+  hm.Decay(0.5);
+  hm.Decay(0.5);
+  std::vector<HeatMap::ParentHeat> top = hm.TopParents(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].parent, 2u) << "idle parent still ranked hottest";
+  EXPECT_EQ(hm.decays(), 3u);
+}
+
+TEST_F(HeatMapTest, FreshTouchesAreVisibleBeforeAnyDecay) {
+  // A burst between decay ticks must show up immediately (reads add the
+  // undecayed delta), not wait a second for the next fold.
+  HeatMap& hm = HeatMap::Global();
+  for (int i = 0; i < 5; ++i) hm.TouchParents(17, 1);
+  std::vector<HeatMap::ParentHeat> top = hm.TopParents(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].parent, 17u);
+  EXPECT_DOUBLE_EQ(top[0].heat, 5.0);
+}
+
+TEST_F(HeatMapTest, ConcurrentTouchesLoseNothing) {
+  // 8 writers, disjoint parents: the sharded relaxed counters must sum
+  // exactly — the "safe to leave on under full load" claim.
+  HeatMap& hm = HeatMap::Global();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hm, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hm.TouchParents(static_cast<uint64_t>(t), 1);
+        hm.TouchRel(static_cast<uint32_t>(t % 4), 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // touches() counts parent touch weight (rel touches ride separately).
+  EXPECT_EQ(hm.touches(), kThreads * kPerThread);
+  std::vector<HeatMap::ParentHeat> top = hm.TopParents(kThreads);
+  ASSERT_EQ(top.size(), static_cast<size_t>(kThreads));
+  for (const auto& p : top) {
+    EXPECT_DOUBLE_EQ(p.heat, static_cast<double>(kPerThread));
+  }
+}
+
+TEST_F(HeatMapTest, ToJsonCarriesRankingAndCounters) {
+  HeatMap& hm = HeatMap::Global();
+  hm.TouchParents(3, 8);
+  hm.TouchRel(1, 8);
+  std::string json = hm.ToJson(5);
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"touches\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"top_parents\":[{\"parent\":3,"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rels\":[{\"rel\":1,"), std::string::npos) << json;
+}
+
+TEST_F(HeatMapTest, ResetDropsEverything) {
+  HeatMap& hm = HeatMap::Global();
+  hm.TouchParents(1, 10);
+  hm.Decay(0.5);
+  hm.TouchParents(1, 10);
+  hm.Reset();
+  EXPECT_EQ(hm.touches(), 0u);
+  EXPECT_EQ(hm.decays(), 0u);
+  EXPECT_TRUE(hm.TopParents(4).empty());
+}
+
+}  // namespace
+}  // namespace objrep

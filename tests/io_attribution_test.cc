@@ -18,6 +18,7 @@
 
 #include "core/runner.h"
 #include "core/strategy.h"
+#include "exec/concurrent_runner.h"
 #include "objstore/database.h"
 #include "objstore/workload.h"
 #include "storage/disk_manager.h"
@@ -179,6 +180,45 @@ TEST(IoAttributionTest, UpdatesBillUpdateAndWalTags) {
 
   EXPECT_GT(r.io_by_tag.total_for(IoTag::kUpdate), 0u);
   // WAL write-through: commit-time page writes carry the kWal tag.
+  EXPECT_GT(r.io_by_tag.writes_for(IoTag::kWal), 0u);
+}
+
+TEST(IoAttributionTest, MvccRunSumsExactlyAndBillsCommitAndFoldTags) {
+  // Same invariant on the MVCC path: snapshot retrieves, version-store
+  // commits (kMvccCommit), and the quiescent-point fold (kMvccFold) all
+  // bump the same thread-local tag slots as the flat counters, so the
+  // per-tag breakdown stays an exact partition even when updates commit
+  // through versions instead of write-through pages.
+  DatabaseSpec spec = FullSpec();
+  spec.enable_mvcc = true;
+  std::unique_ptr<ComplexDatabase> db;
+  ASSERT_TRUE(BuildDatabase(spec, &db).ok());
+  WorkloadSpec wl = MixedWorkload();
+  wl.pr_update = 0.5;
+  wl.num_queries = 24;
+  std::vector<Query> queries;
+  ASSERT_TRUE(GenerateWorkload(wl, *db, &queries).ok());
+
+  ConcurrentRunOptions opts;
+  opts.num_threads = 4;
+  ConcurrentRunResult cr;
+  ASSERT_TRUE(RunConcurrentWorkload(StrategyKind::kDfs, {}, db.get(),
+                                    queries, opts, &cr)
+                  .ok());
+  const RunResult& r = cr.combined;
+
+  // Exact partition, reads and writes separately — including the fold,
+  // which runs inside the measured window.
+  EXPECT_EQ(r.io_by_tag.total_reads(), r.io.reads);
+  EXPECT_EQ(r.io_by_tag.total_writes(), r.io.writes);
+  EXPECT_EQ(r.io_by_tag.total_for(IoTag::kNone), 0u);
+
+  // The fold reads base pages back in (the run evicted them from the
+  // 16-page pool) and its traffic is billed to kMvccFold, not smeared
+  // into kUpdate.
+  EXPECT_GT(r.io_by_tag.total_for(IoTag::kMvccFold), 0u);
+  // Durability still bills the WAL tag: the fold's transaction commits
+  // its page writes through the log.
   EXPECT_GT(r.io_by_tag.writes_for(IoTag::kWal), 0u);
 }
 

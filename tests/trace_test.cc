@@ -4,6 +4,7 @@
 // from Clear() and restores the disabled state.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace objrep {
 namespace {
@@ -69,6 +71,46 @@ TEST_F(TraceTest, SpanRecordsCompleteEvent) {
   EXPECT_NE(json.find("\"dur\":"), std::string::npos);
   EXPECT_NE(json.find("\"io\":42"), std::string::npos);
   EXPECT_NE(json.find("\"num_top\":5"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansCarryTheAmbientTraceId) {
+  // Spans opened under a ScopedTraceId are stamped with the request's
+  // identity (the "trace" field trace_summary.py stitches on); spans
+  // opened with no ambient id stay unstamped — no field at all, so an
+  // untraced span can never collide with trace id 0... there is none.
+  Trace::SetEnabled(true);
+  {
+    ScopedTraceId scope(0xABCDu);
+    TraceSpan span("traced", "test");
+  }
+  {
+    TraceSpan span("untraced", "test");
+  }
+  std::string json = Dump();
+  EXPECT_NE(json.find("\"trace\":43981"), std::string::npos) << json;
+  EXPECT_EQ(CountOccurrences(json, "\"trace\":"), 1u) << json;
+}
+
+TEST_F(TraceTest, ScopedTraceIdNestsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    ScopedTraceId outer(7);
+    EXPECT_EQ(CurrentTraceId(), 7u);
+    {
+      ScopedTraceId inner(9);
+      EXPECT_EQ(CurrentTraceId(), 9u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 7u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST_F(TraceTest, TraceIdGenNeverReturnsZeroAndNeverRepeats) {
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(TraceIdGen::Next());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_NE(ids.front(), 0u);
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
 }
 
 TEST_F(TraceTest, SetArgOverwritesSameName) {

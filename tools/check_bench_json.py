@@ -12,6 +12,7 @@ Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
                           [--baseline FILE --tolerance PCT]
        check_bench_json.py --shard FILE
        check_bench_json.py --mvcc FILE
+       check_bench_json.py --obs FILE [--max-overhead PCT]
 
 With --metrics, FILE is instead a metrics-registry dump (the driver's
 --metrics-json output) and only its schema is validated: the three
@@ -49,6 +50,14 @@ MVCC retrieving at >= 2x the 2PL rate (the acceptance floor; a --quick
 run sweeps below that point, so the floor binds only on the committed
 full sweep).
 
+With --obs, FILE is a bench/obs_overhead dump (BENCH_obs_overhead.json):
+the baseline and enabled throughput figures must be self-consistent with
+overhead_pct, the enabled-tracing overhead is capped by --max-overhead
+(default 5, the acceptance bound), the embedded RetrieveProfile must obey
+the exact-sum invariant (per-tag reads/writes summing to its totals, per
+I/O block, including every per-shard slice), and the heat section must
+carry non-negative EWMA heats.
+
 With --baseline (default mode), also compares per-(strategy, prefetch,
 workers) run results against the baseline file. Two signals are checked:
 
@@ -82,6 +91,7 @@ RUN_FIELDS = {
 IO_TAGS = {
     "none", "parent_scan", "index_probe", "heap_fetch", "cluster_scan",
     "temp_sort", "cache_fetch", "cache_maint", "update", "prefetch", "wal",
+    "mvcc_commit", "mvcc_fold",
 }
 
 
@@ -391,6 +401,93 @@ def validate_mvcc(doc):
     return points, floor_points
 
 
+def check_profile_io(io, ctx):
+    """One RetrieveProfile I/O block: known tags, positive entries, and
+    per-tag reads/writes summing exactly to the block's totals."""
+    total_reads = check_type(io, "total_reads", int, ctx)
+    total_writes = check_type(io, "total_writes", int, ctx)
+    if total_reads < 0 or total_writes < 0:
+        fail(f"{ctx}: negative totals")
+    tags = check_type(io, "tags", dict, ctx)
+    sum_reads = sum_writes = 0
+    for tag, entry in tags.items():
+        if tag not in IO_TAGS:
+            fail(f"{ctx}: unknown tag '{tag}'")
+        r = check_type(entry, "reads", int, f"{ctx} tag {tag}")
+        w = check_type(entry, "writes", int, f"{ctx} tag {tag}")
+        if r < 0 or w < 0 or (r == 0 and w == 0):
+            fail(f"{ctx}: tag '{tag}' entries must be non-negative and "
+                 "nonzero (zero tags are omitted)")
+        sum_reads += r
+        sum_writes += w
+    if sum_reads != total_reads or sum_writes != total_writes:
+        fail(f"{ctx}: tags sum to {sum_reads}r/{sum_writes}w but totals "
+             f"claim {total_reads}r/{total_writes}w — attribution lost pages")
+
+
+def validate_profile(p, ctx):
+    for field in ("trace_id", "total_us", "lock_wait_us", "commit_wait_us",
+                  "cache_hits", "cache_misses", "rows"):
+        if check_type(p, field, int, ctx) < 0:
+            fail(f"{ctx}: negative {field}")
+    check_type(p, "verb", str, ctx)
+    check_type(p, "plan", int, ctx)
+    check_profile_io(check_type(p, "io", dict, ctx), f"{ctx} io")
+    shards = check_type(p, "shards", list, ctx)
+    seen = set()
+    for s in shards:
+        sctx = f"{ctx} shard {s.get('shard', '?')}"
+        k = check_type(s, "shard", int, sctx)
+        if k in seen:
+            fail(f"{sctx}: duplicate shard slice")
+        seen.add(k)
+        if check_type(s, "us", int, sctx) < 0:
+            fail(f"{sctx}: negative us")
+        check_profile_io(check_type(s, "io", dict, sctx), sctx)
+
+
+def validate_obs(doc, max_overhead):
+    if not isinstance(doc, dict):
+        fail("obs: top level is not an object")
+    if check_type(doc, "bench", str, "obs") != "obs_overhead":
+        fail("obs: bench field is not 'obs_overhead'")
+    if check_type(doc, "threads", int, "obs") <= 0:
+        fail("obs: non-positive threads")
+    if check_type(doc, "duration_seconds", (int, float), "obs") <= 0:
+        fail("obs: non-positive duration")
+    baseline = check_type(doc, "baseline_rps", (int, float), "obs")
+    enabled = check_type(doc, "enabled_rps", (int, float), "obs")
+    if baseline <= 0 or enabled <= 0:
+        fail("obs: non-positive throughput")
+    overhead = check_type(doc, "overhead_pct", (int, float), "obs")
+    expect = 100.0 * (baseline - enabled) / baseline
+    if abs(overhead - expect) > max(0.01, 1e-3 * abs(expect)):
+        fail(f"obs: overhead_pct {overhead:.3f} inconsistent with "
+             f"throughput figures (expected {expect:.3f})")
+    if max_overhead is not None and overhead > max_overhead:
+        fail(f"obs: enabled-tracing overhead {overhead:.2f}% exceeds the "
+             f"{max_overhead:.0f}% bound ({enabled:.0f} vs baseline "
+             f"{baseline:.0f} retrieves/s)")
+    validate_profile(check_type(doc, "profile", dict, "obs"), "obs profile")
+    heat = check_type(doc, "heat", dict, "obs")
+    if check_type(heat, "touches", int, "obs heat") <= 0:
+        fail("obs heat: the tracked run recorded no touches")
+    tops = check_type(heat, "top_parents", list, "obs heat")
+    if not tops:
+        fail("obs heat: top_parents is empty")
+    prev = None
+    for t in tops:
+        ctx = f"obs heat parent {t.get('parent', '?')}"
+        check_type(t, "parent", int, ctx)
+        h = check_type(t, "heat", (int, float), ctx)
+        if h < 0:
+            fail(f"{ctx}: negative heat")
+        if prev is not None and h > prev + 1e-9:
+            fail("obs heat: top_parents not sorted by heat")
+        prev = h
+    return overhead
+
+
 NET_VERBS = ("RETRIEVE", "UPDATE", "PING")
 
 
@@ -478,6 +575,48 @@ def validate_net(doc, min_connections):
     return doc
 
 
+def check_netload_summary(obj, ctx):
+    """Validates one net_load client/latency summary block."""
+    for field in ("clients", "connected", "ok", "busy", "rejected",
+                  "transport_errors", "p50_us", "p99_us", "p999_us",
+                  "max_us"):
+        if check_type(obj, field, int, ctx) < 0:
+            fail(f"{ctx}: negative {field}")
+    if obj["connected"] > obj["clients"]:
+        fail(f"{ctx}: more connections than clients")
+    if not obj["p50_us"] <= obj["p99_us"] <= obj["p999_us"] <= obj["max_us"]:
+        fail(f"{ctx}: percentiles not ordered")
+
+
+def validate_netload(doc):
+    """tools/net_load --json dump: overall + per-endpoint percentiles."""
+    if not isinstance(doc, dict):
+        fail("netload: top level is not an object")
+    if check_type(doc, "bench", str, "netload") != "net_load":
+        fail("netload: bench field is not 'net_load'")
+    if check_type(doc, "duration_s", (int, float), "netload") <= 0:
+        fail("netload: non-positive duration")
+    if check_type(doc, "throughput_rps", (int, float), "netload") < 0:
+        fail("netload: negative throughput")
+    overall = check_type(doc, "overall", dict, "netload")
+    check_netload_summary(overall, "netload overall")
+    if overall["ok"] <= 0:
+        fail("netload: no successful requests")
+    if overall["transport_errors"] != 0:
+        fail("netload: transport errors on the run")
+    endpoints = check_type(doc, "endpoints", list, "netload")
+    if not endpoints:
+        fail("netload: endpoints is empty")
+    for e in endpoints:
+        ctx = f"netload endpoint {e.get('host', '?')}:{e.get('port', '?')}"
+        check_type(e, "host", str, ctx)
+        check_type(e, "port", int, ctx)
+        check_netload_summary(e, ctx)
+    if sum(e["ok"] for e in endpoints) != overall["ok"]:
+        fail("netload: per-endpoint ok counts do not sum to overall")
+    return overall
+
+
 def compare_net(current, baseline, tolerance):
     """Holds steady per-verb p99 and throughput to the baseline."""
     checked = 0
@@ -523,9 +662,16 @@ def main():
                         help="FILE is a bench/shard_scaling dump")
     parser.add_argument("--mvcc", action="store_true",
                         help="FILE is a bench/mvcc_contention dump")
+    parser.add_argument("--obs", action="store_true",
+                        help="FILE is a bench/obs_overhead dump")
+    parser.add_argument("--netload", action="store_true",
+                        help="FILE is a tools/net_load --json dump")
     parser.add_argument("--max-regret", type=float, default=0.10,
                         help="worst-point regret bound for --adaptive "
                              "(fraction; negative disables the gate)")
+    parser.add_argument("--max-overhead", type=float, default=5.0,
+                        help="enabled-tracing overhead bound for --obs "
+                             "(percent; negative disables the gate)")
     args = parser.parse_args()
     tolerance = args.tolerance
     if tolerance is None:
@@ -554,6 +700,27 @@ def main():
         peak = max(p["scaleout"] for p in points)
         print(f"check_bench_json: {args.file}: shard schema OK "
               f"({len(points)} points, peak scaleout {peak:.2f}x)")
+        return
+
+    if args.obs:
+        if args.baseline or args.metrics or args.adaptive or args.net or \
+                args.shard or args.mvcc:
+            fail("--obs does not combine with other modes")
+        bound = None if args.max_overhead < 0 else args.max_overhead
+        with open(args.file) as f:
+            overhead = validate_obs(json.load(f), bound)
+        print(f"check_bench_json: {args.file}: obs schema OK "
+              f"(enabled-tracing overhead {overhead:.2f}%)")
+        return
+
+    if args.netload:
+        if args.baseline or args.metrics or args.adaptive or args.net or \
+                args.shard or args.mvcc or args.obs:
+            fail("--netload does not combine with other modes")
+        with open(args.file) as f:
+            overall = validate_netload(json.load(f))
+        print(f"check_bench_json: {args.file}: netload schema OK "
+              f"({overall['ok']} requests, p99 {overall['p99_us']}us)")
         return
 
     if args.mvcc:

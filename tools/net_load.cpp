@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <string>
 #include <thread>
@@ -35,6 +36,7 @@
 #include "core/experiment_config.h"
 #include "net/client.h"
 #include "net/protocol.h"
+#include "obs/trace.h"
 
 using namespace objrep;
 
@@ -59,7 +61,10 @@ struct LoadFlags {
   uint8_t attr_index = 0;
   uint8_t strategy = net::kDefaultStrategyByte;
   uint64_t seed = 42;
-  bool shutdown = false;  // send SHUTDOWN when done
+  bool shutdown = false;   // send SHUTDOWN when done
+  std::string json_out;    // --json=FILE: machine-readable summary
+  std::string trace_out;   // --trace-out=FILE: client-side span file,
+                           // mergeable with the server's via trace ids
 };
 
 /// Schema facts parsed from the server's STATS "db" section.
@@ -217,9 +222,56 @@ int Usage(const char* prog) {
                "servers (overrides --host/--port) and reports per-endpoint\n"
                "connection accounting\n"
                "--shutdown sends the SHUTDOWN verb after the run (every\n"
-               "server drains and exits)\n",
+               "server drains and exits)\n"
+               "--json=FILE writes a machine-readable summary with overall\n"
+               "and per-endpoint latency percentiles (p50/p99/p999/max)\n"
+               "--trace-out=FILE records client_call spans; merge with the\n"
+               "server's trace via tools/trace_summary.py (spans stitch by\n"
+               "trace id)\n",
                prog);
   return 2;
+}
+
+/// One endpoint's (or the whole run's) accounting + latency summary.
+struct EndpointSummary {
+  uint32_t clients = 0;
+  uint32_t connected = 0;
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t rejected = 0;
+  uint64_t transport_errors = 0;
+  uint64_t p50 = 0, p99 = 0, p999 = 0, max = 0;
+
+  void WriteJson(std::ofstream& out) const {
+    out << "\"clients\":" << clients << ",\"connected\":" << connected
+        << ",\"ok\":" << ok << ",\"busy\":" << busy
+        << ",\"rejected\":" << rejected
+        << ",\"transport_errors\":" << transport_errors
+        << ",\"p50_us\":" << p50 << ",\"p99_us\":" << p99
+        << ",\"p999_us\":" << p999 << ",\"max_us\":" << max;
+  }
+};
+
+EndpointSummary Summarize(const std::vector<ClientResult>& results,
+                          size_t first, size_t stride) {
+  EndpointSummary s;
+  std::vector<uint64_t> lat;
+  for (size_t i = first; i < results.size(); i += stride) {
+    ++s.clients;
+    if (results[i].connected) ++s.connected;
+    s.ok += results[i].ok;
+    s.busy += results[i].busy;
+    s.rejected += results[i].rejected;
+    s.transport_errors += results[i].transport_errors;
+    lat.insert(lat.end(), results[i].latencies_us.begin(),
+               results[i].latencies_us.end());
+  }
+  std::sort(lat.begin(), lat.end());
+  s.p50 = Percentile(lat, 0.50);
+  s.p99 = Percentile(lat, 0.99);
+  s.p999 = Percentile(lat, 0.999);
+  s.max = lat.empty() ? 0 : lat.back();
+  return s;
 }
 
 }  // namespace
@@ -256,12 +308,17 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--endpoints", &v)) {
       flags.endpoints.clear();
       if (!ParseEndpoints(v, &flags.endpoints)) return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "--json", &v)) {
+      flags.json_out = v;
+    } else if (ParseFlag(argv[i], "--trace-out", &v)) {
+      flags.trace_out = v;
     } else if (std::strcmp(argv[i], "--shutdown") == 0) {
       flags.shutdown = true;
     } else {
       return Usage(argv[0]);
     }
   }
+  if (!flags.trace_out.empty()) Trace::SetEnabled(true);
   if (flags.endpoints.empty() && flags.port != 0) {
     flags.endpoints.push_back(Endpoint{flags.host, flags.port});
   }
@@ -365,6 +422,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!flags.json_out.empty()) {
+    std::ofstream out(flags.json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.json_out.c_str());
+      return 1;
+    }
+    EndpointSummary overall = Summarize(results, 0, 1);
+    out << "{\"bench\":\"net_load\",\"duration_s\":" << elapsed
+        << ",\"throughput_rps\":"
+        << (elapsed > 0 ? static_cast<double>(total.ok) / elapsed : 0.0)
+        << ",\"overall\":{";
+    overall.WriteJson(out);
+    out << "},\"endpoints\":[";
+    for (size_t e = 0; e < flags.endpoints.size(); ++e) {
+      if (e > 0) out << ",";
+      out << "{\"host\":\"" << flags.endpoints[e].host
+          << "\",\"port\":" << flags.endpoints[e].port << ",";
+      Summarize(results, e, flags.endpoints.size()).WriteJson(out);
+      out << "}";
+    }
+    out << "]}\n";
+  }
+
   if (flags.shutdown) {
     for (const Endpoint& ep : flags.endpoints) {
       net::ObjClient c;
@@ -373,6 +453,13 @@ int main(int argc, char** argv) {
         std::printf("shutdown %s:%u: %s\n", ep.host.c_str(), ep.port,
                     s.ok() ? "ok" : s.ToString().c_str());
       }
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    Status ts = Trace::FlushToFile(flags.trace_out);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", ts.ToString().c_str());
+      return 1;
     }
   }
   return total.connected && total.ok > 0 ? 0 : 1;

@@ -81,6 +81,10 @@ struct DriverFlags {
   bool serve = false;           // --serve: run the server, not the report
   int64_t port = -1;            // --port=N (overrides net_port)
   int64_t max_inflight = -1;    // --max-inflight=N (overrides config)
+  // Per-query profiles & heat (DESIGN.md §16).
+  bool profile = false;         // --profile: print a RetrieveProfile and exit
+  int64_t slow_query_us = 0;    // --slow-query-us=N (serve: arm the ring)
+  int heat = -1;                // --heat=on/off (serve: heat-map tracking)
   // Horizontal sharding (DESIGN.md §14).
   int64_t shards = -1;          // --shards=N (overrides the shards key)
   std::string config_path;
@@ -123,6 +127,9 @@ int RunServer(const DriverFlags& flags, const ExperimentConfig& config) {
                         : config.net_max_inflight;
   sc.default_strategy = config.strategies.front();
   sc.strategy_options = config.options;
+  sc.slow_query_us = static_cast<uint64_t>(flags.slow_query_us);
+  if (flags.heat >= 0) sc.enable_heat = flags.heat == 1;
+  if (!flags.trace_out.empty()) Trace::SetEnabled(true);
 
   std::unique_ptr<net::ObjServer> server =
       engine != nullptr ? std::make_unique<net::ObjServer>(engine.get(), sc)
@@ -155,6 +162,63 @@ int RunServer(const DriverFlags& flags, const ExperimentConfig& config) {
       static_cast<unsigned long long>(st.responses),
       static_cast<unsigned long long>(st.busy_rejected),
       static_cast<unsigned long long>(st.bad_frames));
+  if (!flags.trace_out.empty()) {
+    // Server-side half of a cross-process trace: merge with the client's
+    // file via tools/trace_summary.py (spans stitch by trace id).
+    Status ts = Trace::FlushToFile(flags.trace_out);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", ts.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// --profile: one profiled RETRIEVE per configured strategy, through the
+/// same ObjService path the wire's PROFILE flag takes — the printed JSON
+/// is byte-identical to what a remote client receives.
+int RunProfileReport(const DriverFlags& flags, const ExperimentConfig& config) {
+  (void)flags;
+  for (StrategyKind kind : config.strategies) {
+    std::unique_ptr<ComplexDatabase> db;
+    std::unique_ptr<shard::ShardedDatabase> sdb;
+    std::unique_ptr<shard::ShardedEngine> engine;
+    std::unique_ptr<net::ObjService> service;
+    Status s;
+    if (config.shards > 1) {
+      s = shard::BuildShardedDatabase(config.db, config.shards, &sdb);
+      if (s.ok()) {
+        engine =
+            std::make_unique<shard::ShardedEngine>(sdb.get(), config.options);
+        service = std::make_unique<net::ObjService>(engine.get(), kind,
+                                                    config.options);
+      }
+    } else {
+      s = BuildDatabase(config.db, &db);
+      if (s.ok()) {
+        service =
+            std::make_unique<net::ObjService>(db.get(), kind, config.options);
+      }
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    net::Request req;
+    req.verb = net::Verb::kRetrieve;
+    req.flags = net::kReqFlagProfile;
+    req.lo_parent = 0;
+    req.num_top = config.workload.num_top;
+    req.attr_index = 0;
+    net::Response resp = service->Execute(req);
+    if (resp.status != net::RespStatus::kOk) {
+      std::fprintf(stderr, "%s: %s\n", StrategyKindName(kind),
+                   resp.error.c_str());
+      return 1;
+    }
+    std::printf("%s %s\n", StrategyKindName(kind), resp.profile_json.c_str());
+  }
   return 0;
 }
 
@@ -364,11 +428,17 @@ int Usage(const char* prog) {
                "          [--metrics-interval=MS] [--strategy=NAME]\n"
                "          [--calibration-window=N]\n"
                "          [--serve] [--port=N] [--max-inflight=N]\n"
+               "          [--slow-query-us=N] [--heat=on|off]\n"
+               "          [--profile]\n"
                "          [--shards=N]\n"
                "          <config-file | ->\n"
                "--serve runs the network server (DESIGN.md §13) over the\n"
                "config's database until SIGINT/SIGTERM or a SHUTDOWN verb;\n"
                "the first configured strategy is the server default\n"
+               "--profile prints one RetrieveProfile (EXPLAIN ANALYZE) per\n"
+               "strategy: per-tag I/O, cache hits, waits, per-shard timing\n"
+               "--slow-query-us arms the slow-query ring while serving;\n"
+               "--heat=off disables the traffic heat map (DESIGN.md §16)\n"
                "--shards=N hash-partitions the store across N engine\n"
                "instances with scatter-gather execution (DESIGN.md §14)\n"
                "--strategy overrides the config's STRATEGIES list (e.g.\n"
@@ -432,6 +502,14 @@ int main(int argc, char** argv) {
       if (flags.calibration_window <= 0) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       flags.serve = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      flags.profile = true;
+    } else if (ParseFlag(argv[i], "--slow-query-us", &v)) {
+      flags.slow_query_us = static_cast<int64_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--heat", &v)) {
+      if (std::strcmp(v, "on") == 0) flags.heat = 1;
+      else if (std::strcmp(v, "off") == 0) flags.heat = 0;
+      else return Usage(argv[0]);
     } else if (ParseFlag(argv[i], "--port", &v)) {
       flags.port = static_cast<int64_t>(std::strtoul(v, nullptr, 10));
       if (flags.port > 65535) return Usage(argv[0]);
@@ -513,6 +591,7 @@ int main(int argc, char** argv) {
   if (flags.shards > 0) config.shards = static_cast<uint32_t>(flags.shards);
 
   if (flags.serve) return RunServer(flags, config);
+  if (flags.profile) return RunProfileReport(flags, config);
 
   if (flags.fault_crash_point == "list") {
     for (const std::string& name : FaultInjector::RegisteredCrashPoints()) {

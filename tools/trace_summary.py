@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Validate and summarize a trace written by --trace-out (DESIGN.md §11).
+"""Validate and summarize traces written by --trace-out (DESIGN.md §11, §16).
 
 Structural checks (any failure exits nonzero):
 
-- the file parses as a JSON array of event objects
+- each file parses as a JSON array of event objects
 - every event has name/cat/ph/pid/tid/ts; ph is 'X' (complete, with a
-  'dur') or 'i' (instant); ts/dur are non-negative numbers
-- per thread, 'X' spans are properly nested or disjoint ("balanced"):
-  sorted by start time, each span either contains the next or ends before
-  it starts. The writer records spans only at scope exit and drops whole
-  events on ring overwrite, so a violation means a writer bug, not an
-  unlucky flush.
+  'dur') or 'i' (instant); ts/dur are non-negative numbers; an optional
+  'trace' field (the request's 64-bit trace id) is a positive integer
+- per (file, pid, tid), 'X' spans are properly nested or disjoint
+  ("balanced"): sorted by start time, each span either contains the next
+  or ends before it starts. The writer records spans only at scope exit
+  and drops whole events on ring overwrite, so a violation means a writer
+  bug, not an unlucky flush.
 
 Then prints, per span name: count, total/mean/max wall time, and mean I/O
-per span for spans carrying an "io" arg (the runner attaches the page
-delta to each query span). Instants are tallied by name.
+per span for spans carrying an "io" arg. Instants are tallied by name.
 
-Usage: trace_summary.py FILE [--quiet]
+With several FILEs (e.g. a client's trace and a server's), events are
+merged and spans carrying the same 'trace' id are stitched into one
+per-request view: processes share CLOCK_MONOTONIC on one machine, so the
+client_call span and the server-side spans it caused nest on a common
+timeline, and the deepest chain is the request's critical path.
+
+Usage: trace_summary.py FILE [FILE ...] [--quiet] [--traces=N]
 """
 
 import argparse
@@ -30,12 +36,12 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate(events):
+def validate(events, label):
     if not isinstance(events, list):
-        fail("top level is not a JSON array")
+        fail(f"{label}: top level is not a JSON array")
     spans_by_tid = defaultdict(list)
     for i, ev in enumerate(events):
-        ctx = f"event {i}"
+        ctx = f"{label}: event {i}"
         if not isinstance(ev, dict):
             fail(f"{ctx}: not an object")
         for field in ("name", "cat", "ph", "pid", "tid", "ts"):
@@ -47,12 +53,15 @@ def validate(events):
             fail(f"{ctx}: unknown phase '{ev['ph']}'")
         if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
             fail(f"{ctx}: bad ts")
+        if "trace" in ev:
+            if not isinstance(ev["trace"], int) or ev["trace"] <= 0:
+                fail(f"{ctx}: 'trace' must be a positive integer")
         if ev["ph"] == "X":
             if "dur" not in ev:
                 fail(f"{ctx}: 'X' event without dur")
             if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
                 fail(f"{ctx}: bad dur")
-            spans_by_tid[ev["tid"]].append(ev)
+            spans_by_tid[(ev["pid"], ev["tid"])].append(ev)
         if "args" in ev:
             if not isinstance(ev["args"], dict):
                 fail(f"{ctx}: args is not an object")
@@ -72,9 +81,9 @@ def validate(events):
                 stack.pop()
             if stack and end > stack[-1]:
                 fail(
-                    f"tid {tid}: span '{ev['name']}' [{start}, {end}) "
-                    f"overlaps an enclosing span ending at {stack[-1]} "
-                    "without nesting"
+                    f"{label}: tid {tid}: span '{ev['name']}' "
+                    f"[{start}, {end}) overlaps an enclosing span ending "
+                    f"at {stack[-1]} without nesting"
                 )
             stack.append(end)
 
@@ -85,7 +94,7 @@ def summarize(events):
     instants = defaultdict(int)
     tids = set()
     for ev in events:
-        tids.add(ev["tid"])
+        tids.add((ev["_file"], ev["pid"], ev["tid"]))
         if ev["ph"] == "i":
             instants[ev["name"]] += 1
             continue
@@ -115,23 +124,86 @@ def summarize(events):
             print(f"{name:<20} {instants[name]:>8}")
 
 
+def stitch_traces(events, files, top_n):
+    """Group spans by trace id across all files and print, for the top_n
+    longest requests, the nested per-request view plus its critical path
+    (the deepest chain; ties broken toward the longer leaf)."""
+    by_trace = defaultdict(list)
+    for ev in events:
+        if ev["ph"] == "X" and "trace" in ev:
+            by_trace[ev["trace"]].append(ev)
+    if not by_trace:
+        return
+    multi = sum(1 for spans in by_trace.values()
+                if len({s["_file"] for s in spans}) > 1)
+    print(f"\n{len(by_trace)} traced requests "
+          f"({multi} spanning more than one process)")
+
+    def extent(spans):
+        lo = min(s["ts"] for s in spans)
+        hi = max(s["ts"] + s["dur"] for s in spans)
+        return hi - lo
+
+    ranked = sorted(by_trace, key=lambda t: -extent(by_trace[t]))[:top_n]
+    for trace_id in ranked:
+        spans = sorted(by_trace[trace_id], key=lambda e: (e["ts"], -e["dur"]))
+        t0 = spans[0]["ts"]
+        procs = {s["_file"] for s in spans}
+        print(f"\ntrace {trace_id:#018x}: {len(spans)} spans, "
+              f"{len(procs)} process(es), {extent(spans):.0f}us")
+        # Containment on the shared monotonic timeline gives the nesting;
+        # the deepest stack when a span is pushed is the candidate
+        # critical path ending at that span.
+        stack = []       # (end_ts, name)
+        best_chain = []
+        best_key = (-1, -1.0)  # (depth, leaf dur)
+        for ev in spans:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1][0]:
+                stack.pop()
+            depth = len(stack)
+            label = f"{ev['name']}({ev['cat']})"
+            src = files[ev["_file"]]
+            print(f"  {'  ' * depth}{label:<28} [{src}] "
+                  f"+{start - t0:.0f}us {ev['dur']:.0f}us")
+            stack.append((end, label))
+            key = (depth, float(ev["dur"]))
+            if key > best_key:
+                best_key = key
+                best_chain = [name for _, name in stack]
+        print(f"  critical path: {' > '.join(best_chain)}")
+
+
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("file")
+    parser.add_argument("files", nargs="+", metavar="FILE")
     parser.add_argument("--quiet", action="store_true",
                         help="validate only, no summary")
+    parser.add_argument("--traces", type=int, default=5,
+                        help="how many stitched requests to print")
     args = parser.parse_args()
 
-    with open(args.file) as f:
-        try:
-            events = json.load(f)
-        except json.JSONDecodeError as e:
-            fail(f"{args.file} does not parse: {e}")
-    validate(events)
-    print(f"trace_summary: {args.file}: structure OK")
+    merged = []
+    for idx, path in enumerate(args.files):
+        with open(path) as f:
+            try:
+                events = json.load(f)
+            except json.JSONDecodeError as e:
+                fail(f"{path} does not parse: {e}")
+        validate(events, path)
+        for ev in events:
+            ev["_file"] = idx  # distinguishes processes with equal pids
+        merged.extend(events)
+    print(f"trace_summary: {', '.join(args.files)}: structure OK")
     if not args.quiet:
-        summarize(events)
+        summarize(merged)
+        stitch_traces(merged, args.files, args.traces)
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except BrokenPipeError:
+        # Output was piped into something like `head` that closed early;
+        # that is not an error for a report generator.
+        sys.exit(0)
