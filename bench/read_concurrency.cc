@@ -1,0 +1,201 @@
+// Demand-miss read concurrency (DESIGN.md §17): fixed strategy, swept
+// thread count, serialized-miss baseline vs overlapped miss I/O.
+//
+// K closed-loop client threads drive one ComplexDatabase through the
+// concurrent runner for a timed window, once with the pre-§17 behavior
+// (SetSerializeMissIo(true): every demand-miss read and dirty-victim
+// write-back runs under the pool-global evict_mu_, so misses across the
+// whole process queue behind one latch) and once with the shipped path
+// (the in-flight claim table lets each misser read with evict_mu_
+// released, coalescing duplicate missers onto one device read). Same
+// database shape, same query stream, same simulated device: the sweep
+// isolates what holding evict_mu_ across ReadPage costs.
+//
+// The spec is deliberately cache-hostile: the working set is far larger
+// than the buffer, updates are off, so nearly every retrieve pays a
+// demand miss at --io-latency-us a page. Serialized, aggregate
+// throughput is capped near one device's worth regardless of K;
+// overlapped, K misses wait on the device concurrently. The committed
+// floor (tools/check_bench_json.py --readconc): at 8 threads the
+// concurrent path sustains >= 3x the serialized aggregate retrieve
+// throughput.
+//
+//   $ ./build/bench/read_concurrency
+//   $ ./build/bench/read_concurrency --quick      (CI smoke: no floor point)
+//   $ ./build/bench/read_concurrency --json=BENCH_read_concurrency.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/concurrent_runner.h"
+#include "objstore/database.h"
+#include "objstore/workload.h"
+
+namespace objrep {
+namespace bench {
+namespace {
+
+DatabaseSpec ColdSpec(uint32_t io_latency_us) {
+  DatabaseSpec spec;
+  // Working set well beyond the buffer: retrieves keep missing, so the
+  // bench measures the miss path itself, not cache hits around it.
+  spec.num_parents = 8000;
+  spec.size_unit = 5;
+  spec.use_factor = 1;
+  spec.overlap_factor = 1;
+  spec.num_child_rels = 1;
+  spec.buffer_pages = 64;
+  spec.seed = 211;
+  spec.enable_wal = true;
+  spec.io_latency_us = io_latency_us;
+  return spec;
+}
+
+WorkloadSpec ReadOnlyMix() {
+  WorkloadSpec wl;
+  wl.num_queries = 400;
+  // Point-ish retrieves: each touches a handful of pages, so the per-miss
+  // latch cost dominates and queuing behind evict_mu_ is visible.
+  wl.num_top = 2;
+  wl.pr_update = 0.0;
+  wl.seed = 151;
+  return wl;
+}
+
+double RunMode(bool serialize_miss_io, uint32_t threads,
+               double duration_seconds, uint32_t io_latency_us) {
+  std::unique_ptr<ComplexDatabase> db;
+  Status s = BuildDatabase(ColdSpec(io_latency_us), &db);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+  std::vector<Query> queries;
+  s = GenerateWorkload(ReadOnlyMix(), *db, &queries);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+
+  db->pool->SetSerializeMissIo(serialize_miss_io);
+
+  ConcurrentRunOptions options;
+  options.num_threads = threads;
+  options.seed = 23;
+  // Warmup at a fraction of the window settles pools; the cache-hostile
+  // spec keeps the measured window miss-dominated regardless.
+  options.duration_seconds = duration_seconds * 0.25;
+  ConcurrentRunResult warmup;
+  s = RunConcurrentWorkload(StrategyKind::kDfs, {}, db.get(), queries,
+                            options, &warmup);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+
+  options.duration_seconds = duration_seconds;
+  ConcurrentRunResult result;
+  s = RunConcurrentWorkload(StrategyKind::kDfs, {}, db.get(), queries,
+                            options, &result);
+  OBJREP_CHECK_MSG(s.ok(), s.ToString().c_str());
+
+  if (result.wall_seconds <= 0) return 0.0;
+  return static_cast<double>(result.combined.num_retrieves) /
+         result.wall_seconds;
+}
+
+struct SweepPoint {
+  uint32_t threads;
+  double serialized_retrieves_per_sec;
+  double concurrent_retrieves_per_sec;
+  double speedup;  // concurrent over serialized aggregate retrieves/s
+};
+
+void WriteJson(const char* path, double duration_seconds,
+               uint32_t io_latency_us, const std::vector<SweepPoint>& pts) {
+  std::FILE* f = std::fopen(path, "w");
+  OBJREP_CHECK_MSG(f != nullptr, "cannot open JSON output path");
+  std::fprintf(f,
+               "{\n  \"bench\": \"read_concurrency\",\n"
+               "  \"strategy\": \"DFS\",\n"
+               "  \"duration_seconds\": %.3f,\n  \"io_latency_us\": %u,\n"
+               "  \"points\": [",
+               duration_seconds, io_latency_us);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    std::fprintf(f,
+                 "%s\n    {\"threads\": %u, "
+                 "\"serialized_retrieves_per_sec\": %.2f, "
+                 "\"concurrent_retrieves_per_sec\": %.2f, "
+                 "\"speedup\": %.3f}",
+                 i == 0 ? "" : ",", p.threads,
+                 p.serialized_retrieves_per_sec,
+                 p.concurrent_retrieves_per_sec, p.speedup);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+void RunSweep(double duration_seconds, uint32_t io_latency_us, bool quick,
+              const char* json_path) {
+  // The quick sweep stays below the floor point (8 threads): CI smoke
+  // validates the harness; the committed JSON carries the claim.
+  const std::vector<uint32_t> thread_counts =
+      quick ? std::vector<uint32_t>{1, 4}
+            : std::vector<uint32_t>{1, 2, 4, 8};
+
+  std::printf("%-8s %16s %16s %10s\n", "threads", "serial ret/s",
+              "overlap ret/s", "speedup");
+  std::vector<SweepPoint> points;
+  for (uint32_t k : thread_counts) {
+    SweepPoint p;
+    p.threads = k;
+    p.serialized_retrieves_per_sec =
+        RunMode(true, k, duration_seconds, io_latency_us);
+    p.concurrent_retrieves_per_sec =
+        RunMode(false, k, duration_seconds, io_latency_us);
+    p.speedup = p.serialized_retrieves_per_sec > 0
+                    ? p.concurrent_retrieves_per_sec /
+                          p.serialized_retrieves_per_sec
+                    : 0.0;
+    points.push_back(p);
+    std::printf("%-8u %16.0f %16.0f %9.2fx\n", k,
+                p.serialized_retrieves_per_sec,
+                p.concurrent_retrieves_per_sec, p.speedup);
+  }
+  if (json_path != nullptr) {
+    WriteJson(json_path, duration_seconds, io_latency_us, points);
+    std::printf("\nwrote %s\n", json_path);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace objrep
+
+int main(int argc, char** argv) {
+  double duration = 2.0;
+  uint32_t io_latency_us = 100;
+  bool quick = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--duration=", 11) == 0) {
+      duration = std::strtod(argv[i] + 11, nullptr);
+    } else if (std::strncmp(argv[i], "--io-latency-us=", 16) == 0) {
+      io_latency_us =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 16, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      duration = 0.4;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_read_concurrency.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--duration=S] [--io-latency-us=N] [--quick] "
+                   "[--json[=PATH]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  objrep::bench::PrintTitle(
+      "Read concurrency: miss I/O under evict_mu_ vs coalesced overlap",
+      "closed-loop clients; cold cache-hostile retrieves, swept threads");
+  objrep::bench::RunSweep(duration, io_latency_us, quick, json_path);
+  return 0;
+}

@@ -26,12 +26,24 @@ struct PoolMetrics {
       MetricsRegistry::Global().GetCounter("pool.prefetch.promoted");
   Counter* wasted =
       MetricsRegistry::Global().GetCounter("pool.prefetch.wasted");
+  Counter* coalesced =
+      MetricsRegistry::Global().GetCounter("pool.miss.coalesced");
+  Counter* inflight_waits =
+      MetricsRegistry::Global().GetCounter("pool.miss.inflight_waits");
+  Counter* staging_cv_waits =
+      MetricsRegistry::Global().GetCounter("pool.staging.cv_waits");
 };
 
 PoolMetrics& Metrics() {
   static PoolMetrics* m = new PoolMetrics();
   return *m;
 }
+
+// Spin budget before WaitStagingReady falls back to a condvar sleep. Hint
+// reads usually land within microseconds; a fault-stalled or heavily
+// delayed one must not burn a core at 100% (the seed's unbounded yield()
+// loop did exactly that).
+constexpr uint32_t kStagingSpinIters = 64;
 
 }  // namespace
 
@@ -121,9 +133,27 @@ void BufferPool::DropStagedPages() {
 }
 
 void BufferPool::WaitStagingReady(uint32_t st_idx) {
-  while (!staging_[st_idx].ready.load(std::memory_order_acquire)) {
+  StagingFrame& st = staging_[st_idx];
+  for (uint32_t spin = 0; spin < kStagingSpinIters; ++spin) {
+    if (st.ready.load(std::memory_order_acquire)) return;
     std::this_thread::yield();
   }
+  std::unique_lock<std::mutex> l(st.mu);
+  if (st.ready.load(std::memory_order_acquire)) return;
+  staging_cv_waits_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().staging_cv_waits->Add(1);
+  st.cv.wait(l, [&] { return st.ready.load(std::memory_order_acquire); });
+}
+
+void BufferPool::MarkStagingReady(uint32_t st_idx) {
+  StagingFrame& st = staging_[st_idx];
+  {
+    // Taking st.mu here closes the race with a waiter that checked `ready`
+    // under the lock but has not yet blocked on the condvar.
+    std::lock_guard<std::mutex> l(st.mu);
+    st.ready.store(true, std::memory_order_release);
+  }
+  st.cv.notify_all();
 }
 
 void BufferPool::Unpin(uint32_t frame, bool restamp) {
@@ -141,7 +171,8 @@ void BufferPool::Unpin(uint32_t frame, bool restamp) {
   OBJREP_CHECK(prev > 0);
 }
 
-Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
+Status BufferPool::ReclaimFrame(std::unique_lock<std::mutex>& lk,
+                                uint32_t frame) {
   Frame& f = frames_[frame];
   // Write back *before* unmapping, while the frame is still intact: if the
   // device fails the write (fault injection makes that path real), restore
@@ -154,7 +185,17 @@ Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
     // page (temp append, cache install, update...), not to whatever query
     // happened to trigger this reclaim.
     ScopedIoTag tag(f.dirty_tag.load(std::memory_order_relaxed));
+    // The kEvicting claim already makes the frame invisible to other
+    // evictors and un-pinnable, and the mapping left in place keeps
+    // readers of the victim page spinning instead of loading a stale image
+    // from disk — so the device write itself needs no pool latch. Release
+    // evict_mu_ around it (§17) so concurrent misses keep flowing while
+    // the write-back sleeps in the simulated device.
+    const bool drop_latch =
+        !serialize_miss_io_.load(std::memory_order_relaxed);
+    if (drop_latch) lk.unlock();
     Status s = disk_->WritePage(f.pid, f.page);
+    if (drop_latch) lk.lock();
     if (!s.ok()) {
       f.pin_count.store(0, std::memory_order_release);  // un-claim; intact
       return s;
@@ -182,20 +223,26 @@ Status BufferPool::ReclaimFrameLocked(uint32_t frame) {
   return Status::OK();
 }
 
-Status BufferPool::AllocateFramesLocked(size_t k,
-                                        std::vector<uint32_t>* frames_out) {
+Status BufferPool::AllocateFrames(std::unique_lock<std::mutex>& lk, size_t k,
+                                  std::vector<uint32_t>* frames_out) {
   frames_out->clear();
   frames_out->reserve(k);
-  while (frames_out->size() < k && !free_frames_.empty()) {
-    frames_out->push_back(free_frames_.back());
-    free_frames_.pop_back();
-  }
   // One LRU scan selects all remaining victims; reclaiming oldest-first
   // evicts the same frames in the same order as repeated single-victim
   // scans would, so write-back order (and thus every I/O count) matches
-  // the one-page-at-a-time path exactly.
+  // the one-page-at-a-time path exactly. A dirty reclaim releases
+  // evict_mu_ around its device write (§17), after which both the free
+  // list and the scan are redone: single-threaded the stamps have not
+  // moved, so the victim sequence is bit-identical to the fully-latched
+  // path; under concurrency the fresh scan never acts on candidates that
+  // went stale during the window.
   std::vector<std::pair<uint64_t, uint32_t>> candidates;
   while (frames_out->size() < k) {
+    while (frames_out->size() < k && !free_frames_.empty()) {
+      frames_out->push_back(free_frames_.back());
+      free_frames_.pop_back();
+    }
+    if (frames_out->size() == k) break;
     candidates.clear();
     for (uint32_t i = 0; i < frames_.size(); ++i) {
       Frame& f = frames_[i];
@@ -218,9 +265,11 @@ Status BufferPool::AllocateFramesLocked(size_t k,
               expected, kEvicting, std::memory_order_acquire)) {
         continue;  // raced with a concurrent pin; maybe rescan
       }
-      Status s = ReclaimFrameLocked(victim);
+      const bool was_dirty =
+          frames_[victim].dirty.load(std::memory_order_relaxed);
+      Status s = ReclaimFrame(lk, victim);
       if (!s.ok()) {
-        // The victim's write-back failed: ReclaimFrameLocked restored it
+        // The victim's write-back failed: ReclaimFrame restored it
         // (still resident, still dirty), so only the frames already taken
         // roll back to the free list.
         for (uint32_t fr : *frames_out) free_frames_.push_back(fr);
@@ -230,14 +279,18 @@ Status BufferPool::AllocateFramesLocked(size_t k,
       evictions_.fetch_add(1, std::memory_order_relaxed);
       Metrics().evictions->Add(1);
       frames_out->push_back(victim);
+      if (was_dirty && !serialize_miss_io_.load(std::memory_order_relaxed)) {
+        break;  // evict_mu_ was released mid-write: rescan before continuing
+      }
     }
   }
   return Status::OK();
 }
 
-Status BufferPool::AllocateFrameLocked(uint32_t* frame_out) {
+Status BufferPool::AllocateFrame(std::unique_lock<std::mutex>& lk,
+                                 uint32_t* frame_out) {
   std::vector<uint32_t> one;
-  OBJREP_RETURN_NOT_OK(AllocateFramesLocked(1, &one));
+  OBJREP_RETURN_NOT_OK(AllocateFrames(lk, 1, &one));
   *frame_out = one[0];
   return Status::OK();
 }
@@ -251,13 +304,16 @@ void BufferPool::AbandonFrameLocked(uint32_t frame) {
   free_frames_.push_back(frame);
 }
 
-Status BufferPool::PromoteStagedLocked(uint32_t st_idx, PageId pid,
-                                       bool* stale, PageGuard* out) {
+Status BufferPool::PromoteStaged(std::unique_lock<std::mutex>& lk,
+                                 uint32_t st_idx, PageId pid, bool* stale,
+                                 PageGuard* out) {
   // The mapping may be *pending*: an async hint publishes before its
   // vectored read lands. Wait it out (we hold evict_mu_ but no bucket
   // latch, so the hint thread can finish claiming and read). If the read
   // failed, the hint retired the frame (pid reset, mapping erased) — report
-  // stale so the caller demand-loads instead.
+  // stale so the caller demand-loads instead. The caller owns `pid`'s
+  // in-flight claim, so nobody else can consume the staged frame across
+  // this wait or the allocation's transient evict_mu_ release.
   *stale = false;
   WaitStagingReady(st_idx);
   if (staging_[st_idx].pid != pid) {
@@ -270,7 +326,7 @@ Status BufferPool::PromoteStagedLocked(uint32_t st_idx, PageId pid,
   // was already counted) at hint time. This is what keeps every I/O count
   // bit-identical to running with prefetch off (DESIGN.md §9).
   uint32_t frame;
-  OBJREP_RETURN_NOT_OK(AllocateFrameLocked(&frame));
+  OBJREP_RETURN_NOT_OK(AllocateFrame(lk, &frame));
   Frame& f = frames_[frame];
   f.page = staging_[st_idx].page;
   f.pid = pid;
@@ -289,53 +345,133 @@ Status BufferPool::PromoteStagedLocked(uint32_t st_idx, PageId pid,
   return Status::OK();
 }
 
-Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
-                               PageGuard* out) {
-  std::lock_guard<std::mutex> big(evict_mu_);
-  RecycleRetiredStagingLocked();
-  if (load_from_disk) {
-    // Another thread may have loaded `pid` while we waited for evict_mu_.
-    // No evictor can run concurrently (we hold evict_mu_), so a mapped
-    // pool frame is pinnable with a plain increment; a staged copy is
-    // consumed by promotion instead.
-    uint32_t staged = UINT32_MAX;
+void BufferPool::EraseInflight(PageId pid,
+                               const std::shared_ptr<InflightRead>& entry) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> l(shard.mu);
+  auto it = shard.inflight.find(pid);
+  if (it != shard.inflight.end() && it->second == entry) {
+    shard.inflight.erase(it);
+  }
+}
+
+void BufferPool::FinishInflight(const std::shared_ptr<InflightRead>& entry) {
+  {
+    // Taking entry->mu closes the race with a waiter that checked `done`
+    // under the lock but has not yet blocked on the condvar.
+    std::lock_guard<std::mutex> l(entry->mu);
+    entry->done = true;
+  }
+  entry->cv.notify_all();
+}
+
+Status BufferPool::LoadPageMiss(PageId pid, PageGuard* out) {
+  for (;;) {
+    std::shared_ptr<InflightRead> theirs;
+    std::shared_ptr<InflightRead> mine;
+    uint32_t staged_hint = UINT32_MAX;
+    bool evicting = false;
     {
       Shard& shard = ShardFor(pid);
       std::lock_guard<std::mutex> l(shard.mu);
       auto it = shard.map.find(pid);
-      if (it != shard.map.end()) {
-        if (it->second < capacity_) {
-          frames_[it->second].pin_count.fetch_add(1,
-                                                  std::memory_order_acquire);
-          *out = PageGuard(this, it->second, pid);
-          return Status::OK();
+      if (it != shard.map.end() && it->second < capacity_) {
+        Frame& f = frames_[it->second];
+        int c = f.pin_count.load(std::memory_order_relaxed);
+        while (c >= 0) {
+          if (f.pin_count.compare_exchange_weak(c, c + 1,
+                                                std::memory_order_acquire)) {
+            // A concurrent loader won the race after our hit probe missed:
+            // the miss is already counted, but the physical read was
+            // theirs — a coalesced miss, not a second read.
+            coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
+            Metrics().coalesced->Add(1);
+            *out = PageGuard(this, it->second, pid);
+            return Status::OK();
+          }
         }
-        staged = it->second - capacity_;
+        evicting = true;  // claimed mid-eviction; re-probe once it resolves
+      } else {
+        if (it != shard.map.end()) staged_hint = it->second - capacity_;
+        auto in = shard.inflight.find(pid);
+        if (in != shard.inflight.end()) {
+          theirs = in->second;
+        } else {
+          mine = std::make_shared<InflightRead>();
+          shard.inflight.emplace(pid, mine);
+        }
       }
     }
-    if (staged != UINT32_MAX) {
-      bool stale = false;
-      OBJREP_RETURN_NOT_OK(PromoteStagedLocked(staged, pid, &stale, out));
-      if (!stale) return Status::OK();
-      // The hint's read failed and its frame was retired; fall through to
-      // a demand load of our own.
+    if (evicting) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (theirs != nullptr) {
+      // Another thread's read is in flight: sleep on its claim instead of
+      // issuing a duplicate. On success the re-probe pins the published
+      // frame (a coalesced miss); on failure the re-probe finds neither
+      // mapping nor claim, so exactly one waiter becomes the new loader
+      // and the rest coalesce on *its* claim.
+      inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().inflight_waits->Add(1);
+      std::unique_lock<std::mutex> l(theirs->mu);
+      theirs->cv.wait(l, [&] { return theirs->done; });
+      continue;
+    }
+    // We own pid's claim. A staged copy seen at claim time may still have
+    // its hint read in flight — wait it out *before* taking evict_mu_, so
+    // the rest of the pool keeps evicting while that read lands. (The
+    // fresh staging index is re-probed under the latch: the hint may have
+    // failed and its frame been retired, recycled, even re-staged.)
+    if (staged_hint != UINT32_MAX) WaitStagingReady(staged_hint);
+    Status s = LoadClaimedPage(pid, out);
+    // Publication (on success) happened before the claim retires, so a
+    // prober always sees the mapping, the claim, or — only once the read
+    // truly failed — neither.
+    EraseInflight(pid, mine);
+    FinishInflight(mine);
+    return s;
+  }
+}
+
+Status BufferPool::LoadClaimedPage(PageId pid, PageGuard* out) {
+  std::unique_lock<std::mutex> big(evict_mu_);
+  RecycleRetiredStagingLocked();
+  uint32_t staged = UINT32_MAX;
+  {
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it != shard.map.end()) {
+      OBJREP_CHECK_MSG(it->second >= capacity_,
+                       "page resident while its miss claim is held");
+      staged = it->second - capacity_;
     }
   }
+  if (staged != UINT32_MAX) {
+    bool stale = false;
+    OBJREP_RETURN_NOT_OK(PromoteStaged(big, staged, pid, &stale, out));
+    if (!stale) return Status::OK();
+    // The hint's read failed and its frame was retired; fall through to
+    // a demand load of our own.
+  }
   uint32_t frame;
-  OBJREP_RETURN_NOT_OK(AllocateFrameLocked(&frame));
+  OBJREP_RETURN_NOT_OK(AllocateFrame(big, &frame));
   Frame& f = frames_[frame];
   f.pid = pid;
   f.pin_count.store(1, std::memory_order_relaxed);
-  f.dirty.store(!load_from_disk, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
   f.in_use = true;
-  if (load_from_disk) {
-    Status s = disk_->ReadPage(pid, &f.page);
-    if (!s.ok()) {
-      AbandonFrameLocked(frame);
-      return s;
-    }
-  } else {
-    f.page.Zero();
+  // The claim keeps the frame private (unmapped, and same-page missers
+  // sleep on the claim), so the read itself needs no pool latch — this is
+  // the §17 fix: concurrent misses overlap their device time instead of
+  // queueing behind evict_mu_ for the duration of every read.
+  if (!serialize_miss_io_.load(std::memory_order_relaxed)) big.unlock();
+  Status s = disk_->ReadPage(pid, &f.page);
+  if (!s.ok()) {
+    if (!big.owns_lock()) big.lock();
+    AbandonFrameLocked(frame);
+    return s;
   }
   uint32_t redundant_staged = UINT32_MAX;
   {
@@ -343,17 +479,51 @@ Status BufferPool::PinFrameFor(PageId pid, bool load_from_disk,
     std::lock_guard<std::mutex> l(shard.mu);
     auto it = shard.map.find(pid);
     if (it != shard.map.end() && it->second >= capacity_) {
-      // An async hint staged `pid` while we loaded it (NewPage of a
-      // recycled id, or a racing demand load): the staged copy is
+      // An async hint staged `pid` while we read it: the staged copy is
       // redundant now.
       redundant_staged = it->second - capacity_;
     }
     shard.map[pid] = frame;
   }
+  if (big.owns_lock()) big.unlock();
   if (redundant_staged != UINT32_MAX) {
     // Recycle outside the bucket latch: the hint's read may still be in
     // flight, and the hint thread may need this shard's latch to finish
     // claiming its batch before it issues that read.
+    WaitStagingReady(redundant_staged);
+    ReleaseStagingFrame(redundant_staged);
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().wasted->Add(1);
+  }
+  *out = PageGuard(this, frame, pid);
+  return Status::OK();
+}
+
+Status BufferPool::PinNewFrame(PageId pid, PageGuard* out) {
+  std::unique_lock<std::mutex> big(evict_mu_);
+  RecycleRetiredStagingLocked();
+  uint32_t frame;
+  OBJREP_RETURN_NOT_OK(AllocateFrame(big, &frame));
+  Frame& f = frames_[frame];
+  f.pid = pid;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(true, std::memory_order_relaxed);
+  f.in_use = true;
+  f.page.Zero();
+  uint32_t redundant_staged = UINT32_MAX;
+  {
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it != shard.map.end() && it->second >= capacity_) {
+      // An async hint staged a stale image of this recycled page id; the
+      // fresh zeroed frame supersedes it.
+      redundant_staged = it->second - capacity_;
+    }
+    shard.map[pid] = frame;
+  }
+  big.unlock();
+  if (redundant_staged != UINT32_MAX) {
     WaitStagingReady(redundant_staged);
     ReleaseStagingFrame(redundant_staged);
     prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
@@ -401,9 +571,14 @@ Status BufferPool::FetchPage(PageId pid, PageGuard* out) {
     Metrics().hits->Add(1);
     return Status::OK();
   }
+  // The miss is counted here, before the load resolves: even when a racing
+  // loader wins and this thread never touches the disk, the access *was* a
+  // miss — the divergence from the disk's flat read counter is what
+  // coalesced_misses() accounts for (misses == demand reads + promoted +
+  // coalesced, fault-free).
   misses_.fetch_add(1, std::memory_order_relaxed);
   Metrics().misses->Add(1);
-  return PinFrameFor(pid, /*load_from_disk=*/true, out);
+  return LoadPageMiss(pid, out);
 }
 
 Status BufferPool::FetchPages(const PageId* pids, size_t n,
@@ -423,113 +598,182 @@ Status BufferPool::FetchPages(const PageId* pids, size_t n,
   misses_.fetch_add(missing.size(), std::memory_order_relaxed);
   Metrics().misses->Add(missing.size());
 
-  Status s = Status::OK();
-  {
-    std::lock_guard<std::mutex> big(evict_mu_);
-    RecycleRetiredStagingLocked();
-    // Re-check residency under evict_mu_ (a racing loader may have added
-    // some of these; duplicate ids within the batch collapse here too).
-    // Absent pages are vector-loaded; staged pages are promoted. Both need
-    // a pool frame, allocated in batch-position order — the same frames,
-    // in the same order, n sequential FetchPage calls would take.
-    std::vector<std::pair<size_t, uint32_t>> need;  // (position, st or MAX)
-    std::unordered_map<PageId, uint32_t> loading;   // pid -> frame
-    std::vector<size_t> alias;  // positions duplicating a `loading` pid
-    for (size_t i : missing) {
-      PageId pid = pids[i];
-      bool resident = false;
-      uint32_t staged = UINT32_MAX;
-      {
-        Shard& shard = ShardFor(pid);
-        std::lock_guard<std::mutex> l(shard.mu);
-        auto it = shard.map.find(pid);
-        if (it != shard.map.end()) {
-          if (it->second < capacity_) {
-            frames_[it->second].pin_count.fetch_add(
-                1, std::memory_order_acquire);
-            (*out)[i] = PageGuard(this, it->second, pid);
-            resident = true;
-          } else {
-            staged = it->second - capacity_;
-          }
-        }
-      }
-      if (resident) continue;
-      if (loading.count(pid) != 0) {
-        alias.push_back(i);
-        continue;
-      }
-      loading.emplace(pid, 0);
-      need.emplace_back(i, staged);
+  // Claim pass (no evict_mu_): sort the batch's misses into pages this
+  // call will load (`need`, each with our in-flight claim), duplicates of
+  // those (`alias`), pages that became resident since the hit probe
+  // (pinned here — the racing loader's read serves our miss, a coalesced
+  // miss), and pages another loader or evictor currently owns (`deferred`,
+  // resolved one-by-one after the batch: sleeping on a foreign claim while
+  // holding our own batch's claims could deadlock two interleaved batches).
+  struct Need {
+    size_t pos;
+    std::shared_ptr<InflightRead> claim;
+  };
+  std::vector<Need> need;
+  std::vector<size_t> alias;     // positions duplicating a `need` pid
+  std::vector<size_t> deferred;  // positions racing a foreign claim
+  std::unordered_map<PageId, uint32_t> loading;  // pid -> frame (ours)
+  std::vector<uint32_t> staged_hints;  // possibly-pending hint reads
+  for (size_t i : missing) {
+    PageId pid = pids[i];
+    if (loading.count(pid) != 0) {
+      alias.push_back(i);
+      continue;
     }
-    if (!need.empty()) {
-      std::vector<uint32_t> frames;
-      s = AllocateFramesLocked(need.size(), &frames);
-      if (s.ok()) {
-        std::vector<PageId> load_pids;
-        std::vector<Page*> ptrs;
-        load_pids.reserve(need.size());
-        ptrs.reserve(need.size());
-        for (size_t j = 0; j < need.size(); ++j) {
-          auto [i, staged] = need[j];
-          Frame& f = frames_[frames[j]];
-          PageId pid = pids[i];
-          f.pid = pid;
-          f.pin_count.store(1, std::memory_order_relaxed);
-          f.dirty.store(false, std::memory_order_relaxed);
-          f.in_use = true;
-          loading[pid] = frames[j];
-          if (staged != UINT32_MAX) {
-            // May be pending (async hint published before its read landed);
-            // no bucket latch is held here, so waiting is safe. A retired
-            // frame (failed hint read) falls back to our own load.
-            WaitStagingReady(staged);
-            if (staging_[staged].pid == pid) {
-              f.page = staging_[staged].page;
-              prefetch_promoted_.fetch_add(1, std::memory_order_relaxed);
-              Metrics().promoted->Add(1);
-            } else {
-              load_pids.push_back(pid);
-              ptrs.push_back(&f.page);
-            }
-          } else {
-            load_pids.push_back(pid);
-            ptrs.push_back(&f.page);
+    bool resolved = false;
+    bool defer = false;
+    uint32_t staged = UINT32_MAX;
+    std::shared_ptr<InflightRead> mine;
+    {
+      Shard& shard = ShardFor(pid);
+      std::lock_guard<std::mutex> l(shard.mu);
+      auto it = shard.map.find(pid);
+      if (it != shard.map.end() && it->second < capacity_) {
+        Frame& f = frames_[it->second];
+        int c = f.pin_count.load(std::memory_order_relaxed);
+        while (c >= 0) {
+          if (f.pin_count.compare_exchange_weak(c, c + 1,
+                                                std::memory_order_acquire)) {
+            coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
+            Metrics().coalesced->Add(1);
+            (*out)[i] = PageGuard(this, it->second, pid);
+            resolved = true;
+            break;
           }
         }
-        if (!load_pids.empty()) {
-          s = disk_->ReadPages(load_pids.data(), load_pids.size(),
-                               ptrs.data());
-        }
-        if (s.ok()) {
-          std::vector<uint32_t> consumed_staging;
-          for (size_t j = 0; j < need.size(); ++j) {
-            auto [i, staged] = need[j];
-            PageId pid = pids[i];
-            Shard& shard = ShardFor(pid);
-            std::lock_guard<std::mutex> l(shard.mu);
-            auto it = shard.map.find(pid);
-            if (it != shard.map.end() && it->second >= capacity_) {
-              // The staged copy we promoted, or one a racing async hint
-              // published mid-load; either way it is spent now.
-              consumed_staging.push_back(it->second - capacity_);
-            }
-            shard.map[pid] = frames[j];
-            (*out)[i] = PageGuard(this, frames[j], pid);
-          }
-          for (uint32_t st : consumed_staging) {
-            WaitStagingReady(st);  // a racing hint's read may be in flight
-            ReleaseStagingFrame(st);
-          }
-          for (size_t i : alias) {
-            uint32_t fr = loading[pids[i]];
-            frames_[fr].pin_count.fetch_add(1, std::memory_order_relaxed);
-            (*out)[i] = PageGuard(this, fr, pids[i]);
-          }
+        if (!resolved) defer = true;  // claimed mid-eviction
+      } else {
+        if (it != shard.map.end()) staged = it->second - capacity_;
+        if (shard.inflight.count(pid) != 0) {
+          defer = true;
         } else {
-          for (uint32_t fr : frames) AbandonFrameLocked(fr);
+          mine = std::make_shared<InflightRead>();
+          shard.inflight.emplace(pid, mine);
         }
       }
+    }
+    if (resolved) continue;
+    if (defer) {
+      deferred.push_back(i);
+      continue;
+    }
+    loading.emplace(pid, 0);
+    if (staged != UINT32_MAX) staged_hints.push_back(staged);
+    need.push_back(Need{i, std::move(mine)});
+  }
+
+  Status s = Status::OK();
+  if (!need.empty()) {
+    // Wait out possibly-pending hint reads before taking evict_mu_ — our
+    // claims make the staged copies stable, and the fresh staging index is
+    // re-probed under the latch below (the hint may have failed and its
+    // frame been retired, recycled, even re-staged meanwhile).
+    for (uint32_t st : staged_hints) WaitStagingReady(st);
+
+    // Frames for all owned misses are allocated in batch-position order —
+    // the same frames, in the same order, n sequential FetchPage calls
+    // would take. Staged pages are promoted (copy in place of a read);
+    // absent pages are vector-loaded with one ReadPages, issued after
+    // evict_mu_ is released (§17) since the claims keep every allocated
+    // frame private until publication.
+    std::vector<uint32_t> frames;
+    std::unique_lock<std::mutex> big(evict_mu_);
+    RecycleRetiredStagingLocked();
+    s = AllocateFrames(big, need.size(), &frames);
+    if (s.ok()) {
+      std::vector<PageId> load_pids;
+      std::vector<Page*> ptrs;
+      load_pids.reserve(need.size());
+      ptrs.reserve(need.size());
+      for (size_t j = 0; j < need.size(); ++j) {
+        size_t i = need[j].pos;
+        PageId pid = pids[i];
+        Frame& f = frames_[frames[j]];
+        f.pid = pid;
+        f.pin_count.store(1, std::memory_order_relaxed);
+        f.dirty.store(false, std::memory_order_relaxed);
+        f.in_use = true;
+        loading[pid] = frames[j];
+        uint32_t st = UINT32_MAX;
+        {
+          Shard& shard = ShardFor(pid);
+          std::lock_guard<std::mutex> l(shard.mu);
+          auto it = shard.map.find(pid);
+          if (it != shard.map.end() && it->second >= capacity_) {
+            st = it->second - capacity_;
+          }
+        }
+        if (st != UINT32_MAX) {
+          // Usually instant (pre-waited above); a hint that landed after
+          // the claim pass waits here. A retired frame (failed hint read)
+          // falls back to our own load.
+          WaitStagingReady(st);
+          if (staging_[st].pid == pid) {
+            f.page = staging_[st].page;
+            prefetch_promoted_.fetch_add(1, std::memory_order_relaxed);
+            Metrics().promoted->Add(1);
+            continue;
+          }
+        }
+        load_pids.push_back(pid);
+        ptrs.push_back(&f.page);
+      }
+      if (!serialize_miss_io_.load(std::memory_order_relaxed)) big.unlock();
+      if (!load_pids.empty()) {
+        s = disk_->ReadPages(load_pids.data(), load_pids.size(), ptrs.data());
+      }
+      if (s.ok()) {
+        std::vector<uint32_t> consumed_staging;
+        for (size_t j = 0; j < need.size(); ++j) {
+          size_t i = need[j].pos;
+          PageId pid = pids[i];
+          Shard& shard = ShardFor(pid);
+          std::lock_guard<std::mutex> l(shard.mu);
+          auto it = shard.map.find(pid);
+          if (it != shard.map.end() && it->second >= capacity_) {
+            // The staged copy we promoted, or one a racing async hint
+            // published mid-load; either way it is spent now.
+            consumed_staging.push_back(it->second - capacity_);
+          }
+          shard.map[pid] = loading[pid];
+          (*out)[i] = PageGuard(this, loading[pid], pid);
+        }
+        if (big.owns_lock()) big.unlock();
+        for (uint32_t st : consumed_staging) {
+          WaitStagingReady(st);  // a racing hint's read may be in flight
+          ReleaseStagingFrame(st);
+        }
+        for (size_t i : alias) {
+          uint32_t fr = loading[pids[i]];
+          frames_[fr].pin_count.fetch_add(1, std::memory_order_relaxed);
+          // A duplicate id shares the first occurrence's read: a miss with
+          // no physical read of its own, same as losing a cross-thread
+          // load race.
+          coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
+          Metrics().coalesced->Add(1);
+          (*out)[i] = PageGuard(this, fr, pids[i]);
+        }
+      } else {
+        if (!big.owns_lock()) big.lock();
+        for (uint32_t fr : frames) AbandonFrameLocked(fr);
+      }
+    }
+    if (big.owns_lock()) big.unlock();
+    // Retire the batch's claims. On success every mapping is already
+    // published, so probers never see a gap; on failure the claims simply
+    // vanish and the first retrying waiter becomes the new loader.
+    for (const Need& nd : need) {
+      EraseInflight(pids[nd.pos], nd.claim);
+      FinishInflight(nd.claim);
+    }
+  }
+  if (s.ok()) {
+    // Pages another loader or evictor owned at claim time: resolve each
+    // through the one-page miss path (usually a coalesced pin on the
+    // loader's published frame).
+    for (size_t i : deferred) {
+      s = LoadPageMiss(pids[i], &(*out)[i]);
+      if (!s.ok()) break;
     }
   }
   if (!s.ok()) out->clear();  // releases every pin taken above
@@ -610,7 +854,7 @@ Status BufferPool::Prefetch(const PageId* pids, size_t n) {
         }
       }
       staging_[claimed[j]].pid = kInvalidPageId;
-      staging_[claimed[j]].ready.store(true, std::memory_order_release);
+      MarkStagingReady(claimed[j]);
     }
     {
       std::lock_guard<std::mutex> ls(staging_mu_);
@@ -623,7 +867,7 @@ Status BufferPool::Prefetch(const PageId* pids, size_t n) {
     return s;
   }
   for (size_t j = 0; j < claimed.size(); ++j) {
-    staging_[claimed[j]].ready.store(true, std::memory_order_release);
+    MarkStagingReady(claimed[j]);
   }
   prefetched_.fetch_add(want.size(), std::memory_order_relaxed);
   Metrics().prefetched->Add(want.size());
@@ -645,7 +889,7 @@ void BufferPool::PrefetchHint(const PageId* pids, size_t n) {
 
 Status BufferPool::NewPage(PageGuard* out) {
   PageId pid = disk_->AllocatePage();
-  Status s = PinFrameFor(pid, /*load_from_disk=*/false, out);
+  Status s = PinNewFrame(pid, out);
   if (!s.ok()) {
     // Undo the allocation — without this, every failed NewPage (pool
     // exhausted, all frames pinned) leaked a disk page forever.
@@ -672,7 +916,7 @@ bool BufferPool::FreePage(PageId pid) {
 }
 
 bool BufferPool::DoFreePage(PageId pid) {
-  std::lock_guard<std::mutex> big(evict_mu_);
+  std::unique_lock<std::mutex> big(evict_mu_);
   RecycleRetiredStagingLocked();
   uint32_t frame = UINT32_MAX;
   uint32_t staged = UINT32_MAX;
@@ -683,19 +927,14 @@ bool BufferPool::DoFreePage(PageId pid) {
     if (it != shard.map.end()) {
       if (it->second >= capacity_) {
         // Unconsumed staged copy: never dirty, just drop it. Unmap here;
-        // recycle below, outside the bucket latch.
+        // recycle below, after evict_mu_ is released (the hint's read may
+        // still be in flight, and the unmapped frame is exclusively ours).
         staged = it->second - capacity_;
         shard.map.erase(it);
       } else {
         frame = it->second;
       }
     }
-  }
-  if (staged != UINT32_MAX) {
-    WaitStagingReady(staged);  // the hint's read may still be in flight
-    ReleaseStagingFrame(staged);
-    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
-    Metrics().wasted->Add(1);
   }
   if (frame != UINT32_MAX) {
     int expected = 0;
@@ -707,8 +946,15 @@ bool BufferPool::DoFreePage(PageId pid) {
     // flush would charge, so freeing never hides an I/O. If the device
     // fails the write the frame is restored intact and the page stays
     // allocated — the caller keeps it, same contract as the pinned case.
-    if (!ReclaimFrameLocked(frame).ok()) return false;
+    if (!ReclaimFrame(big, frame).ok()) return false;
     free_frames_.push_back(frame);
+  }
+  big.unlock();
+  if (staged != UINT32_MAX) {
+    WaitStagingReady(staged);  // the hint's read may still be in flight
+    ReleaseStagingFrame(staged);
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().wasted->Add(1);
   }
   disk_->FreePage(pid);
   return true;
@@ -729,7 +975,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::InvalidateAllClean() {
-  std::lock_guard<std::mutex> big(evict_mu_);
+  std::unique_lock<std::mutex> big(evict_mu_);
   if (staging_count_ > 0) DropStagedPages();
   for (uint32_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
@@ -739,8 +985,9 @@ void BufferPool::InvalidateAllClean() {
                                              std::memory_order_acquire)) {
       continue;  // pinned
     }
-    // Clean by the check above; ReclaimFrameLocked will not write.
-    OBJREP_CHECK(ReclaimFrameLocked(i).ok());
+    // Clean by the check above; ReclaimFrame will not write (and therefore
+    // never releases evict_mu_).
+    OBJREP_CHECK(ReclaimFrame(big, i).ok());
     free_frames_.push_back(i);
   }
 }
@@ -753,6 +1000,9 @@ void BufferPool::ResetStats() {
   eviction_writes_.store(0, std::memory_order_relaxed);
   prefetch_promoted_.store(0, std::memory_order_relaxed);
   prefetch_wasted_.store(0, std::memory_order_relaxed);
+  coalesced_misses_.store(0, std::memory_order_relaxed);
+  inflight_waits_.store(0, std::memory_order_relaxed);
+  staging_cv_waits_.store(0, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -892,7 +1142,7 @@ Status BufferPool::DoCommit() {
 }
 
 void BufferPool::DropTxnFrames() {
-  std::lock_guard<std::mutex> big(evict_mu_);
+  std::unique_lock<std::mutex> big(evict_mu_);
   for (uint32_t fr : txn_frames_) {
     Frame& f = frames_[fr];
     // By commit/abort time every guard is released (RAII scopes inside the
@@ -903,7 +1153,7 @@ void BufferPool::DropTxnFrames() {
                          expected, kEvicting, std::memory_order_acquire),
                      "transaction frame still pinned at abort");
     f.dirty.store(false, std::memory_order_relaxed);
-    OBJREP_CHECK(ReclaimFrameLocked(fr).ok());  // clean: cannot fail
+    OBJREP_CHECK(ReclaimFrame(big, fr).ok());  // clean: cannot fail
     free_frames_.push_back(fr);
   }
   txn_frames_.clear();
@@ -921,7 +1171,7 @@ void BufferPool::EndTxnState() {
 }
 
 uint64_t BufferPool::DropAllFrames() {
-  std::lock_guard<std::mutex> big(evict_mu_);
+  std::unique_lock<std::mutex> big(evict_mu_);
   OBJREP_CHECK_MSG(!txn_active_.load(std::memory_order_acquire),
                    "DropAllFrames during an active transaction");
   // The caller is the recovery path; WAL redo follows and repairs any
@@ -938,7 +1188,7 @@ uint64_t BufferPool::DropAllFrames() {
                          expected, kEvicting, std::memory_order_acquire),
                      "DropAllFrames with pinned frames");
     f.dirty.store(false, std::memory_order_relaxed);
-    OBJREP_CHECK(ReclaimFrameLocked(i).ok());  // forced clean: cannot fail
+    OBJREP_CHECK(ReclaimFrame(big, i).ok());  // forced clean: cannot fail
     free_frames_.push_back(i);
     ++dropped;
   }

@@ -6,18 +6,40 @@
 // physical read, and dirty pages cost one physical write when evicted (or
 // at end-of-run flush).
 //
-// Concurrency design (DESIGN.md §8):
+// Concurrency design (DESIGN.md §8, §17):
 //   * The page table is sharded into kNumShards hash buckets, each behind
 //     its own latch, so concurrent hits on different pages do not contend.
 //   * Pins are per-frame atomics (a pin is taken by CAS under the bucket
 //     latch; releases are latch-free). A frame with pin_count == kEvicting
-//     is claimed by an evictor and behaves as absent.
+//     is claimed by an evictor; the hit path retries around the claim.
 //   * Replacement is exact strict LRU: each frame records the global clock
-//     stamp of its last unpin, and eviction (serialized by `evict_mu_`,
-//     which also covers the miss path, FlushAll, and InvalidateAllClean)
+//     stamp of its last unpin, and victim selection (serialized by
+//     `evict_mu_`, which also covers FlushAll and InvalidateAllClean)
 //     picks the unpinned in-use frame with the smallest stamp. This is
 //     bit-identical to the seed's intrusive-list LRU for single-threaded
 //     runs, so all paper figures are unchanged.
+//   * Demand-miss I/O runs *outside* evict_mu_ (DESIGN.md §17). A misser
+//     claims the page in its bucket's in-flight table (probe-or-claim is
+//     atomic under the bucket latch), holds evict_mu_ only long enough to
+//     pick a victim frame, reads from disk with no pool latch held, and
+//     publishes the mapping under the bucket latch (atomically retiring
+//     the claim). Concurrent missers of the same page block on the claim
+//     instead of issuing duplicate reads — miss coalescing: one physical
+//     read serves every storm thread, and the latecomers count a
+//     coalesced miss (see coalesced_misses()). A failed read wakes all
+//     waiters with no mapping published; each retries from the top, so
+//     exactly one of them re-issues the read and the rest coalesce on the
+//     new claim, while the failing loader propagates its error.
+//   * Dirty-victim write-back also runs outside evict_mu_: the kEvicting
+//     claim keeps the frame invisible to other evictors and un-pinnable,
+//     and the page-table mapping stays in place until after the write, so
+//     a concurrent reader of the victim page spins briefly instead of
+//     reading a stale image from disk. The no-steal pin means a frame
+//     dirtied inside a WAL transaction is never a victim, so this moves
+//     no write across a commit boundary. Consequence: holding evict_mu_
+//     no longer excludes an in-flight eviction, so paths that probe the
+//     table under evict_mu_ must treat a claimed frame as "retry later",
+//     never spin on it (the claimant needs evict_mu_ to finish).
 //   * hits()/misses() are monotonic relaxed atomics: totals are exact once
 //     the pool is quiescent, but a concurrent reader may observe them
 //     mid-update (approximate while workers run).
@@ -25,8 +47,9 @@
 // Batched I/O (DESIGN.md §9): FetchPages pins a whole batch with one
 // evict_mu_ pass — victims for all missing pages are selected in one LRU
 // scan (oldest first, the same victims the one-at-a-time path would pick)
-// and the missing pages are read with a single vectored DiskManager::
-// ReadPages.
+// — and reads the missing pages with a single vectored DiskManager::
+// ReadPages issued after evict_mu_ is released (the batch's in-flight
+// claims keep the unpublished frames private).
 //
 // Read-ahead runs through dedicated *staging frames*, never the pool
 // proper: Prefetch vector-reads absent pages into staging frames (map
@@ -62,11 +85,15 @@
 // Latch order: wal_mu_ -> evict_mu_ -> bucket latch -> staging_mu_. The
 // hit path takes only a bucket latch; no path takes two bucket latches at
 // once. Prefetch itself takes no evict_mu_ at all, so background
-// read-ahead never blocks the demand path.
+// read-ahead never blocks the demand path. The in-flight and staging
+// condvar mutexes are leaves, locked with no pool latch held (waiting on
+// either is forbidden under a bucket latch; waiting on a *hint* read under
+// evict_mu_ is allowed — hints complete without evict_mu_).
 #ifndef OBJREP_STORAGE_BUFFER_POOL_H_
 #define OBJREP_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -296,6 +323,35 @@ class BufferPool {
   uint64_t prefetch_wasted() const {
     return prefetch_wasted_.load(std::memory_order_relaxed);
   }
+  /// Misses whose physical read was performed by another thread: the
+  /// misser lost the race to a concurrent loader of the same page (or to
+  /// a duplicate id earlier in its own FetchPages batch) and pinned that
+  /// loader's frame instead of touching the disk. Fault-free invariant
+  /// (see DESIGN.md §17):
+  ///   misses == demand reads + prefetch_promoted + coalesced_misses
+  /// where demand reads == disk reads - prefetched_pages.
+  uint64_t coalesced_misses() const {
+    return coalesced_misses_.load(std::memory_order_relaxed);
+  }
+  /// Times a misser blocked on another thread's in-flight read (a subset
+  /// of the coalesced misses: a lost race detected before the read landed
+  /// rather than after).
+  uint64_t inflight_waits() const {
+    return inflight_waits_.load(std::memory_order_relaxed);
+  }
+  /// Times WaitStagingReady exhausted its bounded spin and slept on the
+  /// staging frame's condvar (a hint read stalled or slow).
+  uint64_t staging_cv_waits() const {
+    return staging_cv_waits_.load(std::memory_order_relaxed);
+  }
+  /// Benchmark/test knob reproducing the pre-§17 serialized miss path:
+  /// demand-miss reads and dirty-victim write-backs run while holding
+  /// evict_mu_, so every miss in the process queues behind one mutex.
+  /// bench/read_concurrency uses this as its A/B baseline; real consumers
+  /// never touch it.
+  void SetSerializeMissIo(bool on) {
+    serialize_miss_io_.store(on, std::memory_order_relaxed);
+  }
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -338,14 +394,37 @@ class BufferPool {
     Page page;
     PageId pid = kInvalidPageId;
     std::atomic<bool> ready{false};
+    /// Backs WaitStagingReady's slow path: `ready` transitions to true
+    /// under `mu` with a notify, so a waiter that exhausted its bounded
+    /// spin sleeps instead of burning a core on yield() (the seed's spin
+    /// was unbounded — a fault-stalled hint read pinned a CPU forever).
+    std::mutex mu;
+    std::condition_variable cv;
   };
 
   /// Staging frames provisioned per readahead_pages (see PrefetchOptions).
   static constexpr uint32_t kStagingPerWindow = 4;
 
+  /// One demand-miss read in flight (DESIGN.md §17). The loader creates
+  /// the entry under its bucket latch, performs the read with no pool
+  /// latch held, and resolves the entry when the frame is published (or
+  /// the read failed). Concurrent missers of the same page sleep on `cv`
+  /// instead of issuing duplicate reads.
+  struct InflightRead {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // guarded by mu
+  };
+
   struct Shard {
     std::mutex mu;
     std::unordered_map<PageId, uint32_t> map;  // >= capacity_: staged
+    /// Demand-miss reads in flight, keyed by page id. An entry exists
+    /// from claim to publication; sharing `mu` with the page table makes
+    /// probe-or-claim atomic, so at most one loader per page exists and a
+    /// waiter that finds neither a mapping nor a claim is guaranteed the
+    /// read is not underway.
+    std::unordered_map<PageId, std::shared_ptr<InflightRead>> inflight;
   };
 
   Shard& ShardFor(PageId pid) {
@@ -386,31 +465,64 @@ class BufferPool {
   /// Hit path of FetchPage without the miss fallback: pins `pid` if it is
   /// mapped (retrying around in-flight evictions). Returns false on miss.
   bool TryPinResident(PageId pid, PageGuard* out);
-  /// Under evict_mu_: takes a free frame or evicts the strict-LRU victim.
-  Status AllocateFrameLocked(uint32_t* frame_out);
-  /// Under evict_mu_: takes/evicts `k` frames at once — free frames first,
-  /// then the k oldest unpinned victims from a single LRU scan, reclaimed
-  /// oldest-first (the same victims, same write-back order, as k
-  /// AllocateFrameLocked calls). On failure nothing is allocated.
-  Status AllocateFramesLocked(size_t k, std::vector<uint32_t>* frames_out);
-  /// Under evict_mu_: claims + unmaps one evictable frame, writing it back
-  /// if dirty. Used by AllocateFrameLocked and InvalidateAllClean.
-  Status ReclaimFrameLocked(uint32_t frame);
-  Status PinFrameFor(PageId pid, bool load_from_disk, PageGuard* out);
+  /// The demand-miss path (DESIGN.md §17); the miss is already counted.
+  /// Loops: pin if resident (a coalesced miss), wait if another loader's
+  /// claim is in flight, else claim the page, load it with the disk read
+  /// outside every pool latch, and publish.
+  Status LoadPageMiss(PageId pid, PageGuard* out);
+  /// Loads `pid` while owning its in-flight claim: promotes a staged copy
+  /// if one exists, else allocates a victim under evict_mu_ and reads the
+  /// page with the latch released. Publishes the mapping on success; the
+  /// caller retires the claim afterwards.
+  Status LoadClaimedPage(PageId pid, PageGuard* out);
+  /// Removes `pid`'s in-flight claim if it is `entry` (the caller's own).
+  void EraseInflight(PageId pid, const std::shared_ptr<InflightRead>& entry);
+  /// Marks `entry` resolved and wakes every waiter. Call *after* the
+  /// mapping is published (success) or the claim erased (failure).
+  static void FinishInflight(const std::shared_ptr<InflightRead>& entry);
+  /// Takes a free frame or evicts the strict-LRU victim. `lk` holds
+  /// evict_mu_ on entry and exit but may be released around a dirty
+  /// victim's write-back (see ReclaimFrame).
+  Status AllocateFrame(std::unique_lock<std::mutex>& lk, uint32_t* frame_out);
+  /// Takes/evicts `k` frames at once — free frames first, then the k
+  /// oldest unpinned victims scanned oldest-first (the same victims, same
+  /// write-back order, as k AllocateFrame calls). A dirty reclaim drops
+  /// evict_mu_ around the device write, after which the LRU scan is redone
+  /// (stamps are stable single-threaded, so the victim sequence is
+  /// bit-identical to the fully-latched path; under concurrency a fresh
+  /// scan never acts on stale candidates). On failure nothing is
+  /// allocated.
+  Status AllocateFrames(std::unique_lock<std::mutex>& lk, size_t k,
+                        std::vector<uint32_t>* frames_out);
+  /// Claims + unmaps one evictable frame, writing it back if dirty. `lk`
+  /// holds evict_mu_ on entry and exit; a dirty write-back releases it
+  /// around the device write — the kEvicting claim keeps the frame
+  /// invisible to other evictors, and the still-present mapping keeps
+  /// readers of the victim page off the disk until the write lands.
+  Status ReclaimFrame(std::unique_lock<std::mutex>& lk, uint32_t frame);
+  /// NewPage's pin path: allocates a frame for freshly-allocated page
+  /// `pid` (no disk read — the page is zeroed in place).
+  Status PinNewFrame(PageId pid, PageGuard* out);
   /// Under evict_mu_: resets a frame that was allocated but whose disk
   /// read failed, returning it to the free list.
   void AbandonFrameLocked(uint32_t frame);
-  /// Under evict_mu_: moves staged page `pid` (staging index `st_idx`)
-  /// into a pool frame — allocating the victim now, exactly as the demand
-  /// miss would — and returns the pinned guard. Waits for an in-flight
-  /// hint read to land first; if the staged copy turns out stale (failed
-  /// or recycled hint), sets *stale and allocates nothing.
-  Status PromoteStagedLocked(uint32_t st_idx, PageId pid, bool* stale,
-                             PageGuard* out);
-  /// Blocks (yielding) until staging frame `st_idx` finishes its in-flight
-  /// read. Never called while holding a bucket latch — the hint thread
-  /// needs bucket latches to make progress.
+  /// Moves staged page `pid` (staging index `st_idx`) into a pool frame —
+  /// allocating the victim now, exactly as the demand miss would — and
+  /// returns the pinned guard. `lk` holds evict_mu_ (released transiently
+  /// by AllocateFrame). Waits for an in-flight hint read to land first;
+  /// if the staged copy turns out stale (failed or recycled hint), sets
+  /// *stale and allocates nothing. Caller must own `pid`'s in-flight
+  /// claim, which is what makes the staged frame stable across the waits.
+  Status PromoteStaged(std::unique_lock<std::mutex>& lk, uint32_t st_idx,
+                       PageId pid, bool* stale, PageGuard* out);
+  /// Blocks until staging frame `st_idx` finishes its in-flight read:
+  /// bounded spin first (hint reads are usually microseconds away), then
+  /// a condvar sleep — a stalled read never burns a core. Never called
+  /// while holding a bucket latch — the hint thread needs bucket latches
+  /// to make progress.
   void WaitStagingReady(uint32_t st_idx);
+  /// Publishes `ready` on staging frame `st_idx` and wakes its waiters.
+  void MarkStagingReady(uint32_t st_idx);
   /// Returns a staging frame to the free list.
   void ReleaseStagingFrame(uint32_t st_idx);
   /// Drops every staged mapping (requires quiescence: no in-flight hints).
@@ -420,7 +532,7 @@ class BufferPool {
   uint32_t capacity_;
   std::vector<Frame> frames_;
 
-  std::mutex evict_mu_;                // miss path, eviction, flush
+  std::mutex evict_mu_;                // victim selection, flush, recovery
   std::vector<uint32_t> free_frames_;  // guarded by evict_mu_
   Shard shards_[kNumShards];
 
@@ -432,6 +544,11 @@ class BufferPool {
   std::atomic<uint64_t> eviction_writes_{0};
   std::atomic<uint64_t> prefetch_promoted_{0};
   std::atomic<uint64_t> prefetch_wasted_{0};
+  std::atomic<uint64_t> coalesced_misses_{0};
+  std::atomic<uint64_t> inflight_waits_{0};
+  std::atomic<uint64_t> staging_cv_waits_{0};
+  /// See SetSerializeMissIo.
+  std::atomic<bool> serialize_miss_io_{false};
 
   PrefetchOptions prefetch_;  // written only by SetPrefetchOptions
   uint32_t staging_count_ = 0;

@@ -12,6 +12,7 @@ Usage: check_bench_json.py FILE [--baseline FILE --tolerance PCT]
                           [--baseline FILE --tolerance PCT]
        check_bench_json.py --shard FILE
        check_bench_json.py --mvcc FILE
+       check_bench_json.py --readconc FILE
        check_bench_json.py --obs FILE [--max-overhead PCT]
 
 With --metrics, FILE is instead a metrics-registry dump (the driver's
@@ -49,6 +50,14 @@ figures, and every point at >= 8 threads with Pr(UPDATE) = 0.3 must show
 MVCC retrieving at >= 2x the 2PL rate (the acceptance floor; a --quick
 run sweeps below that point, so the floor binds only on the committed
 full sweep).
+
+With --readconc, FILE is a bench/read_concurrency dump
+(BENCH_read_concurrency.json): sweep points must be unique with
+self-consistent throughput and speedup figures, and every point at >= 8
+threads must show the overlapped miss path retrieving at >= 3x the
+serialized-under-evict_mu_ rate (the acceptance floor; a --quick run
+sweeps below that point, so the floor binds only on the committed full
+sweep).
 
 With --obs, FILE is a bench/obs_overhead dump (BENCH_obs_overhead.json):
 the baseline and enabled throughput figures must be self-consistent with
@@ -401,6 +410,65 @@ def validate_mvcc(doc):
     return points, floor_points
 
 
+# The read-concurrency acceptance floor (bench/read_concurrency): at
+# >= 8 threads the coalesced overlapped miss path must retrieve at >= 3x
+# the serialized baseline (miss I/O held under evict_mu_). A --quick run
+# sweeps below that point, so the floor binds only on the committed
+# full-sweep JSON.
+READCONC_SPEEDUP_FLOOR = 3.0
+READCONC_FLOOR_THREADS = 8
+
+READCONC_POINT_FIELDS = {
+    "threads": int,
+    "serialized_retrieves_per_sec": (int, float),
+    "concurrent_retrieves_per_sec": (int, float),
+    "speedup": (int, float),
+}
+
+
+def validate_readconc(doc):
+    if not isinstance(doc, dict):
+        fail("readconc: top level is not an object")
+    if check_type(doc, "bench", str, "readconc") != "read_concurrency":
+        fail("readconc: bench field is not 'read_concurrency'")
+    check_type(doc, "strategy", str, "readconc")
+    if check_type(doc, "duration_seconds", (int, float), "readconc") <= 0:
+        fail("readconc: non-positive duration")
+    if check_type(doc, "io_latency_us", int, "readconc") < 0:
+        fail("readconc: negative io_latency_us")
+    points = check_type(doc, "points", list, "readconc")
+    if not points:
+        fail("readconc: points is empty")
+    seen = set()
+    floor_points = 0
+    for p in points:
+        ctx = f"readconc point ({p.get('threads', '?')} threads)"
+        for field, types in READCONC_POINT_FIELDS.items():
+            check_type(p, field, types, ctx)
+        if p["threads"] <= 0:
+            fail(f"{ctx}: non-positive threads")
+        if p["threads"] in seen:
+            fail(f"{ctx}: duplicate sweep point")
+        seen.add(p["threads"])
+        for field in ("serialized_retrieves_per_sec",
+                      "concurrent_retrieves_per_sec"):
+            if p[field] <= 0:
+                fail(f"{ctx}: non-positive {field}")
+        expect = (p["concurrent_retrieves_per_sec"] /
+                  p["serialized_retrieves_per_sec"])
+        if abs(p["speedup"] - expect) > max(1e-3, 1e-3 * expect):
+            fail(f"{ctx}: speedup {p['speedup']:.3f} inconsistent with "
+                 f"throughput (expected {expect:.3f})")
+        if p["threads"] >= READCONC_FLOOR_THREADS:
+            floor_points += 1
+            if p["speedup"] < READCONC_SPEEDUP_FLOOR:
+                fail(f"{ctx}: speedup {p['speedup']:.2f}x is below the "
+                     f"{READCONC_SPEEDUP_FLOOR}x floor "
+                     f"({p['concurrent_retrieves_per_sec']:.0f} vs "
+                     f"{p['serialized_retrieves_per_sec']:.0f} retrieves/s)")
+    return points, floor_points
+
+
 def check_profile_io(io, ctx):
     """One RetrieveProfile I/O block: known tags, positive entries, and
     per-tag reads/writes summing exactly to the block's totals."""
@@ -662,6 +730,8 @@ def main():
                         help="FILE is a bench/shard_scaling dump")
     parser.add_argument("--mvcc", action="store_true",
                         help="FILE is a bench/mvcc_contention dump")
+    parser.add_argument("--readconc", action="store_true",
+                        help="FILE is a bench/read_concurrency dump")
     parser.add_argument("--obs", action="store_true",
                         help="FILE is a bench/obs_overhead dump")
     parser.add_argument("--netload", action="store_true",
@@ -721,6 +791,18 @@ def main():
             overall = validate_netload(json.load(f))
         print(f"check_bench_json: {args.file}: netload schema OK "
               f"({overall['ok']} requests, p99 {overall['p99_us']}us)")
+        return
+
+    if args.readconc:
+        if args.baseline or args.metrics or args.adaptive or args.net or \
+                args.shard or args.mvcc or args.obs or args.netload:
+            fail("--readconc does not combine with other modes")
+        with open(args.file) as f:
+            points, floor_points = validate_readconc(json.load(f))
+        peak = max(p["speedup"] for p in points)
+        print(f"check_bench_json: {args.file}: readconc schema OK "
+              f"({len(points)} points, {floor_points} at the floor, "
+              f"peak speedup {peak:.2f}x)")
         return
 
     if args.mvcc:
